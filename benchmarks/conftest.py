@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one exhibit of the paper (see DESIGN.md's
+experiment index) on the seeded synthetic case study, prints the rows the
+paper reports and writes them to ``benchmarks/results/`` as both a text
+table and a CSV file, so they can be inspected or re-plotted afterwards.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the benchmarks from a source checkout even when the package
+# has not been pip-installed (the offline environment lacks the ``wheel``
+# package needed by PEP 517 editable installs).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro import MessageSet
+from repro.reporting import render_table, write_csv
+from repro.workloads import RealCaseParameters, generate_real_case
+
+#: Where the benchmark harness drops its tables and CSV files.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def real_case() -> MessageSet:
+    """The default seeded case study (the paper's 'real traffic' stand-in)."""
+    return generate_real_case()
+
+
+@pytest.fixture(scope="session")
+def small_case() -> MessageSet:
+    """A reduced case study for the simulation-heavy experiments."""
+    return generate_real_case(
+        RealCaseParameters(station_count=8), seed=3, name="small-case")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Return a helper that prints a table and persists it under results/."""
+
+    def _report(name: str, title: str, headers, rows) -> None:
+        table = render_table(headers, rows, title=title)
+        print()
+        print(table)
+        (results_dir / f"{name}.txt").write_text(table)
+        write_csv(results_dir / f"{name}.csv", headers, rows)
+
+    return _report

@@ -1,0 +1,44 @@
+"""E5 — analytic bounds vs simulated worst-case delays (validation).
+
+Not an exhibit of the paper, but required for a credible reproduction: the
+frame-level simulation of the switched network under the adversarial
+synchronised-release scenario must never exceed the network-calculus bounds,
+and should come reasonably close to them (otherwise the bounds, or the
+simulator, would be suspect).
+"""
+
+from repro import PriorityClass, units
+from repro.analysis import validate_bounds
+from repro.reporting import format_ms, yes_no
+
+
+def run_validation(small_case):
+    return validate_bounds(small_case, simulation_duration=units.ms(320))
+
+
+def test_bench_bound_vs_sim(benchmark, small_case, report):
+    rows = benchmark.pedantic(run_validation, args=(small_case,), rounds=3,
+                              iterations=1)
+
+    report(
+        "bound_vs_simulation",
+        "Analytic bound vs simulated worst delay (synchronised releases)",
+        ["policy", "class", "analytic bound", "simulated worst",
+         "simulated mean", "tightness", "bound holds"],
+        [(row.policy, row.priority.name, format_ms(row.analytic_bound),
+          format_ms(row.simulated_worst), format_ms(row.simulated_mean),
+          f"{row.tightness * 100:.0f} %", yes_no(row.bound_holds))
+         for row in rows])
+
+    # The fundamental soundness property: every bound dominates.
+    assert rows
+    assert all(row.bound_holds for row in rows)
+    # The adversarial scenario is not trivially loose.
+    assert any(row.tightness > 0.25 for row in rows)
+    # The priority policy improves the urgent class in both worlds.
+    fcfs_urgent = next(r for r in rows if r.policy == "fcfs"
+                       and r.priority is PriorityClass.URGENT)
+    sp_urgent = next(r for r in rows if r.policy == "strict-priority"
+                     and r.priority is PriorityClass.URGENT)
+    assert sp_urgent.analytic_bound < fcfs_urgent.analytic_bound
+    assert sp_urgent.simulated_worst <= fcfs_urgent.simulated_worst + 1e-9

@@ -1,0 +1,35 @@
+"""E2 — FCFS constraint violations vs link capacity.
+
+Quantifies the paper's observation that raw bandwidth (10 Mbps vs the 1 Mbps
+of MIL-STD-1553B) is not sufficient: with plain FCFS multiplexing the urgent
+class is violated at 10 Mbps, while the strict-priority scheme is clean at
+every capacity, and Fast Ethernet (100 Mbps) would mask the problem.
+"""
+
+from repro import PriorityClass, units
+from repro.analysis import fcfs_violation_table
+from repro.reporting import format_ms
+
+
+def test_bench_fcfs_violations(benchmark, real_case, report):
+    rows = benchmark(fcfs_violation_table, real_case)
+
+    report(
+        "fcfs_violations", "Constraint violations vs link capacity",
+        ["capacity", "class", "messages", "constraint", "FCFS bound",
+         "FCFS violated msgs", "priority bound", "priority violated msgs"],
+        [(f"{row.capacity / 1e6:.0f} Mbps", row.priority.name,
+          row.message_count, format_ms(row.deadline),
+          format_ms(row.fcfs_bound), row.fcfs_violated_messages,
+          format_ms(row.priority_bound), row.priority_violated_messages)
+         for row in rows])
+
+    at_10 = [row for row in rows if row.capacity == units.mbps(10)]
+    at_100 = [row for row in rows if row.capacity == units.mbps(100)]
+    # FCFS at 10 Mbps violates exactly the urgent class.
+    assert {row.priority for row in at_10 if row.fcfs_violated_messages} == \
+        {PriorityClass.URGENT}
+    # Priorities never violate anything.
+    assert all(row.priority_violated_messages == 0 for row in rows)
+    # At 100 Mbps even FCFS is clean (bandwidth would mask the problem).
+    assert all(row.fcfs_violated_messages == 0 for row in at_100)

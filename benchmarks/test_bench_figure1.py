@@ -1,0 +1,43 @@
+"""E1 / Figure 1 — delay bounds for the two approaches.
+
+Regenerates the per-class worst-case delay bounds (FCFS vs four-queue strict
+priority, 10 Mbps, t_techno = 16 µs) on the synthetic case study, prints the
+figure's data and asserts the paper's four qualitative findings:
+
+1. FCFS violates the 3 ms urgent-class constraint despite 10 Mbps,
+2. the priority bound of the urgent class is below 3 ms,
+3. the priority bound of the periodic class is below the FCFS bound,
+4. every real-time constraint is met under the priority scheme.
+"""
+
+from repro import PaperCaseStudy, PriorityClass, units
+from repro.reporting import format_ms, yes_no
+
+
+def compute_figure1(real_case):
+    study = PaperCaseStudy(real_case)
+    return study, study.figure1_rows()
+
+
+def test_bench_figure1(benchmark, real_case, report):
+    study, rows = benchmark(compute_figure1, real_case)
+
+    report(
+        "figure1", "Figure 1 - Delay bounds for the two approaches (10 Mbps)",
+        ["priority class", "messages", "constraint", "FCFS bound", "FCFS ok",
+         "priority bound", "priority ok"],
+        [(row.priority.label, row.message_count, format_ms(row.deadline),
+          format_ms(row.fcfs_bound), yes_no(row.fcfs_meets_deadline),
+          format_ms(row.priority_bound), yes_no(row.priority_meets_deadline))
+         for row in rows])
+
+    by_class = {row.priority: row for row in rows}
+    # Claim 1: FCFS misses the 3 ms constraint.
+    assert not by_class[PriorityClass.URGENT].fcfs_meets_deadline
+    assert study.fcfs_bound() > units.ms(3)
+    # Claim 2: the urgent class's priority bound is below 3 ms.
+    assert by_class[PriorityClass.URGENT].priority_bound < units.ms(3)
+    # Claim 3: the periodic class improves over FCFS.
+    assert by_class[PriorityClass.PERIODIC].priority_bound < study.fcfs_bound()
+    # Claim 4: every constraint respected with priorities.
+    assert all(row.priority_meets_deadline for row in rows)

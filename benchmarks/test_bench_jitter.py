@@ -1,0 +1,45 @@
+"""E6 — delivery jitter (the paper's future-work item).
+
+Per-stream peak-to-peak delivery jitter per priority class under the 1553B
+cyclic bus, FCFS switched Ethernet and prioritised switched Ethernet, using
+the staggered-release scenario.  The expected shape: 1553B periodic jitter is
+essentially zero (rigid schedule), its sporadic jitter is dominated by the
+20 ms polling, and the switched network keeps jitter in the tens of
+microseconds for every class.
+"""
+
+from repro import PriorityClass, units
+from repro.analysis import jitter_comparison
+from repro.reporting import format_ms
+
+
+def run_jitter(small_case):
+    return jitter_comparison(small_case, duration=units.ms(320))
+
+
+def test_bench_jitter(benchmark, small_case, report):
+    rows = benchmark.pedantic(run_jitter, args=(small_case,), rounds=3,
+                              iterations=1)
+
+    report(
+        "jitter", "Per-stream delivery jitter per class",
+        ["technology", "class", "worst jitter", "mean jitter",
+         "worst latency", "streams"],
+        [(row.technology, row.priority.name, format_ms(row.worst_jitter),
+          format_ms(row.mean_jitter), format_ms(row.worst_latency),
+          row.streams)
+         for row in rows])
+
+    def worst(technology, priority):
+        return next(r.worst_jitter for r in rows
+                    if r.technology == technology and r.priority is priority)
+
+    # 1553B periodic jitter is inherently low (the paper's remark)...
+    assert worst("mil-std-1553b", PriorityClass.PERIODIC) <= units.us(1)
+    # ... but its polled sporadic traffic jitters by whole minor frames.
+    assert worst("mil-std-1553b", PriorityClass.URGENT) > units.ms(1)
+    # The switched network keeps every class's jitter far below that.
+    for technology in ("ethernet-fcfs", "ethernet-priority"):
+        for row in rows:
+            if row.technology == technology:
+                assert row.worst_jitter < units.ms(2)

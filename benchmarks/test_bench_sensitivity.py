@@ -1,0 +1,69 @@
+"""E7 — ablations on the design parameters.
+
+Three sweeps on the analytic model:
+
+* ``t_techno`` (switch relaying-delay bound) — enters every bound additively,
+* token-bucket burst scaling — every bound grows linearly with the bursts and
+  the constraints eventually break,
+* non-preemption — the ``max_{q>p} b_j`` blocking term costs the urgent class
+  the most in relative terms.
+"""
+
+from repro import PriorityClass, units
+from repro.analysis import (
+    burst_scaling_sweep,
+    preemption_ablation,
+    technology_delay_sweep,
+)
+from repro.reporting import format_ms, yes_no
+
+
+def run_sensitivity(real_case):
+    return (technology_delay_sweep(real_case),
+            burst_scaling_sweep(real_case),
+            preemption_ablation(real_case))
+
+
+def test_bench_sensitivity(benchmark, real_case, report):
+    delay_rows, burst_rows, preemption_rows = benchmark(run_sensitivity,
+                                                        real_case)
+
+    report(
+        "sensitivity_ttechno", "Sensitivity to the relaying-delay bound",
+        ["t_techno", "FCFS bound", "urgent priority bound", "urgent ok"],
+        [(format_ms(row.technology_delay), format_ms(row.fcfs_bound),
+          format_ms(row.urgent_priority_bound),
+          yes_no(row.urgent_meets_deadline))
+         for row in delay_rows])
+
+    report(
+        "sensitivity_burst", "Sensitivity to the shaper burst size",
+        ["burst factor", "FCFS bound", "urgent bound", "background bound",
+         "all constraints met"],
+        [(f"x{row.factor:g}", format_ms(row.fcfs_bound),
+          format_ms(row.priority_bounds.get(PriorityClass.URGENT)),
+          format_ms(row.priority_bounds.get(PriorityClass.BACKGROUND)),
+          yes_no(row.all_constraints_met))
+         for row in burst_rows])
+
+    report(
+        "sensitivity_preemption", "Cost of non-preemption per class",
+        ["class", "non-preemptive bound", "preemptive bound",
+         "blocking cost"],
+        [(row.priority.label, format_ms(row.non_preemptive_bound),
+          format_ms(row.preemptive_bound), format_ms(row.blocking_cost))
+         for row in preemption_rows])
+
+    # t_techno enters additively: the sweep is strictly increasing.
+    fcfs_bounds = [row.fcfs_bound for row in delay_rows]
+    assert fcfs_bounds == sorted(fcfs_bounds)
+    # The urgent class survives every swept t_techno value.
+    assert all(row.urgent_meets_deadline for row in delay_rows)
+    # Burst scaling: bounds grow, constraints eventually break.
+    assert burst_rows[0].factor < burst_rows[-1].factor
+    assert burst_rows[-1].fcfs_bound > burst_rows[0].fcfs_bound
+    assert not burst_rows[-1].all_constraints_met
+    # Non-preemption is costliest (relatively) for the urgent class.
+    relative = {row.priority: row.blocking_cost / row.non_preemptive_bound
+                for row in preemption_rows}
+    assert relative[PriorityClass.URGENT] == max(relative.values())

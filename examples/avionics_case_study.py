@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's case study: Figure 1 on the synthetic military message set.
+
+Generates the seeded "real case" avionics traffic (see
+``repro.workloads.realcase``), runs the paper's single-multiplexer analysis
+at 10 Mbps and renders:
+
+* the per-class delay-bound table (Figure 1's data),
+* a text bar chart comparing FCFS and strict-priority bounds with the class
+  constraints,
+* the capacity sweep showing that 100 Mbps plain FCFS would also work, but
+  10 Mbps needs the priority handling (the paper's central argument).
+
+Run with::
+
+    python examples/avionics_case_study.py
+"""
+
+from repro import PaperCaseStudy, generate_real_case, units
+from repro.analysis import fcfs_violation_table
+from repro.reporting import format_ms, render_bar_chart, render_table, yes_no
+
+
+def main() -> None:
+    message_set = generate_real_case()
+    summary = message_set.summary()
+    print(f"Synthetic case study: {summary['messages']} messages "
+          f"({summary['periodic']} periodic, {summary['sporadic']} sporadic) "
+          f"over {summary['stations']} stations, "
+          f"aggregate rate {summary['total_rate_bps'] / 1e3:.0f} kbps\n")
+
+    study = PaperCaseStudy(message_set)
+    rows = study.figure1_rows()
+
+    # Figure 1 as a table -------------------------------------------------
+    table_rows = [
+        (row.priority.label, row.message_count, format_ms(row.deadline),
+         format_ms(row.fcfs_bound), yes_no(row.fcfs_meets_deadline),
+         format_ms(row.priority_bound), yes_no(row.priority_meets_deadline))
+        for row in rows
+    ]
+    print(render_table(
+        ["priority class", "msgs", "constraint", "FCFS bound", "ok?",
+         "priority bound", "ok?"],
+        table_rows,
+        title="Figure 1 - Delay bounds for the two approaches (10 Mbps)"))
+
+    # Figure 1 as a bar chart ----------------------------------------------
+    labels, values, markers = [], [], {}
+    for index, row in enumerate(rows):
+        labels.append(f"{row.priority.name} / FCFS")
+        values.append(round(units.to_ms(row.fcfs_bound), 3))
+        labels.append(f"{row.priority.name} / priority")
+        values.append(round(units.to_ms(row.priority_bound), 3))
+        if row.deadline is not None:
+            markers[2 * index] = units.to_ms(row.deadline)
+            markers[2 * index + 1] = units.to_ms(row.deadline)
+    print(render_bar_chart(labels, values, unit="ms",
+                           title="Delay bounds ('|' marks the constraint)",
+                           markers=markers))
+
+    # Headline claims -------------------------------------------------------
+    print("FCFS violates at least one constraint:    ",
+          study.fcfs_violates_constraints())
+    print("Priority respects every constraint:       ",
+          study.priority_meets_all_constraints())
+    print("Urgent-class priority bound below 3 ms:   ",
+          study.urgent_priority_bound_below_3ms())
+    print("Periodic priority bound below FCFS bound: ",
+          study.periodic_priority_bound_below_fcfs())
+    print()
+
+    # Capacity sweep ---------------------------------------------------------
+    sweep_rows = []
+    for row in fcfs_violation_table(message_set):
+        sweep_rows.append((
+            f"{row.capacity / 1e6:.0f} Mbps", row.priority.name,
+            format_ms(row.deadline), format_ms(row.fcfs_bound),
+            row.fcfs_violated_messages, format_ms(row.priority_bound),
+            row.priority_violated_messages))
+    print(render_table(
+        ["capacity", "class", "constraint", "FCFS bound", "FCFS violations",
+         "priority bound", "priority violations"],
+        sweep_rows, title="Constraint violations vs link capacity"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Migrating from MIL-STD-1553B to switched Ethernet.
+
+The scenario of the paper: the same avionics message set is carried today by
+a MIL-STD-1553B bus (1 Mbps, 160 ms major frame, 20 ms minor frames) and is
+to be migrated to Full-Duplex Switched Ethernet.  This example:
+
+1. builds and validates the 1553B major-frame schedule and prints its
+   per-minor-frame utilisation,
+2. simulates the bus and reports observed response times and bus load,
+3. compares, per priority class, the worst-case response times on 1553B with
+   the delay bounds on 10 Mbps Ethernet under FCFS and strict-priority
+   multiplexing.
+
+Run with::
+
+    python examples/milstd1553_migration.py
+"""
+
+from repro import MajorFrameSchedule, Milstd1553BusSimulator, generate_real_case, units
+from repro.analysis import technology_comparison
+from repro.milstd1553 import Milstd1553Analysis
+from repro.reporting import format_ms, render_table, yes_no
+
+
+def main() -> None:
+    message_set = generate_real_case()
+
+    # 1. The cyclic schedule -------------------------------------------------
+    schedule = MajorFrameSchedule(message_set)
+    schedule.validate()
+    rows = [(index, format_ms(duration), f"{utilization * 100:.1f} %")
+            for index, (duration, utilization)
+            in enumerate(zip(schedule.minor_frame_durations(),
+                             schedule.utilizations()))]
+    print(render_table(
+        ["minor frame", "worst-case busy time", "utilisation"],
+        rows, title="MIL-STD-1553B major frame (160 ms / 8 x 20 ms)"))
+    print(f"Polled terminals: {len(schedule.polled_terminals())}, "
+          f"periodic messages scheduled: "
+          f"{len(message_set.periodic())}\n")
+
+    # 2. Bus simulation --------------------------------------------------------
+    simulator = Milstd1553BusSimulator(message_set, schedule=schedule,
+                                       sporadic_scenario="greedy")
+    results = simulator.run(duration=units.ms(640))
+    print(f"Simulated 640 ms of bus operation: "
+          f"utilisation {results.bus_utilization * 100:.1f} %, "
+          f"{results.instances_delivered}/{results.instances_released} "
+          f"instances delivered, "
+          f"{results.minor_frame_overruns} minor-frame overruns\n")
+
+    analysis = Milstd1553Analysis(schedule)
+    worst = max(analysis.all_bounds().values(), key=lambda b: b.bound)
+    print(f"Worst analytic 1553B response time: {format_ms(worst.bound)} "
+          f"({worst.name})\n")
+
+    # 3. Technology comparison ---------------------------------------------------
+    comparison_rows = [
+        (row.priority.label, format_ms(row.deadline),
+         format_ms(row.milstd1553_bound), yes_no(row.milstd1553_ok),
+         format_ms(row.ethernet_fcfs_bound), yes_no(row.fcfs_ok),
+         format_ms(row.ethernet_priority_bound), yes_no(row.priority_ok))
+        for row in technology_comparison(message_set)
+    ]
+    print(render_table(
+        ["priority class", "constraint", "1553B bound", "ok?",
+         "Ethernet FCFS", "ok?", "Ethernet priority", "ok?"],
+        comparison_rows,
+        title="Worst-case response times: 1553B vs switched Ethernet"))
+    print("Note: the 3 ms urgent class cannot be guaranteed by 20 ms polling "
+          "on 1553B, nor by plain FCFS Ethernet at 10 Mbps; it is met once "
+          "802.1p strict priorities are used - the paper's argument for "
+          "priority handling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The ``wheel`` package is not available in the offline evaluation
+environment, so PEP 517 editable installs (which build an editable wheel)
+fail with ``invalid command 'bdist_wheel'``.  This ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on older pips) fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

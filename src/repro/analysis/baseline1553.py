@@ -1,0 +1,85 @@
+"""E3 — the MIL-STD-1553B baseline.
+
+The paper's Section 2 describes how the case-study traffic is carried today:
+a 160 ms major frame divided into 20 ms minor frames, periodic messages in
+the transaction table, sporadic messages polled.  This experiment regenerates
+that baseline for the synthetic case study:
+
+* the schedule (per-minor-frame utilisation, feasibility),
+* the analytic worst-case response times per message class,
+* the simulated response times over a few major frames,
+
+and checks the two structural facts the paper states: the polling cycle
+(minor frame) is not smaller than the smallest message period, and the major
+frame covers the biggest message period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass, assign_priority
+from repro.milstd1553.analysis import Milstd1553Analysis
+from repro.milstd1553.bus import Milstd1553BusSimulator
+from repro.milstd1553.schedule import MajorFrameSchedule
+
+__all__ = ["Baseline1553Report", "baseline_1553_report"]
+
+
+@dataclass
+class Baseline1553Report:
+    """Everything the E3 benchmark prints about the 1553B baseline."""
+
+    #: Worst-case busy time of each minor frame (seconds).
+    minor_frame_durations: list[float]
+    #: Worst-case utilisation of each minor frame (fraction of 20 ms).
+    minor_frame_utilizations: list[float]
+    #: True when every minor frame fits.
+    feasible: bool
+    #: Mean bus utilisation observed in simulation.
+    simulated_bus_utilization: float
+    #: Number of minor-frame overruns observed in simulation.
+    simulated_overruns: int
+    #: Analytic worst-case response time per priority class (seconds).
+    analytic_worst_per_class: dict[PriorityClass, float] = field(
+        default_factory=dict)
+    #: Simulated worst response time per priority class (seconds).
+    simulated_worst_per_class: dict[PriorityClass, float] = field(
+        default_factory=dict)
+
+    @property
+    def max_utilization(self) -> float:
+        """Worst-case utilisation of the busiest minor frame."""
+        return max(self.minor_frame_utilizations)
+
+
+def baseline_1553_report(message_set: MessageSet,
+                         simulation_duration: float = units.ms(640),
+                         seed: int = 1) -> Baseline1553Report:
+    """Build the E3 report for a message set (schedule + analysis + simulation)."""
+    schedule = MajorFrameSchedule(message_set)
+    analysis = Milstd1553Analysis(schedule)
+    simulator = Milstd1553BusSimulator(message_set, schedule=schedule,
+                                       sporadic_scenario="greedy", seed=seed)
+    results = simulator.run(duration=simulation_duration)
+
+    analytic_worst: dict[PriorityClass, float] = {}
+    simulated_worst: dict[PriorityClass, float] = {}
+    for message in message_set:
+        cls = assign_priority(message)
+        bound = analysis.bound_for(message).bound
+        analytic_worst[cls] = max(analytic_worst.get(cls, 0.0), bound)
+        observed = results.message_latencies[message.name].maximum
+        if observed == observed:  # skip NaN (no delivery recorded)
+            simulated_worst[cls] = max(simulated_worst.get(cls, 0.0), observed)
+
+    return Baseline1553Report(
+        minor_frame_durations=schedule.minor_frame_durations(),
+        minor_frame_utilizations=schedule.utilizations(),
+        feasible=schedule.is_feasible(),
+        simulated_bus_utilization=results.bus_utilization,
+        simulated_overruns=results.minor_frame_overruns,
+        analytic_worst_per_class=analytic_worst,
+        simulated_worst_per_class=simulated_worst)

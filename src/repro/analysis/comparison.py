@@ -1,0 +1,101 @@
+"""E4 — MIL-STD-1553B vs switched Ethernet, side by side.
+
+The paper motivates the migration by contrasting the deterministic but slow,
+master-polled 1553B bus with the fast but (natively) non-deterministic
+switched Ethernet.  This experiment lines up, per priority class:
+
+* the worst-case response time on the 1553B cyclic schedule (analytic),
+* the worst-case delay bound on 10 Mbps switched Ethernet with FCFS
+  multiplexing,
+* the worst-case delay bound with the four-queue strict-priority
+  multiplexing,
+
+against the binding class deadline, so the reader sees at a glance where raw
+bandwidth helps, where it does not, and what the priorities add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.paper_model import PaperCaseStudy
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass, assign_priority
+from repro.milstd1553.analysis import Milstd1553Analysis
+from repro.milstd1553.schedule import MajorFrameSchedule
+
+__all__ = ["ComparisonRow", "technology_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One priority class compared across the three technologies."""
+
+    priority: PriorityClass
+    message_count: int
+    deadline: float | None
+    #: Analytic worst-case response time on the 1553B cyclic schedule (s).
+    milstd1553_bound: float
+    #: FCFS delay bound on switched Ethernet (s).
+    ethernet_fcfs_bound: float
+    #: Strict-priority delay bound on switched Ethernet (s).
+    ethernet_priority_bound: float
+
+    @property
+    def milstd1553_ok(self) -> bool:
+        """True when the 1553B bound respects the class deadline."""
+        return self.deadline is None or self.milstd1553_bound <= self.deadline
+
+    @property
+    def fcfs_ok(self) -> bool:
+        """True when the Ethernet FCFS bound respects the class deadline."""
+        return (self.deadline is None
+                or self.ethernet_fcfs_bound <= self.deadline)
+
+    @property
+    def priority_ok(self) -> bool:
+        """True when the Ethernet priority bound respects the class deadline."""
+        return (self.deadline is None
+                or self.ethernet_priority_bound <= self.deadline)
+
+    @property
+    def speedup_over_1553(self) -> float:
+        """1553B worst case divided by the Ethernet priority bound."""
+        if self.ethernet_priority_bound <= 0:
+            return float("inf")
+        return self.milstd1553_bound / self.ethernet_priority_bound
+
+
+def technology_comparison(message_set: MessageSet,
+                          capacity: float = units.mbps(10),
+                          technology_delay: float = units.us(16)
+                          ) -> list[ComparisonRow]:
+    """Per-class comparison of 1553B, Ethernet-FCFS and Ethernet-priority."""
+    schedule = MajorFrameSchedule(message_set)
+    bus_analysis = Milstd1553Analysis(schedule)
+    study = PaperCaseStudy(message_set, capacity=capacity,
+                           technology_delay=technology_delay)
+    fcfs_bounds = study.fcfs_class_bounds()
+    priority_bounds = study.priority_class_bounds()
+    deadlines = study.class_deadlines()
+    grouped = message_set.by_priority()
+
+    milstd_worst: dict[PriorityClass, float] = {}
+    for message in message_set:
+        cls = assign_priority(message)
+        bound = bus_analysis.bound_for(message).bound
+        milstd_worst[cls] = max(milstd_worst.get(cls, 0.0), bound)
+
+    rows: list[ComparisonRow] = []
+    for cls in PriorityClass:
+        if cls not in priority_bounds:
+            continue
+        rows.append(ComparisonRow(
+            priority=cls,
+            message_count=len(grouped[cls]),
+            deadline=deadlines.get(cls),
+            milstd1553_bound=milstd_worst.get(cls, 0.0),
+            ethernet_fcfs_bound=fcfs_bounds[cls],
+            ethernet_priority_bound=priority_bounds[cls]))
+    return rows

@@ -1,0 +1,174 @@
+"""E1 — the paper's case study and Figure 1.
+
+The paper models the system as a set of token-bucket shaped connections
+multiplexed in front of a 10 Mbps Full-Duplex Switched Ethernet link (with a
+relaying-delay bound ``t_techno``), and compares, per priority class, the
+worst-case delay bound obtained with
+
+* the plain **FCFS** multiplexer (one bound for every packet), and
+* the **four-queue strict-priority** multiplexer (one bound per class),
+
+against the real-time constraint of the class.  Figure 1 of the paper plots
+those bounds; its qualitative findings are:
+
+1. despite the 10× speed advantage over MIL-STD-1553B, the FCFS bound
+   violates the 3 ms constraint of the urgent class,
+2. with priorities, the urgent class's bound drops below 3 ms,
+3. the periodic class's priority bound is smaller than the FCFS bound,
+4. every real-time constraint is respected under the priority scheme.
+
+:class:`PaperCaseStudy` reproduces that analysis for any message set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.multiplexer import (
+    FcfsMultiplexerAnalysis,
+    StrictPriorityMultiplexerAnalysis,
+)
+from repro.errors import EmptyAggregateError
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+
+__all__ = ["ClassBoundRow", "PaperCaseStudy", "figure1_rows"]
+
+#: Default link capacity of the paper: 10 Mbps.
+DEFAULT_CAPACITY = units.mbps(10)
+#: Default bound on the relaying delay (t_techno): 16 µs.
+DEFAULT_TECHNOLOGY_DELAY = units.us(16)
+
+
+@dataclass(frozen=True)
+class ClassBoundRow:
+    """One row of Figure 1: a priority class and its two bounds."""
+
+    priority: PriorityClass
+    #: Number of messages in the class.
+    message_count: int
+    #: The binding (smallest) deadline of the class, or ``None``.
+    deadline: float | None
+    #: Worst-case delay bound with the FCFS multiplexer (seconds).
+    fcfs_bound: float
+    #: Worst-case delay bound with the strict-priority multiplexer (seconds).
+    priority_bound: float
+
+    @property
+    def fcfs_meets_deadline(self) -> bool:
+        """True when the FCFS bound respects the class constraint."""
+        return self.deadline is None or self.fcfs_bound <= self.deadline
+
+    @property
+    def priority_meets_deadline(self) -> bool:
+        """True when the strict-priority bound respects the class constraint."""
+        return self.deadline is None or self.priority_bound <= self.deadline
+
+
+class PaperCaseStudy:
+    """The paper's single-multiplexer analysis of a message set.
+
+    Parameters
+    ----------
+    message_set:
+        The connections flowing through the multiplexer (the whole avionics
+        traffic in the paper's case study).
+    capacity:
+        Link capacity ``C`` (10 Mbps in the paper).
+    technology_delay:
+        The ``t_techno`` bound on the relaying delay.
+    """
+
+    def __init__(self, message_set: MessageSet,
+                 capacity: float = DEFAULT_CAPACITY,
+                 technology_delay: float = DEFAULT_TECHNOLOGY_DELAY) -> None:
+        self.message_set = message_set
+        self.capacity = float(capacity)
+        self.technology_delay = float(technology_delay)
+        self._fcfs = FcfsMultiplexerAnalysis(
+            capacity=self.capacity, technology_delay=self.technology_delay)
+        self._priority = StrictPriorityMultiplexerAnalysis(
+            capacity=self.capacity, technology_delay=self.technology_delay)
+
+    # -- bounds ----------------------------------------------------------------
+
+    def fcfs_bound(self) -> float:
+        """The single FCFS bound ``D`` applying to every packet (seconds)."""
+        return self._fcfs.bound(self.message_set.messages).delay
+
+    def fcfs_class_bounds(self) -> dict[PriorityClass, float]:
+        """The FCFS bound reported for every class present in the set."""
+        return {cls: bound.delay for cls, bound in
+                self._fcfs.class_bounds(self.message_set.messages).items()}
+
+    def priority_class_bounds(self) -> dict[PriorityClass, float]:
+        """The strict-priority bound ``D_p`` of every class present."""
+        return {cls: bound.delay for cls, bound in
+                self._priority.class_bounds(self.message_set.messages).items()}
+
+    def class_deadlines(self) -> dict[PriorityClass, float | None]:
+        """The binding (smallest) deadline of every class present in the set."""
+        deadlines: dict[PriorityClass, float | None] = {}
+        for cls, messages in self.message_set.by_priority().items():
+            if not messages:
+                continue
+            with_deadline = [m.deadline for m in messages
+                             if m.deadline is not None]
+            deadlines[cls] = min(with_deadline) if with_deadline else None
+        return deadlines
+
+    # -- figure 1 ----------------------------------------------------------------
+
+    def figure1_rows(self) -> list[ClassBoundRow]:
+        """The per-class rows of Figure 1, ordered by priority."""
+        fcfs = self.fcfs_class_bounds()
+        priority = self.priority_class_bounds()
+        deadlines = self.class_deadlines()
+        grouped = self.message_set.by_priority()
+        rows = []
+        for cls in PriorityClass:
+            if cls not in priority:
+                continue
+            rows.append(ClassBoundRow(
+                priority=cls,
+                message_count=len(grouped[cls]),
+                deadline=deadlines.get(cls),
+                fcfs_bound=fcfs[cls],
+                priority_bound=priority[cls]))
+        if not rows:
+            raise EmptyAggregateError("the message set is empty")
+        return rows
+
+    # -- headline claims -----------------------------------------------------------
+
+    def fcfs_violates_constraints(self) -> bool:
+        """Paper claim 1: the FCFS bound violates at least one constraint."""
+        return any(not row.fcfs_meets_deadline for row in self.figure1_rows())
+
+    def priority_meets_all_constraints(self) -> bool:
+        """Paper claim 4: every constraint is respected with priorities."""
+        return all(row.priority_meets_deadline for row in self.figure1_rows())
+
+    def urgent_priority_bound_below_3ms(self) -> bool:
+        """Paper claim 2: the urgent class's priority bound is below 3 ms."""
+        bounds = self.priority_class_bounds()
+        if PriorityClass.URGENT not in bounds:
+            return False
+        return bounds[PriorityClass.URGENT] < units.ms(3)
+
+    def periodic_priority_bound_below_fcfs(self) -> bool:
+        """Paper claim 3: the periodic class improves over the FCFS bound."""
+        priority = self.priority_class_bounds()
+        if PriorityClass.PERIODIC not in priority:
+            return False
+        return priority[PriorityClass.PERIODIC] < self.fcfs_bound()
+
+
+def figure1_rows(message_set: MessageSet,
+                 capacity: float = DEFAULT_CAPACITY,
+                 technology_delay: float = DEFAULT_TECHNOLOGY_DELAY
+                 ) -> list[ClassBoundRow]:
+    """Convenience wrapper returning Figure 1's rows for a message set."""
+    return PaperCaseStudy(message_set, capacity=capacity,
+                          technology_delay=technology_delay).figure1_rows()

@@ -1,0 +1,121 @@
+"""E8 — scalability: how much more traffic can each approach absorb?
+
+The paper motivates switched Ethernet by its "expandability for future
+investment": unlike the 1 Mbps shared bus, a switched network should keep
+absorbing new subsystems.  This experiment quantifies that claim by
+replicating the case-study traffic ``k`` times (``k`` times as many stations
+emitting the same kind of messages through the shared analysis point) and
+recording, for each scale factor:
+
+* whether the MIL-STD-1553B cyclic schedule is still feasible,
+* whether plain-FCFS switched Ethernet still meets every constraint,
+* whether prioritised switched Ethernet still meets every constraint,
+* the aggregate utilisation of the 1553B bus and of the Ethernet link.
+
+The expected shape: the 1553B schedule saturates first (it is already near
+its limit at scale 1), FCFS Ethernet is broken from the start (the 3 ms
+class), and the prioritised Ethernet keeps every constraint until the urgent
+class's own burst accumulation catches up, several scale factors later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.paper_model import PaperCaseStudy
+from repro.errors import UnstableSystemError
+from repro.flows.message_set import MessageSet
+from repro.milstd1553.schedule import MajorFrameSchedule
+from repro.workloads.sweeps import scale_station_count
+
+__all__ = ["ScalabilityRow", "scalability_sweep", "max_feasible_scale"]
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    """Feasibility of every approach at one traffic scale factor."""
+
+    #: Replication factor applied to the baseline message set.
+    scale: int
+    #: Number of messages at this scale.
+    message_count: int
+    #: Worst-case minor-frame utilisation of the 1553B schedule (may exceed 1).
+    milstd1553_utilization: float
+    #: True when the 1553B cyclic schedule still fits its minor frames.
+    milstd1553_feasible: bool
+    #: Aggregate long-term utilisation of the Ethernet link.
+    ethernet_utilization: float
+    #: True when plain FCFS meets every constraint.
+    fcfs_feasible: bool
+    #: True when the strict-priority scheme meets every constraint.
+    priority_feasible: bool
+
+
+def _ethernet_feasibility(message_set: MessageSet, capacity: float,
+                          technology_delay: float) -> tuple[bool, bool]:
+    """(FCFS ok, priority ok) for a message set, tolerating overload."""
+    study = PaperCaseStudy(message_set, capacity=capacity,
+                           technology_delay=technology_delay)
+    if message_set.total_rate() >= capacity:
+        return False, False
+    try:
+        fcfs_ok = not study.fcfs_violates_constraints()
+    except UnstableSystemError:
+        fcfs_ok = False
+    try:
+        priority_ok = study.priority_meets_all_constraints()
+    except UnstableSystemError:
+        priority_ok = False
+    return fcfs_ok, priority_ok
+
+
+def scalability_sweep(message_set: MessageSet,
+                      scales: tuple[int, ...] = (1, 2, 3, 4, 6, 8),
+                      capacity: float = units.mbps(10),
+                      technology_delay: float = units.us(16)
+                      ) -> list[ScalabilityRow]:
+    """Feasibility of the three approaches as the traffic is replicated."""
+    rows: list[ScalabilityRow] = []
+    for scale in scales:
+        scaled = scale_station_count(message_set, scale)
+        schedule = MajorFrameSchedule(scaled)
+        fcfs_ok, priority_ok = _ethernet_feasibility(scaled, capacity,
+                                                     technology_delay)
+        rows.append(ScalabilityRow(
+            scale=scale,
+            message_count=len(scaled),
+            milstd1553_utilization=max(schedule.utilizations()),
+            milstd1553_feasible=schedule.is_feasible(),
+            ethernet_utilization=scaled.utilization(capacity),
+            fcfs_feasible=fcfs_ok,
+            priority_feasible=priority_ok))
+    return rows
+
+
+def max_feasible_scale(message_set: MessageSet, approach: str,
+                       capacity: float = units.mbps(10),
+                       technology_delay: float = units.us(16),
+                       limit: int = 32) -> int:
+    """Largest replication factor an approach supports (0 if none).
+
+    ``approach`` is ``"mil-std-1553b"``, ``"ethernet-fcfs"`` or
+    ``"ethernet-priority"``.  Scales are probed upward one by one until the
+    approach breaks or ``limit`` is reached.
+    """
+    if approach not in ("mil-std-1553b", "ethernet-fcfs",
+                        "ethernet-priority"):
+        raise ValueError(f"unknown approach {approach!r}")
+    best = 0
+    for scale in range(1, limit + 1):
+        scaled = scale_station_count(message_set, scale)
+        if approach == "mil-std-1553b":
+            feasible = MajorFrameSchedule(scaled).is_feasible()
+        else:
+            fcfs_ok, priority_ok = _ethernet_feasibility(
+                scaled, capacity, technology_delay)
+            feasible = fcfs_ok if approach == "ethernet-fcfs" else priority_ok
+        if not feasible:
+            break
+        best = scale
+    return best

@@ -1,0 +1,139 @@
+"""E7 — sensitivity and ablation studies on the design choices.
+
+DESIGN.md calls out three design parameters whose influence the paper leaves
+implicit; this module quantifies each of them on the analytic bounds:
+
+* ``t_techno`` — the bound on the switch relaying delay, which enters every
+  bound additively (:func:`technology_delay_sweep`),
+* the **token-bucket burst** — the paper sizes the bucket at exactly one
+  message; inflating the bucket (e.g. to tolerate release jitter) grows every
+  bound linearly (:func:`burst_scaling_sweep`),
+* **non-preemption** — the ``max_{q>p} b_j`` blocking term of the priority
+  bound; a hypothetical preemptive multiplexer drops it
+  (:func:`preemption_ablation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.paper_model import PaperCaseStudy
+from repro.core.multiplexer import StrictPriorityMultiplexerAnalysis
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+from repro.workloads.sweeps import scale_message_sizes
+
+__all__ = [
+    "TechnologyDelayRow",
+    "BurstScalingRow",
+    "PreemptionRow",
+    "technology_delay_sweep",
+    "burst_scaling_sweep",
+    "preemption_ablation",
+]
+
+#: Default t_techno sweep: 0 to 100 µs.
+DEFAULT_TECHNOLOGY_DELAYS = (0.0, units.us(8), units.us(16), units.us(40),
+                             units.us(100))
+#: Default burst scaling factors; the largest value is chosen to push the
+#: case study past its constraints, so the sweep shows where they break.
+DEFAULT_BURST_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class TechnologyDelayRow:
+    """Bounds obtained for one value of ``t_techno``."""
+
+    technology_delay: float
+    fcfs_bound: float
+    urgent_priority_bound: float
+    urgent_meets_deadline: bool
+
+
+@dataclass(frozen=True)
+class BurstScalingRow:
+    """Bounds obtained after scaling every message size by ``factor``."""
+
+    factor: float
+    fcfs_bound: float
+    priority_bounds: dict[PriorityClass, float]
+    all_constraints_met: bool
+
+
+@dataclass(frozen=True)
+class PreemptionRow:
+    """Non-preemptive vs (hypothetical) preemptive priority bound per class."""
+
+    priority: PriorityClass
+    non_preemptive_bound: float
+    preemptive_bound: float
+
+    @property
+    def blocking_cost(self) -> float:
+        """Extra delay caused by non-preemption (seconds)."""
+        return self.non_preemptive_bound - self.preemptive_bound
+
+
+def technology_delay_sweep(
+        message_set: MessageSet,
+        capacity: float = units.mbps(10),
+        delays: tuple[float, ...] = DEFAULT_TECHNOLOGY_DELAYS
+        ) -> list[TechnologyDelayRow]:
+    """Sweep ``t_techno`` and report the FCFS and urgent-class bounds."""
+    rows = []
+    for delay in delays:
+        study = PaperCaseStudy(message_set, capacity=capacity,
+                               technology_delay=delay)
+        priority_bounds = study.priority_class_bounds()
+        urgent = priority_bounds.get(PriorityClass.URGENT, float("nan"))
+        rows.append(TechnologyDelayRow(
+            technology_delay=delay,
+            fcfs_bound=study.fcfs_bound(),
+            urgent_priority_bound=urgent,
+            urgent_meets_deadline=urgent < units.ms(3)))
+    return rows
+
+
+def burst_scaling_sweep(message_set: MessageSet,
+                        capacity: float = units.mbps(10),
+                        technology_delay: float = units.us(16),
+                        factors: tuple[float, ...] = DEFAULT_BURST_FACTORS
+                        ) -> list[BurstScalingRow]:
+    """Scale every message size and report how the bounds move."""
+    rows = []
+    for factor in factors:
+        scaled = scale_message_sizes(message_set, factor)
+        study = PaperCaseStudy(scaled, capacity=capacity,
+                               technology_delay=technology_delay)
+        figure_rows = study.figure1_rows()
+        rows.append(BurstScalingRow(
+            factor=factor,
+            fcfs_bound=study.fcfs_bound(),
+            priority_bounds=study.priority_class_bounds(),
+            all_constraints_met=all(r.priority_meets_deadline
+                                    for r in figure_rows)))
+    return rows
+
+
+def preemption_ablation(message_set: MessageSet,
+                        capacity: float = units.mbps(10),
+                        technology_delay: float = units.us(16)
+                        ) -> list[PreemptionRow]:
+    """Quantify the non-preemptive blocking term of the priority bound."""
+    non_preemptive = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay)
+    preemptive = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay, preemptive=True)
+    messages = message_set.messages
+    non_preemptive_bounds = non_preemptive.class_bounds(messages)
+    preemptive_bounds = preemptive.class_bounds(messages)
+    rows = []
+    for cls in PriorityClass:
+        if cls not in non_preemptive_bounds:
+            continue
+        rows.append(PreemptionRow(
+            priority=cls,
+            non_preemptive_bound=non_preemptive_bounds[cls].delay,
+            preemptive_bound=preemptive_bounds[cls].delay))
+    return rows

@@ -1,0 +1,92 @@
+"""E2 — FCFS constraint violations across link capacities.
+
+Section 2 of the paper observes that *"despite the relative speed ratio
+between Switched Ethernet (10 Mbps) and 1553B (1 Mbps), our results show that
+some real-time constraints are violated"* under plain FCFS multiplexing —
+i.e. raw bandwidth does not buy determinism.  This experiment quantifies that
+claim: for each capacity profile it reports, per priority class, whether the
+FCFS bound and the strict-priority bound respect the class constraint, and
+how many individual messages are violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.analysis.paper_model import PaperCaseStudy
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+
+__all__ = ["ViolationRow", "fcfs_violation_table"]
+
+#: Capacities swept by default: the paper's 10 Mbps and the Fast-Ethernet
+#: upgrade path (plus 1553B's raw rate for reference — the shaping analysis
+#: still applies even though 1553B itself is not a switched network).
+DEFAULT_CAPACITIES = (units.mbps(10), units.mbps(100))
+
+
+@dataclass(frozen=True)
+class ViolationRow:
+    """Violation accounting for one (capacity, priority class) pair."""
+
+    capacity: float
+    priority: PriorityClass
+    deadline: float | None
+    fcfs_bound: float
+    priority_bound: float
+    #: Messages of the class whose own deadline is violated by the FCFS bound.
+    fcfs_violated_messages: int
+    #: Messages of the class whose own deadline is violated by the SP bound.
+    priority_violated_messages: int
+    message_count: int
+
+    @property
+    def fcfs_ok(self) -> bool:
+        """True when no message of the class is violated under FCFS."""
+        return self.fcfs_violated_messages == 0
+
+    @property
+    def priority_ok(self) -> bool:
+        """True when no message of the class is violated under priorities."""
+        return self.priority_violated_messages == 0
+
+
+def fcfs_violation_table(message_set: MessageSet,
+                         capacities: tuple[float, ...] = DEFAULT_CAPACITIES,
+                         technology_delay: float = units.us(16)
+                         ) -> list[ViolationRow]:
+    """Per-capacity, per-class violation accounting (experiment E2).
+
+    A message is *violated* when the delay bound that applies to it (the
+    FCFS bound, or its class's ``D_p``) exceeds its individual deadline.
+    """
+    rows: list[ViolationRow] = []
+    grouped = message_set.by_priority()
+    for capacity in capacities:
+        study = PaperCaseStudy(message_set, capacity=capacity,
+                               technology_delay=technology_delay)
+        fcfs_bounds = study.fcfs_class_bounds()
+        priority_bounds = study.priority_class_bounds()
+        deadlines = study.class_deadlines()
+        for cls in PriorityClass:
+            if cls not in priority_bounds:
+                continue
+            members = grouped[cls]
+            fcfs_violated = sum(
+                1 for m in members
+                if m.deadline is not None and fcfs_bounds[cls] > m.deadline)
+            priority_violated = sum(
+                1 for m in members
+                if m.deadline is not None
+                and priority_bounds[cls] > m.deadline)
+            rows.append(ViolationRow(
+                capacity=capacity,
+                priority=cls,
+                deadline=deadlines.get(cls),
+                fcfs_bound=fcfs_bounds[cls],
+                priority_bound=priority_bounds[cls],
+                fcfs_violated_messages=fcfs_violated,
+                priority_violated_messages=priority_violated,
+                message_count=len(members)))
+    return rows

@@ -1,0 +1,218 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+The CLI mirrors the benchmark harness for users who just want the tables
+without pytest::
+
+    python -m repro figure1                  # E1 - Figure 1
+    python -m repro violations               # E2 - FCFS violations vs capacity
+    python -m repro baseline-1553            # E3 - 1553B schedule & simulation
+    python -m repro compare                  # E4 - 1553B vs Ethernet
+    python -m repro validate                 # E5 - bounds vs simulation
+    python -m repro jitter                   # E6 - jitter comparison
+    python -m repro buffers                  # buffer dimensioning
+    python -m repro export --output set.csv  # dump the synthetic message set
+
+Every command accepts ``--seed``, ``--stations`` and ``--capacity-mbps`` to
+vary the workload and the link rate, and ``--workload path.csv`` to run on a
+user-provided message set instead of the synthetic one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import units
+from repro.analysis import (
+    baseline_1553_report,
+    fcfs_violation_table,
+    jitter_comparison,
+    technology_comparison,
+    validate_bounds,
+)
+from repro.analysis.buffers import validate_buffer_requirements
+from repro.analysis.paper_model import PaperCaseStudy
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+from repro.reporting import format_ms, render_table, yes_no
+from repro.workloads import (
+    RealCaseParameters,
+    generate_real_case,
+    load_message_set_csv,
+    save_message_set_csv,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Real-time switched Ethernet for military applications: "
+                    "reproduce the paper's experiments.")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload seed (default: 7)")
+    parser.add_argument("--stations", type=int, default=16,
+                        help="number of stations in the synthetic workload")
+    parser.add_argument("--capacity-mbps", type=float, default=10.0,
+                        help="Ethernet link capacity in Mbps (default: 10)")
+    parser.add_argument("--technology-delay-us", type=float, default=16.0,
+                        help="switch relaying-delay bound in µs (default: 16)")
+    parser.add_argument("--workload", type=str, default=None,
+                        help="CSV message set to use instead of the "
+                             "synthetic case study")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in [
+            ("figure1", "per-class delay bounds, FCFS vs strict priority"),
+            ("violations", "FCFS violations vs link capacity"),
+            ("baseline-1553", "MIL-STD-1553B schedule and simulation"),
+            ("compare", "1553B vs Ethernet FCFS vs Ethernet priority"),
+            ("validate", "analytic bounds vs simulated worst delays"),
+            ("jitter", "per-class jitter under the three technologies"),
+            ("buffers", "per-port buffer dimensioning"),
+            ("export", "write the workload to a CSV file")]:
+        sub = subparsers.add_parser(name, help=help_text)
+        if name == "export":
+            sub.add_argument("--output", required=True,
+                             help="destination CSV path")
+    return parser
+
+
+def _load_workload(args: argparse.Namespace) -> MessageSet:
+    if args.workload:
+        return load_message_set_csv(args.workload)
+    parameters = RealCaseParameters(station_count=args.stations)
+    return generate_real_case(parameters, seed=args.seed)
+
+
+def _print(table: str) -> None:
+    sys.stdout.write(table)
+    sys.stdout.write("\n")
+
+
+def _command_figure1(message_set, capacity, technology_delay) -> int:
+    study = PaperCaseStudy(message_set, capacity=capacity,
+                           technology_delay=technology_delay)
+    rows = [(row.priority.label, row.message_count, format_ms(row.deadline),
+             format_ms(row.fcfs_bound), yes_no(row.fcfs_meets_deadline),
+             format_ms(row.priority_bound),
+             yes_no(row.priority_meets_deadline))
+            for row in study.figure1_rows()]
+    _print(render_table(
+        ["class", "messages", "constraint", "FCFS", "ok", "priority", "ok"],
+        rows, title="Delay bounds for the two approaches"))
+    return 0 if study.priority_meets_all_constraints() else 1
+
+
+def _command_violations(message_set, capacity, technology_delay) -> int:
+    rows = [(f"{row.capacity / 1e6:.0f} Mbps", row.priority.name,
+             format_ms(row.fcfs_bound), row.fcfs_violated_messages,
+             format_ms(row.priority_bound), row.priority_violated_messages)
+            for row in fcfs_violation_table(
+                message_set, technology_delay=technology_delay)]
+    _print(render_table(
+        ["capacity", "class", "FCFS bound", "FCFS violations",
+         "priority bound", "priority violations"],
+        rows, title="Constraint violations vs link capacity"))
+    return 0
+
+
+def _command_baseline(message_set, capacity, technology_delay) -> int:
+    report = baseline_1553_report(message_set)
+    rows = [(index, format_ms(duration), f"{utilization * 100:.1f} %")
+            for index, (duration, utilization)
+            in enumerate(zip(report.minor_frame_durations,
+                             report.minor_frame_utilizations))]
+    _print(render_table(["minor frame", "busy time", "utilisation"], rows,
+                        title="MIL-STD-1553B minor frames"))
+    _print(render_table(
+        ["class", "analytic worst", "simulated worst"],
+        [(cls.label, format_ms(report.analytic_worst_per_class.get(cls)),
+          format_ms(report.simulated_worst_per_class.get(cls)))
+         for cls in PriorityClass],
+        title="1553B response times per class"))
+    return 0 if report.feasible else 1
+
+
+def _command_compare(message_set, capacity, technology_delay) -> int:
+    rows = [(row.priority.label, format_ms(row.deadline),
+             format_ms(row.milstd1553_bound), yes_no(row.milstd1553_ok),
+             format_ms(row.ethernet_fcfs_bound), yes_no(row.fcfs_ok),
+             format_ms(row.ethernet_priority_bound), yes_no(row.priority_ok))
+            for row in technology_comparison(
+                message_set, capacity=capacity,
+                technology_delay=technology_delay)]
+    _print(render_table(
+        ["class", "constraint", "1553B", "ok", "FCFS", "ok", "priority",
+         "ok"], rows, title="1553B vs switched Ethernet"))
+    return 0
+
+
+def _command_validate(message_set, capacity, technology_delay) -> int:
+    rows = validate_bounds(message_set, capacity=capacity,
+                           technology_delay=technology_delay)
+    _print(render_table(
+        ["policy", "class", "bound", "simulated worst", "holds"],
+        [(row.policy, row.priority.name, format_ms(row.analytic_bound),
+          format_ms(row.simulated_worst), yes_no(row.bound_holds))
+         for row in rows],
+        title="Analytic bounds vs simulated worst delays"))
+    return 0 if all(row.bound_holds for row in rows) else 1
+
+
+def _command_jitter(message_set, capacity, technology_delay) -> int:
+    rows = jitter_comparison(message_set, capacity=capacity,
+                             technology_delay=technology_delay)
+    _print(render_table(
+        ["technology", "class", "worst jitter", "mean jitter", "streams"],
+        [(row.technology, row.priority.name, format_ms(row.worst_jitter),
+          format_ms(row.mean_jitter), row.streams) for row in rows],
+        title="Per-stream delivery jitter"))
+    return 0
+
+
+def _command_buffers(message_set, capacity, technology_delay) -> int:
+    rows = validate_buffer_requirements(message_set,
+                                        technology_delay=technology_delay)
+    _print(render_table(
+        ["egress port", "flows", "backlog bound (bytes)",
+         "observed max (bytes)", "within bound"],
+        [(f"{row.node}->{row.toward}", row.flow_count,
+          f"{row.backlog_bytes:.0f}",
+          "-" if row.observed_bits != row.observed_bits
+          else f"{units.to_bytes(row.observed_bits):.0f}",
+          yes_no(row.observed_within_bound)) for row in rows],
+        title="Buffer dimensioning per egress port"))
+    return 0 if all(row.observed_within_bound for row in rows) else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    message_set = _load_workload(args)
+    capacity = units.mbps(args.capacity_mbps)
+    technology_delay = units.us(args.technology_delay_us)
+
+    if args.command == "export":
+        save_message_set_csv(message_set, args.output)
+        sys.stdout.write(f"wrote {len(message_set)} messages to "
+                         f"{args.output}\n")
+        return 0
+
+    handlers = {
+        "figure1": _command_figure1,
+        "violations": _command_violations,
+        "baseline-1553": _command_baseline,
+        "compare": _command_compare,
+        "validate": _command_validate,
+        "jitter": _command_jitter,
+        "buffers": _command_buffers,
+    }
+    return handlers[args.command](message_set, capacity, technology_delay)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

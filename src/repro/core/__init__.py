@@ -1,0 +1,58 @@
+"""The paper's primary contribution: worst-case delay analysis.
+
+``repro.core`` contains:
+
+* :mod:`repro.core.netcalc` — a small Network Calculus toolbox (arrival
+  curves, service curves, min-plus operations, delay/backlog bounds) in the
+  spirit of Cruz's calculus the paper builds on,
+* :mod:`repro.core.multiplexer` — the two closed-form multiplexer bounds of
+  the paper: the FCFS bound ``D = Σ b_i / C + t_techno`` and the four-queue
+  strict-priority bound ``D_p``,
+* :mod:`repro.core.endtoend` — composition of the per-hop bounds along a
+  flow's route through the switched network, plus deadline checking.
+"""
+
+from repro.core.netcalc import (
+    ArrivalCurve,
+    TokenBucketArrivalCurve,
+    StairArrivalCurve,
+    AggregateArrivalCurve,
+    ServiceCurve,
+    ConstantRateServiceCurve,
+    RateLatencyServiceCurve,
+    backlog_bound,
+    delay_bound,
+    output_arrival_curve,
+)
+from repro.core.multiplexer import (
+    FcfsMultiplexerAnalysis,
+    MultiplexerBound,
+    StrictPriorityMultiplexerAnalysis,
+)
+from repro.core.endtoend import (
+    EndToEndAnalysis,
+    FlowBound,
+    NetworkAnalysisResult,
+)
+from repro.core.jitter import JitterAnalysis, JitterBound
+
+__all__ = [
+    "ArrivalCurve",
+    "TokenBucketArrivalCurve",
+    "StairArrivalCurve",
+    "AggregateArrivalCurve",
+    "ServiceCurve",
+    "ConstantRateServiceCurve",
+    "RateLatencyServiceCurve",
+    "delay_bound",
+    "backlog_bound",
+    "output_arrival_curve",
+    "FcfsMultiplexerAnalysis",
+    "StrictPriorityMultiplexerAnalysis",
+    "MultiplexerBound",
+    "EndToEndAnalysis",
+    "FlowBound",
+    "NetworkAnalysisResult",
+    "JitterAnalysis",
+    "JitterBound",
+]

@@ -1,0 +1,100 @@
+"""Analytic jitter bounds (the paper's announced future work).
+
+The conclusion of the paper targets *jitter* as the next QoS guarantee to
+study.  With the same Network-Calculus machinery the delivery jitter of a
+flow through a multiplexer is bounded by the difference between its
+worst-case and best-case delays:
+
+* the **worst case** is the paper's FCFS or strict-priority bound,
+* the **best case** is the un-contended path: the flow's own serialisation
+  time at the link rate plus the relaying delay (``t_techno`` being a bound,
+  the best case conservatively assumes zero relaying delay).
+
+The resulting per-class jitter bound is what a system integrator would use to
+dimension de-jittering buffers at the receivers; the simulation-based jitter
+measurements of :mod:`repro.analysis.jitter` must stay below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.multiplexer import (
+    FcfsMultiplexerAnalysis,
+    StrictPriorityMultiplexerAnalysis,
+    priority_of,
+)
+from repro.errors import EmptyAggregateError
+from repro.flows.flow import Flow
+from repro.flows.messages import Message
+from repro.flows.priorities import PriorityClass
+
+__all__ = ["JitterBound", "JitterAnalysis"]
+
+
+@dataclass(frozen=True)
+class JitterBound:
+    """Worst-case delivery jitter of one priority class."""
+
+    priority: PriorityClass
+    #: Worst-case delay of the class (seconds).
+    worst_case_delay: float
+    #: Best-case delay of the class (seconds) — the smallest un-contended
+    #: delivery time of any flow in the class.
+    best_case_delay: float
+
+    @property
+    def jitter(self) -> float:
+        """The jitter bound: worst-case minus best-case delay (seconds)."""
+        return self.worst_case_delay - self.best_case_delay
+
+
+class JitterAnalysis:
+    """Per-class jitter bounds under the two multiplexing policies.
+
+    Parameters
+    ----------
+    capacity:
+        Output link capacity ``C`` in bits per second.
+    technology_delay:
+        Bound on the relaying delay (only charged to the worst case).
+    """
+
+    def __init__(self, capacity: float, technology_delay: float = 0.0) -> None:
+        self._fcfs = FcfsMultiplexerAnalysis(capacity, technology_delay)
+        self._priority = StrictPriorityMultiplexerAnalysis(capacity,
+                                                           technology_delay)
+        self.capacity = float(capacity)
+
+    def _best_case_per_class(self, flows: Sequence[Flow | Message]
+                             ) -> dict[PriorityClass, float]:
+        """Smallest un-contended delivery time of any flow, per class."""
+        best: dict[PriorityClass, float] = {}
+        for flow in flows:
+            cls = priority_of(flow)
+            delay = float(flow.burst) / self.capacity
+            if cls not in best or delay < best[cls]:
+                best[cls] = delay
+        if not best:
+            raise EmptyAggregateError(
+                "jitter analysis needs at least one flow")
+        return best
+
+    def fcfs_bounds(self, flows: Sequence[Flow | Message]
+                    ) -> dict[PriorityClass, JitterBound]:
+        """Jitter bound of every populated class under FCFS multiplexing."""
+        worst = self._fcfs.bound(flows).delay
+        return {cls: JitterBound(priority=cls, worst_case_delay=worst,
+                                 best_case_delay=best)
+                for cls, best in sorted(self._best_case_per_class(flows).items())}
+
+    def priority_bounds(self, flows: Sequence[Flow | Message]
+                        ) -> dict[PriorityClass, JitterBound]:
+        """Jitter bound of every populated class under strict priorities."""
+        class_bounds = self._priority.class_bounds(flows)
+        best_case = self._best_case_per_class(flows)
+        return {cls: JitterBound(priority=cls,
+                                 worst_case_delay=class_bounds[cls].delay,
+                                 best_case_delay=best_case[cls])
+                for cls in sorted(class_bounds)}

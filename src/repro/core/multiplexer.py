@@ -1,0 +1,361 @@
+"""The paper's closed-form multiplexer delay bounds.
+
+Inside every station (and, for the end-to-end analysis, inside every switch
+output port) the shaped flows are multiplexed before a physical link of
+capacity ``C``.  The paper analyses two multiplexing policies:
+
+**FCFS multiplexer** (Section 2).  The worst-case queuing delay of any packet
+is bounded by::
+
+    D = sum_{i in S} b_i / C + t_techno
+
+where ``S`` is the set of connections flowing through the multiplexer,
+``b_i`` their token-bucket burst sizes and ``t_techno`` a bound on the
+relaying (technology) delay.
+
+**Strict-priority multiplexer with four queues** (802.1p).  The worst-case
+delay of a packet of priority class ``p`` (0 = most urgent) is bounded by::
+
+    D_p = ( sum_{i in S_q, q <= p} b_i  +  max_{j in S_q, q > p} b_j )
+          / ( C - sum_{i in S_q, q < p} r_i )  +  t_techno
+
+i.e. the packet waits for the bursts of every equal-or-higher-priority flow
+plus one maximal lower-priority packet already in transmission
+(non-preemption), served at the capacity left over by the higher-priority
+classes.
+
+Both analyses also expose the *residual service curve* equivalent to their
+bound, so the end-to-end composition in :mod:`repro.core.endtoend` can chain
+several multiplexing points with the standard network-calculus machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.netcalc.arrival import TokenBucketArrivalCurve
+from repro.core.netcalc.service import RateLatencyServiceCurve
+from repro.errors import EmptyAggregateError, UnstableSystemError
+from repro.flows.flow import Flow
+from repro.flows.messages import Message
+from repro.flows.priorities import PriorityClass, assign_priority
+from repro.simulation.statistics import safe_max
+
+__all__ = [
+    "MultiplexerBound",
+    "FcfsMultiplexerAnalysis",
+    "StrictPriorityMultiplexerAnalysis",
+    "priority_of",
+]
+
+
+def priority_of(item: Flow | Message) -> PriorityClass:
+    """The 802.1p class of a flow or message.
+
+    Flows carry an explicit priority; bare messages are classified with the
+    paper's policy (:func:`repro.flows.priorities.assign_priority`).
+    """
+    if isinstance(item, Flow):
+        return item.priority
+    if isinstance(item, Message):
+        return assign_priority(item)
+    priority = getattr(item, "priority", None)
+    if priority is not None:
+        return PriorityClass(priority)
+    raise TypeError(
+        f"cannot determine the priority of a {type(item).__name__}")
+
+
+@dataclass(frozen=True)
+class MultiplexerBound:
+    """A worst-case queuing-delay bound with its breakdown.
+
+    Attributes
+    ----------
+    delay:
+        The bound in seconds (including ``t_techno``).
+    priority:
+        The class the bound applies to, or ``None`` for the FCFS bound which
+        applies to every packet regardless of class.
+    burst_term:
+        Total burst (bits) the tagged packet may have to wait for.
+    blocking_term:
+        Burst (bits) of the largest lower-priority packet (non-preemption);
+        zero for FCFS.
+    residual_rate:
+        Rate (bits per second) at which that backlog is served.
+    technology_delay:
+        The ``t_techno`` term (seconds).
+    flow_count:
+        Number of flows contributing to the burst term.
+    """
+
+    delay: float
+    priority: PriorityClass | None
+    burst_term: float
+    blocking_term: float
+    residual_rate: float
+    technology_delay: float
+    flow_count: int
+    details: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def queuing_delay(self) -> float:
+        """The bound without the technology term (seconds)."""
+        return self.delay - self.technology_delay
+
+
+class FcfsMultiplexerAnalysis:
+    """The paper's FCFS bound ``D = Σ b_i / C + t_techno``.
+
+    Parameters
+    ----------
+    capacity:
+        Output link capacity ``C`` in bits per second (10 Mbps in the paper).
+    technology_delay:
+        The ``t_techno`` bound on the relaying delay, in seconds.
+    """
+
+    def __init__(self, capacity: float, technology_delay: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if technology_delay < 0:
+            raise ValueError(
+                f"technology delay must be non-negative, "
+                f"got {technology_delay!r}")
+        self.capacity = float(capacity)
+        self.technology_delay = float(technology_delay)
+
+    # -- paper formula ---------------------------------------------------
+
+    def bound(self, flows: Sequence[Flow | Message], *,
+              strict: bool = True) -> MultiplexerBound:
+        """Worst-case delay of any packet through the FCFS multiplexer.
+
+        Raises
+        ------
+        EmptyAggregateError
+            If ``flows`` is empty.
+        UnstableSystemError
+            If the aggregate rate exceeds the capacity and ``strict`` is
+            ``True``; with ``strict=False`` the bound is still the paper's
+            finite expression (the formula does not depend on the rates) but
+            it is no longer a valid worst case, so the unstable flag is set
+            in the details.
+        """
+        flows = list(flows)
+        if not flows:
+            raise EmptyAggregateError(
+                "the FCFS bound needs at least one flow")
+        total_burst = sum(float(f.burst) for f in flows)
+        total_rate = sum(float(f.rate) for f in flows)
+        unstable = total_rate > self.capacity
+        if unstable and strict:
+            raise UnstableSystemError(
+                f"aggregate rate {total_rate:.0f} bps exceeds the link "
+                f"capacity {self.capacity:.0f} bps: the FCFS bound does not "
+                f"hold", offered_rate=total_rate, capacity=self.capacity)
+        delay = total_burst / self.capacity + self.technology_delay
+        return MultiplexerBound(
+            delay=delay,
+            priority=None,
+            burst_term=total_burst,
+            blocking_term=0.0,
+            residual_rate=self.capacity,
+            technology_delay=self.technology_delay,
+            flow_count=len(flows),
+            details={"total_rate": total_rate,
+                     "utilization": total_rate / self.capacity,
+                     "unstable": float(unstable)},
+        )
+
+    def class_bounds(self, flows: Sequence[Flow | Message], *,
+                     strict: bool = True
+                     ) -> dict[PriorityClass, MultiplexerBound]:
+        """The FCFS bound reported per class.
+
+        FCFS ignores priorities, so every class present in ``flows`` gets the
+        same bound; classes with no flow are omitted.  This view is what
+        Figure 1 plots on the FCFS side.
+        """
+        bound = self.bound(flows, strict=strict)
+        present = {priority_of(f) for f in flows}
+        return {cls: bound for cls in sorted(present)}
+
+    # -- composition helpers ----------------------------------------------
+
+    def aggregate_arrival_curve(
+            self, flows: Sequence[Flow | Message]) -> TokenBucketArrivalCurve:
+        """Token-bucket curve of the aggregate entering the multiplexer."""
+        flows = list(flows)
+        if not flows:
+            raise EmptyAggregateError("empty aggregate")
+        return TokenBucketArrivalCurve(
+            bucket=sum(float(f.burst) for f in flows),
+            token_rate=sum(float(f.rate) for f in flows))
+
+    def service_curve(self) -> RateLatencyServiceCurve:
+        """Service offered to the aggregate: rate ``C`` after ``t_techno``."""
+        return RateLatencyServiceCurve(rate=self.capacity,
+                                       delay=self.technology_delay)
+
+
+class StrictPriorityMultiplexerAnalysis:
+    """The paper's four-queue strict-priority (802.1p) bound ``D_p``.
+
+    Parameters
+    ----------
+    capacity:
+        Output link capacity ``C`` in bits per second.
+    technology_delay:
+        The ``t_techno`` bound on the relaying delay, in seconds.
+    preemptive:
+        The paper's multiplexer is non-preemptive: a lower-priority packet
+        already in transmission blocks a newly arrived urgent packet, hence
+        the ``max_{q > p} b_j`` term.  Setting ``preemptive=True`` drops that
+        term (used by the ablation study to quantify the blocking cost).
+    """
+
+    def __init__(self, capacity: float, technology_delay: float = 0.0,
+                 *, preemptive: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        if technology_delay < 0:
+            raise ValueError(
+                f"technology delay must be non-negative, "
+                f"got {technology_delay!r}")
+        self.capacity = float(capacity)
+        self.technology_delay = float(technology_delay)
+        self.preemptive = bool(preemptive)
+
+    # -- grouping ----------------------------------------------------------
+
+    @staticmethod
+    def group_by_class(flows: Iterable[Flow | Message]
+                       ) -> dict[PriorityClass, list[Flow | Message]]:
+        """Group flows by 802.1p class; every class is present in the result."""
+        grouped: dict[PriorityClass, list[Flow | Message]] = {
+            cls: [] for cls in PriorityClass}
+        for flow in flows:
+            grouped[priority_of(flow)].append(flow)
+        return grouped
+
+    # -- paper formula -----------------------------------------------------
+
+    def bound_for_class(self, flows: Sequence[Flow | Message],
+                        priority: PriorityClass, *,
+                        strict: bool = True) -> MultiplexerBound:
+        """Worst-case delay of a packet of class ``priority``.
+
+        Implements exactly the paper's formula: the numerator sums the bursts
+        of every flow of equal or higher priority and adds the largest burst
+        among strictly lower-priority flows (non-preemptive blocking); the
+        denominator is the capacity left after serving the long-term rate of
+        strictly higher-priority flows.
+
+        Raises
+        ------
+        EmptyAggregateError
+            If no flow of class ``priority`` traverses the multiplexer.
+        UnstableSystemError
+            If the higher-priority rates saturate the link (the denominator
+            is not positive), or — in strict mode — if the equal-or-higher
+            aggregate rate exceeds the capacity, which would make the finite
+            expression meaningless.
+        """
+        priority = PriorityClass(priority)
+        grouped = self.group_by_class(flows)
+        if not grouped[priority]:
+            raise EmptyAggregateError(
+                f"no flow of class {priority.name} traverses the multiplexer")
+
+        higher_or_equal = [f for cls in PriorityClass if cls <= priority
+                           for f in grouped[cls]]
+        strictly_higher = [f for cls in PriorityClass if cls < priority
+                           for f in grouped[cls]]
+        strictly_lower = [f for cls in PriorityClass if cls > priority
+                          for f in grouped[cls]]
+
+        burst_term = sum(float(f.burst) for f in higher_or_equal)
+        blocking_term = 0.0 if self.preemptive else safe_max(
+            (float(f.burst) for f in strictly_lower), default=0.0)
+        higher_rate = sum(float(f.rate) for f in strictly_higher)
+        residual_rate = self.capacity - higher_rate
+
+        if residual_rate <= 0:
+            raise UnstableSystemError(
+                f"higher-priority traffic ({higher_rate:.0f} bps) saturates "
+                f"the {self.capacity:.0f} bps link: class {priority.name} "
+                f"has no residual capacity",
+                offered_rate=higher_rate, capacity=self.capacity)
+
+        higher_or_equal_rate = sum(float(f.rate) for f in higher_or_equal)
+        unstable = higher_or_equal_rate > self.capacity
+        if unstable and strict:
+            raise UnstableSystemError(
+                f"classes up to {priority.name} offer "
+                f"{higher_or_equal_rate:.0f} bps which exceeds the link "
+                f"capacity {self.capacity:.0f} bps",
+                offered_rate=higher_or_equal_rate, capacity=self.capacity)
+
+        delay = ((burst_term + blocking_term) / residual_rate
+                 + self.technology_delay)
+        return MultiplexerBound(
+            delay=delay,
+            priority=priority,
+            burst_term=burst_term,
+            blocking_term=blocking_term,
+            residual_rate=residual_rate,
+            technology_delay=self.technology_delay,
+            flow_count=len(higher_or_equal),
+            details={"higher_rate": higher_rate,
+                     "higher_or_equal_rate": higher_or_equal_rate,
+                     "utilization": higher_or_equal_rate / self.capacity,
+                     "unstable": float(unstable)},
+        )
+
+    def class_bounds(self, flows: Sequence[Flow | Message], *,
+                     strict: bool = True
+                     ) -> dict[PriorityClass, MultiplexerBound]:
+        """The ``D_p`` bound of every class that has at least one flow."""
+        grouped = self.group_by_class(flows)
+        bounds: dict[PriorityClass, MultiplexerBound] = {}
+        for cls in PriorityClass:
+            if grouped[cls]:
+                bounds[cls] = self.bound_for_class(flows, cls, strict=strict)
+        if not bounds:
+            raise EmptyAggregateError(
+                "the strict-priority bound needs at least one flow")
+        return bounds
+
+    # -- composition helpers -------------------------------------------------
+
+    def residual_service_curve(self, flows: Sequence[Flow | Message],
+                               priority: PriorityClass
+                               ) -> RateLatencyServiceCurve:
+        """Rate-latency service curve seen by class ``priority``.
+
+        The class is served at the residual rate ``C − Σ_{q<p} r_i`` after a
+        latency covering the lower-priority blocking and ``t_techno``.  Using
+        this curve with the class's aggregate token bucket reproduces the
+        ``D_p`` bound, and it is what the end-to-end analysis composes along
+        a path.
+        """
+        priority = PriorityClass(priority)
+        grouped = self.group_by_class(flows)
+        strictly_higher = [f for cls in PriorityClass if cls < priority
+                           for f in grouped[cls]]
+        strictly_lower = [f for cls in PriorityClass if cls > priority
+                          for f in grouped[cls]]
+        higher_rate = sum(float(f.rate) for f in strictly_higher)
+        residual_rate = self.capacity - higher_rate
+        if residual_rate <= 0:
+            raise UnstableSystemError(
+                f"higher-priority traffic saturates the link for class "
+                f"{priority.name}", offered_rate=higher_rate,
+                capacity=self.capacity)
+        blocking = 0.0 if self.preemptive else safe_max(
+            (float(f.burst) for f in strictly_lower), default=0.0)
+        latency = blocking / residual_rate + self.technology_delay
+        return RateLatencyServiceCurve(rate=residual_rate, delay=latency)

@@ -1,0 +1,55 @@
+"""Network Calculus toolbox (Cruz's calculus).
+
+The paper's delay bounds are instances of Cruz's Network Calculus
+[Cruz 1991a, 1991b]: traffic is constrained by *arrival curves*
+(``R_i(t) = b_i + r_i t`` for a token-bucket shaped flow), network elements
+offer *service curves* (a constant-rate link of capacity ``C``, or a
+rate-latency curve once a scheduling latency is accounted for), and the
+worst-case delay is the horizontal deviation between the two.
+
+This sub-package provides the general machinery; the paper's closed-form
+multiplexer bounds live in :mod:`repro.core.multiplexer` and are consistent
+with (and tested against) the generic bounds computed here.
+"""
+
+from repro.core.netcalc.arrival import (
+    AggregateArrivalCurve,
+    ArrivalCurve,
+    StairArrivalCurve,
+    TokenBucketArrivalCurve,
+)
+from repro.core.netcalc.service import (
+    ConstantRateServiceCurve,
+    RateLatencyServiceCurve,
+    ServiceCurve,
+)
+from repro.core.netcalc.bounds import (
+    backlog_bound,
+    delay_bound,
+    horizontal_deviation,
+    output_arrival_curve,
+    vertical_deviation,
+)
+from repro.core.netcalc.minplus import (
+    convolve_rate_latency,
+    min_plus_convolution,
+    min_plus_deconvolution,
+)
+
+__all__ = [
+    "ArrivalCurve",
+    "TokenBucketArrivalCurve",
+    "StairArrivalCurve",
+    "AggregateArrivalCurve",
+    "ServiceCurve",
+    "ConstantRateServiceCurve",
+    "RateLatencyServiceCurve",
+    "delay_bound",
+    "backlog_bound",
+    "horizontal_deviation",
+    "vertical_deviation",
+    "output_arrival_curve",
+    "min_plus_convolution",
+    "min_plus_deconvolution",
+    "convolve_rate_latency",
+]

@@ -1,0 +1,246 @@
+"""Delay, backlog and output bounds.
+
+Given an arrival curve ``alpha`` and a service curve ``beta``, Network
+Calculus gives three fundamental bounds:
+
+* the **delay bound** is the horizontal deviation
+  ``h(alpha, beta) = sup_t inf { d >= 0 : alpha(t) <= beta(t + d) }``,
+* the **backlog bound** is the vertical deviation
+  ``v(alpha, beta) = sup_t [ alpha(t) - beta(t) ]``,
+* the **output arrival curve** is the deconvolution ``alpha ⊘ beta``.
+
+Closed forms are used whenever the curve types allow it (token bucket vs.
+rate-latency / constant-rate); the generic numeric fallbacks handle any
+callable pair and are cross-checked against the closed forms by the property
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.netcalc.arrival import (
+    AggregateArrivalCurve,
+    StairArrivalCurve,
+    TokenBucketArrivalCurve,
+)
+from repro.core.netcalc.service import (
+    ConstantRateServiceCurve,
+    RateLatencyServiceCurve,
+)
+from repro.errors import UnstableSystemError
+
+__all__ = [
+    "delay_bound",
+    "backlog_bound",
+    "horizontal_deviation",
+    "vertical_deviation",
+    "output_arrival_curve",
+]
+
+Curve = Callable[[float], float]
+
+
+def _long_term_rate(curve: Curve) -> float | None:
+    """The ``rate`` attribute of a curve, if it exposes one."""
+    rate = getattr(curve, "rate", None)
+    if rate is None:
+        return None
+    return float(rate)
+
+
+def _service_rate_and_latency(curve: Curve) -> tuple[float, float] | None:
+    """Return (rate, latency) for known service-curve types, else ``None``."""
+    if isinstance(curve, ConstantRateServiceCurve):
+        return curve.capacity, 0.0
+    if isinstance(curve, RateLatencyServiceCurve):
+        return curve.rate, curve.delay
+    return None
+
+
+def _check_stability(arrival: Curve, service: Curve, strict: bool) -> None:
+    """Raise :class:`UnstableSystemError` when the long-term rates cross."""
+    arrival_rate = _long_term_rate(arrival)
+    params = _service_rate_and_latency(service)
+    if arrival_rate is None or params is None:
+        return
+    service_rate = params[0]
+    if strict and arrival_rate > service_rate:
+        raise UnstableSystemError(
+            f"offered rate {arrival_rate:.0f} bps exceeds the service rate "
+            f"{service_rate:.0f} bps: the delay bound is infinite",
+            offered_rate=arrival_rate, capacity=service_rate)
+
+
+def delay_bound(arrival: Curve, service: Curve, *, strict: bool = True,
+                horizon: float | None = None, samples: int = 4096) -> float:
+    """Worst-case delay bound ``h(alpha, beta)``.
+
+    Parameters
+    ----------
+    arrival:
+        The arrival curve of the flow (or aggregate) entering the element.
+    service:
+        The service curve the element offers to that traffic.
+    strict:
+        When ``True`` (default), raise :class:`UnstableSystemError` if the
+        long-term arrival rate exceeds the service rate; when ``False``
+        return ``float('inf')`` instead.
+    horizon, samples:
+        Only used by the numeric fallback for unknown curve types.
+
+    Closed forms
+    ------------
+    * token bucket ``(b, r)`` vs. constant rate ``C``: ``D = b / C``,
+    * token bucket ``(b, r)`` vs. rate-latency ``(R, T)``: ``D = T + b / R``,
+    * aggregate of token buckets: same formulas with ``b = Σ b_i``.
+    """
+    try:
+        _check_stability(arrival, service, strict)
+    except UnstableSystemError:
+        if strict:
+            raise
+        return float("inf")
+    arrival_rate = _long_term_rate(arrival)
+    params = _service_rate_and_latency(service)
+    if params is not None and arrival_rate is not None \
+            and arrival_rate > params[0]:
+        return float("inf")
+
+    if params is not None and isinstance(
+            arrival, (TokenBucketArrivalCurve, AggregateArrivalCurve)):
+        service_rate, latency = params
+        # For a concave arrival curve the horizontal deviation to a
+        # rate-latency curve is attained at t -> 0+, i.e. it is
+        # latency + burst / service_rate, provided the long-term rates are
+        # stable (checked above).  Non-concave curves (e.g. the stair curve)
+        # fall through to the generic numeric deviation below.
+        return latency + arrival.burst / service_rate
+
+    return horizontal_deviation(arrival, service, horizon=horizon,
+                                samples=samples)
+
+
+def backlog_bound(arrival: Curve, service: Curve, *, strict: bool = True,
+                  horizon: float | None = None, samples: int = 4096) -> float:
+    """Worst-case backlog bound ``v(alpha, beta)`` in bits.
+
+    Closed form for a token bucket ``(b, r)`` served by a rate-latency curve
+    ``(R, T)`` with ``r <= R``: ``B = b + r T``.
+    """
+    try:
+        _check_stability(arrival, service, strict)
+    except UnstableSystemError:
+        if strict:
+            raise
+        return float("inf")
+    arrival_rate = _long_term_rate(arrival)
+    params = _service_rate_and_latency(service)
+    if params is not None and arrival_rate is not None \
+            and arrival_rate > params[0]:
+        return float("inf")
+
+    if params is not None and isinstance(
+            arrival, (TokenBucketArrivalCurve, AggregateArrivalCurve)):
+        _, latency = params
+        return arrival.burst + arrival.rate * latency
+
+    return vertical_deviation(arrival, service, horizon=horizon,
+                              samples=samples)
+
+
+def horizontal_deviation(arrival: Curve, service: Curve, *,
+                         horizon: float | None = None,
+                         samples: int = 4096) -> float:
+    """Numeric horizontal deviation between two arbitrary curves.
+
+    For every grid point ``t`` the smallest ``d`` with
+    ``alpha(t) <= beta(t + d)`` is found by bisection; the result is the
+    maximum over the grid.  ``horizon`` defaults to a multiple of the point
+    where the curves are expected to have crossed (based on their headline
+    rates when available).
+    """
+    if horizon is None:
+        horizon = _default_horizon(arrival, service)
+    grid = np.linspace(0.0, horizon, samples + 1)
+    worst = 0.0
+    for t in grid:
+        target = arrival(float(t))
+        worst = max(worst, _smallest_delay(service, float(t), target, horizon))
+    return worst
+
+
+def vertical_deviation(arrival: Curve, service: Curve, *,
+                       horizon: float | None = None,
+                       samples: int = 4096) -> float:
+    """Numeric vertical deviation ``sup_t [alpha(t) - beta(t)]``."""
+    if horizon is None:
+        horizon = _default_horizon(arrival, service)
+    grid = np.linspace(0.0, horizon, samples + 1)
+    return float(max(arrival(float(t)) - service(float(t)) for t in grid))
+
+
+def _default_horizon(arrival: Curve, service: Curve) -> float:
+    arrival_rate = _long_term_rate(arrival) or 0.0
+    burst = float(getattr(arrival, "burst", 0.0) or 0.0)
+    params = _service_rate_and_latency(service)
+    if params is not None:
+        service_rate, latency = params
+        if service_rate > arrival_rate > 0 or (service_rate > 0 and burst > 0):
+            gap = max(service_rate - arrival_rate, service_rate * 0.01)
+            return max(10 * (latency + burst / gap), 1e-3)
+    return 1.0
+
+
+def _smallest_delay(service: Curve, t: float, target: float,
+                    horizon: float) -> float:
+    """Smallest ``d >= 0`` with ``service(t + d) >= target`` (bisection)."""
+    if service(t) >= target:
+        return 0.0
+    low, high = 0.0, horizon
+    # Grow the bracket until the service curve catches up (or give up at a
+    # very large multiple, in which case the deviation is effectively
+    # unbounded for the sampled horizon).
+    attempts = 0
+    while service(t + high) < target:
+        high *= 2.0
+        attempts += 1
+        if attempts > 60:
+            return float("inf")
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if service(t + mid) >= target:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def output_arrival_curve(
+        arrival: TokenBucketArrivalCurve,
+        service: RateLatencyServiceCurve | ConstantRateServiceCurve,
+        *, strict: bool = True) -> TokenBucketArrivalCurve:
+    """Arrival curve of a token-bucket flow at the output of a server.
+
+    The deconvolution of ``(b, r)`` by a rate-latency curve ``(R, T)`` with
+    ``r <= R`` is again a token bucket: ``(b + r T, r)``.  The end-to-end
+    analysis uses this to propagate a flow's constraint from the station
+    egress into the switch output port.
+    """
+    params = _service_rate_and_latency(service)
+    if params is None:
+        raise TypeError(
+            f"unsupported service curve type {type(service).__name__}")
+    service_rate, latency = params
+    if arrival.rate > service_rate:
+        if strict:
+            raise UnstableSystemError(
+                f"offered rate {arrival.rate:.0f} bps exceeds the service "
+                f"rate {service_rate:.0f} bps",
+                offered_rate=arrival.rate, capacity=service_rate)
+        return TokenBucketArrivalCurve(float("inf"), arrival.rate)
+    return TokenBucketArrivalCurve(
+        bucket=arrival.bucket + arrival.rate * latency,
+        token_rate=arrival.token_rate)

@@ -1,0 +1,87 @@
+"""Min-plus operations on curves.
+
+Network Calculus composes elements with the min-plus convolution and extracts
+output constraints with the min-plus deconvolution:
+
+* ``(f ⊗ g)(t) = inf_{0 <= s <= t} [ f(s) + g(t - s) ]`` — the service curve
+  of two elements in tandem is the convolution of their service curves,
+* ``(f ⊘ g)(t) = sup_{s >= 0} [ f(t + s) - g(s) ]`` — the arrival curve of a
+  flow at the output of an element is the deconvolution of its input arrival
+  curve by the element's service curve.
+
+For the curve families used in this library closed forms exist
+(:func:`convolve_rate_latency`, and the token-bucket deconvolution in
+:func:`repro.core.netcalc.bounds.output_arrival_curve`); the generic numeric
+versions below work on arbitrary callables and are used by the property-based
+tests to check the closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.netcalc.service import RateLatencyServiceCurve
+
+__all__ = [
+    "min_plus_convolution",
+    "min_plus_deconvolution",
+    "convolve_rate_latency",
+]
+
+Curve = Callable[[float], float]
+
+
+def min_plus_convolution(f: Curve, g: Curve, interval: float,
+                         samples: int = 2048) -> float:
+    """Numerically evaluate ``(f ⊗ g)(interval)``.
+
+    The infimum over ``s in [0, interval]`` is approximated on a regular grid
+    of ``samples + 1`` points.  For the piecewise-linear curves used in this
+    library the infimum is attained either at a grid point or between two
+    adjacent ones, so the approximation error vanishes as ``samples`` grows;
+    the property tests use it only as an upper bound of the true infimum.
+    """
+    if interval < 0:
+        raise ValueError(f"interval must be non-negative, got {interval!r}")
+    if interval == 0:
+        return f(0.0) + g(0.0)
+    split = np.linspace(0.0, interval, samples + 1)
+    values = [f(float(s)) + g(float(interval - s)) for s in split]
+    return float(min(values))
+
+
+def min_plus_deconvolution(f: Curve, g: Curve, interval: float,
+                           horizon: float, samples: int = 2048) -> float:
+    """Numerically evaluate ``(f ⊘ g)(interval)`` with the sup truncated.
+
+    The supremum over ``s >= 0`` is approximated over ``s in [0, horizon]``;
+    ``horizon`` must be chosen large enough that the supremum is attained
+    inside it (for a token bucket deconvolved by a rate-latency curve with
+    ``r < R`` the supremum is attained at ``s = T``, so any
+    ``horizon >= T`` is sufficient).
+    """
+    if interval < 0:
+        raise ValueError(f"interval must be non-negative, got {interval!r}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon!r}")
+    split = np.linspace(0.0, horizon, samples + 1)
+    values = [f(float(interval + s)) - g(float(s)) for s in split]
+    return float(max(values))
+
+
+def convolve_rate_latency(
+        first: RateLatencyServiceCurve,
+        second: RateLatencyServiceCurve) -> RateLatencyServiceCurve:
+    """Closed-form convolution of two rate-latency service curves.
+
+    The tandem of two rate-latency servers ``(R1, T1)`` and ``(R2, T2)``
+    offers the rate-latency service curve ``(min(R1, R2), T1 + T2)``.  This
+    is how the end-to-end analysis composes the source multiplexer with the
+    switch output ports along a flow's path.
+    """
+    return RateLatencyServiceCurve(
+        rate=min(first.rate, second.rate),
+        delay=first.delay + second.delay,
+    )

@@ -1,0 +1,114 @@
+"""Service curves.
+
+A *service curve* ``beta`` lower-bounds the service a network element offers
+to a flow (or flow aggregate): over any backlogged period of length ``t`` the
+element serves at least ``beta(t)`` bits.
+
+Two families cover every element in the paper's model:
+
+* :class:`ConstantRateServiceCurve` — a full-duplex Ethernet link of capacity
+  ``C`` dedicates its whole rate to the traffic queued on it: ``beta(t) = C t``.
+* :class:`RateLatencyServiceCurve` — ``beta(t) = R * max(0, t - T)``; the
+  latency term ``T`` absorbs fixed delays such as the switch relaying bound
+  ``t_techno`` of the paper, or the blocking caused by lower-priority frames
+  in the strict-priority multiplexer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import CurveDomainError
+
+__all__ = [
+    "ServiceCurve",
+    "ConstantRateServiceCurve",
+    "RateLatencyServiceCurve",
+]
+
+
+@runtime_checkable
+class ServiceCurve(Protocol):
+    """Protocol every service curve implements."""
+
+    def __call__(self, interval: float) -> float:
+        """Minimal service (bits) guaranteed over a window of ``interval`` s."""
+        ...
+
+    @property
+    def service_rate(self) -> float:
+        """Long-term service rate (bits per second)."""
+        ...
+
+    @property
+    def latency(self) -> float:
+        """Largest ``t`` with ``beta(t) = 0`` (seconds)."""
+        ...
+
+
+def _check_interval(interval: float) -> None:
+    if interval < 0:
+        raise CurveDomainError(
+            f"service curves are defined for non-negative intervals, "
+            f"got {interval!r}")
+
+
+@dataclass(frozen=True)
+class ConstantRateServiceCurve:
+    """``beta(t) = C t`` — a work-conserving link of capacity ``C``."""
+
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise CurveDomainError(
+                f"link capacity must be positive, got {self.capacity!r}")
+
+    def __call__(self, interval: float) -> float:
+        _check_interval(interval)
+        return self.capacity * interval
+
+    @property
+    def service_rate(self) -> float:
+        """The link capacity ``C`` (bits per second)."""
+        return self.capacity
+
+    @property
+    def latency(self) -> float:
+        """A constant-rate server has zero latency."""
+        return 0.0
+
+    def with_latency(self, latency: float) -> "RateLatencyServiceCurve":
+        """Degrade the link into a rate-latency curve with the given latency."""
+        return RateLatencyServiceCurve(rate=self.capacity, delay=latency)
+
+
+@dataclass(frozen=True)
+class RateLatencyServiceCurve:
+    """``beta(t) = R * max(0, t - T)`` — rate ``R`` after a latency ``T``."""
+
+    rate: float
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise CurveDomainError(
+                f"service rate must be positive, got {self.rate!r}")
+        if self.delay < 0:
+            raise CurveDomainError(
+                f"service latency must be non-negative, got {self.delay!r}")
+
+    def __call__(self, interval: float) -> float:
+        _check_interval(interval)
+        return self.rate * max(0.0, interval - self.delay)
+
+    @property
+    def service_rate(self) -> float:
+        """The rate ``R`` (bits per second)."""
+        return self.rate
+
+    @property
+    def latency(self) -> float:
+        """The latency ``T`` (seconds)."""
+        return self.delay

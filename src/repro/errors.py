@@ -1,0 +1,121 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at an application boundary while the
+library itself raises the most specific type available.
+
+The hierarchy mirrors the package structure:
+
+* configuration problems (bad message sets, bad topologies) raise
+  :class:`ConfigurationError` subclasses,
+* analytical problems (unstable multiplexers, undefined bounds) raise
+  :class:`AnalysisError` subclasses,
+* simulation problems (buffer overflow when drops are forbidden, event
+  scheduling in the past) raise :class:`SimulationError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Configuration problems
+# ---------------------------------------------------------------------------
+
+
+class ConfigurationError(ReproError):
+    """A model element was configured with inconsistent or invalid values."""
+
+
+class InvalidMessageError(ConfigurationError):
+    """A message definition violates its own invariants.
+
+    Examples: non-positive period, zero-length payload, a deadline that is
+    negative, or a sporadic message without a minimal inter-arrival time.
+    """
+
+
+class InvalidFlowError(ConfigurationError):
+    """A flow references unknown endpoints or has an empty route."""
+
+
+class InvalidTopologyError(ConfigurationError):
+    """The network topology is malformed (unknown node, duplicate link...)."""
+
+
+class RoutingError(InvalidTopologyError):
+    """No route could be found between two endpoints of a flow."""
+
+
+class InvalidScheduleError(ConfigurationError):
+    """A MIL-STD-1553B schedule violates the frame structure.
+
+    Raised for instance when a minor frame is over-committed (its
+    transactions do not fit in the minor frame duration) or when a message
+    period is not an integral multiple of the minor frame.
+    """
+
+
+class InvalidWorkloadError(ConfigurationError):
+    """A workload specification is internally inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Analytical problems
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """An analytical computation could not produce a meaningful result."""
+
+
+class UnstableSystemError(AnalysisError):
+    """The long-term arrival rate exceeds the service capacity.
+
+    Network-calculus delay bounds are only finite when the aggregate
+    token-bucket rate offered to a server is strictly smaller than the
+    service rate available to it.  When that condition fails the bound is
+    infinite and the library raises this exception instead of silently
+    returning ``float('inf')`` (callers that want the permissive behaviour
+    can pass ``strict=False`` where supported).
+    """
+
+    def __init__(self, message: str, *, offered_rate: float | None = None,
+                 capacity: float | None = None) -> None:
+        super().__init__(message)
+        #: Aggregate offered long-term rate in bits per second, if known.
+        self.offered_rate = offered_rate
+        #: Service capacity in bits per second, if known.
+        self.capacity = capacity
+
+
+class EmptyAggregateError(AnalysisError):
+    """A bound was requested for an empty set of flows."""
+
+
+class CurveDomainError(AnalysisError):
+    """A curve was evaluated outside its domain (negative time, etc.)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation problems
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class BufferOverflowError(SimulationError):
+    """A queue exceeded its capacity while drops were forbidden."""
+
+
+class SimulationNotRunError(SimulationError):
+    """Results were requested from a simulation that has not been run."""

@@ -1,0 +1,45 @@
+"""Full-Duplex Switched Ethernet simulator.
+
+A discrete-event model of the paper's target architecture:
+
+* **end stations** (:mod:`~repro.ethernet.station`) hold one token-bucket
+  shaper per emitted flow and multiplex the shaped frames into their egress
+  link through a FIFO or a four-queue strict-priority (802.1p) multiplexer,
+* **switches** (:mod:`~repro.ethernet.switch`) are store-and-forward: a frame
+  fully received on an input port is relayed, after a bounded technology
+  delay, to the output port leading to its destination, where it is queued
+  under the same discipline,
+* **links** (:mod:`~repro.ethernet.link`) are full-duplex and serialise
+  frames at the link capacity — there is no CSMA/CD and no collision, the
+  only contention is queueing at the multiplexers,
+* **traffic sources** (:mod:`~repro.ethernet.traffic`) generate periodic and
+  sporadic message instances, including the adversarial "synchronised
+  release" scenario used to stress the analytic bounds,
+* the **network simulator** (:mod:`~repro.ethernet.network_sim`) assembles
+  all of the above from a :class:`repro.topology.Network` and a set of flows,
+  runs the simulation and collects per-flow and per-class latency statistics.
+"""
+
+from repro.ethernet.frame import (
+    EthernetFrame,
+    MessageInstance,
+    frames_for_instance,
+)
+from repro.ethernet.link import LinkTransmitter
+from repro.ethernet.station import EndStation
+from repro.ethernet.switch import EthernetSwitch
+from repro.ethernet.traffic import PeriodicSource, SporadicSource
+from repro.ethernet.network_sim import EthernetNetworkSimulator, SimulationResults
+
+__all__ = [
+    "EthernetFrame",
+    "MessageInstance",
+    "frames_for_instance",
+    "LinkTransmitter",
+    "EndStation",
+    "EthernetSwitch",
+    "PeriodicSource",
+    "SporadicSource",
+    "EthernetNetworkSimulator",
+    "SimulationResults",
+]

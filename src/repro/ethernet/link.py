@@ -1,0 +1,135 @@
+"""Full-duplex link transmitters.
+
+A :class:`LinkTransmitter` models *one direction* of a full-duplex link: an
+egress queue (FIFO or strict-priority), a serialisation stage at the link
+capacity and a propagation stage towards the remote receiver.  Because the
+link is full duplex there is no arbitration with the opposite direction and
+no collision; the transmitter is simply work-conserving and non-preemptive —
+once a frame starts, it finishes, which is precisely the source of the
+``max_{q > p} b_j`` blocking term in the paper's priority bound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.ethernet.frame import EthernetFrame
+from repro.shaping.queues import FifoQueue, QueuedItem, StrictPriorityQueues
+from repro.simulation.engine import Simulator
+from repro.simulation.statistics import Counter
+from repro.simulation.trace import TraceRecorder
+
+__all__ = ["LinkTransmitter"]
+
+#: Type of the delivery callback: receives the frame and nothing else (the
+#: simulation time is available from the simulator when the callback fires).
+DeliveryCallback = Callable[[EthernetFrame], None]
+
+
+class LinkTransmitter:
+    """One direction of a full-duplex link, with its egress queue.
+
+    Parameters
+    ----------
+    simulator:
+        The event loop.
+    name:
+        Label used in traces, e.g. ``"station-03->switch-0"``.
+    capacity:
+        Serialisation rate in bits per second.
+    propagation_delay:
+        One-way propagation delay in seconds.
+    queue:
+        The egress queueing discipline (:class:`FifoQueue` or
+        :class:`StrictPriorityQueues`).
+    deliver:
+        Callback invoked when a frame has been completely received at the
+        other end of the link.
+    trace:
+        Optional trace recorder.
+    """
+
+    def __init__(self, simulator: Simulator, name: str, capacity: float,
+                 propagation_delay: float,
+                 queue: FifoQueue | StrictPriorityQueues,
+                 deliver: DeliveryCallback,
+                 trace: TraceRecorder | None = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"link capacity must be positive, got {capacity!r}")
+        if propagation_delay < 0:
+            raise ConfigurationError(
+                f"propagation delay must be non-negative, "
+                f"got {propagation_delay!r}")
+        self.simulator = simulator
+        self.name = name
+        self.capacity = float(capacity)
+        self.propagation_delay = float(propagation_delay)
+        self.queue = queue
+        self.deliver = deliver
+        self.trace = trace or TraceRecorder(enabled=False)
+        self._busy = False
+        self.frames_sent = Counter(f"{name}.frames_sent")
+        self.bits_sent = 0.0
+        self._busy_time = 0.0
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def drops(self) -> int:
+        """Frames dropped by the egress queue because of overflow."""
+        return self.queue.drops
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative time spent serialising frames (seconds)."""
+        return self._busy_time
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the transmitter spent serialising."""
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        return self._busy_time / duration
+
+    # -- operation --------------------------------------------------------------
+
+    def enqueue(self, frame: EthernetFrame) -> bool:
+        """Queue a frame for transmission; start transmitting if idle.
+
+        Returns ``False`` when the frame was dropped by the egress queue.
+        """
+        item = QueuedItem(size=frame.size,
+                          enqueue_time=self.simulator.now,
+                          priority=frame.priority, payload=frame)
+        accepted = self.queue.push(item)
+        self.trace.record(self.simulator.now, "frame.enqueue", self.name,
+                          frame_id=frame.frame_id, flow=frame.flow_name,
+                          accepted=accepted, queue_bits=self.queue.occupancy)
+        if accepted and not self._busy:
+            self._start_next()
+        return accepted
+
+    def _start_next(self) -> None:
+        item = self.queue.pop()
+        if item is None:
+            self._busy = False
+            return
+        frame: EthernetFrame = item.payload
+        self._busy = True
+        transmission = frame.size / self.capacity
+        self._busy_time += transmission
+        self.trace.record(self.simulator.now, "frame.tx_start", self.name,
+                          frame_id=frame.frame_id, flow=frame.flow_name)
+        self.simulator.schedule(transmission, self._complete, frame)
+
+    def _complete(self, frame: EthernetFrame) -> None:
+        self.frames_sent.increment()
+        self.bits_sent += frame.size
+        self.trace.record(self.simulator.now, "frame.tx_end", self.name,
+                          frame_id=frame.frame_id, flow=frame.flow_name)
+        # Deliver the frame to the remote end after propagation; reception of
+        # the full frame coincides with the end of serialisation plus the
+        # propagation delay (store-and-forward semantics).
+        self.simulator.schedule(self.propagation_delay, self.deliver, frame)
+        self._start_next()

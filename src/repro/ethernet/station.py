@@ -1,0 +1,194 @@
+"""End stations: per-flow traffic shapers plus the egress multiplexer.
+
+An :class:`EndStation` implements the paper's source-side mechanisms:
+
+* every flow emitted by the station owns a **token-bucket shaper**
+  ``(b_i, r_i = b_i / T_i)``; a message instance handed over by the
+  application waits in the shaper until enough tokens are available,
+* conforming frames are then handed to the station's **egress multiplexer**
+  (a FIFO or the four-queue strict-priority structure) feeding the uplink to
+  the access switch.
+
+The station is also the traffic sink side: frames whose destination is this
+station are reassembled into message instances and their end-to-end latency
+(application release → complete reception of the last fragment) is recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.ethernet.frame import (
+    EthernetFrame,
+    MessageInstance,
+    frames_for_instance,
+    wire_burst,
+)
+from repro.ethernet.link import LinkTransmitter
+from repro.flows.flow import Flow
+from repro.simulation.engine import Simulator
+from repro.simulation.statistics import Counter
+from repro.simulation.trace import TraceRecorder
+from repro.shaping.token_bucket import FlowShaper, TokenBucket
+
+__all__ = ["EndStation"]
+
+#: Callback used to report a completely received message instance:
+#: ``(instance, latency_seconds)``.
+DeliveryListener = Callable[[MessageInstance, float], None]
+
+
+class EndStation:
+    """A station attached to the switched network by one full-duplex uplink.
+
+    Parameters
+    ----------
+    simulator:
+        The event loop.
+    name:
+        Station name (must match the topology node name).
+    trace:
+        Optional trace recorder shared with the rest of the network model.
+    shaping_enabled:
+        When ``False`` frames bypass the token buckets and go straight to the
+        egress multiplexer — used by the ablation experiment that shows why
+        uncontrolled traffic cannot be bounded.
+    """
+
+    def __init__(self, simulator: Simulator, name: str,
+                 trace: TraceRecorder | None = None,
+                 shaping_enabled: bool = True) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.shaping_enabled = shaping_enabled
+        self._uplink: LinkTransmitter | None = None
+        self._shapers: dict[str, FlowShaper] = {}
+        self._flows: dict[str, Flow] = {}
+        self._release_pending: set[str] = set()
+        self._pending_fragments: dict[int, int] = {}
+        self._delivery_listeners: list[DeliveryListener] = []
+        self.instances_sent = Counter(f"{name}.instances_sent")
+        self.instances_received = Counter(f"{name}.instances_received")
+        self.frames_received = Counter(f"{name}.frames_received")
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_uplink(self, uplink: LinkTransmitter) -> None:
+        """Connect the station's egress transmitter (towards its switch)."""
+        self._uplink = uplink
+
+    def register_flow(self, flow: Flow) -> None:
+        """Declare a flow emitted by this station and create its shaper.
+
+        The token bucket is sized on the **on-wire** burst of one message
+        instance (framing overhead and padding included) with the matching
+        rate ``wire_burst / T`` — the shaper must be able to emit a whole
+        instance, and accounting for the overhead keeps the simulated
+        traffic consistent with the wire-level analytic bounds.
+        """
+        if flow.source != self.name:
+            raise ConfigurationError(
+                f"flow {flow.name!r} is emitted by {flow.source!r}, "
+                f"not by station {self.name!r}")
+        if flow.name in self._flows:
+            raise ConfigurationError(
+                f"flow {flow.name!r} already registered on {self.name!r}")
+        self._flows[flow.name] = flow
+        burst = wire_burst(flow.message)
+        self._shapers[flow.name] = FlowShaper(
+            name=flow.name,
+            bucket=TokenBucket(bucket_size=burst,
+                               token_rate=burst / flow.message.period))
+
+    def add_delivery_listener(self, listener: DeliveryListener) -> None:
+        """Register a callback invoked for every fully received instance."""
+        self._delivery_listeners.append(listener)
+
+    @property
+    def flows(self) -> list[Flow]:
+        """The flows emitted by this station."""
+        return list(self._flows.values())
+
+    def shaper(self, flow_name: str) -> FlowShaper:
+        """The token-bucket shaper of ``flow_name``."""
+        return self._shapers[flow_name]
+
+    # -- emission ------------------------------------------------------------
+
+    def submit(self, instance: MessageInstance) -> None:
+        """Hand a message instance over from the application layer.
+
+        The instance is fragmented into Ethernet frames, every fragment is
+        pushed into the flow's shaper, and the shaper release is scheduled.
+        """
+        if self._uplink is None:
+            raise ConfigurationError(
+                f"station {self.name!r} has no uplink attached")
+        flow = self._flows.get(instance.message.name)
+        if flow is None:
+            raise ConfigurationError(
+                f"station {self.name!r} does not emit flow "
+                f"{instance.message.name!r}")
+        self.instances_sent.increment()
+        frames = frames_for_instance(instance, flow.priority)
+        self.trace.record(self.simulator.now, "instance.submit", self.name,
+                          flow=flow.name, fragments=len(frames))
+        if not self.shaping_enabled:
+            for frame in frames:
+                self._uplink.enqueue(frame)
+            return
+        shaper = self._shapers[flow.name]
+        for frame in frames:
+            shaper.submit(size=frame.size, time=self.simulator.now,
+                          payload=frame)
+        self._schedule_release(flow.name)
+
+    def _schedule_release(self, flow_name: str) -> None:
+        """Arm the next shaper release for ``flow_name`` if not already armed."""
+        if flow_name in self._release_pending:
+            return
+        shaper = self._shapers[flow_name]
+        release_time = shaper.next_release(self.simulator.now)
+        if release_time is None:
+            return
+        self._release_pending.add(flow_name)
+        self.simulator.schedule_at(release_time, self._release, flow_name)
+
+    def _release(self, flow_name: str) -> None:
+        """Release the head frame of a shaper into the egress multiplexer."""
+        self._release_pending.discard(flow_name)
+        shaper = self._shapers[flow_name]
+        if shaper.backlog == 0:
+            return
+        pending = shaper.release(self.simulator.now)
+        frame: EthernetFrame = pending.payload
+        self.trace.record(self.simulator.now, "frame.shaped", self.name,
+                          flow=flow_name, frame_id=frame.frame_id)
+        self._uplink.enqueue(frame)
+        self._schedule_release(flow_name)
+
+    # -- reception -----------------------------------------------------------
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Handle a frame delivered by the downlink from the access switch."""
+        if frame.destination != self.name:
+            raise ConfigurationError(
+                f"station {self.name!r} received a frame for "
+                f"{frame.destination!r}")
+        self.frames_received.increment()
+        instance = frame.instance
+        remaining = self._pending_fragments.get(
+            instance.instance_id, frame.fragment_count)
+        remaining -= 1
+        if remaining > 0:
+            self._pending_fragments[instance.instance_id] = remaining
+            return
+        self._pending_fragments.pop(instance.instance_id, None)
+        self.instances_received.increment()
+        latency = self.simulator.now - instance.release_time
+        self.trace.record(self.simulator.now, "instance.delivered", self.name,
+                          flow=instance.message.name, latency=latency)
+        for listener in self._delivery_listeners:
+            listener(instance, latency)

@@ -1,0 +1,113 @@
+"""Flows: messages routed through the switched network.
+
+A :class:`Flow` binds a :class:`~repro.flows.messages.Message` to the
+sequence of network elements it traverses (source station egress port, one or
+more switch output ports, destination station).  The end-to-end analysis in
+:mod:`repro.core.endtoend` walks this path and accumulates the per-hop delay
+bounds; the Ethernet simulator uses the same path to forward frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import InvalidFlowError
+from repro.flows.messages import Message
+from repro.flows.priorities import PriorityClass, assign_priority
+
+__all__ = ["Flow"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A message routed from its source to its destination.
+
+    Attributes
+    ----------
+    message:
+        The traffic characterisation ``(T, b)`` plus deadline.
+    priority:
+        The 802.1p class used when the network runs the strict-priority
+        multiplexer.  Defaults to the paper's assignment policy.
+    path:
+        Ordered list of node names the flow traverses, starting with the
+        source station and ending with the destination station, e.g.
+        ``["station-3", "switch-0", "station-7"]``.  May be empty until the
+        routing step fills it in.
+    metadata:
+        Free-form annotations.
+    """
+
+    message: Message
+    priority: PriorityClass = None  # type: ignore[assignment]
+    path: tuple[str, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.priority is None:
+            object.__setattr__(self, "priority", assign_priority(self.message))
+        if not isinstance(self.priority, PriorityClass):
+            object.__setattr__(self, "priority",
+                               PriorityClass(self.priority))
+        if self.path:
+            if self.path[0] != self.message.source:
+                raise InvalidFlowError(
+                    f"flow {self.name!r}: path starts at {self.path[0]!r}, "
+                    f"expected source {self.message.source!r}")
+            if self.path[-1] != self.message.destination:
+                raise InvalidFlowError(
+                    f"flow {self.name!r}: path ends at {self.path[-1]!r}, "
+                    f"expected destination {self.message.destination!r}")
+            if len(self.path) < 2:
+                raise InvalidFlowError(
+                    f"flow {self.name!r}: a path needs at least two nodes")
+
+    # -- proxies to the message ---------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The flow is named after its message."""
+        return self.message.name
+
+    @property
+    def source(self) -> str:
+        """Source station name."""
+        return self.message.source
+
+    @property
+    def destination(self) -> str:
+        """Destination station name."""
+        return self.message.destination
+
+    @property
+    def burst(self) -> float:
+        """Token-bucket burst ``b`` (bits)."""
+        return self.message.burst
+
+    @property
+    def rate(self) -> float:
+        """Token-bucket rate ``r = b / T`` (bits per second)."""
+        return self.message.rate
+
+    @property
+    def deadline(self) -> float | None:
+        """Requested maximal response time (seconds), if any."""
+        return self.message.deadline
+
+    # -- routing -------------------------------------------------------------
+
+    def with_path(self, path: list[str] | tuple[str, ...]) -> "Flow":
+        """Return a copy of this flow with its route filled in."""
+        return Flow(message=self.message, priority=self.priority,
+                    path=tuple(path), metadata=dict(self.metadata))
+
+    def hops(self) -> list[tuple[str, str]]:
+        """The (upstream, downstream) node pairs along the path."""
+        if len(self.path) < 2:
+            return []
+        return list(zip(self.path[:-1], self.path[1:]))
+
+    def switches(self) -> list[str]:
+        """Names of the intermediate nodes (everything but the endpoints)."""
+        return list(self.path[1:-1])

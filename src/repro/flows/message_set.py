@@ -1,0 +1,185 @@
+"""Message sets: validated collections of messages with useful views.
+
+A :class:`MessageSet` is the unit the evaluation harness works with: the
+synthetic "real case" workload is a message set, the 1553B schedule builder
+consumes a message set, and the Ethernet analysis groups a message set by
+source station and by priority class.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import InvalidWorkloadError
+from repro.flows.messages import Message, MessageKind
+from repro.flows.priorities import PriorityClass, assign_priority
+
+__all__ = ["MessageSet"]
+
+
+class MessageSet:
+    """An ordered, name-indexed collection of messages.
+
+    Parameters
+    ----------
+    messages:
+        The messages to include.  Names must be unique.
+    name:
+        Optional label for reports.
+
+    Raises
+    ------
+    InvalidWorkloadError
+        If two messages share a name.
+    """
+
+    def __init__(self, messages: Iterable[Message] = (),
+                 name: str = "message-set") -> None:
+        self.name = name
+        self._messages: dict[str, Message] = {}
+        for message in messages:
+            self.add(message)
+
+    # -- collection protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._messages.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._messages
+
+    def __getitem__(self, name: str) -> Message:
+        return self._messages[name]
+
+    def add(self, message: Message) -> None:
+        """Add a message; its name must not already be present."""
+        if message.name in self._messages:
+            raise InvalidWorkloadError(
+                f"duplicate message name {message.name!r} in set {self.name!r}")
+        self._messages[message.name] = message
+
+    def extend(self, messages: Iterable[Message]) -> None:
+        """Add several messages."""
+        for message in messages:
+            self.add(message)
+
+    @property
+    def messages(self) -> list[Message]:
+        """All messages, in insertion order."""
+        return list(self._messages.values())
+
+    # -- views ----------------------------------------------------------------
+
+    def periodic(self) -> list[Message]:
+        """The periodic messages."""
+        return [m for m in self if m.kind is MessageKind.PERIODIC]
+
+    def sporadic(self) -> list[Message]:
+        """The sporadic messages."""
+        return [m for m in self if m.kind is MessageKind.SPORADIC]
+
+    def by_source(self) -> dict[str, list[Message]]:
+        """Messages grouped by emitting station."""
+        grouped: dict[str, list[Message]] = defaultdict(list)
+        for message in self:
+            grouped[message.source].append(message)
+        return dict(grouped)
+
+    def by_destination(self) -> dict[str, list[Message]]:
+        """Messages grouped by receiving station."""
+        grouped: dict[str, list[Message]] = defaultdict(list)
+        for message in self:
+            grouped[message.destination].append(message)
+        return dict(grouped)
+
+    def by_priority(self) -> dict[PriorityClass, list[Message]]:
+        """Messages grouped by the paper's priority classes.
+
+        Every class is present in the result, possibly with an empty list,
+        so callers can iterate over all four classes unconditionally.
+        """
+        grouped: dict[PriorityClass, list[Message]] = {
+            cls: [] for cls in PriorityClass}
+        for message in self:
+            grouped[assign_priority(message)].append(message)
+        return grouped
+
+    def filter(self, predicate: Callable[[Message], bool],
+               name: str | None = None) -> "MessageSet":
+        """A new message set containing the messages matching ``predicate``."""
+        return MessageSet((m for m in self if predicate(m)),
+                          name=name or f"{self.name}-filtered")
+
+    def from_station(self, station: str) -> "MessageSet":
+        """The messages emitted by ``station``."""
+        return self.filter(lambda m: m.source == station,
+                           name=f"{self.name}@{station}")
+
+    def sources(self) -> list[str]:
+        """Sorted list of all emitting stations."""
+        return sorted({m.source for m in self})
+
+    def destinations(self) -> list[str]:
+        """Sorted list of all receiving stations."""
+        return sorted({m.destination for m in self})
+
+    def stations(self) -> list[str]:
+        """Sorted list of every station that emits or receives."""
+        return sorted({m.source for m in self} | {m.destination for m in self})
+
+    # -- aggregate quantities --------------------------------------------------
+
+    def total_rate(self) -> float:
+        """Sum of the token-bucket rates ``r_i`` (bits per second)."""
+        return sum(m.rate for m in self)
+
+    def total_burst(self) -> float:
+        """Sum of the token-bucket bursts ``b_i`` (bits)."""
+        return sum(m.burst for m in self)
+
+    def max_burst(self) -> float:
+        """Largest single burst ``b_i`` (bits); 0 for an empty set."""
+        return max((m.burst for m in self), default=0.0)
+
+    def utilization(self, capacity: float) -> float:
+        """Aggregate long-term utilization of a link of ``capacity`` bps."""
+        if capacity <= 0:
+            raise InvalidWorkloadError(
+                f"capacity must be positive, got {capacity!r}")
+        return self.total_rate() / capacity
+
+    def smallest_period(self) -> float:
+        """The smallest period / inter-arrival in the set.
+
+        Raises
+        ------
+        InvalidWorkloadError
+            If the set is empty.
+        """
+        if not self._messages:
+            raise InvalidWorkloadError("empty message set has no period")
+        return min(m.period for m in self)
+
+    def largest_period(self) -> float:
+        """The largest period / inter-arrival in the set."""
+        if not self._messages:
+            raise InvalidWorkloadError("empty message set has no period")
+        return max(m.period for m in self)
+
+    def summary(self) -> dict[str, float | int]:
+        """A dictionary of headline figures used by the reports."""
+        by_priority = self.by_priority()
+        return {
+            "messages": len(self),
+            "periodic": len(self.periodic()),
+            "sporadic": len(self.sporadic()),
+            "stations": len(self.stations()),
+            "total_rate_bps": self.total_rate(),
+            "total_burst_bits": self.total_burst(),
+            **{f"class_{cls.value}": len(msgs)
+               for cls, msgs in by_priority.items()},
+        }

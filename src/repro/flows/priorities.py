@@ -1,0 +1,97 @@
+"""Priority classes and the paper's priority-assignment policy.
+
+The paper (Section 2) maps every message onto one of four IEEE 802.1p
+priority classes handled by a strict-priority multiplexer with four queues:
+
+* **priority 0** — urgent sporadic messages with a requested maximal response
+  time of 3 ms,
+* **priority 1** — periodic messages,
+* **priority 2** — sporadic messages with a requested maximal response time
+  between 20 ms and 160 ms,
+* **priority 3** — sporadic messages with a maximal response time larger
+  than 160 ms.
+
+Priority 0 is the most urgent (served first); larger numeric values are less
+urgent, exactly as in the paper's `D_p` formula where the sums range over
+``q <= p`` (equal or higher priority) and ``q > p`` (lower priority).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro import units
+from repro.flows.messages import Message, MessageKind
+
+__all__ = [
+    "PriorityClass",
+    "assign_priority",
+    "DEADLINE_URGENT",
+    "PERIOD_MINOR_FRAME",
+    "PERIOD_MAJOR_FRAME",
+]
+
+#: Maximal response time of the urgent sporadic class (3 ms).
+DEADLINE_URGENT = units.ms(3)
+#: The 1553B minor frame (20 ms) — also the smallest message period.
+PERIOD_MINOR_FRAME = units.ms(20)
+#: The 1553B major frame (160 ms) — also the biggest message period.
+PERIOD_MAJOR_FRAME = units.ms(160)
+
+
+class PriorityClass(enum.IntEnum):
+    """The four 802.1p classes used by the paper (0 = most urgent)."""
+
+    URGENT = 0
+    PERIODIC = 1
+    SPORADIC = 2
+    BACKGROUND = 3
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in reports and figures."""
+        return _LABELS[self]
+
+    def is_higher_or_equal(self, other: "PriorityClass") -> bool:
+        """True when this class is served no later than ``other``.
+
+        Numerically smaller values are more urgent.
+        """
+        return self.value <= other.value
+
+
+_LABELS = {
+    PriorityClass.URGENT: "P0 urgent sporadic (3 ms)",
+    PriorityClass.PERIODIC: "P1 periodic",
+    PriorityClass.SPORADIC: "P2 sporadic (20-160 ms)",
+    PriorityClass.BACKGROUND: "P3 sporadic (> 160 ms)",
+}
+
+
+def assign_priority(message: Message) -> PriorityClass:
+    """Assign the paper's 802.1p priority class to a message.
+
+    The rules are exactly those of Section 2 of the paper:
+
+    * periodic messages get priority 1,
+    * sporadic messages with a deadline of at most 3 ms get priority 0,
+    * sporadic messages with a deadline in (3 ms, 160 ms] get priority 2,
+    * sporadic messages with a deadline above 160 ms (or no deadline at all)
+      get priority 3.
+
+    Parameters
+    ----------
+    message:
+        The message to classify.  Its :attr:`~Message.deadline` may be
+        ``None`` for best-effort sporadic traffic.
+    """
+    if message.kind is MessageKind.PERIODIC:
+        return PriorityClass.PERIODIC
+    deadline = message.deadline
+    if deadline is None:
+        return PriorityClass.BACKGROUND
+    if deadline <= DEADLINE_URGENT:
+        return PriorityClass.URGENT
+    if deadline <= PERIOD_MAJOR_FRAME:
+        return PriorityClass.SPORADIC
+    return PriorityClass.BACKGROUND

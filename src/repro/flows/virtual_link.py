@@ -1,0 +1,98 @@
+"""AFDX-style virtual links.
+
+The paper motivates switched Ethernet for military avionics by the civil
+success of the A380's AFDX network.  In AFDX (ARINC 664 part 7) a flow is
+described as a *virtual link* (VL) with a **Bandwidth Allocation Gap** (BAG)
+and a maximal frame size ``s_max``; the VL shaper guarantees that two
+consecutive frames of the VL leave the end system at least one BAG apart.
+
+A VL is therefore just another way to express the paper's token bucket:
+``b = s_max`` and ``r = s_max / BAG``.  :class:`VirtualLink` offers the AFDX
+vocabulary and converts to the library's :class:`~repro.flows.messages.Message`
+and token-bucket representations, so users coming from the AFDX world can use
+the library with their native parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import InvalidMessageError
+from repro.flows.messages import Message, MessageKind
+
+__all__ = ["VirtualLink", "STANDARD_BAGS"]
+
+#: The BAG values allowed by ARINC 664 part 7: 1, 2, 4, ... 128 ms.
+STANDARD_BAGS = tuple(units.ms(2 ** k) for k in range(8))
+
+
+@dataclass(frozen=True)
+class VirtualLink:
+    """An AFDX virtual link (BAG, s_max).
+
+    Attributes
+    ----------
+    name:
+        VL identifier.
+    bag:
+        Bandwidth Allocation Gap in seconds — the minimal spacing between two
+        consecutive frames of the VL at the output of the end system.
+    max_frame_size:
+        Maximal frame size ``s_max`` in bits.
+    source / destination:
+        End-system names.
+    deadline:
+        Optional maximal response time (seconds).
+    """
+
+    name: str
+    bag: float
+    max_frame_size: float
+    source: str
+    destination: str
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.bag <= 0:
+            raise InvalidMessageError(
+                f"virtual link {self.name!r}: BAG must be positive")
+        if self.max_frame_size <= 0:
+            raise InvalidMessageError(
+                f"virtual link {self.name!r}: s_max must be positive")
+
+    @property
+    def is_standard_bag(self) -> bool:
+        """True when the BAG is one of the ARINC 664 values (1..128 ms)."""
+        return any(abs(self.bag - bag) < 1e-12 for bag in STANDARD_BAGS)
+
+    @property
+    def burst(self) -> float:
+        """Equivalent token-bucket burst (bits)."""
+        return self.max_frame_size
+
+    @property
+    def rate(self) -> float:
+        """Equivalent token-bucket rate (bits per second)."""
+        return self.max_frame_size / self.bag
+
+    def to_message(self) -> Message:
+        """Convert the VL into the library's sporadic message representation.
+
+        AFDX traffic is sporadic from the network's point of view (the BAG is
+        a minimal inter-arrival time, not a period), so the conversion uses
+        :attr:`MessageKind.SPORADIC`.
+        """
+        return Message(name=self.name, kind=MessageKind.SPORADIC,
+                       period=self.bag, size=self.max_frame_size,
+                       source=self.source, destination=self.destination,
+                       deadline=self.deadline,
+                       metadata={"virtual_link": True})
+
+    @classmethod
+    def from_message(cls, message: Message) -> "VirtualLink":
+        """Describe a message as a virtual link (BAG = period, s_max = size)."""
+        return cls(name=message.name, bag=message.period,
+                   max_frame_size=message.size, source=message.source,
+                   destination=message.destination,
+                   deadline=message.deadline)

@@ -1,0 +1,59 @@
+"""MIL-STD-1553B data bus: the baseline the paper compares against.
+
+MIL-STD-1553B is a 1 Mbps serial command/response bus with centralized
+control: a **bus controller** (BC) polls the **remote terminals** (RT) and
+every word on the bus is either commanded by or addressed to the BC.  The
+paper's case study uses the classical cyclic executive structure:
+
+* a **major frame** of 160 ms (the largest message period),
+* split into eight **minor frames** of 20 ms (the smallest message period);
+  at the start of each minor frame an interrupt fires and the BC issues the
+  transactions scheduled for that minor frame,
+* periodic messages are placed in the minor frames according to their
+  period; sporadic messages are handled by polling the RTs once per minor
+  frame and transferring any pending data.
+
+This package provides:
+
+* :mod:`~repro.milstd1553.words` — word/transaction timing per the standard
+  (20 µs words, RT response time, intermessage gaps),
+* :mod:`~repro.milstd1553.transaction` — the three transfer formats
+  (BC→RT, RT→BC, RT→RT) and their bus occupation time,
+* :mod:`~repro.milstd1553.schedule` — the major/minor frame schedule builder
+  and its feasibility checks,
+* :mod:`~repro.milstd1553.bus` — a discrete-event simulator of the bus
+  (BC, RTs, polling, response-time collection),
+* :mod:`~repro.milstd1553.analysis` — closed-form worst-case response-time
+  analysis used for the 1553B column of the comparison experiments.
+"""
+
+from repro.milstd1553.words import (
+    BUS_RATE,
+    INTERMESSAGE_GAP,
+    RESPONSE_TIME,
+    WORD_TIME,
+    data_word_count,
+)
+from repro.milstd1553.transaction import Transaction, TransferFormat
+from repro.milstd1553.schedule import MajorFrameSchedule, MinorFrameSlot
+from repro.milstd1553.bus import Milstd1553BusSimulator, BusSimulationResults
+from repro.milstd1553.analysis import (
+    Milstd1553Analysis,
+    ResponseTimeBound,
+)
+
+__all__ = [
+    "BUS_RATE",
+    "WORD_TIME",
+    "RESPONSE_TIME",
+    "INTERMESSAGE_GAP",
+    "data_word_count",
+    "Transaction",
+    "TransferFormat",
+    "MajorFrameSchedule",
+    "MinorFrameSlot",
+    "Milstd1553BusSimulator",
+    "BusSimulationResults",
+    "Milstd1553Analysis",
+    "ResponseTimeBound",
+]

@@ -1,0 +1,170 @@
+"""Closed-form worst-case response-time analysis of the 1553B schedule.
+
+The comparison experiments (DESIGN.md, experiment E4) need a 1553B column
+next to the switched-Ethernet bounds.  The cyclic-executive structure makes
+the worst case easy to characterise:
+
+* a **periodic** message is produced synchronously with the bus schedule
+  (its subsystem samples the data for the minor frame that carries it, the
+  standard practice on 1553B cyclic executives), so its worst-case response
+  time is the largest offset, within any minor frame that carries it, at
+  which its transaction completes (all transactions that precede it in the
+  frame, plus its own duration),
+* a **sporadic** message sees its worst case when it is released just after
+  the poll of its terminal in the current minor frame: it is then served by
+  the poll of the *next* minor frame, i.e. after up to one full minor frame,
+  plus everything that precedes its terminal's poll in that frame, plus its
+  own transfer time — conservatively assuming every other sporadic message
+  fires in the same frame and is served before it.
+
+These are upper bounds under the paper's assumptions (at most one sporadic
+instance per message per minor frame, feasible schedule); the simulator's
+observed response times must stay below them, which the validation tests
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.flows.message_set import MessageSet
+from repro.flows.messages import Message
+from repro.milstd1553.schedule import POLL_DURATION, MajorFrameSchedule
+from repro.milstd1553.transaction import transactions_for_message
+
+__all__ = ["ResponseTimeBound", "Milstd1553Analysis"]
+
+
+@dataclass(frozen=True)
+class ResponseTimeBound:
+    """Worst-case response time of one message on the 1553B bus."""
+
+    message: Message
+    #: The bound in seconds.
+    bound: float
+    #: Time spent waiting for the next scheduled occurrence / poll (seconds).
+    waiting_time: float
+    #: Time from the start of the serving minor frame to the completion of
+    #: the message's last transaction (seconds).
+    service_offset: float
+    #: ``True`` when the bound is guaranteed by the cyclic schedule
+    #: (periodic messages and deadline-constrained sporadic messages that
+    #: get reserved minor-frame room).  Background sporadic traffic is
+    #: served best-effort in the idle time of the frames, so its figure is
+    #: indicative only and the simulator may exceed it under load.
+    guaranteed: bool = True
+
+    @property
+    def name(self) -> str:
+        """Message name."""
+        return self.message.name
+
+    @property
+    def deadline(self) -> float | None:
+        """Requested maximal response time, if any."""
+        return self.message.deadline
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the bound does not exceed the deadline (or none is set)."""
+        if self.message.deadline is None:
+            return True
+        return self.bound <= self.message.deadline
+
+
+class Milstd1553Analysis:
+    """Worst-case response-time analysis over a major frame schedule."""
+
+    def __init__(self, schedule: MajorFrameSchedule) -> None:
+        self.schedule = schedule
+        self.message_set: MessageSet = schedule.message_set
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _message_duration(self, message: Message) -> float:
+        return sum(t.duration for t in transactions_for_message(
+            message, self.schedule.transfer_format))
+
+    def _worst_completion_offset_periodic(self, message: Message) -> float:
+        """Worst offset, within a serving minor frame, of the message's completion."""
+        worst = 0.0
+        for slot in self.schedule.slots:
+            offset = 0.0
+            found = False
+            for transaction in slot.transactions:
+                offset += transaction.duration
+                if transaction.message.name == message.name \
+                        and transaction.is_last_part:
+                    found = True
+                    break
+            if found:
+                worst = max(worst, offset)
+        if worst == 0.0:
+            raise AnalysisError(
+                f"periodic message {message.name!r} is not present in the "
+                f"schedule")
+        return worst
+
+    def _worst_completion_offset_sporadic(self, message: Message) -> float:
+        """Worst offset of the sporadic message's completion within a minor frame.
+
+        Conservative accounting: the frame first carries its heaviest
+        periodic load, then the polls of the terminals that precede this
+        message's terminal (serving all their sporadic messages), then this
+        terminal's poll, then every *other* sporadic message of the same
+        terminal, and finally this message.
+        """
+        heaviest_periodic = max(
+            (slot.periodic_duration() for slot in self.schedule.slots),
+            default=0.0)
+        offset = heaviest_periodic
+        for station in self.schedule.polled_terminals():
+            offset += POLL_DURATION
+            station_sporadic = [m for m in self.message_set.sporadic()
+                                if m.source == station]
+            if station == message.source:
+                for other in station_sporadic:
+                    if other.name != message.name:
+                        offset += self._message_duration(other)
+                offset += self._message_duration(message)
+                return offset
+            offset += sum(self._message_duration(m) for m in station_sporadic)
+        raise AnalysisError(
+            f"sporadic message {message.name!r} has no polled terminal")
+
+    # -- bounds ----------------------------------------------------------------
+
+    def bound_for(self, message: Message) -> ResponseTimeBound:
+        """Worst-case response time of one message."""
+        guaranteed = True
+        if message.is_periodic:
+            # Production is synchronised with the serving minor frame, so no
+            # waiting term: the response time is the completion offset.
+            waiting = 0.0
+            offset = self._worst_completion_offset_periodic(message)
+        else:
+            waiting = self.schedule.minor_frame
+            offset = self._worst_completion_offset_sporadic(message)
+            reserved = {m.name for m in self.schedule.reserved_sporadic()}
+            guaranteed = message.name in reserved
+        return ResponseTimeBound(message=message, bound=waiting + offset,
+                                 waiting_time=waiting, service_offset=offset,
+                                 guaranteed=guaranteed)
+
+    def all_bounds(self) -> dict[str, ResponseTimeBound]:
+        """Bounds of every message of the set, indexed by name."""
+        return {message.name: self.bound_for(message)
+                for message in self.message_set}
+
+    def violations(self) -> list[ResponseTimeBound]:
+        """Messages whose worst-case response time exceeds their deadline."""
+        return [bound for bound in self.all_bounds().values()
+                if not bound.meets_deadline]
+
+    def worst_bound(self) -> float:
+        """Largest response-time bound over the whole message set (seconds)."""
+        bounds = self.all_bounds()
+        if not bounds:
+            raise AnalysisError("the message set is empty")
+        return max(bound.bound for bound in bounds.values())

@@ -1,0 +1,135 @@
+"""MIL-STD-1553B transactions (transfer formats) and their durations.
+
+The standard defines three information-transfer formats used here:
+
+* **BC → RT** ("receive" command): the BC sends a receive command word and
+  the data words; the RT answers with its status word,
+* **RT → BC** ("transmit" command): the BC sends a transmit command word;
+  the RT answers with its status word followed by the data words,
+* **RT → RT**: the BC sends a receive command to the destination RT and a
+  transmit command to the source RT; the source RT answers with status +
+  data, and the destination RT closes with its own status word.
+
+A *message* of the avionics application maps to one or more transactions: a
+transaction carries at most 32 data words, so longer messages are split.  In
+the switched-Ethernet comparison the same application messages are carried in
+Ethernet frames instead; the mapping lives in
+:func:`transactions_for_message`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.flows.messages import Message
+from repro.milstd1553.words import (
+    INTERMESSAGE_GAP,
+    MAX_DATA_WORDS,
+    RESPONSE_TIME,
+    WORD_TIME,
+    data_word_count,
+)
+
+__all__ = ["TransferFormat", "Transaction", "transactions_for_message"]
+
+
+class TransferFormat(enum.Enum):
+    """The three 1553B information-transfer formats modelled."""
+
+    BC_TO_RT = "bc-to-rt"
+    RT_TO_BC = "rt-to-bc"
+    RT_TO_RT = "rt-to-rt"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One bus transaction carrying (part of) an application message.
+
+    Attributes
+    ----------
+    message:
+        The application message the transaction belongs to.
+    transfer_format:
+        BC→RT, RT→BC or RT→RT.
+    data_words:
+        Number of 16-bit data words carried (1..32).
+    part_index / part_count:
+        Position of this transaction when the message spans several.
+    """
+
+    message: Message
+    transfer_format: TransferFormat
+    data_words: int
+    part_index: int = 0
+    part_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.data_words <= MAX_DATA_WORDS:
+            raise ConfigurationError(
+                f"a transaction carries 1..{MAX_DATA_WORDS} data words, "
+                f"got {self.data_words}")
+        if not 0 <= self.part_index < self.part_count:
+            raise ConfigurationError(
+                f"invalid fragment indexing {self.part_index}/{self.part_count}")
+
+    @property
+    def name(self) -> str:
+        """Message name, suffixed with the part index for split messages."""
+        if self.part_count == 1:
+            return self.message.name
+        return f"{self.message.name}#{self.part_index}"
+
+    @property
+    def duration(self) -> float:
+        """Bus occupation time of the transaction (seconds), gap included.
+
+        The duration covers every word on the bus, the worst-case RT
+        response time(s) and the trailing intermessage gap, i.e. the time
+        the bus is unavailable to any other transaction.
+        """
+        if self.transfer_format is TransferFormat.BC_TO_RT:
+            # command + data words, RT response, status
+            words = 1 + self.data_words + 1
+            responses = 1
+        elif self.transfer_format is TransferFormat.RT_TO_BC:
+            # command, RT response, status + data words
+            words = 1 + 1 + self.data_words
+            responses = 1
+        else:  # RT_TO_RT
+            # two commands, source RT response, status + data, destination RT
+            # response, status
+            words = 2 + 1 + self.data_words + 1
+            responses = 2
+        return (words * WORD_TIME + responses * RESPONSE_TIME
+                + INTERMESSAGE_GAP)
+
+    @property
+    def is_last_part(self) -> bool:
+        """True for the final transaction of a split message."""
+        return self.part_index == self.part_count - 1
+
+
+def transactions_for_message(
+        message: Message,
+        transfer_format: TransferFormat = TransferFormat.RT_TO_RT
+        ) -> list[Transaction]:
+    """The transactions needed to carry one instance of ``message``.
+
+    Messages of more than 32 data words are split into maximal transactions
+    plus a final partial one.  The default transfer format is RT→RT because
+    the paper's case study interconnects subsystems (terminal to terminal);
+    BC-sourced or BC-bound data can use the other formats.
+    """
+    total_words = data_word_count(message.size)
+    part_count = (total_words + MAX_DATA_WORDS - 1) // MAX_DATA_WORDS
+    transactions: list[Transaction] = []
+    remaining = total_words
+    for index in range(part_count):
+        words = min(remaining, MAX_DATA_WORDS)
+        transactions.append(Transaction(
+            message=message, transfer_format=transfer_format,
+            data_words=words, part_index=index, part_count=part_count))
+        remaining -= words
+    return transactions

@@ -1,0 +1,68 @@
+"""MIL-STD-1553B word and gap timing.
+
+Every word on a 1553B bus (command, status or data) occupies 20 µs at the
+1 Mbps bus rate: a 3 bit-time synchronisation pattern, 16 data bits and one
+parity bit.  Two further timing figures matter for transaction durations:
+
+* the **RT response time** — the standard allows a remote terminal between
+  4 µs and 12 µs (measured mid-parity to mid-sync) to start its status word
+  after a command; the worst case of 12 µs is used by the analysis and the
+  simulator default,
+* the **intermessage gap** — the bus controller must leave at least 4 µs
+  between consecutive transactions.
+
+These constants and helpers convert the paper's message sizes (bits) into
+1553B data-word counts and bus occupation times.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BUS_RATE",
+    "WORD_TIME",
+    "RESPONSE_TIME",
+    "INTERMESSAGE_GAP",
+    "MAX_DATA_WORDS",
+    "data_word_count",
+    "data_words_duration",
+]
+
+#: Bus rate: 1 Mbps.
+BUS_RATE = units.mbps(1)
+#: Duration of one word on the wire (20 bit-times at 1 Mbps).
+WORD_TIME = units.BITS_PER_1553_WORD_ON_WIRE / BUS_RATE
+#: Worst-case remote-terminal response time (12 µs).
+RESPONSE_TIME = units.us(12)
+#: Minimal intermessage gap the bus controller inserts (4 µs).
+INTERMESSAGE_GAP = units.us(4)
+#: A single 1553B transaction carries at most 32 data words.
+MAX_DATA_WORDS = 32
+
+
+def data_word_count(size_bits: float) -> int:
+    """Number of 16-bit data words needed to carry ``size_bits`` of payload.
+
+    Raises
+    ------
+    ConfigurationError
+        If the size is not positive.  Messages larger than 32 words are
+        allowed — they simply need several transactions (see
+        :func:`repro.milstd1553.transaction.transactions_for_message`).
+    """
+    if size_bits <= 0:
+        raise ConfigurationError(
+            f"message size must be positive, got {size_bits!r}")
+    return max(1, math.ceil(size_bits / units.BITS_PER_1553_WORD))
+
+
+def data_words_duration(word_count: int) -> float:
+    """Bus time (seconds) occupied by ``word_count`` data words."""
+    if word_count < 0:
+        raise ConfigurationError(
+            f"word count must be non-negative, got {word_count!r}")
+    return word_count * WORD_TIME

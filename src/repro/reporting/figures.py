@@ -1,0 +1,52 @@
+"""Text bar charts for figure-like exhibits (Figure 1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_bar_chart"]
+
+
+def render_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     unit: str = "", width: int = 50,
+                     title: str | None = None,
+                     markers: dict[int, float] | None = None) -> str:
+    """Render horizontal bars scaled to the largest value.
+
+    Parameters
+    ----------
+    labels / values:
+        One bar per (label, value) pair.
+    unit:
+        Unit appended to the numeric value (e.g. ``"ms"``).
+    width:
+        Width, in characters, of the longest bar.
+    title:
+        Optional chart title.
+    markers:
+        Optional ``{row index: value}`` markers (e.g. the class deadline)
+        rendered as a ``|`` at the corresponding position of that row.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return "(empty chart)\n"
+    markers = markers or {}
+    peak = max(list(values) + list(markers.values()))
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for index, (label, value) in enumerate(zip(labels, values)):
+        bar_length = int(round(width * value / peak))
+        bar = "#" * bar_length
+        if index in markers:
+            marker_position = int(round(width * markers[index] / peak))
+            padded = list(bar.ljust(max(marker_position + 1, len(bar))))
+            padded[marker_position] = "|"
+            bar = "".join(padded)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g} {unit}".rstrip())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,33 @@
+"""Small formatting helpers shared by the tables and figures."""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+
+__all__ = ["format_ms", "format_rate", "yes_no"]
+
+
+def format_ms(seconds: float | None, digits: int = 3) -> str:
+    """Format a duration in milliseconds, e.g. ``'3.000 ms'``.
+
+    ``None`` and NaN render as ``'-'`` (no constraint / no sample).
+    """
+    if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
+        return "-"
+    return f"{units.to_ms(seconds):.{digits}f} ms"
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Format a rate with an adaptive unit (kbps / Mbps)."""
+    if bits_per_second >= 1e6:
+        return f"{bits_per_second / 1e6:.2f} Mbps"
+    if bits_per_second >= 1e3:
+        return f"{bits_per_second / 1e3:.1f} kbps"
+    return f"{bits_per_second:.0f} bps"
+
+
+def yes_no(value: bool) -> str:
+    """Render a boolean as ``'yes'`` / ``'NO'`` (violations stand out)."""
+    return "yes" if value else "NO"

@@ -1,0 +1,51 @@
+"""Aligned ASCII tables and CSV export."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["render_table", "write_csv"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table.
+
+    Every cell is converted with ``str``; columns are right-padded to the
+    widest cell.  The result ends with a newline so it can be printed or
+    written to a file directly.
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def format_row(values: Sequence[str]) -> str:
+        return " | ".join(value.ljust(width)
+                          for value, width in zip(values, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(path: str | Path, headers: Sequence[str],
+              rows: Sequence[Sequence[Any]]) -> None:
+    """Write the same content as :func:`render_table` to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))

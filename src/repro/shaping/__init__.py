@@ -1,0 +1,29 @@
+"""Traffic shaping primitives and queueing disciplines.
+
+The paper's approach rests on two mechanisms implemented here:
+
+* a **token-bucket traffic shaper** per connection at the source
+  (:class:`TokenBucket`, :class:`FlowShaper`) — every packet stream ``i`` is
+  regulated by a bucket of size ``b_i`` refilled at rate ``r_i = b_i / T_i``,
+  so its output satisfies the arrival curve ``R_i(t) = b_i + r_i t``,
+* a **multiplexer** in front of the physical link — either a single FIFO
+  queue (:class:`FifoQueue`) or the four-queue strict-priority structure of
+  802.1p (:class:`StrictPriorityQueues`).
+
+The classes in this package are *stateful simulation components* (they track
+tokens and queued frames over time); their analytical counterparts are the
+curves of :mod:`repro.core.netcalc` and the bounds of
+:mod:`repro.core.multiplexer`, and the validation experiments check that the
+simulated behaviour never exceeds the analytic bounds.
+"""
+
+from repro.shaping.token_bucket import FlowShaper, TokenBucket
+from repro.shaping.queues import FifoQueue, QueuedItem, StrictPriorityQueues
+
+__all__ = [
+    "TokenBucket",
+    "FlowShaper",
+    "FifoQueue",
+    "StrictPriorityQueues",
+    "QueuedItem",
+]

@@ -1,0 +1,215 @@
+"""Queueing disciplines used by the multiplexers and the switch ports.
+
+Two disciplines cover the paper's two approaches:
+
+* :class:`FifoQueue` — a single first-come-first-served queue (the paper's
+  "FCFS multiplexer"),
+* :class:`StrictPriorityQueues` — four FCFS queues, one per 802.1p class,
+  always serving the highest-priority non-empty queue first (the paper's
+  "4-FCFS multiplexer", non-preemptive).
+
+Both track their occupancy in bits so buffer dimensioning and overflow
+behaviour (drop or raise) can be studied, and both count drops — the paper's
+motivation mentions that frames can be lost if switch buffers overflow when
+the traffic is not controlled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import BufferOverflowError
+from repro.flows.priorities import PriorityClass
+
+__all__ = ["QueuedItem", "FifoQueue", "StrictPriorityQueues"]
+
+
+@dataclass(frozen=True)
+class QueuedItem:
+    """An item (frame) stored in a queue.
+
+    Attributes
+    ----------
+    size:
+        Size in bits (on-wire size, overheads included).
+    enqueue_time:
+        Simulation time at which the item entered the queue.
+    priority:
+        802.1p class of the item (used by the strict-priority discipline;
+        informational for the FIFO).
+    payload:
+        The carried object (a frame, a message instance...).
+    """
+
+    size: float
+    enqueue_time: float
+    priority: PriorityClass
+    payload: Any = None
+
+
+class FifoQueue:
+    """A single FCFS queue with an optional capacity in bits.
+
+    Parameters
+    ----------
+    capacity:
+        Maximal total occupancy in bits; ``None`` means unbounded.
+    drop_on_overflow:
+        When the capacity would be exceeded: drop the incoming item and count
+        it (``True``, the behaviour of a real switch) or raise
+        :class:`BufferOverflowError` (``False``, useful in tests that assert
+        the shaped traffic never overflows a correctly-dimensioned buffer).
+    """
+
+    def __init__(self, capacity: float | None = None,
+                 drop_on_overflow: bool = True) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.drop_on_overflow = drop_on_overflow
+        self._items: deque[QueuedItem] = deque()
+        self._occupancy = 0.0
+        self._max_occupancy = 0.0
+        self._drops = 0
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def occupancy(self) -> float:
+        """Current queue occupancy in bits."""
+        return self._occupancy
+
+    @property
+    def max_occupancy(self) -> float:
+        """Largest occupancy reached so far, in bits."""
+        return self._max_occupancy
+
+    @property
+    def drops(self) -> int:
+        """Number of items dropped because of overflow."""
+        return self._drops
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no item is queued."""
+        return not self._items
+
+    # -- operations -----------------------------------------------------------
+
+    def push(self, item: QueuedItem) -> bool:
+        """Enqueue ``item``; return ``False`` if it was dropped."""
+        if self.capacity is not None \
+                and self._occupancy + item.size > self.capacity + 1e-9:
+            if self.drop_on_overflow:
+                self._drops += 1
+                return False
+            raise BufferOverflowError(
+                f"queue overflow: {self._occupancy + item.size:.0f} bits "
+                f"would exceed the {self.capacity:.0f} bits capacity")
+        self._items.append(item)
+        self._occupancy += item.size
+        self._max_occupancy = max(self._max_occupancy, self._occupancy)
+        return True
+
+    def pop(self) -> QueuedItem | None:
+        """Dequeue the oldest item, or ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._occupancy -= item.size
+        if not self._items:
+            # Clamp accumulated floating-point residue once the queue drains.
+            self._occupancy = 0.0
+        return item
+
+    def peek(self) -> QueuedItem | None:
+        """The oldest item without removing it, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    def items(self) -> Iterable[QueuedItem]:
+        """Snapshot of the queued items, oldest first."""
+        return tuple(self._items)
+
+
+class StrictPriorityQueues:
+    """Four FCFS queues served in strict (non-preemptive) priority order.
+
+    The scheduler always picks the head of the highest-priority (numerically
+    smallest) non-empty queue.  Non-preemption is a property of the *server*
+    (the link keeps transmitting the frame it started), not of the queues, so
+    this class only decides which frame is handed to the server next.
+
+    Parameters
+    ----------
+    capacity_per_class:
+        Optional per-queue capacity in bits (same for each class).
+    drop_on_overflow:
+        See :class:`FifoQueue`.
+    """
+
+    def __init__(self, capacity_per_class: float | None = None,
+                 drop_on_overflow: bool = True) -> None:
+        self._queues: dict[PriorityClass, FifoQueue] = {
+            cls: FifoQueue(capacity=capacity_per_class,
+                           drop_on_overflow=drop_on_overflow)
+            for cls in PriorityClass}
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every class queue is empty."""
+        return all(queue.is_empty for queue in self._queues.values())
+
+    @property
+    def occupancy(self) -> float:
+        """Total occupancy across the four queues, in bits."""
+        return sum(queue.occupancy for queue in self._queues.values())
+
+    @property
+    def max_occupancy(self) -> float:
+        """Sum of the per-class occupancy maxima, in bits.
+
+        This is an upper bound on the largest total occupancy (the per-class
+        maxima need not be simultaneous); it is what buffer dimensioning uses.
+        """
+        return sum(queue.max_occupancy for queue in self._queues.values())
+
+    @property
+    def drops(self) -> int:
+        """Total drops across the four queues."""
+        return sum(queue.drops for queue in self._queues.values())
+
+    def queue(self, priority: PriorityClass) -> FifoQueue:
+        """The FIFO dedicated to ``priority``."""
+        return self._queues[PriorityClass(priority)]
+
+    def push(self, item: QueuedItem) -> bool:
+        """Enqueue ``item`` in its class queue; return ``False`` if dropped."""
+        return self._queues[item.priority].push(item)
+
+    def pop(self) -> QueuedItem | None:
+        """Dequeue from the highest-priority non-empty queue."""
+        for cls in PriorityClass:
+            item = self._queues[cls].pop()
+            if item is not None:
+                return item
+        return None
+
+    def peek(self) -> QueuedItem | None:
+        """Next item the scheduler would serve, without removing it."""
+        for cls in PriorityClass:
+            item = self._queues[cls].peek()
+            if item is not None:
+                return item
+        return None
+
+    def occupancy_of(self, priority: PriorityClass) -> float:
+        """Occupancy (bits) of the queue of ``priority``."""
+        return self._queues[PriorityClass(priority)].occupancy

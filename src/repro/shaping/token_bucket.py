@@ -1,0 +1,190 @@
+"""Token-bucket traffic shapers.
+
+A :class:`TokenBucket` holds up to ``bucket_size`` bits worth of tokens and
+refills continuously at ``token_rate`` bits per second.  A packet of ``s``
+bits may leave the shaper only when at least ``s`` tokens are available; the
+packet then consumes ``s`` tokens.  The output of such a shaper satisfies the
+arrival curve ``alpha(t) = b + r t`` used by the paper's bounds.
+
+:class:`FlowShaper` wraps a token bucket together with a FIFO backlog of
+packets waiting for tokens, which is how a real end-system implementation
+behaves: the application may hand over a packet at any time, and the shaper
+releases it at the earliest conforming instant, in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.netcalc.arrival import TokenBucketArrivalCurve
+from repro.errors import ConfigurationError
+
+__all__ = ["TokenBucket", "FlowShaper"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket ``(b, r)``.
+
+    Parameters
+    ----------
+    bucket_size:
+        Bucket capacity ``b`` in bits.  Packets larger than the bucket can
+        never conform, so :meth:`earliest_conforming_time` rejects them.
+    token_rate:
+        Refill rate ``r`` in bits per second.
+    initial_tokens:
+        Tokens available at time 0; defaults to a full bucket (the paper's
+        worst case is precisely every station sending a full burst at once).
+    """
+
+    def __init__(self, bucket_size: float, token_rate: float,
+                 initial_tokens: float | None = None) -> None:
+        if bucket_size <= 0:
+            raise ConfigurationError(
+                f"bucket size must be positive, got {bucket_size!r}")
+        if token_rate <= 0:
+            raise ConfigurationError(
+                f"token rate must be positive, got {token_rate!r}")
+        self.bucket_size = float(bucket_size)
+        self.token_rate = float(token_rate)
+        self._tokens = (self.bucket_size if initial_tokens is None
+                        else min(float(initial_tokens), self.bucket_size))
+        if self._tokens < 0:
+            raise ConfigurationError("initial tokens must be non-negative")
+        self._last_update = 0.0
+
+    # -- state ---------------------------------------------------------------
+
+    def tokens_at(self, time: float) -> float:
+        """Tokens available at ``time`` (seconds), without mutating state."""
+        if time < self._last_update:
+            raise ConfigurationError(
+                f"time goes backwards: {time} < {self._last_update}")
+        refill = self.token_rate * (time - self._last_update)
+        return min(self.bucket_size, self._tokens + refill)
+
+    def _advance(self, time: float) -> None:
+        self._tokens = self.tokens_at(time)
+        self._last_update = time
+
+    # -- conformance -----------------------------------------------------------
+
+    def conforms(self, size: float, time: float) -> bool:
+        """True when a packet of ``size`` bits may leave at ``time``."""
+        if size <= 0:
+            raise ConfigurationError(f"size must be positive, got {size!r}")
+        return self.tokens_at(time) >= size - 1e-9
+
+    def earliest_conforming_time(self, size: float, time: float) -> float:
+        """Earliest instant ``>= time`` at which ``size`` bits conform.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``size`` exceeds the bucket capacity (it would never conform).
+        """
+        if size > self.bucket_size + 1e-9:
+            raise ConfigurationError(
+                f"packet of {size} bits exceeds the bucket size "
+                f"{self.bucket_size} bits and can never conform")
+        available = self.tokens_at(time)
+        if available >= size - 1e-9:
+            return time
+        deficit = size - available
+        return time + deficit / self.token_rate
+
+    def consume(self, size: float, time: float) -> None:
+        """Remove ``size`` tokens at ``time``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the packet does not conform at ``time``.
+        """
+        if not self.conforms(size, time):
+            raise ConfigurationError(
+                f"packet of {size} bits does not conform at t={time}")
+        self._advance(time)
+        self._tokens = max(0.0, self._tokens - size)
+
+    # -- analytic view ----------------------------------------------------------
+
+    def arrival_curve(self) -> TokenBucketArrivalCurve:
+        """The arrival curve guaranteed at the output of this shaper."""
+        return TokenBucketArrivalCurve(bucket=self.bucket_size,
+                                       token_rate=self.token_rate)
+
+    @classmethod
+    def for_message(cls, message: "object") -> "TokenBucket":
+        """The paper's shaper for a message: ``b = size``, ``r = size / T``.
+
+        ``message`` is any object with ``burst`` and ``rate`` attributes.
+        """
+        return cls(bucket_size=float(message.burst),
+                   token_rate=float(message.rate))
+
+
+@dataclass
+class _PendingPacket:
+    """A packet waiting in the shaper backlog."""
+
+    size: float
+    enqueue_time: float
+    payload: object | None = None
+
+
+class FlowShaper:
+    """A token bucket plus a FIFO backlog of packets awaiting tokens.
+
+    The shaper is *greedy*: a packet is released at the earliest instant at
+    which the bucket holds enough tokens, and packets of the same flow are
+    released in order.
+
+    Parameters
+    ----------
+    name:
+        Flow name (used in traces).
+    bucket:
+        The token bucket regulating the flow.
+    """
+
+    def __init__(self, name: str, bucket: TokenBucket) -> None:
+        self.name = name
+        self.bucket = bucket
+        self._backlog: deque[_PendingPacket] = deque()
+        self._last_release = 0.0
+
+    @property
+    def backlog(self) -> int:
+        """Number of packets waiting for tokens."""
+        return len(self._backlog)
+
+    def submit(self, size: float, time: float,
+               payload: object | None = None) -> None:
+        """Hand a packet of ``size`` bits over to the shaper at ``time``."""
+        self._backlog.append(
+            _PendingPacket(size=size, enqueue_time=time, payload=payload))
+
+    def next_release(self, time: float) -> float | None:
+        """Earliest instant ``>= time`` at which the head packet may leave.
+
+        Returns ``None`` when the backlog is empty.  The release also honours
+        FIFO order: a packet can never leave before the previous release.
+        """
+        if not self._backlog:
+            return None
+        head = self._backlog[0]
+        earliest = self.bucket.earliest_conforming_time(
+            head.size, max(time, head.enqueue_time))
+        return max(earliest, self._last_release)
+
+    def release(self, time: float) -> _PendingPacket:
+        """Release the head packet at ``time`` (consuming its tokens)."""
+        if not self._backlog:
+            raise ConfigurationError(
+                f"shaper {self.name!r} has no packet to release")
+        head = self._backlog.popleft()
+        self.bucket.consume(head.size, time)
+        self._last_release = time
+        return head

@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate shared by the switched-Ethernet simulator
+(:mod:`repro.ethernet`) and the MIL-STD-1553B bus simulator
+(:mod:`repro.milstd1553`).  It provides:
+
+* :class:`~repro.simulation.engine.Simulator` — the event loop: a virtual
+  clock, a pending-event heap and deterministic FIFO tie-breaking for events
+  scheduled at the same instant,
+* :class:`~repro.simulation.events.Event` — a cancellable scheduled callback,
+* :mod:`~repro.simulation.statistics` — latency recorders, counters and
+  time-weighted statistics used to summarise simulation runs,
+* :mod:`~repro.simulation.randomness` — independent, reproducible random
+  streams derived from a single experiment seed,
+* :mod:`~repro.simulation.trace` — structured event tracing for debugging
+  and for exporting per-frame timelines.
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.randomness import RandomStreams
+from repro.simulation.statistics import (
+    Counter,
+    LatencyRecorder,
+    SummaryStatistics,
+    TimeWeightedAverage,
+)
+from repro.simulation.trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "Counter",
+    "LatencyRecorder",
+    "SummaryStatistics",
+    "TimeWeightedAverage",
+    "TraceEntry",
+    "TraceRecorder",
+]

@@ -1,0 +1,149 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the virtual clock and the pending-event queue.  Model
+components (stations, switches, the 1553B bus controller...) hold a reference
+to the simulator and schedule callbacks on it; they never advance time
+themselves.
+
+The engine is deliberately minimal and synchronous — no coroutines, no
+threads — which keeps runs deterministic and easy to debug.  A simulation of
+a few seconds of a 10 Mbps avionics network (tens of thousands of frames)
+completes in well under a second of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SchedulingInPastError
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock, in seconds.  Defaults to 0.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "late")
+    >>> _ = sim.schedule(0.5, fired.append, "early")
+    >>> sim.run()
+    >>> fired
+    ['early', 'late']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._events_processed = 0
+        self._running = False
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have been invoked so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._queue)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Raises
+        ------
+        SchedulingInPastError
+            If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SchedulingInPastError(
+                f"cannot schedule an event {abs(delay)} s in the past")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``.
+
+        Raises
+        ------
+        SchedulingInPastError
+            If ``time`` is earlier than the current clock.
+        """
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule at {time} s, clock is already at "
+                f"{self._now} s")
+        return self._queue.push(time, callback, args)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process a single event.
+
+        Returns ``True`` if an event was processed, ``False`` if the queue
+        was empty.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            this time; the clock is then advanced exactly to ``until`` so
+            time-weighted statistics can be closed consistently.
+        max_events:
+            If given, stop after processing this many events (a safety net
+            against accidental infinite self-rescheduling).
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._running = False

@@ -1,0 +1,101 @@
+"""Events and the pending-event queue of the simulation kernel.
+
+The kernel is callback based: an :class:`Event` couples a firing time with a
+callable and its arguments.  Events are totally ordered by ``(time,
+sequence)`` where ``sequence`` is a monotonically increasing insertion
+counter, so two events scheduled for the same instant fire in the order they
+were scheduled.  This makes simulations fully deterministic, which the test
+suite and the bound-vs-simulation experiments rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    sequence:
+        Insertion counter used to break ties deterministically.
+    callback:
+        The callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    cancelled:
+        Set to ``True`` by :meth:`cancel`; cancelled events are skipped by
+        the engine without invoking their callback.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.
+
+        Cancellation is lazy: the event stays in the heap but the engine
+        discards it when it reaches the head of the queue.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the engine calls this; tests may too)."""
+        self.callback(*self.args)
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    The queue exposes only what the engine needs: push, pop-next-live,
+    peek-time and length.  Cancelled events are purged lazily on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: Callable[..., None],
+             args: tuple[Any, ...] = ()) -> Event:
+        """Create an event at ``time`` and insert it into the queue."""
+        event = Event(time=time, sequence=next(self._counter),
+                      callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when only cancelled events (or nothing) remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,90 @@
+"""Structured event tracing.
+
+A :class:`TraceRecorder` collects :class:`TraceEntry` records emitted by the
+simulators (frame enqueued, frame transmitted, bus command issued...).  It is
+disabled by default in the benchmark harness (tracing every frame of a long
+run is expensive) but is heavily used by the integration tests, which assert
+ordering properties directly on the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEntry", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One traced event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the event, in seconds.
+    category:
+        A short machine-friendly event type, e.g. ``"frame.enqueue"``,
+        ``"frame.tx_start"``, ``"bus.command"``.
+    source:
+        Name of the component that emitted the entry.
+    details:
+        Free-form key/value payload (frame id, flow name, queue length...).
+    """
+
+    time: float
+    category: str
+    source: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects trace entries, optionally filtered by category prefix.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every :meth:`record` call is a no-op; this lets model
+        code trace unconditionally without paying the cost in benchmarks.
+    categories:
+        Optional whitelist of category prefixes; entries whose category does
+        not start with one of the prefixes are dropped.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 categories: list[str] | None = None) -> None:
+        self.enabled = enabled
+        self._categories = tuple(categories) if categories else None
+        self._entries: list[TraceEntry] = []
+
+    def record(self, time: float, category: str, source: str,
+               **details: Any) -> None:
+        """Append a trace entry (if enabled and category allowed)."""
+        if not self.enabled:
+            return
+        if self._categories is not None and not category.startswith(
+                self._categories):
+            return
+        self._entries.append(
+            TraceEntry(time=time, category=category, source=source,
+                       details=dict(details)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> list[TraceEntry]:
+        """A copy of every recorded entry, in emission order."""
+        return list(self._entries)
+
+    def filter(self, category_prefix: str) -> list[TraceEntry]:
+        """Entries whose category starts with ``category_prefix``."""
+        return [entry for entry in self._entries
+                if entry.category.startswith(category_prefix)]
+
+    def clear(self) -> None:
+        """Discard every recorded entry."""
+        self._entries.clear()

@@ -1,0 +1,31 @@
+"""Network topology: stations, switches, full-duplex links and routing.
+
+The paper's target architecture replaces the shared MIL-STD-1553B bus with a
+Full-Duplex Switched Ethernet network: end stations attached to one or more
+store-and-forward switches by full-duplex point-to-point links (no CSMA/CD,
+no collisions).  This package models that physical layout and computes the
+routes flows take through it.
+
+* :class:`~repro.topology.network.Network` — the topology graph (built on
+  networkx) with typed nodes (stations / switches) and attributed links
+  (capacity, propagation delay), plus shortest-path routing,
+* :mod:`~repro.topology.builders` — canonical layouts used by the
+  experiments: single-switch star (the paper's implicit architecture),
+  dual-switch and tree layouts for the scalability extensions.
+"""
+
+from repro.topology.network import Link, Network, NodeKind
+from repro.topology.builders import (
+    dual_switch_topology,
+    single_switch_star,
+    tree_topology,
+)
+
+__all__ = [
+    "Network",
+    "Link",
+    "NodeKind",
+    "single_switch_star",
+    "dual_switch_topology",
+    "tree_topology",
+]

@@ -1,0 +1,258 @@
+"""The network topology graph.
+
+A :class:`Network` is an undirected graph of named nodes — **stations**
+(traffic sources/sinks) and **switches** (store-and-forward relays) — joined
+by full-duplex **links** carrying a capacity (bits per second) and a
+propagation delay (seconds).  Because links are full duplex, each direction
+of a link is an independent resource: the analysis and the simulator both
+reason about *directed* hops ``(upstream, downstream)``.
+
+Routing uses networkx shortest paths (hop count by default); for the
+single-switch star used by the paper the route is trivially
+``station → switch → station``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.errors import InvalidTopologyError, RoutingError
+from repro.flows.flow import Flow
+from repro.flows.messages import Message
+
+__all__ = ["NodeKind", "Link", "Network"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the topology."""
+
+    STATION = "station"
+    SWITCH = "switch"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A full-duplex link between two nodes.
+
+    Attributes
+    ----------
+    node_a / node_b:
+        The two endpoints (order is not meaningful; the link is full duplex).
+    capacity:
+        Rate of each direction, in bits per second.
+    propagation_delay:
+        One-way propagation delay in seconds (a few microseconds at most on
+        an aircraft; defaults to 0).
+    """
+
+    node_a: str
+    node_b: str
+    capacity: float
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise InvalidTopologyError(
+                f"link {self.node_a!r}-{self.node_b!r}: capacity must be "
+                f"positive, got {self.capacity!r}")
+        if self.propagation_delay < 0:
+            raise InvalidTopologyError(
+                f"link {self.node_a!r}-{self.node_b!r}: propagation delay "
+                f"must be non-negative")
+        if self.node_a == self.node_b:
+            raise InvalidTopologyError(
+                f"link endpoints must differ, got {self.node_a!r} twice")
+
+    def other(self, node: str) -> str:
+        """The endpoint opposite to ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise InvalidTopologyError(
+            f"{node!r} is not an endpoint of link "
+            f"{self.node_a!r}-{self.node_b!r}")
+
+
+class Network:
+    """A switched-Ethernet topology with typed nodes and attributed links."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._graph = nx.Graph()
+        self._kinds: dict[str, NodeKind] = {}
+        self._technology_delay: dict[str, float] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_station(self, name: str) -> None:
+        """Add an end station (traffic source/sink)."""
+        self._add_node(name, NodeKind.STATION)
+
+    def add_switch(self, name: str, technology_delay: float = 0.0) -> None:
+        """Add a store-and-forward switch.
+
+        ``technology_delay`` is the ``t_techno`` bound on the relaying delay
+        of this switch (seconds); it enters every bound computed for flows
+        crossing the switch.
+        """
+        if technology_delay < 0:
+            raise InvalidTopologyError(
+                f"switch {name!r}: technology delay must be non-negative")
+        self._add_node(name, NodeKind.SWITCH)
+        self._technology_delay[name] = float(technology_delay)
+
+    def _add_node(self, name: str, kind: NodeKind) -> None:
+        if not name:
+            raise InvalidTopologyError("node name must not be empty")
+        if name in self._kinds:
+            raise InvalidTopologyError(f"duplicate node name {name!r}")
+        self._graph.add_node(name)
+        self._kinds[name] = kind
+
+    def add_link(self, node_a: str, node_b: str, capacity: float,
+                 propagation_delay: float = 0.0) -> Link:
+        """Connect two existing nodes with a full-duplex link."""
+        for node in (node_a, node_b):
+            if node not in self._kinds:
+                raise InvalidTopologyError(f"unknown node {node!r}")
+        if self._graph.has_edge(node_a, node_b):
+            raise InvalidTopologyError(
+                f"link {node_a!r}-{node_b!r} already exists")
+        link = Link(node_a=node_a, node_b=node_b, capacity=capacity,
+                    propagation_delay=propagation_delay)
+        self._graph.add_edge(node_a, node_b, link=link)
+        return link
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def stations(self) -> list[str]:
+        """Sorted list of station names."""
+        return sorted(n for n, k in self._kinds.items()
+                      if k is NodeKind.STATION)
+
+    @property
+    def switches(self) -> list[str]:
+        """Sorted list of switch names."""
+        return sorted(n for n, k in self._kinds.items()
+                      if k is NodeKind.SWITCH)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Sorted list of every node name."""
+        return sorted(self._kinds)
+
+    def kind(self, node: str) -> NodeKind:
+        """The role of ``node``."""
+        try:
+            return self._kinds[node]
+        except KeyError:
+            raise InvalidTopologyError(f"unknown node {node!r}") from None
+
+    def is_switch(self, node: str) -> bool:
+        """True when ``node`` is a switch."""
+        return self.kind(node) is NodeKind.SWITCH
+
+    def technology_delay(self, switch: str) -> float:
+        """The ``t_techno`` bound of a switch."""
+        if not self.is_switch(switch):
+            raise InvalidTopologyError(f"{switch!r} is not a switch")
+        return self._technology_delay[switch]
+
+    def link(self, node_a: str, node_b: str) -> Link:
+        """The link between two adjacent nodes."""
+        data = self._graph.get_edge_data(node_a, node_b)
+        if data is None:
+            raise InvalidTopologyError(
+                f"no link between {node_a!r} and {node_b!r}")
+        return data["link"]
+
+    def links(self) -> list[Link]:
+        """Every link in the topology."""
+        return [data["link"] for __, __, data in self._graph.edges(data=True)]
+
+    def neighbors(self, node: str) -> list[str]:
+        """Sorted neighbours of ``node``."""
+        if node not in self._kinds:
+            raise InvalidTopologyError(f"unknown node {node!r}")
+        return sorted(self._graph.neighbors(node))
+
+    def degree(self, node: str) -> int:
+        """Number of links attached to ``node``."""
+        if node not in self._kinds:
+            raise InvalidTopologyError(f"unknown node {node!r}")
+        return self._graph.degree(node)
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, source: str, destination: str) -> list[str]:
+        """Shortest path (by hop count) from ``source`` to ``destination``.
+
+        Raises
+        ------
+        RoutingError
+            If either endpoint is unknown or no path exists.
+        """
+        for node in (source, destination):
+            if node not in self._kinds:
+                raise RoutingError(f"unknown node {node!r}")
+        try:
+            return nx.shortest_path(self._graph, source, destination)
+        except nx.NetworkXNoPath:
+            raise RoutingError(
+                f"no path between {source!r} and {destination!r}") from None
+
+    def route_flow(self, flow: Flow | Message) -> Flow:
+        """Attach a route to a flow (or wrap a message into a routed flow)."""
+        if isinstance(flow, Message):
+            flow = Flow(message=flow)
+        path = self.route(flow.source, flow.destination)
+        return flow.with_path(path)
+
+    def route_flows(self, flows: Iterable[Flow | Message]) -> list[Flow]:
+        """Route every flow of an iterable."""
+        return [self.route_flow(flow) for flow in flows]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants of the topology.
+
+        * every station has exactly one link (full-duplex attachment to one
+          switch port), as in AFDX / the paper's architecture,
+        * the graph is connected,
+        * station-to-station direct links are not allowed (traffic must
+          cross a switch, otherwise the multiplexer model does not apply).
+
+        Raises
+        ------
+        InvalidTopologyError
+            If any invariant is violated.
+        """
+        if not self._kinds:
+            raise InvalidTopologyError("the topology has no node")
+        if not nx.is_connected(self._graph):
+            raise InvalidTopologyError("the topology is not connected")
+        for station in self.stations:
+            if self.degree(station) != 1:
+                raise InvalidTopologyError(
+                    f"station {station!r} must have exactly one uplink, "
+                    f"has {self.degree(station)}")
+            neighbour = self.neighbors(station)[0]
+            if not self.is_switch(neighbour):
+                raise InvalidTopologyError(
+                    f"station {station!r} is directly connected to station "
+                    f"{neighbour!r}; stations must attach to switches")
+
+    def access_switch(self, station: str) -> str:
+        """The switch a station is attached to (after :meth:`validate`)."""
+        neighbours = self.neighbors(station)
+        if len(neighbours) != 1 or not self.is_switch(neighbours[0]):
+            raise InvalidTopologyError(
+                f"station {station!r} is not attached to exactly one switch")
+        return neighbours[0]

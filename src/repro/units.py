@@ -1,0 +1,138 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses a single, explicit convention:
+
+* **time** is expressed in **seconds** (floats),
+* **data sizes** are expressed in **bits** (floats or ints),
+* **rates** are expressed in **bits per second**.
+
+The paper mixes milliseconds (deadlines, periods, frame durations), Mbps
+(link rates) and 16-bit data words (1553B payloads); these helpers convert
+those publication-friendly units into the internal convention and back, so
+that no magic constant is scattered through the code base.
+
+Example
+-------
+>>> from repro import units
+>>> units.mbps(10)
+10000000.0
+>>> units.ms(20)
+0.02
+>>> units.to_ms(0.0031)
+3.1
+>>> units.words1553(32)
+512
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: Number of seconds in a microsecond.
+MICROSECOND = 1e-6
+#: Number of seconds in a millisecond.
+MILLISECOND = 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Data sizes
+# ---------------------------------------------------------------------------
+
+#: Number of bits in a byte (octet).
+BITS_PER_BYTE = 8
+#: Number of bits in a MIL-STD-1553B data word (16 data bits; the 4-bit sync
+#: and parity overhead is accounted for separately by the bus model).
+BITS_PER_1553_WORD = 16
+#: Number of bits actually transmitted on the 1553B bus per word: 3 bit-times
+#: of sync, 16 data bits and 1 parity bit, i.e. 20 µs at 1 Mbps.
+BITS_PER_1553_WORD_ON_WIRE = 20
+
+
+def bytes_(value: float) -> float:
+    """Convert bytes to bits.
+
+    The trailing underscore avoids shadowing the :class:`bytes` built-in.
+    """
+    return value * BITS_PER_BYTE
+
+
+def kib(value: float) -> float:
+    """Convert kibibytes (1024 bytes) to bits."""
+    return value * 1024 * BITS_PER_BYTE
+
+
+def to_bytes(bits: float) -> float:
+    """Convert bits to bytes."""
+    return bits / BITS_PER_BYTE
+
+
+def words1553(count: int) -> int:
+    """Convert a number of 1553B data words (16 bits each) to bits."""
+    return count * BITS_PER_1553_WORD
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return value * 1e3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return value * 1e9
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return bits_per_second / 1e6
+
+
+# ---------------------------------------------------------------------------
+# Transmission helpers
+# ---------------------------------------------------------------------------
+
+
+def transmission_time(size_bits: float, rate_bps: float) -> float:
+    """Time, in seconds, needed to serialize ``size_bits`` at ``rate_bps``.
+
+    Raises
+    ------
+    ValueError
+        If the rate is not strictly positive or the size is negative.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps!r}")
+    if size_bits < 0:
+        raise ValueError(f"size must be non-negative, got {size_bits!r}")
+    return size_bits / rate_bps

@@ -1,0 +1,38 @@
+"""Workload generation.
+
+The paper evaluates its approach on a "real case" military avionics traffic
+that is not published (DGA-sponsored program).  This package generates a
+**synthetic equivalent** from the structural parameters the paper does give
+(see DESIGN.md, Section 2): periods and minimal inter-arrival times drawn
+from the 20 / 40 / 80 / 160 ms family, MIL-STD-1553B-scale message sizes
+(data words of 16 bits), four deadline classes (3 ms urgent sporadic,
+periodic with implicit deadlines, 20–160 ms sporadic, background), and a
+station population typical of a federated avionics suite.
+
+* :mod:`~repro.workloads.realcase` — the seeded default case study used by
+  every experiment,
+* :mod:`~repro.workloads.sweeps` — parametric transformations (size scaling,
+  station-count scaling, class-mix changes) used by the sensitivity and
+  scalability experiments,
+* :mod:`~repro.workloads.traces` — CSV export/import of message sets so a
+  user with access to a real (classified or proprietary) message set can run
+  the same experiments on it.
+"""
+
+from repro.workloads.realcase import RealCaseParameters, generate_real_case
+from repro.workloads.sweeps import (
+    scale_message_sizes,
+    scale_station_count,
+    with_capacity_profile,
+)
+from repro.workloads.traces import load_message_set_csv, save_message_set_csv
+
+__all__ = [
+    "RealCaseParameters",
+    "generate_real_case",
+    "scale_message_sizes",
+    "scale_station_count",
+    "with_capacity_profile",
+    "load_message_set_csv",
+    "save_message_set_csv",
+]

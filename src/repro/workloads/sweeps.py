@@ -1,0 +1,107 @@
+"""Parametric transformations of message sets for sweep experiments.
+
+The sensitivity and scalability experiments vary one dimension of the case
+study at a time: message sizes (burst scaling), the number of stations
+(population scaling) or the link capacity profile (10 Mbps vs 100 Mbps).
+The helpers below derive new message sets (or analysis parameters) from an
+existing set without touching the generator, so every sweep starts from the
+same seeded baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import InvalidWorkloadError
+from repro.flows.message_set import MessageSet
+from repro.flows.messages import Message
+
+__all__ = [
+    "scale_message_sizes",
+    "scale_station_count",
+    "with_capacity_profile",
+    "CapacityProfile",
+]
+
+
+def scale_message_sizes(message_set: MessageSet, factor: float,
+                        name: str | None = None) -> MessageSet:
+    """Return a copy of ``message_set`` with every size multiplied by ``factor``.
+
+    Sizes are kept on the 16-bit word grid (rounded up to a whole word) so
+    the scaled set remains a valid 1553B workload.
+    """
+    if factor <= 0:
+        raise InvalidWorkloadError(f"factor must be positive, got {factor!r}")
+    scaled = MessageSet(name=name or f"{message_set.name}-x{factor:g}")
+    for message in message_set:
+        words = max(1, round(message.size * factor
+                             / units.BITS_PER_1553_WORD))
+        scaled.add(message.with_size(units.words1553(words)))
+    return scaled
+
+
+def scale_station_count(message_set: MessageSet, replication: int,
+                        name: str | None = None) -> MessageSet:
+    """Replicate the traffic of every station ``replication`` times.
+
+    Each replica ``k`` gets its own stations (suffix ``rk``) and its own
+    message names, so the result models an aircraft with ``replication``
+    times as many subsystems exchanging the same kind of traffic.
+    """
+    if replication < 1:
+        raise InvalidWorkloadError(
+            f"replication must be at least 1, got {replication!r}")
+    if replication == 1:
+        return message_set
+    scaled = MessageSet(name=name or f"{message_set.name}-r{replication}")
+    for replica in range(replication):
+        suffix = "" if replica == 0 else f"-r{replica}"
+        for message in message_set:
+            scaled.add(Message(
+                name=f"{message.name}{suffix}" if suffix else message.name,
+                kind=message.kind,
+                period=message.period,
+                size=message.size,
+                source=f"{message.source}{suffix}",
+                destination=f"{message.destination}{suffix}",
+                deadline=message.deadline,
+                metadata=dict(message.metadata)))
+    return scaled
+
+
+@dataclass(frozen=True)
+class CapacityProfile:
+    """A named link-capacity / technology-delay configuration."""
+
+    name: str
+    capacity: float
+    technology_delay: float
+
+
+#: The capacity profiles used by the E2 sweep: the paper's 10 Mbps links and
+#: the Fast-Ethernet variant mentioned as the natural upgrade path.
+_PROFILES = {
+    "ethernet-10": CapacityProfile("ethernet-10", units.mbps(10),
+                                   units.us(16)),
+    "fast-ethernet-100": CapacityProfile("fast-ethernet-100",
+                                         units.mbps(100), units.us(16)),
+    "mil-std-1553b": CapacityProfile("mil-std-1553b", units.mbps(1), 0.0),
+}
+
+
+def with_capacity_profile(profile_name: str) -> CapacityProfile:
+    """Look up one of the predefined capacity profiles.
+
+    Raises
+    ------
+    InvalidWorkloadError
+        If the profile name is unknown.
+    """
+    try:
+        return _PROFILES[profile_name]
+    except KeyError:
+        raise InvalidWorkloadError(
+            f"unknown capacity profile {profile_name!r}; known profiles: "
+            f"{sorted(_PROFILES)}") from None

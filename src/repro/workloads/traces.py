@@ -1,0 +1,85 @@
+"""CSV export / import of message sets.
+
+Users with access to a real (proprietary) avionics message set can run every
+experiment of this library on it by exporting their interface control
+document to the simple CSV schema below; conversely the synthetic case study
+can be exported for inspection or for use by external tools.
+
+Schema (one message per row)::
+
+    name,kind,period_ms,size_bits,source,destination,deadline_ms
+
+``kind`` is ``periodic`` or ``sporadic``; ``deadline_ms`` may be empty for
+messages without a hard constraint.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro import units
+from repro.errors import InvalidWorkloadError
+from repro.flows.message_set import MessageSet
+from repro.flows.messages import Message, MessageKind
+
+__all__ = ["save_message_set_csv", "load_message_set_csv"]
+
+_FIELDS = ["name", "kind", "period_ms", "size_bits", "source", "destination",
+           "deadline_ms"]
+
+
+def save_message_set_csv(message_set: MessageSet, path: str | Path) -> None:
+    """Write ``message_set`` to ``path`` in the CSV schema above."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for message in message_set:
+            writer.writerow({
+                "name": message.name,
+                "kind": message.kind.value,
+                "period_ms": repr(units.to_ms(message.period)),
+                "size_bits": repr(message.size),
+                "source": message.source,
+                "destination": message.destination,
+                "deadline_ms": ("" if message.deadline is None
+                                else repr(units.to_ms(message.deadline))),
+            })
+
+
+def load_message_set_csv(path: str | Path,
+                         name: str | None = None) -> MessageSet:
+    """Read a message set from a CSV file in the schema above.
+
+    Raises
+    ------
+    InvalidWorkloadError
+        If the file misses columns or contains malformed rows.
+    """
+    path = Path(path)
+    message_set = MessageSet(name=name or path.stem)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise InvalidWorkloadError(
+                f"{path}: missing columns {sorted(missing)}")
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                kind = MessageKind(row["kind"].strip())
+                deadline_field = row["deadline_ms"].strip()
+                message_set.add(Message(
+                    name=row["name"].strip(),
+                    kind=kind,
+                    period=units.ms(float(row["period_ms"])),
+                    size=float(row["size_bits"]),
+                    source=row["source"].strip(),
+                    destination=row["destination"].strip(),
+                    deadline=(None if not deadline_field
+                              else units.ms(float(deadline_field))),
+                ))
+            except (KeyError, ValueError) as error:
+                raise InvalidWorkloadError(
+                    f"{path}:{line_number}: malformed row: {error}") from error
+    return message_set

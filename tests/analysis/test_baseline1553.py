@@ -1,0 +1,40 @@
+"""E3 — the MIL-STD-1553B baseline report."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.analysis import baseline_1553_report
+
+
+class TestBaselineReport:
+    @pytest.fixture(scope="class")
+    def report(self, real_case):
+        return baseline_1553_report(real_case,
+                                    simulation_duration=units.ms(320))
+
+    def test_schedule_is_feasible(self, report):
+        assert report.feasible
+        assert len(report.minor_frame_durations) == 8
+
+    def test_worst_minor_frame_is_loaded_but_fits(self, report):
+        assert 0.5 < report.max_utilization <= 1.0
+
+    def test_simulation_has_no_overrun(self, report):
+        assert report.simulated_overruns == 0
+
+    def test_simulated_utilization_is_high(self, report):
+        assert 0.5 < report.simulated_bus_utilization < 1.0
+
+    def test_analytic_worst_dominates_simulated_worst(self, report):
+        for cls, simulated in report.simulated_worst_per_class.items():
+            if cls is PriorityClass.BACKGROUND:
+                continue  # background is best-effort, not guaranteed
+            assert simulated <= report.analytic_worst_per_class[cls] + 1e-6
+
+    def test_periodic_class_fits_in_a_minor_frame(self, report):
+        assert report.analytic_worst_per_class[PriorityClass.PERIODIC] <= \
+            units.ms(20)
+
+    def test_urgent_class_cannot_be_guaranteed_by_polling(self, report):
+        assert report.analytic_worst_per_class[PriorityClass.URGENT] > \
+            units.ms(3)

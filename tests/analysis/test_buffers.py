@@ -1,0 +1,56 @@
+"""Buffer dimensioning."""
+
+import pytest
+
+from repro import units
+from repro.analysis.buffers import (
+    buffer_requirements,
+    validate_buffer_requirements,
+)
+
+
+class TestBufferRequirements:
+    @pytest.fixture(scope="class")
+    def requirements(self, small_case):
+        return buffer_requirements(small_case)
+
+    def test_every_used_port_gets_a_requirement(self, requirements,
+                                                small_case):
+        station_uplinks = {req.node for req in requirements
+                           if req.node.startswith("station-")}
+        assert station_uplinks == set(small_case.sources())
+        assert any(req.node == "switch-0" for req in requirements)
+
+    def test_bounds_are_positive_and_finite(self, requirements):
+        for req in requirements:
+            assert 0 < req.backlog_bits < float("inf")
+            assert req.backlog_bytes == pytest.approx(req.backlog_bits / 8)
+
+    def test_port_bound_at_least_the_largest_frame(self, requirements):
+        # Every port must at least hold one maximal frame of its flows.
+        for req in requirements:
+            assert req.backlog_bits >= 64 * 8  # minimal Ethernet frame
+
+    def test_switch_ports_aggregate_more_flows_than_station_uplinks(
+            self, requirements, small_case):
+        switch_ports = [req for req in requirements if req.node == "switch-0"]
+        busiest = max(switch_ports, key=lambda req: req.flow_count)
+        per_station = max(len(msgs)
+                          for msgs in small_case.by_source().values())
+        assert busiest.flow_count >= per_station
+
+
+class TestSimulationValidation:
+    def test_observed_occupancy_stays_within_the_bounds(self, small_case):
+        rows = validate_buffer_requirements(
+            small_case, simulation_duration=units.ms(160))
+        assert rows
+        for row in rows:
+            assert row.observed_within_bound, (row.node, row.toward)
+
+    def test_observed_values_are_filled_for_used_ports(self, small_case):
+        rows = validate_buffer_requirements(
+            small_case, simulation_duration=units.ms(160))
+        observed = [row for row in rows
+                    if row.observed_bits == row.observed_bits]
+        assert observed, "no port reported an observed occupancy"

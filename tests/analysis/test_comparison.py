@@ -1,0 +1,48 @@
+"""E4 — 1553B vs Ethernet comparison."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.analysis import technology_comparison
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, real_case):
+        return technology_comparison(real_case)
+
+    def test_one_row_per_class(self, rows):
+        assert [row.priority for row in rows] == list(PriorityClass)
+
+    def test_periodic_class_is_fine_everywhere(self, rows):
+        periodic = next(r for r in rows
+                        if r.priority is PriorityClass.PERIODIC)
+        assert periodic.milstd1553_ok
+        assert periodic.fcfs_ok
+        assert periodic.priority_ok
+
+    def test_urgent_class_needs_the_priority_handling(self, rows):
+        urgent = next(r for r in rows if r.priority is PriorityClass.URGENT)
+        # Neither 20 ms polling on 1553B nor plain FCFS at 10 Mbps meets the
+        # 3 ms constraint; the 802.1p priorities do.
+        assert not urgent.milstd1553_ok
+        assert not urgent.fcfs_ok
+        assert urgent.priority_ok
+
+    def test_ethernet_priority_meets_everything(self, rows):
+        assert all(row.priority_ok for row in rows)
+
+    def test_ethernet_priority_beats_1553_for_every_class(self, rows):
+        for row in rows:
+            assert row.ethernet_priority_bound < row.milstd1553_bound
+            assert row.speedup_over_1553 > 1.0
+
+    def test_message_counts_cover_the_whole_set(self, rows, real_case):
+        assert sum(row.message_count for row in rows) == len(real_case)
+
+    def test_deadlines_match_the_class_minima(self, rows):
+        urgent = next(r for r in rows if r.priority is PriorityClass.URGENT)
+        assert urgent.deadline == pytest.approx(units.ms(3))
+        background = next(r for r in rows
+                          if r.priority is PriorityClass.BACKGROUND)
+        assert background.deadline is None

@@ -1,0 +1,43 @@
+"""E6 — jitter comparison."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.analysis import jitter_comparison
+
+
+class TestJitterComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, small_case):
+        return jitter_comparison(small_case, duration=units.ms(320))
+
+    def test_three_technologies_reported(self, rows):
+        assert {row.technology for row in rows} == {
+            "mil-std-1553b", "ethernet-fcfs", "ethernet-priority"}
+
+    def test_1553_periodic_jitter_is_inherently_low(self, rows):
+        """The paper notes jitter is inherently low on 1553B (periodic)."""
+        periodic = next(r for r in rows if r.technology == "mil-std-1553b"
+                        and r.priority is PriorityClass.PERIODIC)
+        assert periodic.worst_jitter <= units.us(1)
+
+    def test_1553_sporadic_jitter_is_dominated_by_polling(self, rows):
+        urgent = next(r for r in rows if r.technology == "mil-std-1553b"
+                      and r.priority is PriorityClass.URGENT)
+        assert urgent.worst_jitter > units.ms(1)
+
+    def test_ethernet_jitter_is_small(self, rows):
+        for row in rows:
+            if row.technology.startswith("ethernet"):
+                assert row.worst_jitter < units.ms(2)
+
+    def test_mean_jitter_below_worst(self, rows):
+        for row in rows:
+            assert row.mean_jitter <= row.worst_jitter + 1e-12
+
+    def test_jitter_alias(self, rows):
+        for row in rows:
+            assert row.jitter == row.worst_jitter
+
+    def test_streams_counted(self, rows):
+        assert all(row.streams >= 1 for row in rows)

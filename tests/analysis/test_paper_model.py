@@ -1,0 +1,95 @@
+"""E1 — the paper's case study and its headline claims."""
+
+import pytest
+
+from repro import Message, MessageSet, PaperCaseStudy, PriorityClass, units
+from repro.analysis import figure1_rows
+from repro.errors import EmptyAggregateError
+
+
+class TestFigure1OnTheRealCase:
+    """The four qualitative findings of Figure 1 must reproduce."""
+
+    @pytest.fixture(scope="class")
+    def study(self, real_case):
+        return PaperCaseStudy(real_case)
+
+    def test_fcfs_violates_the_urgent_constraint(self, study):
+        assert study.fcfs_violates_constraints()
+        rows = {row.priority: row for row in study.figure1_rows()}
+        assert not rows[PriorityClass.URGENT].fcfs_meets_deadline
+
+    def test_priority_meets_every_constraint(self, study):
+        assert study.priority_meets_all_constraints()
+
+    def test_urgent_priority_bound_is_below_3ms(self, study):
+        assert study.urgent_priority_bound_below_3ms()
+        bounds = study.priority_class_bounds()
+        assert bounds[PriorityClass.URGENT] < units.ms(3)
+
+    def test_periodic_priority_bound_improves_over_fcfs(self, study):
+        assert study.periodic_priority_bound_below_fcfs()
+
+    def test_fcfs_bound_is_identical_for_every_class(self, study):
+        bounds = set(study.fcfs_class_bounds().values())
+        assert len(bounds) == 1
+
+    def test_priority_bounds_are_monotone(self, study):
+        bounds = study.priority_class_bounds()
+        ordered = [bounds[cls] for cls in sorted(bounds)]
+        assert ordered == sorted(ordered)
+
+    def test_rows_cover_all_four_classes(self, study):
+        rows = study.figure1_rows()
+        assert [row.priority for row in rows] == list(PriorityClass)
+        assert sum(row.message_count for row in rows) == 144
+
+    def test_class_deadlines(self, study):
+        deadlines = study.class_deadlines()
+        assert deadlines[PriorityClass.URGENT] == pytest.approx(units.ms(3))
+        assert deadlines[PriorityClass.PERIODIC] == pytest.approx(units.ms(20))
+        assert deadlines[PriorityClass.BACKGROUND] is None
+
+    def test_convenience_wrapper_matches_the_class(self, real_case, study):
+        wrapper_rows = figure1_rows(real_case)
+        class_rows = study.figure1_rows()
+        assert [r.fcfs_bound for r in wrapper_rows] == \
+            [r.fcfs_bound for r in class_rows]
+
+
+class TestScalingBehaviour:
+    def test_higher_capacity_removes_the_fcfs_violation(self, real_case):
+        fast = PaperCaseStudy(real_case, capacity=units.mbps(100))
+        assert not fast.fcfs_violates_constraints()
+
+    def test_fcfs_bound_formula(self, real_case):
+        study = PaperCaseStudy(real_case, capacity=units.mbps(10),
+                               technology_delay=units.us(16))
+        expected = real_case.total_burst() / units.mbps(10) + units.us(16)
+        assert study.fcfs_bound() == pytest.approx(expected)
+
+    def test_technology_delay_shifts_every_bound(self, real_case):
+        small = PaperCaseStudy(real_case, technology_delay=0.0)
+        large = PaperCaseStudy(real_case, technology_delay=units.ms(1))
+        assert large.fcfs_bound() - small.fcfs_bound() == pytest.approx(
+            units.ms(1))
+        delta = (large.priority_class_bounds()[PriorityClass.URGENT]
+                 - small.priority_class_bounds()[PriorityClass.URGENT])
+        assert delta == pytest.approx(units.ms(1))
+
+
+class TestSmallSets:
+    def test_single_class_set(self):
+        message_set = MessageSet([
+            Message.periodic("only", period=units.ms(20), size=1000,
+                             source="a", destination="b")])
+        study = PaperCaseStudy(message_set)
+        rows = study.figure1_rows()
+        assert len(rows) == 1
+        assert rows[0].priority is PriorityClass.PERIODIC
+        assert not study.urgent_priority_bound_below_3ms()
+
+    def test_empty_set_rejected(self):
+        study = PaperCaseStudy(MessageSet())
+        with pytest.raises(EmptyAggregateError):
+            study.figure1_rows()

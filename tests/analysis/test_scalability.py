@@ -1,0 +1,65 @@
+"""E8 — scalability sweep."""
+
+import pytest
+
+from repro import units
+from repro.analysis.scalability import (
+    max_feasible_scale,
+    scalability_sweep,
+)
+
+
+class TestScalabilitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self, real_case):
+        return scalability_sweep(real_case, scales=(1, 2, 4, 8))
+
+    def test_one_row_per_scale(self, rows):
+        assert [row.scale for row in rows] == [1, 2, 4, 8]
+
+    def test_message_counts_scale_linearly(self, rows, real_case):
+        for row in rows:
+            assert row.message_count == row.scale * len(real_case)
+
+    def test_utilizations_grow_monotonically(self, rows):
+        bus = [row.milstd1553_utilization for row in rows]
+        ethernet = [row.ethernet_utilization for row in rows]
+        assert bus == sorted(bus)
+        assert ethernet == sorted(ethernet)
+
+    def test_baseline_is_feasible_everywhere_but_fcfs(self, rows):
+        first = rows[0]
+        assert first.milstd1553_feasible
+        assert first.priority_feasible
+        assert not first.fcfs_feasible  # the 3 ms class is already violated
+
+    def test_1553_saturates_before_prioritised_ethernet(self, rows):
+        last_bus_ok = max((row.scale for row in rows
+                           if row.milstd1553_feasible), default=0)
+        last_priority_ok = max((row.scale for row in rows
+                                if row.priority_feasible), default=0)
+        assert last_priority_ok > last_bus_ok
+
+    def test_everything_breaks_at_extreme_scale(self, real_case):
+        rows = scalability_sweep(real_case, scales=(32,))
+        assert not rows[0].milstd1553_feasible
+        assert not rows[0].priority_feasible
+
+
+class TestMaxFeasibleScale:
+    def test_priority_supports_more_than_the_bus(self, real_case):
+        bus = max_feasible_scale(real_case, "mil-std-1553b", limit=12)
+        priority = max_feasible_scale(real_case, "ethernet-priority",
+                                      limit=12)
+        assert priority > bus >= 1
+
+    def test_fcfs_supports_nothing_at_10mbps(self, real_case):
+        assert max_feasible_scale(real_case, "ethernet-fcfs", limit=4) == 0
+
+    def test_fcfs_supports_the_baseline_at_100mbps(self, real_case):
+        assert max_feasible_scale(real_case, "ethernet-fcfs",
+                                  capacity=units.mbps(100), limit=2) >= 1
+
+    def test_unknown_approach_rejected(self, real_case):
+        with pytest.raises(ValueError):
+            max_feasible_scale(real_case, "token-ring")

@@ -1,0 +1,67 @@
+"""E7 — sensitivity and ablation studies."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.analysis import (
+    burst_scaling_sweep,
+    preemption_ablation,
+    technology_delay_sweep,
+)
+
+
+class TestTechnologyDelaySweep:
+    def test_bounds_grow_linearly_with_ttechno(self, real_case):
+        rows = technology_delay_sweep(real_case,
+                                      delays=(0.0, units.us(50),
+                                              units.us(100)))
+        assert rows[1].fcfs_bound - rows[0].fcfs_bound == pytest.approx(
+            units.us(50))
+        assert rows[2].urgent_priority_bound - rows[0].urgent_priority_bound \
+            == pytest.approx(units.us(100))
+
+    def test_urgent_class_remains_schedulable_up_to_large_delays(self, real_case):
+        rows = technology_delay_sweep(real_case)
+        assert all(row.urgent_meets_deadline for row in rows)
+
+    def test_default_sweep_has_five_points(self, real_case):
+        assert len(technology_delay_sweep(real_case)) == 5
+
+
+class TestBurstScalingSweep:
+    def test_bounds_scale_with_the_burst(self, real_case):
+        rows = burst_scaling_sweep(real_case, factors=(1.0, 2.0))
+        assert rows[1].fcfs_bound > 1.8 * rows[0].fcfs_bound
+
+    def test_factor_one_matches_the_baseline(self, real_case):
+        from repro import PaperCaseStudy
+        rows = burst_scaling_sweep(real_case, factors=(1.0,))
+        study = PaperCaseStudy(real_case)
+        assert rows[0].fcfs_bound == pytest.approx(study.fcfs_bound(),
+                                                   rel=1e-6)
+
+    def test_constraints_eventually_break_when_bursts_grow(self, real_case):
+        rows = burst_scaling_sweep(real_case, factors=(1.0, 8.0))
+        assert rows[0].all_constraints_met
+        assert not rows[1].all_constraints_met
+
+
+class TestPreemptionAblation:
+    def test_preemption_only_helps(self, real_case):
+        rows = preemption_ablation(real_case)
+        for row in rows:
+            assert row.preemptive_bound <= row.non_preemptive_bound + 1e-12
+            assert row.blocking_cost >= 0
+
+    def test_urgent_class_pays_the_largest_relative_blocking(self, real_case):
+        rows = {row.priority: row for row in preemption_ablation(real_case)}
+        urgent = rows[PriorityClass.URGENT]
+        background = rows[PriorityClass.BACKGROUND]
+        relative_urgent = urgent.blocking_cost / urgent.non_preemptive_bound
+        relative_background = (background.blocking_cost
+                               / background.non_preemptive_bound)
+        assert relative_urgent > relative_background
+
+    def test_lowest_class_has_no_blocking(self, real_case):
+        rows = {row.priority: row for row in preemption_ablation(real_case)}
+        assert rows[PriorityClass.BACKGROUND].blocking_cost == pytest.approx(0.0)

@@ -1,0 +1,51 @@
+"""E2 — FCFS violations across capacities."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.analysis import fcfs_violation_table
+
+
+class TestViolationTable:
+    @pytest.fixture(scope="class")
+    def rows(self, real_case):
+        return fcfs_violation_table(real_case)
+
+    def test_two_capacities_by_default(self, rows):
+        capacities = {row.capacity for row in rows}
+        assert capacities == {units.mbps(10), units.mbps(100)}
+
+    def test_fcfs_violates_only_the_urgent_class_at_10mbps(self, rows):
+        at_10 = [row for row in rows if row.capacity == units.mbps(10)]
+        violated = {row.priority for row in at_10
+                    if row.fcfs_violated_messages > 0}
+        assert violated == {PriorityClass.URGENT}
+
+    def test_every_urgent_message_is_violated_at_10mbps(self, rows, real_case):
+        urgent_row = next(row for row in rows
+                          if row.capacity == units.mbps(10)
+                          and row.priority is PriorityClass.URGENT)
+        urgent_count = len(real_case.by_priority()[PriorityClass.URGENT])
+        assert urgent_row.fcfs_violated_messages == urgent_count
+        assert not urgent_row.fcfs_ok
+
+    def test_priority_never_violates(self, rows):
+        assert all(row.priority_violated_messages == 0 for row in rows)
+        assert all(row.priority_ok for row in rows)
+
+    def test_100mbps_fcfs_is_clean(self, rows):
+        at_100 = [row for row in rows if row.capacity == units.mbps(100)]
+        assert all(row.fcfs_violated_messages == 0 for row in at_100)
+
+    def test_bounds_decrease_with_capacity(self, rows):
+        for priority in PriorityClass:
+            pair = [row for row in rows if row.priority is priority]
+            slow = next(r for r in pair if r.capacity == units.mbps(10))
+            fast = next(r for r in pair if r.capacity == units.mbps(100))
+            assert fast.fcfs_bound < slow.fcfs_bound
+            assert fast.priority_bound < slow.priority_bound
+
+    def test_custom_capacity_list(self, real_case):
+        rows = fcfs_violation_table(real_case,
+                                    capacities=(units.mbps(10),))
+        assert {row.capacity for row in rows} == {units.mbps(10)}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the tests from a source checkout even when the package has
+# not been pip-installed (the offline environment lacks the ``wheel`` package
+# needed by PEP 517 editable installs).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro import Message, MessageSet, units
+from repro.workloads.realcase import RealCaseParameters, generate_real_case
+
+
+@pytest.fixture(scope="session")
+def real_case() -> MessageSet:
+    """The default seeded case-study message set (shared, read-only)."""
+    return generate_real_case()
+
+
+@pytest.fixture(scope="session")
+def small_case() -> MessageSet:
+    """A reduced case study (8 stations) for the slower simulation tests."""
+    return generate_real_case(
+        RealCaseParameters(station_count=8), seed=3, name="small-case")
+
+
+@pytest.fixture()
+def tiny_message_set() -> MessageSet:
+    """A deterministic five-message set used by many unit tests."""
+    return MessageSet([
+        Message.periodic("nav", period=units.ms(20),
+                         size=units.words1553(8),
+                         source="station-00", destination="station-01"),
+        Message.periodic("air", period=units.ms(80),
+                         size=units.words1553(16),
+                         source="station-02", destination="station-01"),
+        Message.sporadic("alarm", min_interarrival=units.ms(20),
+                         size=units.words1553(2),
+                         source="station-03", destination="station-01",
+                         deadline=units.ms(3)),
+        Message.sporadic("status", min_interarrival=units.ms(40),
+                         size=units.words1553(24),
+                         source="station-02", destination="station-00",
+                         deadline=units.ms(40)),
+        Message.sporadic("maintenance", min_interarrival=units.ms(160),
+                         size=units.words1553(64),
+                         source="station-01", destination="station-03",
+                         deadline=None),
+    ], name="tiny")

@@ -1,0 +1,115 @@
+"""Arrival curves."""
+
+import pytest
+
+from repro import Message, units
+from repro.core.netcalc import (
+    AggregateArrivalCurve,
+    StairArrivalCurve,
+    TokenBucketArrivalCurve,
+)
+from repro.errors import CurveDomainError, EmptyAggregateError
+
+
+class TestTokenBucket:
+    def test_value_at_zero_is_the_burst(self):
+        curve = TokenBucketArrivalCurve(bucket=100, token_rate=1000)
+        assert curve(0.0) == 100
+
+    def test_affine_growth(self):
+        curve = TokenBucketArrivalCurve(bucket=100, token_rate=1000)
+        assert curve(0.5) == pytest.approx(600)
+
+    def test_rate_and_burst_properties(self):
+        curve = TokenBucketArrivalCurve(bucket=128, token_rate=6400)
+        assert curve.rate == 6400
+        assert curve.burst == 128
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(CurveDomainError):
+            TokenBucketArrivalCurve(100, 1000)(-1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(CurveDomainError):
+            TokenBucketArrivalCurve(-1, 10)
+        with pytest.raises(CurveDomainError):
+            TokenBucketArrivalCurve(1, -10)
+
+    def test_sum_of_token_buckets(self):
+        total = TokenBucketArrivalCurve(100, 1000) + \
+            TokenBucketArrivalCurve(50, 500)
+        assert total.bucket == 150
+        assert total.token_rate == 1500
+
+    def test_from_message_matches_paper_shaper(self):
+        message = Message.periodic("nav", period=units.ms(20),
+                                   size=units.words1553(8),
+                                   source="a", destination="b")
+        curve = TokenBucketArrivalCurve.from_message(message)
+        assert curve.burst == message.size
+        assert curve.rate == pytest.approx(message.size / message.period)
+
+    def test_monotone_non_decreasing(self):
+        curve = TokenBucketArrivalCurve(10, 100)
+        values = [curve(t / 10) for t in range(20)]
+        assert values == sorted(values)
+
+
+class TestStairCurve:
+    def test_value_at_zero_is_one_message(self):
+        curve = StairArrivalCurve(message_size=100, period=0.01)
+        assert curve(0.0) == 100
+
+    def test_stair_steps(self):
+        curve = StairArrivalCurve(message_size=100, period=0.01)
+        assert curve(0.005) == 100
+        assert curve(0.010) == 200
+        assert curve(0.0199) == 200
+        assert curve(0.025) == 300
+
+    def test_rate(self):
+        curve = StairArrivalCurve(message_size=100, period=0.01)
+        assert curve.rate == pytest.approx(10_000)
+
+    def test_jitter_shifts_the_curve(self):
+        plain = StairArrivalCurve(message_size=100, period=0.01)
+        jittery = StairArrivalCurve(message_size=100, period=0.01,
+                                    jitter=0.005)
+        assert jittery(0.006) >= plain(0.006)
+        assert jittery(0.006) == 200
+
+    def test_token_bucket_hull_dominates(self):
+        stair = StairArrivalCurve(message_size=100, period=0.01, jitter=0.002)
+        hull = stair.to_token_bucket()
+        for t in [0.0, 0.001, 0.009, 0.01, 0.05, 0.3]:
+            assert hull(t) >= stair(t) - 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CurveDomainError):
+            StairArrivalCurve(message_size=0, period=0.01)
+        with pytest.raises(CurveDomainError):
+            StairArrivalCurve(message_size=10, period=0.0)
+        with pytest.raises(CurveDomainError):
+            StairArrivalCurve(message_size=10, period=0.01, jitter=-1)
+
+
+class TestAggregate:
+    def test_sum_of_components(self):
+        aggregate = AggregateArrivalCurve([
+            TokenBucketArrivalCurve(100, 1000),
+            TokenBucketArrivalCurve(50, 500),
+            StairArrivalCurve(message_size=10, period=0.01),
+        ])
+        assert aggregate(0.0) == pytest.approx(160)
+        assert aggregate.burst == pytest.approx(160)
+        assert aggregate.rate == pytest.approx(1000 + 500 + 1000)
+
+    def test_len_and_components(self):
+        aggregate = AggregateArrivalCurve(
+            [TokenBucketArrivalCurve(1, 1), TokenBucketArrivalCurve(2, 2)])
+        assert len(aggregate) == 2
+        assert len(aggregate.components) == 2
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(EmptyAggregateError):
+            AggregateArrivalCurve([])

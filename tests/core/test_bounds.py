@@ -1,0 +1,142 @@
+"""Delay, backlog and output bounds."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.core.netcalc import (
+    AggregateArrivalCurve,
+    ConstantRateServiceCurve,
+    RateLatencyServiceCurve,
+    StairArrivalCurve,
+    TokenBucketArrivalCurve,
+    backlog_bound,
+    delay_bound,
+    horizontal_deviation,
+    output_arrival_curve,
+    vertical_deviation,
+)
+from repro.errors import UnstableSystemError
+
+
+class TestDelayBound:
+    def test_token_bucket_vs_constant_rate_is_b_over_c(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        assert delay_bound(alpha, beta) == pytest.approx(10_000 / 1e7)
+
+    def test_token_bucket_vs_rate_latency_adds_the_latency(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=units.mbps(10),
+                                       delay=units.us(16))
+        assert delay_bound(alpha, beta) == pytest.approx(
+            units.us(16) + 10_000 / 1e7)
+
+    def test_aggregate_uses_total_burst(self):
+        aggregate = AggregateArrivalCurve([
+            TokenBucketArrivalCurve(5_000, 1e5),
+            TokenBucketArrivalCurve(5_000, 1e5)])
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        assert delay_bound(aggregate, beta) == pytest.approx(10_000 / 1e7)
+
+    def test_unstable_raises_in_strict_mode(self):
+        alpha = TokenBucketArrivalCurve(bucket=100, token_rate=2e7)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        with pytest.raises(UnstableSystemError):
+            delay_bound(alpha, beta)
+
+    def test_unstable_returns_infinity_when_not_strict(self):
+        alpha = TokenBucketArrivalCurve(bucket=100, token_rate=2e7)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        assert math.isinf(delay_bound(alpha, beta, strict=False))
+
+    def test_stair_curve_bound_uses_numeric_deviation(self):
+        alpha = StairArrivalCurve(message_size=1000, period=0.01)
+        beta = ConstantRateServiceCurve(units.mbps(1))
+        assert delay_bound(alpha, beta) == pytest.approx(1000 / 1e6, rel=0.05)
+
+    def test_stair_curve_bound_accounts_for_jitter(self):
+        # b = 9000 bits, T = 10 ms, j = 5 ms, R = 1 Mbps.  The worst
+        # deviation is attained just after the first step (t = T - j), where
+        # two messages may have arrived: d = 2b/R - (T - j) = 13 ms, larger
+        # than the jitter-free bound b/R = 9 ms.
+        alpha = StairArrivalCurve(message_size=9000, period=0.01,
+                                  jitter=0.005)
+        beta = ConstantRateServiceCurve(units.mbps(1))
+        bound = delay_bound(alpha, beta)
+        assert bound == pytest.approx(0.013, rel=0.05)
+        assert bound > 9000 / 1e6
+
+    def test_generic_curve_falls_back_to_numeric(self):
+        # A curve without 'rate'/'burst' attributes exercises the numeric
+        # horizontal deviation path.
+        def alpha(t):
+            return 1000.0 + 1e5 * t
+
+        beta = ConstantRateServiceCurve(units.mbps(1))
+        bound = delay_bound(alpha, beta, horizon=0.1)
+        assert bound == pytest.approx(1000 / 1e6, rel=0.05)
+
+
+class TestBacklogBound:
+    def test_token_bucket_vs_constant_rate_is_the_burst(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        assert backlog_bound(alpha, beta) == pytest.approx(10_000)
+
+    def test_token_bucket_vs_rate_latency_adds_rate_times_latency(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=units.mbps(10), delay=0.001)
+        assert backlog_bound(alpha, beta) == pytest.approx(10_000 + 1e5 * 0.001)
+
+    def test_unstable_raises(self):
+        alpha = TokenBucketArrivalCurve(bucket=100, token_rate=2e7)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        with pytest.raises(UnstableSystemError):
+            backlog_bound(alpha, beta)
+
+    def test_unstable_not_strict_is_infinite(self):
+        alpha = TokenBucketArrivalCurve(bucket=100, token_rate=2e7)
+        beta = ConstantRateServiceCurve(units.mbps(10))
+        assert math.isinf(backlog_bound(alpha, beta, strict=False))
+
+
+class TestNumericDeviations:
+    def test_horizontal_deviation_matches_closed_form(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=units.mbps(10), delay=0.0005)
+        numeric = horizontal_deviation(alpha, beta)
+        assert numeric == pytest.approx(0.0005 + 10_000 / 1e7, rel=0.02)
+
+    def test_vertical_deviation_matches_closed_form(self):
+        alpha = TokenBucketArrivalCurve(bucket=10_000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=units.mbps(10), delay=0.001)
+        numeric = vertical_deviation(alpha, beta)
+        assert numeric == pytest.approx(10_000 + 1e5 * 0.001, rel=0.02)
+
+
+class TestOutputArrivalCurve:
+    def test_burst_grows_by_rate_times_latency(self):
+        alpha = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=1e6, delay=0.002)
+        output = output_arrival_curve(alpha, beta)
+        assert output.bucket == pytest.approx(1000 + 1e5 * 0.002)
+        assert output.token_rate == pytest.approx(1e5)
+
+    def test_constant_rate_server_does_not_grow_the_burst(self):
+        alpha = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        beta = ConstantRateServiceCurve(1e6)
+        output = output_arrival_curve(alpha, beta)
+        assert output.bucket == pytest.approx(1000)
+
+    def test_unstable_raises(self):
+        alpha = TokenBucketArrivalCurve(bucket=1000, token_rate=2e6)
+        beta = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        with pytest.raises(UnstableSystemError):
+            output_arrival_curve(alpha, beta)
+
+    def test_unsupported_service_type_rejected(self):
+        alpha = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        with pytest.raises(TypeError):
+            output_arrival_curve(alpha, lambda t: t)

@@ -1,0 +1,76 @@
+"""Analytic jitter bounds."""
+
+import pytest
+
+from repro import Message, PriorityClass, units
+from repro.core.jitter import JitterAnalysis
+from repro.errors import EmptyAggregateError
+
+
+def make_messages():
+    return [
+        Message.sporadic("urgent", min_interarrival=units.ms(20), size=100,
+                         source="a", destination="z", deadline=units.ms(3)),
+        Message.periodic("periodic", period=units.ms(20), size=1000,
+                         source="b", destination="z"),
+        Message.sporadic("background", min_interarrival=units.ms(160),
+                         size=4000, source="c", destination="z"),
+    ]
+
+
+CAPACITY = units.mbps(10)
+
+
+class TestJitterBounds:
+    def test_jitter_is_worst_minus_best(self):
+        analysis = JitterAnalysis(CAPACITY, technology_delay=units.us(16))
+        bounds = analysis.priority_bounds(make_messages())
+        for bound in bounds.values():
+            assert bound.jitter == pytest.approx(
+                bound.worst_case_delay - bound.best_case_delay)
+            assert bound.jitter >= 0
+
+    def test_best_case_is_the_smallest_flow_serialisation(self):
+        analysis = JitterAnalysis(CAPACITY)
+        bounds = analysis.priority_bounds(make_messages())
+        assert bounds[PriorityClass.URGENT].best_case_delay == \
+            pytest.approx(100 / CAPACITY)
+        assert bounds[PriorityClass.BACKGROUND].best_case_delay == \
+            pytest.approx(4000 / CAPACITY)
+
+    def test_fcfs_worst_case_is_the_fcfs_bound(self):
+        from repro import FcfsMultiplexerAnalysis
+        analysis = JitterAnalysis(CAPACITY, technology_delay=units.us(16))
+        fcfs = FcfsMultiplexerAnalysis(CAPACITY, units.us(16))
+        messages = make_messages()
+        bounds = analysis.fcfs_bounds(messages)
+        for bound in bounds.values():
+            assert bound.worst_case_delay == pytest.approx(
+                fcfs.bound(messages).delay)
+
+    def test_priority_reduces_the_urgent_class_jitter(self):
+        analysis = JitterAnalysis(CAPACITY, technology_delay=units.us(16))
+        messages = make_messages()
+        fcfs = analysis.fcfs_bounds(messages)[PriorityClass.URGENT]
+        priority = analysis.priority_bounds(messages)[PriorityClass.URGENT]
+        assert priority.jitter < fcfs.jitter
+
+    def test_empty_set_rejected(self):
+        analysis = JitterAnalysis(CAPACITY)
+        with pytest.raises(EmptyAggregateError):
+            analysis.fcfs_bounds([])
+
+    def test_simulated_jitter_stays_below_the_bound(self, small_case):
+        """The E6 measurements never exceed the analytic jitter bound."""
+        from repro.analysis import jitter_comparison
+        from repro.analysis.validation import wire_level_messages
+        analysis = JitterAnalysis(CAPACITY, technology_delay=units.us(16))
+        # Wire-level sizes, and two multiplexing points in the star (station
+        # uplink + switch egress): doubling the single-hop bound is a safe
+        # envelope for the comparison.
+        bounds = analysis.priority_bounds(wire_level_messages(small_case))
+        rows = jitter_comparison(small_case, duration=units.ms(320))
+        for row in rows:
+            if row.technology != "ethernet-priority":
+                continue
+            assert row.worst_jitter <= 2 * bounds[row.priority].jitter + 1e-9

@@ -1,0 +1,70 @@
+"""Min-plus operations."""
+
+import pytest
+
+from repro.core.netcalc import (
+    RateLatencyServiceCurve,
+    TokenBucketArrivalCurve,
+    convolve_rate_latency,
+    min_plus_convolution,
+    min_plus_deconvolution,
+)
+
+
+class TestClosedFormConvolution:
+    def test_tandem_rate_is_the_minimum(self):
+        tandem = convolve_rate_latency(
+            RateLatencyServiceCurve(rate=1e7, delay=0.001),
+            RateLatencyServiceCurve(rate=5e6, delay=0.002))
+        assert tandem.rate == 5e6
+
+    def test_tandem_latency_is_the_sum(self):
+        tandem = convolve_rate_latency(
+            RateLatencyServiceCurve(rate=1e7, delay=0.001),
+            RateLatencyServiceCurve(rate=5e6, delay=0.002))
+        assert tandem.delay == pytest.approx(0.003)
+
+    def test_convolution_is_commutative(self):
+        a = RateLatencyServiceCurve(rate=1e7, delay=0.001)
+        b = RateLatencyServiceCurve(rate=2e6, delay=0.004)
+        assert convolve_rate_latency(a, b) == convolve_rate_latency(b, a)
+
+
+class TestNumericConvolution:
+    def test_matches_closed_form_for_rate_latency(self):
+        a = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        b = RateLatencyServiceCurve(rate=2e6, delay=0.002)
+        closed = convolve_rate_latency(a, b)
+        for t in [0.0, 0.001, 0.003, 0.01, 0.05]:
+            numeric = min_plus_convolution(a, b, t, samples=4000)
+            assert numeric == pytest.approx(closed(t), abs=200)
+
+    def test_convolution_at_zero(self):
+        a = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        assert min_plus_convolution(a, a, 0.0) == 0.0
+
+    def test_negative_interval_rejected(self):
+        a = RateLatencyServiceCurve(rate=1e6, delay=0.0)
+        with pytest.raises(ValueError):
+            min_plus_convolution(a, a, -1.0)
+
+
+class TestNumericDeconvolution:
+    def test_token_bucket_through_rate_latency(self):
+        # (alpha ⊘ beta)(t) = b + r T + r t for a token bucket through a
+        # rate-latency server with r <= R; check at a few points.
+        alpha = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        beta = RateLatencyServiceCurve(rate=1e6, delay=0.002)
+        for t in [0.0, 0.001, 0.01]:
+            expected = 1000 + 1e5 * 0.002 + 1e5 * t
+            numeric = min_plus_deconvolution(alpha, beta, t, horizon=0.01,
+                                             samples=4000)
+            assert numeric == pytest.approx(expected, rel=0.01)
+
+    def test_negative_arguments_rejected(self):
+        alpha = TokenBucketArrivalCurve(10, 10)
+        beta = RateLatencyServiceCurve(rate=1e6, delay=0.0)
+        with pytest.raises(ValueError):
+            min_plus_deconvolution(alpha, beta, -1.0, horizon=1.0)
+        with pytest.raises(ValueError):
+            min_plus_deconvolution(alpha, beta, 1.0, horizon=-1.0)

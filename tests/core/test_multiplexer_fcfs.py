@@ -1,0 +1,124 @@
+"""The paper's FCFS multiplexer bound D = sum(b_i)/C + t_techno."""
+
+import pytest
+
+from repro import FcfsMultiplexerAnalysis, Flow, Message, units
+from repro.errors import EmptyAggregateError, UnstableSystemError
+from repro.flows.priorities import PriorityClass
+
+
+def make_messages():
+    return [
+        Message.periodic("m1", period=units.ms(20), size=1000,
+                         source="a", destination="z"),
+        Message.periodic("m2", period=units.ms(40), size=2000,
+                         source="b", destination="z"),
+        Message.sporadic("m3", min_interarrival=units.ms(20), size=500,
+                         source="c", destination="z", deadline=units.ms(3)),
+    ]
+
+
+class TestPaperFormula:
+    def test_bound_is_total_burst_over_capacity_plus_ttechno(self):
+        analysis = FcfsMultiplexerAnalysis(capacity=units.mbps(10),
+                                           technology_delay=units.us(16))
+        bound = analysis.bound(make_messages())
+        assert bound.delay == pytest.approx(3500 / 1e7 + units.us(16))
+
+    def test_bound_without_technology_delay(self):
+        analysis = FcfsMultiplexerAnalysis(capacity=units.mbps(10))
+        assert analysis.bound(make_messages()).delay == pytest.approx(3.5e-4)
+
+    def test_bound_scales_inversely_with_capacity(self):
+        slow = FcfsMultiplexerAnalysis(units.mbps(10)).bound(make_messages())
+        fast = FcfsMultiplexerAnalysis(units.mbps(100)).bound(make_messages())
+        assert slow.delay == pytest.approx(10 * fast.delay)
+
+    def test_bound_is_independent_of_rates(self):
+        # The FCFS formula only involves the bursts: two sets with identical
+        # bursts but different periods get the same bound.
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10))
+        slow_messages = [m.with_size(m.size) for m in make_messages()]
+        fast_messages = [
+            Message.periodic("f1", period=units.ms(160), size=1000,
+                             source="a", destination="z"),
+            Message.periodic("f2", period=units.ms(160), size=2000,
+                             source="b", destination="z"),
+            Message.sporadic("f3", min_interarrival=units.ms(160), size=500,
+                             source="c", destination="z"),
+        ]
+        assert analysis.bound(slow_messages).delay == pytest.approx(
+            analysis.bound(fast_messages).delay)
+
+    def test_breakdown_fields(self):
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10), units.us(16))
+        bound = analysis.bound(make_messages())
+        assert bound.burst_term == 3500
+        assert bound.blocking_term == 0.0
+        assert bound.residual_rate == units.mbps(10)
+        assert bound.flow_count == 3
+        assert bound.priority is None
+        assert bound.queuing_delay == pytest.approx(3500 / 1e7)
+
+    def test_accepts_flows_as_well_as_messages(self):
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10))
+        flows = [Flow(message) for message in make_messages()]
+        assert analysis.bound(flows).delay == pytest.approx(3.5e-4)
+
+
+class TestGuards:
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(EmptyAggregateError):
+            FcfsMultiplexerAnalysis(units.mbps(10)).bound([])
+
+    def test_overload_raises_in_strict_mode(self):
+        heavy = [Message.periodic("h", period=units.ms(1), size=20_000,
+                                  source="a", destination="z")]
+        with pytest.raises(UnstableSystemError):
+            FcfsMultiplexerAnalysis(units.mbps(10)).bound(heavy)
+
+    def test_overload_tolerated_when_not_strict(self):
+        heavy = [Message.periodic("h", period=units.ms(1), size=20_000,
+                                  source="a", destination="z")]
+        bound = FcfsMultiplexerAnalysis(units.mbps(10)).bound(
+            heavy, strict=False)
+        assert bound.details["unstable"] == 1.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FcfsMultiplexerAnalysis(capacity=0)
+
+    def test_negative_technology_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FcfsMultiplexerAnalysis(capacity=1e6, technology_delay=-1e-6)
+
+
+class TestClassView:
+    def test_every_present_class_gets_the_same_bound(self):
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10), units.us(16))
+        class_bounds = analysis.class_bounds(make_messages())
+        assert set(class_bounds) == {PriorityClass.URGENT,
+                                     PriorityClass.PERIODIC}
+        delays = {bound.delay for bound in class_bounds.values()}
+        assert len(delays) == 1
+
+
+class TestCompositionHelpers:
+    def test_aggregate_arrival_curve(self):
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10))
+        curve = analysis.aggregate_arrival_curve(make_messages())
+        assert curve.burst == 3500
+
+    def test_service_curve(self):
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10), units.us(16))
+        service = analysis.service_curve()
+        assert service.rate == units.mbps(10)
+        assert service.latency == pytest.approx(units.us(16))
+
+    def test_bound_consistent_with_generic_netcalc(self):
+        from repro.core.netcalc import delay_bound
+        analysis = FcfsMultiplexerAnalysis(units.mbps(10), units.us(16))
+        closed = analysis.bound(make_messages()).delay
+        generic = delay_bound(analysis.aggregate_arrival_curve(make_messages()),
+                              analysis.service_curve())
+        assert closed == pytest.approx(generic)

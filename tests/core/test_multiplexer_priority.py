@@ -1,0 +1,181 @@
+"""The paper's strict-priority (802.1p) multiplexer bound D_p."""
+
+import pytest
+
+from repro import (
+    FcfsMultiplexerAnalysis,
+    Message,
+    PriorityClass,
+    StrictPriorityMultiplexerAnalysis,
+    units,
+)
+from repro.core.multiplexer import priority_of
+from repro.errors import EmptyAggregateError, UnstableSystemError
+
+
+def make_messages():
+    """One message per class with easily checkable parameters."""
+    return [
+        Message.sporadic("urgent", min_interarrival=units.ms(20), size=100,
+                         source="a", destination="z", deadline=units.ms(3)),
+        Message.periodic("periodic", period=units.ms(20), size=1000,
+                         source="b", destination="z"),
+        Message.sporadic("sporadic", min_interarrival=units.ms(40), size=2000,
+                         source="c", destination="z", deadline=units.ms(40)),
+        Message.sporadic("background", min_interarrival=units.ms(160),
+                         size=4000, source="d", destination="z"),
+    ]
+
+
+CAPACITY = units.mbps(10)
+TECHNO = units.us(16)
+
+
+class TestPaperFormula:
+    def test_priority_0_bound(self):
+        # D_0 = (b_urgent + max lower burst) / C + t_techno
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        bound = analysis.bound_for_class(make_messages(), PriorityClass.URGENT)
+        assert bound.delay == pytest.approx((100 + 4000) / CAPACITY + TECHNO)
+
+    def test_priority_1_bound(self):
+        # D_1 = (b_urgent + b_periodic + max(b_sporadic, b_background))
+        #       / (C - r_urgent) + t_techno
+        messages = make_messages()
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        bound = analysis.bound_for_class(messages, PriorityClass.PERIODIC)
+        urgent_rate = 100 / units.ms(20)
+        expected = (100 + 1000 + 4000) / (CAPACITY - urgent_rate) + TECHNO
+        assert bound.delay == pytest.approx(expected)
+
+    def test_priority_2_bound(self):
+        messages = make_messages()
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        bound = analysis.bound_for_class(messages, PriorityClass.SPORADIC)
+        higher_rate = 100 / units.ms(20) + 1000 / units.ms(20)
+        expected = (100 + 1000 + 2000 + 4000) / (CAPACITY - higher_rate) + TECHNO
+        assert bound.delay == pytest.approx(expected)
+
+    def test_priority_3_has_no_blocking_term(self):
+        messages = make_messages()
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        bound = analysis.bound_for_class(messages, PriorityClass.BACKGROUND)
+        assert bound.blocking_term == 0.0
+
+    def test_bounds_are_monotone_in_priority(self):
+        """Lower priority classes never get a smaller bound."""
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        bounds = analysis.class_bounds(make_messages())
+        delays = [bounds[cls].delay for cls in sorted(bounds)]
+        assert delays == sorted(delays)
+
+    def test_highest_priority_beats_fcfs(self):
+        """The urgent class improves over the FCFS bound (paper's point)."""
+        messages = make_messages()
+        priority = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        fcfs = FcfsMultiplexerAnalysis(CAPACITY, TECHNO)
+        assert priority.bound_for_class(
+            messages, PriorityClass.URGENT).delay < fcfs.bound(messages).delay
+
+    def test_preemptive_variant_drops_the_blocking_term(self):
+        messages = make_messages()
+        non_preemptive = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        preemptive = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO,
+                                                       preemptive=True)
+        np_bound = non_preemptive.bound_for_class(messages,
+                                                  PriorityClass.URGENT)
+        p_bound = preemptive.bound_for_class(messages, PriorityClass.URGENT)
+        assert np_bound.delay - p_bound.delay == pytest.approx(4000 / CAPACITY)
+
+    def test_single_class_priority_equals_fcfs(self):
+        """With every flow in the same class, D_p degenerates to the FCFS D."""
+        messages = [
+            Message.periodic(f"p{i}", period=units.ms(40), size=1000,
+                             source="a", destination="z")
+            for i in range(4)
+        ]
+        priority = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        fcfs = FcfsMultiplexerAnalysis(CAPACITY, TECHNO)
+        assert priority.bound_for_class(
+            messages, PriorityClass.PERIODIC).delay == pytest.approx(
+            fcfs.bound(messages).delay)
+
+
+class TestGuards:
+    def test_missing_class_rejected(self):
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY)
+        only_periodic = [Message.periodic("p", period=units.ms(20), size=100,
+                                          source="a", destination="z")]
+        with pytest.raises(EmptyAggregateError):
+            analysis.bound_for_class(only_periodic, PriorityClass.URGENT)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(EmptyAggregateError):
+            StrictPriorityMultiplexerAnalysis(CAPACITY).class_bounds([])
+
+    def test_saturated_higher_classes_raise(self):
+        messages = [
+            Message.sporadic("urgent", min_interarrival=units.ms(1),
+                             size=20_000, source="a", destination="z",
+                             deadline=units.ms(3)),
+            Message.periodic("periodic", period=units.ms(20), size=100,
+                             source="b", destination="z"),
+        ]
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY)
+        with pytest.raises(UnstableSystemError):
+            analysis.bound_for_class(messages, PriorityClass.PERIODIC)
+
+    def test_overloaded_own_class_raises_in_strict_mode(self):
+        messages = [
+            Message.periodic("heavy", period=units.ms(1), size=20_000,
+                             source="a", destination="z"),
+        ]
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY)
+        with pytest.raises(UnstableSystemError):
+            analysis.bound_for_class(messages, PriorityClass.PERIODIC)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StrictPriorityMultiplexerAnalysis(capacity=-1)
+
+
+class TestResidualServiceCurve:
+    def test_residual_curve_reproduces_the_bound(self):
+        from repro.core.netcalc import TokenBucketArrivalCurve, delay_bound
+        messages = make_messages()
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        for cls in PriorityClass:
+            grouped = analysis.group_by_class(messages)
+            if not grouped[cls]:
+                continue
+            own = [m for m in messages
+                   if priority_of(m).value <= cls.value]
+            aggregate = TokenBucketArrivalCurve(
+                bucket=sum(m.burst for m in own),
+                token_rate=sum(m.rate for m in own))
+            residual = analysis.residual_service_curve(messages, cls)
+            assert delay_bound(aggregate, residual) == pytest.approx(
+                analysis.bound_for_class(messages, cls).delay)
+
+    def test_residual_rate_excludes_higher_classes(self):
+        messages = make_messages()
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, TECHNO)
+        residual = analysis.residual_service_curve(messages,
+                                                   PriorityClass.SPORADIC)
+        higher_rate = 100 / units.ms(20) + 1000 / units.ms(20)
+        assert residual.rate == pytest.approx(CAPACITY - higher_rate)
+
+
+class TestPriorityOf:
+    def test_message_uses_paper_policy(self):
+        message = make_messages()[0]
+        assert priority_of(message) is PriorityClass.URGENT
+
+    def test_flow_uses_explicit_priority(self):
+        from repro import Flow
+        flow = Flow(make_messages()[1], priority=PriorityClass.BACKGROUND)
+        assert priority_of(flow) is PriorityClass.BACKGROUND
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            priority_of(object())

@@ -1,0 +1,60 @@
+"""Service curves."""
+
+import pytest
+
+from repro import units
+from repro.core.netcalc import ConstantRateServiceCurve, RateLatencyServiceCurve
+from repro.errors import CurveDomainError
+
+
+class TestConstantRate:
+    def test_linear_service(self):
+        curve = ConstantRateServiceCurve(units.mbps(10))
+        assert curve(0.001) == pytest.approx(10_000)
+
+    def test_zero_latency(self):
+        assert ConstantRateServiceCurve(1e6).latency == 0.0
+
+    def test_service_rate(self):
+        assert ConstantRateServiceCurve(1e6).service_rate == 1e6
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(CurveDomainError):
+            ConstantRateServiceCurve(0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(CurveDomainError):
+            ConstantRateServiceCurve(1e6)(-0.1)
+
+    def test_with_latency_degrades_to_rate_latency(self):
+        curve = ConstantRateServiceCurve(1e6).with_latency(units.us(16))
+        assert isinstance(curve, RateLatencyServiceCurve)
+        assert curve.latency == pytest.approx(units.us(16))
+        assert curve.service_rate == 1e6
+
+
+class TestRateLatency:
+    def test_zero_before_latency(self):
+        curve = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        assert curve(0.0005) == 0.0
+        assert curve(0.001) == 0.0
+
+    def test_linear_after_latency(self):
+        curve = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        assert curve(0.002) == pytest.approx(1000)
+
+    def test_properties(self):
+        curve = RateLatencyServiceCurve(rate=2e6, delay=0.003)
+        assert curve.service_rate == 2e6
+        assert curve.latency == 0.003
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CurveDomainError):
+            RateLatencyServiceCurve(rate=0, delay=0.0)
+        with pytest.raises(CurveDomainError):
+            RateLatencyServiceCurve(rate=1e6, delay=-0.1)
+
+    def test_monotone_non_decreasing(self):
+        curve = RateLatencyServiceCurve(rate=1e6, delay=0.001)
+        values = [curve(t / 1000) for t in range(10)]
+        assert values == sorted(values)

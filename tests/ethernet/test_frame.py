@@ -1,0 +1,117 @@
+"""Ethernet frames and message instances."""
+
+import pytest
+
+from repro import Message, PriorityClass, units
+from repro.errors import ConfigurationError
+from repro.ethernet.frame import (
+    MAX_PAYLOAD_BYTES,
+    MIN_PAYLOAD_BYTES,
+    MessageInstance,
+    frame_overhead_bits,
+    frames_for_instance,
+    on_wire_bits,
+    wire_burst,
+)
+
+
+def message(size_bits=256):
+    return Message.periodic("nav", period=units.ms(20), size=size_bits,
+                            source="a", destination="b")
+
+
+def instance(size_bits=256):
+    return MessageInstance(message=message(size_bits), sequence=0,
+                           release_time=0.0)
+
+
+class TestFrameSizes:
+    def test_overhead_is_42_bytes(self):
+        # preamble 8 + MACs 12 + 802.1Q 4 + ethertype 2 + FCS 4 + IFG 12
+        assert frame_overhead_bits() == 42 * 8
+
+    def test_small_payload_padded_to_minimum(self):
+        assert on_wire_bits(8) == MIN_PAYLOAD_BYTES * 8 + frame_overhead_bits()
+
+    def test_large_payload_not_padded(self):
+        assert on_wire_bits(1000 * 8) == 1000 * 8 + frame_overhead_bits()
+
+    def test_non_positive_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            on_wire_bits(0)
+
+    def test_wire_burst_single_frame(self):
+        assert wire_burst(message(256)) == on_wire_bits(256)
+
+    def test_wire_burst_fragmented_message(self):
+        size = 2 * MAX_PAYLOAD_BYTES * 8 + 80
+        burst = wire_burst(message(size))
+        expected = 2 * on_wire_bits(MAX_PAYLOAD_BYTES * 8) + on_wire_bits(80)
+        assert burst == pytest.approx(expected)
+
+
+class TestFragmentation:
+    def test_small_message_is_one_frame(self):
+        frames = frames_for_instance(instance(256), PriorityClass.PERIODIC)
+        assert len(frames) == 1
+        assert frames[0].is_last_fragment
+
+    def test_large_message_is_fragmented(self):
+        size = int(2.5 * MAX_PAYLOAD_BYTES * 8)
+        frames = frames_for_instance(instance(size), PriorityClass.PERIODIC)
+        assert len(frames) == 3
+        assert [frame.fragment_index for frame in frames] == [0, 1, 2]
+        assert frames[-1].is_last_fragment
+        assert not frames[0].is_last_fragment
+
+    def test_fragments_cover_the_whole_payload(self):
+        size = int(2.5 * MAX_PAYLOAD_BYTES * 8)
+        frames = frames_for_instance(instance(size), PriorityClass.PERIODIC)
+        assert sum(frame.payload_bits for frame in frames) == pytest.approx(size)
+
+    def test_priority_is_carried_in_every_fragment(self):
+        frames = frames_for_instance(instance(256), PriorityClass.URGENT)
+        assert all(frame.priority is PriorityClass.URGENT for frame in frames)
+
+    def test_frame_ids_are_unique(self):
+        frames = frames_for_instance(instance(int(3e4)),
+                                     PriorityClass.PERIODIC)
+        ids = [frame.frame_id for frame in frames]
+        assert len(set(ids)) == len(ids)
+
+
+class TestFrameProperties:
+    def test_addresses_proxy_the_message(self):
+        frame = frames_for_instance(instance(), PriorityClass.PERIODIC)[0]
+        assert frame.source == "a"
+        assert frame.destination == "b"
+        assert frame.flow_name == "nav"
+
+    def test_transmission_time(self):
+        frame = frames_for_instance(instance(256), PriorityClass.PERIODIC)[0]
+        assert frame.transmission_time(units.mbps(10)) == pytest.approx(
+            frame.size / 1e7)
+
+    def test_size_includes_padding_and_overhead(self):
+        frame = frames_for_instance(instance(8), PriorityClass.PERIODIC)[0]
+        assert frame.size == on_wire_bits(8)
+
+
+class TestMessageInstance:
+    def test_deadline_time(self):
+        msg = Message.sporadic("alarm", min_interarrival=units.ms(20),
+                               size=32, source="a", destination="b",
+                               deadline=units.ms(3))
+        inst = MessageInstance(message=msg, sequence=0, release_time=0.010)
+        assert inst.deadline_time == pytest.approx(0.013)
+
+    def test_no_deadline_means_none(self):
+        msg = Message.sporadic("bulk", min_interarrival=units.ms(160),
+                               size=32, source="a", destination="b")
+        inst = MessageInstance(message=msg, sequence=0, release_time=0.0)
+        assert inst.deadline_time is None
+
+    def test_instance_ids_are_unique(self):
+        first = instance()
+        second = instance()
+        assert first.instance_id != second.instance_id

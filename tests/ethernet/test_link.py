@@ -1,0 +1,144 @@
+"""Link transmitters (one direction of a full-duplex link)."""
+
+import pytest
+
+from repro import Message, PriorityClass, units
+from repro.ethernet.frame import MessageInstance, frames_for_instance
+from repro.ethernet.link import LinkTransmitter
+from repro.shaping import FifoQueue, StrictPriorityQueues
+from repro.simulation import Simulator
+
+
+def make_frame(size_words=16, priority=PriorityClass.PERIODIC, name="m"):
+    message = Message.periodic(name, period=units.ms(20),
+                               size=units.words1553(size_words),
+                               source="a", destination="b")
+    instance = MessageInstance(message=message, sequence=0, release_time=0.0)
+    return frames_for_instance(instance, priority)[0]
+
+
+def make_transmitter(simulator, delivered, queue=None, capacity=units.mbps(10),
+                     propagation=0.0):
+    if queue is None:
+        queue = FifoQueue()
+    return LinkTransmitter(simulator=simulator, name="a->b",
+                           capacity=capacity, propagation_delay=propagation,
+                           queue=queue, deliver=delivered.append)
+
+
+class TestTransmission:
+    def test_single_frame_delivered_after_transmission_time(self):
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered)
+        frame = make_frame()
+        transmitter.enqueue(frame)
+        sim.run()
+        assert delivered == [frame]
+        assert sim.now == pytest.approx(frame.size / units.mbps(10))
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered, propagation=1e-5)
+        frame = make_frame()
+        transmitter.enqueue(frame)
+        sim.run()
+        assert sim.now == pytest.approx(frame.size / units.mbps(10) + 1e-5)
+
+    def test_frames_serialised_back_to_back(self):
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered)
+        first, second = make_frame(name="m1"), make_frame(name="m2")
+        transmitter.enqueue(first)
+        transmitter.enqueue(second)
+        sim.run()
+        assert delivered == [first, second]
+        assert sim.now == pytest.approx((first.size + second.size) / 1e7)
+
+    def test_statistics(self):
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered)
+        frame = make_frame()
+        transmitter.enqueue(frame)
+        sim.run()
+        assert transmitter.frames_sent.value == 1
+        assert transmitter.bits_sent == frame.size
+        assert transmitter.busy_time == pytest.approx(frame.size / 1e7)
+        assert transmitter.utilization(1.0) == pytest.approx(frame.size / 1e7)
+
+    def test_priority_queue_reorders_waiting_frames(self):
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered,
+                                       queue=StrictPriorityQueues())
+        background = make_frame(priority=PriorityClass.BACKGROUND, name="bg1")
+        blocking = make_frame(priority=PriorityClass.BACKGROUND, name="bg2")
+        urgent = make_frame(priority=PriorityClass.URGENT, name="urg")
+        # The first background frame starts transmitting (non-preemption);
+        # the urgent frame then overtakes the second background frame.
+        transmitter.enqueue(background)
+        transmitter.enqueue(blocking)
+        transmitter.enqueue(urgent)
+        sim.run()
+        assert [frame.flow_name for frame in delivered] == [
+            "bg1", "urg", "bg2"]
+
+    def test_non_preemption(self):
+        """A frame already in transmission is never interrupted."""
+        sim = Simulator()
+        delivered = []
+        transmitter = make_transmitter(sim, delivered,
+                                       queue=StrictPriorityQueues())
+        background = make_frame(priority=PriorityClass.BACKGROUND, name="bg")
+        urgent = make_frame(priority=PriorityClass.URGENT, name="urg")
+        transmitter.enqueue(background)
+        # Enqueue the urgent frame while the background one is on the wire.
+        sim.schedule(background.size / units.mbps(10) / 2,
+                     transmitter.enqueue, urgent)
+        sim.run()
+        assert [frame.flow_name for frame in delivered] == ["bg", "urg"]
+        # The urgent frame completes only after the background one finishes
+        # plus its own transmission time.
+        assert sim.now == pytest.approx(
+            (background.size + urgent.size) / units.mbps(10))
+
+
+class TestDrops:
+    def test_queue_overflow_counts_drops(self):
+        sim = Simulator()
+        delivered = []
+        frame = make_frame()
+        queue = FifoQueue(capacity=frame.size * 1.5)
+        transmitter = make_transmitter(sim, delivered, queue=queue)
+        # The first frame goes straight to the server (leaves the queue), the
+        # second occupies the queue and the third overflows it.
+        transmitter.enqueue(make_frame(name="m1"))
+        transmitter.enqueue(make_frame(name="m2"))
+        accepted = transmitter.enqueue(make_frame(name="m3"))
+        assert not accepted
+        assert transmitter.drops == 1
+        sim.run()
+        assert len(delivered) == 2
+
+
+class TestValidation:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(Exception):
+            LinkTransmitter(Simulator(), "x", capacity=0,
+                            propagation_delay=0.0, queue=FifoQueue(),
+                            deliver=lambda frame: None)
+
+    def test_negative_propagation_rejected(self):
+        with pytest.raises(Exception):
+            LinkTransmitter(Simulator(), "x", capacity=1e6,
+                            propagation_delay=-1.0, queue=FifoQueue(),
+                            deliver=lambda frame: None)
+
+    def test_utilization_requires_positive_duration(self):
+        sim = Simulator()
+        transmitter = make_transmitter(sim, [])
+        with pytest.raises(Exception):
+            transmitter.utilization(0.0)

@@ -1,0 +1,163 @@
+"""End stations: shaping, multiplexing, reception."""
+
+import pytest
+
+from repro import Flow, Message, units
+from repro.errors import ConfigurationError
+from repro.ethernet.frame import MessageInstance, wire_burst
+from repro.ethernet.link import LinkTransmitter
+from repro.ethernet.station import EndStation
+from repro.shaping import FifoQueue
+from repro.simulation import Simulator
+
+
+def make_message(name="nav", period_ms=20, size_words=16, source="tx",
+                 destination="rx"):
+    return Message.periodic(name, period=units.ms(period_ms),
+                            size=units.words1553(size_words),
+                            source=source, destination=destination)
+
+
+def wire_stations(simulator, shaping_enabled=True):
+    """A transmitting station connected straight to a receiving station."""
+    sender = EndStation(simulator, "tx", shaping_enabled=shaping_enabled)
+    receiver = EndStation(simulator, "rx")
+    uplink = LinkTransmitter(simulator=simulator, name="tx->rx",
+                             capacity=units.mbps(10), propagation_delay=0.0,
+                             queue=FifoQueue(), deliver=receiver.receive)
+    sender.attach_uplink(uplink)
+    return sender, receiver
+
+
+class TestFlowRegistration:
+    def test_register_and_lookup(self):
+        sim = Simulator()
+        sender, __ = wire_stations(sim)
+        flow = Flow(make_message())
+        sender.register_flow(flow)
+        assert sender.flows == [flow]
+        assert sender.shaper("nav").bucket.bucket_size == pytest.approx(
+            wire_burst(flow.message))
+
+    def test_register_foreign_flow_rejected(self):
+        sim = Simulator()
+        sender, __ = wire_stations(sim)
+        foreign = Flow(make_message(source="other"))
+        with pytest.raises(ConfigurationError):
+            sender.register_flow(foreign)
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        sender, __ = wire_stations(sim)
+        sender.register_flow(Flow(make_message()))
+        with pytest.raises(ConfigurationError):
+            sender.register_flow(Flow(make_message()))
+
+    def test_shaper_rate_matches_wire_burst_over_period(self):
+        sim = Simulator()
+        sender, __ = wire_stations(sim)
+        message = make_message()
+        sender.register_flow(Flow(message))
+        bucket = sender.shaper("nav").bucket
+        assert bucket.token_rate == pytest.approx(
+            wire_burst(message) / message.period)
+
+
+class TestEmissionAndReception:
+    def test_instance_is_delivered_and_latency_recorded(self):
+        sim = Simulator()
+        sender, receiver = wire_stations(sim)
+        message = make_message()
+        sender.register_flow(Flow(message))
+        deliveries = []
+        receiver.add_delivery_listener(
+            lambda instance, latency: deliveries.append((instance, latency)))
+        sender.submit(MessageInstance(message=message, sequence=0,
+                                      release_time=0.0))
+        sim.run()
+        assert len(deliveries) == 1
+        instance, latency = deliveries[0]
+        assert instance.message.name == "nav"
+        assert latency == pytest.approx(wire_burst(message) / units.mbps(10))
+        assert sender.instances_sent.value == 1
+        assert receiver.instances_received.value == 1
+
+    def test_submitting_unregistered_flow_rejected(self):
+        sim = Simulator()
+        sender, __ = wire_stations(sim)
+        with pytest.raises(ConfigurationError):
+            sender.submit(MessageInstance(message=make_message(),
+                                          sequence=0, release_time=0.0))
+
+    def test_submit_without_uplink_rejected(self):
+        sim = Simulator()
+        station = EndStation(sim, "tx")
+        message = make_message()
+        station.register_flow(Flow(message))
+        with pytest.raises(ConfigurationError):
+            station.submit(MessageInstance(message=message, sequence=0,
+                                           release_time=0.0))
+
+    def test_receiving_foreign_frame_rejected(self):
+        sim = Simulator()
+        sender, receiver = wire_stations(sim)
+        message = make_message(destination="someone-else")
+        from repro.ethernet.frame import frames_for_instance
+        from repro.flows.priorities import PriorityClass
+        frame = frames_for_instance(
+            MessageInstance(message=message, sequence=0, release_time=0.0),
+            PriorityClass.PERIODIC)[0]
+        with pytest.raises(ConfigurationError):
+            receiver.receive(frame)
+
+    def test_shaper_spaces_back_to_back_instances(self):
+        """Two instances submitted together leave at least b/r apart."""
+        sim = Simulator()
+        sender, receiver = wire_stations(sim)
+        message = make_message(period_ms=20)
+        sender.register_flow(Flow(message))
+        deliveries = []
+        receiver.add_delivery_listener(
+            lambda instance, latency: deliveries.append(sim.now))
+        sender.submit(MessageInstance(message=message, sequence=0,
+                                      release_time=0.0))
+        sender.submit(MessageInstance(message=message, sequence=1,
+                                      release_time=0.0))
+        sim.run()
+        assert len(deliveries) == 2
+        # The second instance must wait for the bucket to refill: the gap is
+        # at least one period minus the transmission time.
+        spacing = deliveries[1] - deliveries[0]
+        assert spacing >= message.period - 1e-9
+
+    def test_shaping_disabled_sends_back_to_back(self):
+        sim = Simulator()
+        sender, receiver = wire_stations(sim, shaping_enabled=False)
+        message = make_message(period_ms=20)
+        sender.register_flow(Flow(message))
+        deliveries = []
+        receiver.add_delivery_listener(
+            lambda instance, latency: deliveries.append(sim.now))
+        sender.submit(MessageInstance(message=message, sequence=0,
+                                      release_time=0.0))
+        sender.submit(MessageInstance(message=message, sequence=1,
+                                      release_time=0.0))
+        sim.run()
+        spacing = deliveries[1] - deliveries[0]
+        assert spacing == pytest.approx(wire_burst(message) / units.mbps(10))
+
+    def test_fragmented_instance_counted_once(self):
+        sim = Simulator()
+        sender, receiver = wire_stations(sim)
+        big = Message.periodic("bulk", period=units.ms(160),
+                               size=units.bytes_(4000), source="tx",
+                               destination="rx")
+        sender.register_flow(Flow(big))
+        deliveries = []
+        receiver.add_delivery_listener(
+            lambda instance, latency: deliveries.append(instance))
+        sender.submit(MessageInstance(message=big, sequence=0,
+                                      release_time=0.0))
+        sim.run()
+        assert len(deliveries) == 1
+        assert receiver.frames_received.value == 3  # 4000 B -> 3 frames

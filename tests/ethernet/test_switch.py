@@ -1,0 +1,104 @@
+"""Store-and-forward switches."""
+
+import pytest
+
+from repro import Message, PriorityClass, units
+from repro.errors import ConfigurationError
+from repro.ethernet.frame import MessageInstance, frames_for_instance
+from repro.ethernet.link import LinkTransmitter
+from repro.ethernet.switch import EthernetSwitch
+from repro.shaping import FifoQueue
+from repro.simulation import Simulator
+
+
+def make_frame(destination="rx"):
+    message = Message.periodic("nav", period=units.ms(20),
+                               size=units.words1553(16),
+                               source="tx", destination=destination)
+    instance = MessageInstance(message=message, sequence=0, release_time=0.0)
+    return frames_for_instance(instance, PriorityClass.PERIODIC)[0]
+
+
+def switch_with_port(simulator, technology_delay=0.0):
+    delivered = []
+    switch = EthernetSwitch(simulator, "sw",
+                            technology_delay=technology_delay)
+    port = LinkTransmitter(simulator=simulator, name="sw->rx",
+                           capacity=units.mbps(10), propagation_delay=0.0,
+                           queue=FifoQueue(), deliver=delivered.append)
+    switch.attach_output_port("rx", port)
+    switch.add_forwarding_entry("rx", "rx")
+    return switch, delivered
+
+
+class TestRelaying:
+    def test_frame_forwarded_to_the_right_port(self):
+        sim = Simulator()
+        switch, delivered = switch_with_port(sim)
+        frame = make_frame()
+        switch.receive(frame)
+        sim.run()
+        assert delivered == [frame]
+        assert switch.frames_relayed.value == 1
+
+    def test_technology_delay_applied(self):
+        sim = Simulator()
+        switch, delivered = switch_with_port(sim,
+                                             technology_delay=units.us(100))
+        frame = make_frame()
+        switch.receive(frame)
+        sim.run()
+        assert sim.now == pytest.approx(
+            units.us(100) + frame.size / units.mbps(10))
+
+    def test_unknown_destination_raises(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        frame = make_frame(destination="stranger")
+        switch.receive(frame)
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+
+class TestConfiguration:
+    def test_duplicate_port_rejected(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        other = LinkTransmitter(simulator=sim, name="sw->rx2",
+                                capacity=units.mbps(10),
+                                propagation_delay=0.0, queue=FifoQueue(),
+                                deliver=lambda frame: None)
+        with pytest.raises(ConfigurationError):
+            switch.attach_output_port("rx", other)
+
+    def test_forwarding_to_unknown_port_rejected(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        with pytest.raises(ConfigurationError):
+            switch.add_forwarding_entry("rx2", "missing-port")
+
+    def test_conflicting_forwarding_entries_rejected(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        other = LinkTransmitter(simulator=sim, name="sw->alt",
+                                capacity=units.mbps(10),
+                                propagation_delay=0.0, queue=FifoQueue(),
+                                deliver=lambda frame: None)
+        switch.attach_output_port("alt", other)
+        with pytest.raises(ConfigurationError):
+            switch.add_forwarding_entry("rx", "alt")
+
+    def test_idempotent_forwarding_entry_allowed(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        switch.add_forwarding_entry("rx", "rx")  # same entry again
+
+    def test_negative_technology_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EthernetSwitch(Simulator(), "sw", technology_delay=-1e-6)
+
+    def test_output_port_accessors(self):
+        sim = Simulator()
+        switch, __ = switch_with_port(sim)
+        assert "rx" in switch.output_ports
+        assert switch.output_port("rx").name == "sw->rx"

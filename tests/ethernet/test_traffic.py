@@ -1,0 +1,153 @@
+"""Traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro import Flow, Message, units
+from repro.errors import ConfigurationError
+from repro.ethernet.link import LinkTransmitter
+from repro.ethernet.station import EndStation
+from repro.ethernet.traffic import PeriodicSource, SporadicSource
+from repro.shaping import FifoQueue
+from repro.simulation import Simulator
+
+
+def make_station(simulator):
+    station = EndStation(simulator, "tx")
+    sink = EndStation(simulator, "rx")
+    uplink = LinkTransmitter(simulator=simulator, name="tx->rx",
+                             capacity=units.mbps(100), propagation_delay=0.0,
+                             queue=FifoQueue(), deliver=sink.receive)
+    station.attach_uplink(uplink)
+    return station
+
+
+def periodic_message(period_ms=20):
+    return Message.periodic("nav", period=units.ms(period_ms),
+                            size=units.words1553(8), source="tx",
+                            destination="rx")
+
+
+def sporadic_message(interarrival_ms=20):
+    return Message.sporadic("alarm", min_interarrival=units.ms(interarrival_ms),
+                            size=units.words1553(2), source="tx",
+                            destination="rx", deadline=units.ms(3))
+
+
+class TestPeriodicSource:
+    def test_release_count_matches_duration_over_period(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = periodic_message(period_ms=20)
+        station.register_flow(Flow(message))
+        source = PeriodicSource(sim, station, message)
+        source.start(until=units.ms(100))
+        sim.run()
+        assert source.instances_released == 5  # 0, 20, 40, 60, 80 ms
+
+    def test_offset_shifts_the_first_release(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = periodic_message(period_ms=20)
+        station.register_flow(Flow(message))
+        source = PeriodicSource(sim, station, message, offset=units.ms(15))
+        source.start(until=units.ms(60))
+        sim.run()
+        assert source.instances_released == 3  # 15, 35, 55 ms
+
+    def test_offset_beyond_duration_releases_nothing(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = periodic_message()
+        station.register_flow(Flow(message))
+        source = PeriodicSource(sim, station, message, offset=units.ms(200))
+        source.start(until=units.ms(100))
+        sim.run()
+        assert source.instances_released == 0
+
+    def test_jitter_requires_a_generator(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = periodic_message()
+        with pytest.raises(ConfigurationError):
+            PeriodicSource(sim, station, message, jitter=units.ms(1))
+
+    def test_jittered_releases_never_reorder(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = periodic_message()
+        station.register_flow(Flow(message))
+        release_times = []
+        original_submit = station.submit
+        station.submit = lambda instance: (release_times.append(sim.now),
+                                           original_submit(instance))
+        source = PeriodicSource(sim, station, message, jitter=units.ms(5),
+                                rng=np.random.default_rng(1))
+        source.start(until=units.ms(200))
+        sim.run()
+        assert release_times == sorted(release_times)
+
+    def test_sporadic_message_rejected(self):
+        sim = Simulator()
+        station = make_station(sim)
+        with pytest.raises(ConfigurationError):
+            PeriodicSource(sim, station, sporadic_message())
+
+    def test_wrong_station_rejected(self):
+        sim = Simulator()
+        station = make_station(sim)
+        foreign = Message.periodic("x", period=units.ms(20), size=32,
+                                   source="other", destination="rx")
+        with pytest.raises(ConfigurationError):
+            PeriodicSource(sim, station, foreign)
+
+
+class TestSporadicSource:
+    def test_greedy_releases_at_the_minimal_interarrival(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = sporadic_message(interarrival_ms=20)
+        station.register_flow(Flow(message))
+        source = SporadicSource(sim, station, message, greedy=True)
+        source.start(until=units.ms(100))
+        sim.run()
+        assert source.instances_released == 5
+
+    def test_non_greedy_spacing_is_at_least_the_interarrival(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = sporadic_message(interarrival_ms=20)
+        station.register_flow(Flow(message))
+        release_times = []
+        original_submit = station.submit
+        station.submit = lambda instance: (release_times.append(sim.now),
+                                           original_submit(instance))
+        source = SporadicSource(sim, station, message, greedy=False,
+                                mean_slack=units.ms(10),
+                                rng=np.random.default_rng(5))
+        source.start(until=units.ms(400))
+        sim.run()
+        spacings = np.diff(release_times)
+        assert (spacings >= units.ms(20) - 1e-9).all()
+
+    def test_non_greedy_without_rng_rejected(self):
+        sim = Simulator()
+        station = make_station(sim)
+        with pytest.raises(ConfigurationError):
+            SporadicSource(sim, station, sporadic_message(), greedy=False,
+                           mean_slack=units.ms(10))
+
+    def test_periodic_message_rejected(self):
+        sim = Simulator()
+        station = make_station(sim)
+        with pytest.raises(ConfigurationError):
+            SporadicSource(sim, station, periodic_message())
+
+    def test_invalid_until_rejected(self):
+        sim = Simulator()
+        station = make_station(sim)
+        message = sporadic_message()
+        station.register_flow(Flow(message))
+        source = SporadicSource(sim, station, message)
+        with pytest.raises(ConfigurationError):
+            source.start(until=0.0)

@@ -1,0 +1,65 @@
+"""Flows (routed messages)."""
+
+import pytest
+
+from repro import Flow, Message, PriorityClass, units
+from repro.errors import InvalidFlowError
+
+
+def message(**overrides):
+    defaults = dict(name="nav", period=units.ms(20), size=128,
+                    source="station-00", destination="station-01")
+    defaults.update(overrides)
+    return Message.periodic(**defaults)
+
+
+class TestFlowConstruction:
+    def test_priority_defaults_to_paper_policy(self):
+        assert Flow(message()).priority is PriorityClass.PERIODIC
+
+    def test_explicit_priority_is_kept(self):
+        flow = Flow(message(), priority=PriorityClass.URGENT)
+        assert flow.priority is PriorityClass.URGENT
+
+    def test_integer_priority_is_coerced(self):
+        assert Flow(message(), priority=2).priority is PriorityClass.SPORADIC
+
+    def test_proxies_to_the_message(self):
+        flow = Flow(message())
+        assert flow.name == "nav"
+        assert flow.source == "station-00"
+        assert flow.destination == "station-01"
+        assert flow.burst == 128
+        assert flow.rate == pytest.approx(128 / 0.02)
+        assert flow.deadline == pytest.approx(units.ms(20))
+
+
+class TestPathHandling:
+    def test_with_path_returns_routed_copy(self):
+        flow = Flow(message())
+        routed = flow.with_path(["station-00", "switch-0", "station-01"])
+        assert routed.path == ("station-00", "switch-0", "station-01")
+        assert flow.path == ()
+
+    def test_path_must_start_at_source(self):
+        with pytest.raises(InvalidFlowError):
+            Flow(message(), path=("switch-0", "station-01"))
+
+    def test_path_must_end_at_destination(self):
+        with pytest.raises(InvalidFlowError):
+            Flow(message(),
+                 path=("station-00", "switch-0", "station-02"))
+
+    def test_hops_are_consecutive_pairs(self):
+        flow = Flow(message()).with_path(
+            ["station-00", "switch-0", "station-01"])
+        assert flow.hops() == [("station-00", "switch-0"),
+                               ("switch-0", "station-01")]
+
+    def test_hops_empty_without_path(self):
+        assert Flow(message()).hops() == []
+
+    def test_switches_are_the_intermediate_nodes(self):
+        flow = Flow(message()).with_path(
+            ["station-00", "leaf-0", "core", "leaf-1", "station-01"])
+        assert flow.switches() == ["leaf-0", "core", "leaf-1"]

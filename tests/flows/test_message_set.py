@@ -1,0 +1,108 @@
+"""Message sets."""
+
+import pytest
+
+from repro import Message, MessageSet, PriorityClass, units
+from repro.errors import InvalidWorkloadError
+
+
+class TestCollectionBehaviour:
+    def test_len_and_contains(self, tiny_message_set):
+        assert len(tiny_message_set) == 5
+        assert "nav" in tiny_message_set
+        assert "unknown" not in tiny_message_set
+
+    def test_getitem(self, tiny_message_set):
+        assert tiny_message_set["alarm"].deadline == pytest.approx(units.ms(3))
+
+    def test_duplicate_names_rejected(self, tiny_message_set):
+        with pytest.raises(InvalidWorkloadError):
+            tiny_message_set.add(tiny_message_set["nav"])
+
+    def test_iteration_preserves_insertion_order(self, tiny_message_set):
+        assert [m.name for m in tiny_message_set] == [
+            "nav", "air", "alarm", "status", "maintenance"]
+
+    def test_extend(self):
+        message_set = MessageSet()
+        message_set.extend([
+            Message.periodic("a", period=0.02, size=16, source="x",
+                             destination="y"),
+            Message.periodic("b", period=0.02, size=16, source="x",
+                             destination="y"),
+        ])
+        assert len(message_set) == 2
+
+
+class TestViews:
+    def test_periodic_and_sporadic_partition(self, tiny_message_set):
+        periodic = {m.name for m in tiny_message_set.periodic()}
+        sporadic = {m.name for m in tiny_message_set.sporadic()}
+        assert periodic == {"nav", "air"}
+        assert sporadic == {"alarm", "status", "maintenance"}
+
+    def test_by_source(self, tiny_message_set):
+        by_source = tiny_message_set.by_source()
+        assert {m.name for m in by_source["station-02"]} == {"air", "status"}
+
+    def test_by_destination(self, tiny_message_set):
+        by_destination = tiny_message_set.by_destination()
+        assert {m.name for m in by_destination["station-01"]} == {
+            "nav", "air", "alarm"}
+
+    def test_by_priority_includes_every_class(self, tiny_message_set):
+        by_priority = tiny_message_set.by_priority()
+        assert set(by_priority) == set(PriorityClass)
+        assert {m.name for m in by_priority[PriorityClass.URGENT]} == {"alarm"}
+        assert {m.name for m in by_priority[PriorityClass.BACKGROUND]} == {
+            "maintenance"}
+
+    def test_filter(self, tiny_message_set):
+        large = tiny_message_set.filter(lambda m: m.size >= units.words1553(24))
+        assert {m.name for m in large} == {"status", "maintenance"}
+
+    def test_from_station(self, tiny_message_set):
+        assert {m.name for m in tiny_message_set.from_station("station-02")} \
+            == {"air", "status"}
+
+    def test_stations_union_of_sources_and_destinations(self, tiny_message_set):
+        assert tiny_message_set.stations() == [
+            "station-00", "station-01", "station-02", "station-03"]
+
+
+class TestAggregates:
+    def test_total_burst_and_rate(self, tiny_message_set):
+        expected_burst = sum(m.size for m in tiny_message_set)
+        expected_rate = sum(m.size / m.period for m in tiny_message_set)
+        assert tiny_message_set.total_burst() == pytest.approx(expected_burst)
+        assert tiny_message_set.total_rate() == pytest.approx(expected_rate)
+
+    def test_max_burst(self, tiny_message_set):
+        assert tiny_message_set.max_burst() == units.words1553(64)
+
+    def test_max_burst_of_empty_set_is_zero(self):
+        assert MessageSet().max_burst() == 0.0
+
+    def test_utilization(self, tiny_message_set):
+        utilization = tiny_message_set.utilization(units.mbps(10))
+        assert 0 < utilization < 1
+
+    def test_utilization_rejects_bad_capacity(self, tiny_message_set):
+        with pytest.raises(InvalidWorkloadError):
+            tiny_message_set.utilization(0)
+
+    def test_period_extremes(self, tiny_message_set):
+        assert tiny_message_set.smallest_period() == pytest.approx(units.ms(20))
+        assert tiny_message_set.largest_period() == pytest.approx(units.ms(160))
+
+    def test_period_extremes_of_empty_set_raise(self):
+        with pytest.raises(InvalidWorkloadError):
+            MessageSet().smallest_period()
+
+    def test_summary_counts(self, tiny_message_set):
+        summary = tiny_message_set.summary()
+        assert summary["messages"] == 5
+        assert summary["periodic"] == 2
+        assert summary["sporadic"] == 3
+        assert summary["stations"] == 4
+        assert summary["class_0"] == 1

@@ -1,0 +1,109 @@
+"""Message characterisation."""
+
+import pytest
+
+from repro import Message, MessageKind, units
+from repro.errors import InvalidMessageError
+
+
+def periodic(**overrides):
+    defaults = dict(name="nav", period=units.ms(20),
+                    size=units.words1553(8), source="a", destination="b")
+    defaults.update(overrides)
+    return Message.periodic(**defaults)
+
+
+class TestConstruction:
+    def test_periodic_constructor_sets_kind(self):
+        assert periodic().kind is MessageKind.PERIODIC
+
+    def test_sporadic_constructor_sets_kind(self):
+        message = Message.sporadic("alarm", min_interarrival=units.ms(20),
+                                   size=32, source="a", destination="b",
+                                   deadline=units.ms(3))
+        assert message.kind is MessageKind.SPORADIC
+        assert message.is_sporadic and not message.is_periodic
+
+    def test_periodic_default_deadline_is_the_period(self):
+        assert periodic().deadline == pytest.approx(units.ms(20))
+
+    def test_periodic_explicit_deadline_kept(self):
+        assert periodic(deadline=units.ms(5)).deadline == units.ms(5)
+
+    def test_sporadic_deadline_may_be_none(self):
+        message = Message.sporadic("bulk", min_interarrival=units.ms(160),
+                                   size=512, source="a", destination="b")
+        assert message.deadline is None
+
+    def test_metadata_is_stored(self):
+        assert periodic(words=8).metadata == {"words": 8}
+
+    def test_metadata_does_not_affect_equality(self):
+        assert periodic(words=8) == periodic(words=16)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            Message(name="", kind=MessageKind.PERIODIC, period=1.0, size=1,
+                    source="a", destination="b")
+
+    def test_non_positive_period_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            periodic(period=0.0)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            periodic(size=0)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            periodic(deadline=0.0)
+
+    def test_same_source_and_destination_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            periodic(destination="a")
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            periodic(source="")
+
+
+class TestDerivedQuantities:
+    def test_rate_is_size_over_period(self):
+        message = periodic(period=units.ms(20), size=units.words1553(8))
+        assert message.rate == pytest.approx(128 / 0.02)
+
+    def test_burst_is_the_size(self):
+        assert periodic(size=256).burst == 256
+
+    def test_utilization(self):
+        message = periodic(period=units.ms(20), size=200)
+        assert message.utilization(units.mbps(10)) == pytest.approx(1e-3)
+
+    def test_utilization_rejects_bad_capacity(self):
+        with pytest.raises(InvalidMessageError):
+            periodic().utilization(0)
+
+    def test_transmission_time(self):
+        assert periodic(size=1000).transmission_time(units.mbps(10)) == \
+            pytest.approx(1e-4)
+
+    def test_transmission_time_rejects_bad_capacity(self):
+        with pytest.raises(InvalidMessageError):
+            periodic().transmission_time(-1)
+
+
+class TestCopies:
+    def test_with_deadline_returns_new_message(self):
+        original = periodic()
+        modified = original.with_deadline(units.ms(5))
+        assert modified.deadline == units.ms(5)
+        assert original.deadline == units.ms(20)
+
+    def test_with_size_returns_new_message(self):
+        original = periodic(size=128)
+        modified = original.with_size(256)
+        assert modified.size == 256
+        assert original.size == 128
+        assert modified.name == original.name

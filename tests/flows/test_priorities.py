@@ -1,0 +1,70 @@
+"""The paper's priority-assignment policy."""
+
+import pytest
+
+from repro import Message, PriorityClass, assign_priority, units
+
+
+def sporadic(deadline):
+    return Message.sporadic("m", min_interarrival=units.ms(20), size=32,
+                            source="a", destination="b", deadline=deadline)
+
+
+class TestPriorityClass:
+    def test_four_classes(self):
+        assert len(PriorityClass) == 4
+
+    def test_urgent_is_numerically_smallest(self):
+        assert PriorityClass.URGENT == 0
+        assert PriorityClass.BACKGROUND == 3
+
+    def test_ordering_matches_urgency(self):
+        assert PriorityClass.URGENT < PriorityClass.PERIODIC
+        assert PriorityClass.PERIODIC < PriorityClass.SPORADIC
+        assert PriorityClass.SPORADIC < PriorityClass.BACKGROUND
+
+    def test_is_higher_or_equal(self):
+        assert PriorityClass.URGENT.is_higher_or_equal(PriorityClass.SPORADIC)
+        assert PriorityClass.URGENT.is_higher_or_equal(PriorityClass.URGENT)
+        assert not PriorityClass.BACKGROUND.is_higher_or_equal(
+            PriorityClass.URGENT)
+
+    def test_labels_mention_the_constraint(self):
+        assert "3 ms" in PriorityClass.URGENT.label
+        assert "periodic" in PriorityClass.PERIODIC.label.lower()
+
+
+class TestAssignPriority:
+    def test_periodic_messages_get_priority_1(self):
+        message = Message.periodic("nav", period=units.ms(40), size=64,
+                                   source="a", destination="b")
+        assert assign_priority(message) is PriorityClass.PERIODIC
+
+    def test_periodic_priority_ignores_deadline(self):
+        # Even a periodic message with a very tight deadline stays in P1,
+        # exactly as the paper assigns priorities by traffic type.
+        message = Message.periodic("nav", period=units.ms(20), size=64,
+                                   source="a", destination="b",
+                                   deadline=units.ms(2))
+        assert assign_priority(message) is PriorityClass.PERIODIC
+
+    def test_sporadic_with_3ms_deadline_is_urgent(self):
+        assert assign_priority(sporadic(units.ms(3))) is PriorityClass.URGENT
+
+    def test_sporadic_below_3ms_is_urgent(self):
+        assert assign_priority(sporadic(units.ms(1))) is PriorityClass.URGENT
+
+    @pytest.mark.parametrize("deadline_ms", [20, 40, 80, 160])
+    def test_sporadic_between_20_and_160ms_is_priority_2(self, deadline_ms):
+        assert assign_priority(sporadic(units.ms(deadline_ms))) is \
+            PriorityClass.SPORADIC
+
+    def test_sporadic_just_above_3ms_is_priority_2(self):
+        assert assign_priority(sporadic(units.ms(5))) is PriorityClass.SPORADIC
+
+    def test_sporadic_above_160ms_is_background(self):
+        assert assign_priority(sporadic(units.ms(200))) is \
+            PriorityClass.BACKGROUND
+
+    def test_sporadic_without_deadline_is_background(self):
+        assert assign_priority(sporadic(None)) is PriorityClass.BACKGROUND

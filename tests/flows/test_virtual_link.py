@@ -1,0 +1,59 @@
+"""AFDX virtual links."""
+
+import pytest
+
+from repro import Message, MessageKind, units
+from repro.errors import InvalidMessageError
+from repro.flows import VirtualLink
+from repro.flows.virtual_link import STANDARD_BAGS
+
+
+class TestVirtualLink:
+    def make(self, **overrides):
+        defaults = dict(name="vl-1", bag=units.ms(8),
+                        max_frame_size=units.bytes_(200),
+                        source="es-1", destination="es-2",
+                        deadline=units.ms(10))
+        defaults.update(overrides)
+        return VirtualLink(**defaults)
+
+    def test_rate_is_smax_over_bag(self):
+        vl = self.make()
+        assert vl.rate == pytest.approx(units.bytes_(200) / units.ms(8))
+
+    def test_burst_is_smax(self):
+        assert self.make().burst == units.bytes_(200)
+
+    def test_standard_bag_detection(self):
+        assert self.make(bag=units.ms(8)).is_standard_bag
+        assert not self.make(bag=units.ms(7)).is_standard_bag
+
+    def test_standard_bags_are_the_arinc_ladder(self):
+        assert len(STANDARD_BAGS) == 8
+        assert STANDARD_BAGS[0] == pytest.approx(units.ms(1))
+        assert STANDARD_BAGS[-1] == pytest.approx(units.ms(128))
+
+    def test_non_positive_bag_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            self.make(bag=0.0)
+
+    def test_non_positive_smax_rejected(self):
+        with pytest.raises(InvalidMessageError):
+            self.make(max_frame_size=0.0)
+
+    def test_to_message_is_sporadic(self):
+        message = self.make().to_message()
+        assert message.kind is MessageKind.SPORADIC
+        assert message.period == pytest.approx(units.ms(8))
+        assert message.size == units.bytes_(200)
+        assert message.deadline == pytest.approx(units.ms(10))
+        assert message.metadata["virtual_link"] is True
+
+    def test_from_message_roundtrip(self):
+        message = Message.sporadic("vl-x", min_interarrival=units.ms(16),
+                                   size=units.bytes_(100), source="a",
+                                   destination="b", deadline=units.ms(20))
+        vl = VirtualLink.from_message(message)
+        assert vl.bag == pytest.approx(units.ms(16))
+        assert vl.max_frame_size == units.bytes_(100)
+        assert vl.to_message().size == message.size

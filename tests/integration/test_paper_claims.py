@@ -1,0 +1,80 @@
+"""Integration: the paper's claims, end to end, on the full pipeline.
+
+These tests chain workload generation, the analytic models and the reporting
+layer exactly as the benchmark harness does, and assert the qualitative
+findings of the paper (Figure 1 and the surrounding discussion).
+"""
+
+import pytest
+
+from repro import PaperCaseStudy, PriorityClass, units
+from repro.analysis import fcfs_violation_table, technology_comparison
+from repro.reporting import format_ms, render_bar_chart, render_table
+from repro.workloads import RealCaseParameters, generate_real_case
+
+
+class TestFigure1Pipeline:
+    def test_full_pipeline_renders_figure1(self, real_case):
+        study = PaperCaseStudy(real_case)
+        rows = study.figure1_rows()
+        table = render_table(
+            ["class", "deadline", "fcfs", "priority"],
+            [(row.priority.label, format_ms(row.deadline),
+              format_ms(row.fcfs_bound), format_ms(row.priority_bound))
+             for row in rows],
+            title="Figure 1")
+        assert "Figure 1" in table
+        assert "P0 urgent sporadic" in table
+        chart = render_bar_chart(
+            [row.priority.name for row in rows],
+            [units.to_ms(row.priority_bound) for row in rows], unit="ms")
+        assert chart.count("\n") >= len(rows)
+
+    def test_headline_claims_hold_for_several_seeds(self):
+        """The qualitative result is not an artefact of the default seed."""
+        for seed in (1, 7, 23):
+            study = PaperCaseStudy(generate_real_case(seed=seed))
+            assert study.fcfs_violates_constraints(), seed
+            assert study.priority_meets_all_constraints(), seed
+            assert study.urgent_priority_bound_below_3ms(), seed
+            assert study.periodic_priority_bound_below_fcfs(), seed
+
+    def test_headline_claims_hold_for_a_larger_system(self):
+        params = RealCaseParameters(station_count=24)
+        study = PaperCaseStudy(generate_real_case(params, seed=11))
+        assert study.fcfs_violates_constraints()
+        assert study.priority_meets_all_constraints()
+
+    def test_speed_alone_is_not_sufficient_but_priorities_are(self, real_case):
+        """The paper's core argument, as one boolean expression."""
+        ten_mbps = PaperCaseStudy(real_case, capacity=units.mbps(10))
+        one_mbps_equivalent = real_case.total_rate() / units.mbps(1)
+        # The aggregate traffic would overload the 1 Mbps 1553B bus ten times
+        # less than Ethernet's capacity, yet FCFS still misses the 3 ms goal.
+        assert one_mbps_equivalent < 1.0
+        assert ten_mbps.fcfs_violates_constraints()
+        assert ten_mbps.priority_meets_all_constraints()
+
+
+class TestCrossExperimentConsistency:
+    def test_violation_table_is_consistent_with_the_study(self, real_case):
+        study = PaperCaseStudy(real_case)
+        rows = [row for row in fcfs_violation_table(real_case)
+                if row.capacity == units.mbps(10)]
+        fcfs_bounds = study.fcfs_class_bounds()
+        for row in rows:
+            assert row.fcfs_bound == pytest.approx(fcfs_bounds[row.priority])
+
+    def test_comparison_is_consistent_with_the_study(self, real_case):
+        study = PaperCaseStudy(real_case)
+        comparison = technology_comparison(real_case)
+        priority_bounds = study.priority_class_bounds()
+        for row in comparison:
+            assert row.ethernet_priority_bound == pytest.approx(
+                priority_bounds[row.priority])
+
+    def test_urgent_class_margin_is_meaningful(self, real_case):
+        """The priority bound leaves real margin under the 3 ms constraint."""
+        study = PaperCaseStudy(real_case)
+        urgent = study.priority_class_bounds()[PriorityClass.URGENT]
+        assert urgent < units.ms(1.5)

@@ -1,0 +1,99 @@
+"""Closed-form 1553B response-time analysis."""
+
+import pytest
+
+from repro import MajorFrameSchedule, Message, MessageSet, units
+from repro.milstd1553 import Milstd1553Analysis, Milstd1553BusSimulator
+
+
+def build_schedule(messages):
+    return MajorFrameSchedule(MessageSet(messages, name="analysis-test"))
+
+
+def periodic(name, period_ms=20, words=8, source="rt-1"):
+    return Message.periodic(name, period=units.ms(period_ms),
+                            size=units.words1553(words), source=source,
+                            destination="rt-9")
+
+
+def sporadic(name, words=4, deadline_ms=40, source="rt-2"):
+    deadline = None if deadline_ms is None else units.ms(deadline_ms)
+    return Message.sporadic(name, min_interarrival=units.ms(20),
+                            size=units.words1553(words), source=source,
+                            destination="rt-9", deadline=deadline)
+
+
+class TestPeriodicBounds:
+    def test_single_message_bound_is_its_transaction_time(self):
+        schedule = build_schedule([periodic("solo", 20, 8)])
+        analysis = Milstd1553Analysis(schedule)
+        bound = analysis.bound_for(schedule.message_set["solo"])
+        from repro.milstd1553.transaction import transactions_for_message
+        expected = sum(t.duration for t in transactions_for_message(
+            schedule.message_set["solo"], schedule.transfer_format))
+        assert bound.bound == pytest.approx(expected)
+        assert bound.waiting_time == 0.0
+        assert bound.guaranteed
+
+    def test_bound_includes_preceding_transactions(self):
+        schedule = build_schedule([periodic("first", 20, 32),
+                                   periodic("second", 20, 32)])
+        analysis = Milstd1553Analysis(schedule)
+        bounds = analysis.all_bounds()
+        assert max(b.bound for b in bounds.values()) > \
+            min(b.bound for b in bounds.values())
+
+    def test_periodic_bounds_fit_in_a_minor_frame_for_a_feasible_schedule(self):
+        schedule = build_schedule([periodic(f"m{i}", 40, 16)
+                                   for i in range(10)])
+        analysis = Milstd1553Analysis(schedule)
+        for message in schedule.message_set.periodic():
+            assert analysis.bound_for(message).bound <= units.ms(20)
+
+
+class TestSporadicBounds:
+    def test_sporadic_bound_exceeds_one_minor_frame(self):
+        schedule = build_schedule([periodic("p", 20, 8), sporadic("s")])
+        analysis = Milstd1553Analysis(schedule)
+        bound = analysis.bound_for(schedule.message_set["s"])
+        assert bound.waiting_time == pytest.approx(units.ms(20))
+        assert bound.bound > units.ms(20)
+        assert bound.guaranteed
+
+    def test_background_sporadic_is_not_guaranteed(self):
+        schedule = build_schedule([sporadic("bg", deadline_ms=None)])
+        analysis = Milstd1553Analysis(schedule)
+        bound = analysis.bound_for(schedule.message_set["bg"])
+        assert not bound.guaranteed
+
+    def test_urgent_sporadic_violates_its_3ms_deadline(self):
+        # 20 ms polling cannot guarantee a 3 ms response time — one of the
+        # motivations for moving away from the shared bus.
+        schedule = build_schedule([sporadic("urgent", deadline_ms=3)])
+        analysis = Milstd1553Analysis(schedule)
+        violations = analysis.violations()
+        assert [b.name for b in violations] == ["urgent"]
+
+
+class TestAgainstSimulation:
+    def test_bounds_dominate_simulated_latencies(self, real_case):
+        schedule = MajorFrameSchedule(real_case)
+        analysis = Milstd1553Analysis(schedule)
+        bounds = analysis.all_bounds()
+        simulator = Milstd1553BusSimulator(real_case, schedule=schedule,
+                                           sporadic_scenario="greedy")
+        results = simulator.run(duration=units.ms(640))
+        for message in real_case:
+            bound = bounds[message.name]
+            if not bound.guaranteed:
+                continue
+            observed = results.message_latencies[message.name].maximum
+            if observed != observed:  # NaN: nothing delivered
+                continue
+            assert observed <= bound.bound + 1e-6, message.name
+
+    def test_worst_bound_and_violations_on_the_real_case(self, real_case):
+        analysis = Milstd1553Analysis(MajorFrameSchedule(real_case))
+        assert analysis.worst_bound() > units.ms(20)
+        # The urgent 3 ms class is not satisfiable with 20 ms polling.
+        assert len(analysis.violations()) >= 16

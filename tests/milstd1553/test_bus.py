@@ -1,0 +1,130 @@
+"""The 1553B bus simulator."""
+
+import pytest
+
+from repro import (
+    MajorFrameSchedule,
+    Message,
+    MessageSet,
+    Milstd1553BusSimulator,
+    units,
+)
+from repro.errors import ConfigurationError
+
+
+def simple_set():
+    return MessageSet([
+        Message.periodic("fast", period=units.ms(20),
+                         size=units.words1553(8),
+                         source="rt-1", destination="rt-2"),
+        Message.periodic("slow", period=units.ms(160),
+                         size=units.words1553(16),
+                         source="rt-2", destination="rt-3"),
+        Message.sporadic("alarm", min_interarrival=units.ms(20),
+                         size=units.words1553(2),
+                         source="rt-3", destination="rt-1",
+                         deadline=units.ms(40)),
+    ], name="simple")
+
+
+class TestBasicOperation:
+    def test_periodic_delivery_counts(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(320))
+        # Two major frames: "fast" delivered 16 times, "slow" twice.
+        assert results.message_latencies["fast"].count == 16
+        assert results.message_latencies["slow"].count == 2
+
+    def test_greedy_sporadic_served_every_minor_frame(self):
+        simulator = Milstd1553BusSimulator(simple_set(),
+                                           sporadic_scenario="greedy")
+        results = simulator.run(duration=units.ms(320))
+        assert results.message_latencies["alarm"].count == 16
+
+    def test_everything_released_is_delivered(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(320))
+        assert results.instances_delivered == results.instances_released
+
+    def test_no_overrun_on_a_feasible_schedule(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(640))
+        assert results.minor_frame_overruns == 0
+
+    def test_bus_utilization_is_sane(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(320))
+        assert 0 < results.bus_utilization < 0.2
+
+    def test_polls_issued_every_minor_frame(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(160))
+        # One polled terminal (rt-3), eight minor frames.
+        assert results.polls_issued == 8
+
+    def test_latencies_are_positive_and_below_a_minor_frame(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        results = simulator.run(duration=units.ms(320))
+        summary = results.message_summary("fast")
+        assert summary.minimum > 0
+        assert summary.maximum < units.ms(20)
+
+    def test_random_scenario_is_reproducible(self):
+        first = Milstd1553BusSimulator(simple_set(),
+                                       sporadic_scenario="random",
+                                       seed=5).run(duration=units.ms(320))
+        second = Milstd1553BusSimulator(simple_set(),
+                                        sporadic_scenario="random",
+                                        seed=5).run(duration=units.ms(320))
+        assert first.message_latencies["alarm"].samples == \
+            second.message_latencies["alarm"].samples
+
+    def test_random_scenario_releases_fewer_instances_than_greedy(self):
+        greedy = Milstd1553BusSimulator(simple_set(),
+                                        sporadic_scenario="greedy",
+                                        seed=5).run(duration=units.ms(640))
+        random = Milstd1553BusSimulator(simple_set(),
+                                        sporadic_scenario="random",
+                                        seed=5).run(duration=units.ms(640))
+        assert random.instances_released < greedy.instances_released
+
+
+class TestPriorityOfSporadicService:
+    def test_background_deferred_under_pressure(self):
+        # A heavy periodic load plus a large background transfer: the
+        # background message must never cause a minor-frame overrun.
+        messages = [
+            Message.periodic(f"p{i}", period=units.ms(20),
+                             size=units.words1553(32),
+                             source="rt-1", destination="rt-2")
+            for i in range(20)
+        ]
+        messages.append(Message.sporadic(
+            "bulk", min_interarrival=units.ms(20),
+            size=units.words1553(64), source="rt-3", destination="rt-1",
+            deadline=None))
+        simulator = Milstd1553BusSimulator(MessageSet(messages))
+        results = simulator.run(duration=units.ms(320))
+        assert results.minor_frame_overruns == 0
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Milstd1553BusSimulator(simple_set(), sporadic_scenario="bursty")
+
+    def test_invalid_duration_rejected(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        with pytest.raises(ConfigurationError):
+            simulator.run(duration=-1.0)
+
+    def test_results_property_requires_run(self):
+        simulator = Milstd1553BusSimulator(simple_set())
+        with pytest.raises(ConfigurationError):
+            __ = simulator.results
+
+    def test_accepts_prebuilt_schedule(self):
+        message_set = simple_set()
+        schedule = MajorFrameSchedule(message_set)
+        simulator = Milstd1553BusSimulator(message_set, schedule=schedule)
+        assert simulator.schedule is schedule

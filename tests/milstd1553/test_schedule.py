@@ -1,0 +1,152 @@
+"""Major/minor frame schedule construction."""
+
+import pytest
+
+from repro import MajorFrameSchedule, Message, MessageSet, units
+from repro.errors import InvalidScheduleError
+
+
+def build_set(messages):
+    return MessageSet(messages, name="schedule-test")
+
+
+def periodic(name, period_ms, words, source="rt-1", destination="rt-2"):
+    return Message.periodic(name, period=units.ms(period_ms),
+                            size=units.words1553(words), source=source,
+                            destination=destination)
+
+
+def sporadic(name, words=4, deadline_ms=40, source="rt-3"):
+    deadline = None if deadline_ms is None else units.ms(deadline_ms)
+    return Message.sporadic(name, min_interarrival=units.ms(20),
+                            size=units.words1553(words), source=source,
+                            destination="rt-2", deadline=deadline)
+
+
+class TestFrameStructure:
+    def test_paper_defaults(self):
+        schedule = MajorFrameSchedule(build_set([periodic("m", 20, 4)]))
+        assert schedule.minor_frame == pytest.approx(units.ms(20))
+        assert schedule.major_frame == pytest.approx(units.ms(160))
+        assert schedule.minor_frame_count == 8
+
+    def test_major_frame_must_be_a_multiple_of_the_minor_frame(self):
+        with pytest.raises(InvalidScheduleError):
+            MajorFrameSchedule(build_set([periodic("m", 20, 4)]),
+                               minor_frame=units.ms(20),
+                               major_frame=units.ms(150))
+
+    def test_period_below_minor_frame_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            MajorFrameSchedule(build_set([periodic("fast", 10, 4)]))
+
+
+class TestPeriodicPlacement:
+    def test_20ms_message_in_every_minor_frame(self):
+        schedule = MajorFrameSchedule(build_set([periodic("fast", 20, 4)]))
+        assert schedule.interval_of("fast") == 1
+        assert all(slot.transactions for slot in schedule.slots)
+
+    def test_160ms_message_in_one_minor_frame_per_major(self):
+        schedule = MajorFrameSchedule(build_set([periodic("slow", 160, 4)]))
+        assert schedule.interval_of("slow") == 8
+        carrying = [slot for slot in schedule.slots if slot.transactions]
+        assert len(carrying) == 1
+
+    def test_interval_never_exceeds_the_period(self):
+        # A 50 ms period does not divide the 20 ms grid: the message must be
+        # transferred at least every 40 ms (interval 2), not every 60 ms.
+        schedule = MajorFrameSchedule(build_set([periodic("odd", 50, 4)]))
+        assert schedule.interval_of("odd") * schedule.minor_frame <= \
+            units.ms(50) + 1e-12
+
+    def test_phases_balance_the_load(self):
+        messages = [periodic(f"m{i}", 160, 32) for i in range(8)]
+        schedule = MajorFrameSchedule(build_set(messages))
+        loads = [slot.periodic_duration() for slot in schedule.slots]
+        # Eight slow messages of identical size spread over eight minor
+        # frames: every minor frame carries exactly one.
+        assert all(len(slot.transactions) == 1 for slot in schedule.slots)
+        assert max(loads) == pytest.approx(min(loads))
+
+    def test_split_message_appears_fully_in_its_frames(self):
+        schedule = MajorFrameSchedule(build_set([periodic("big", 40, 70)]))
+        for slot in schedule.slots:
+            if slot.transactions:
+                assert sum(t.data_words for t in slot.transactions) == 70
+
+
+class TestSporadicAccounting:
+    def test_polled_terminals_are_the_sporadic_sources(self):
+        schedule = MajorFrameSchedule(build_set([
+            periodic("p", 20, 4),
+            sporadic("s1", source="rt-3"),
+            sporadic("s2", source="rt-4"),
+        ]))
+        assert schedule.polled_terminals() == ["rt-3", "rt-4"]
+
+    def test_polling_duration_scales_with_terminals(self):
+        one = MajorFrameSchedule(build_set([sporadic("s1", source="rt-3")]))
+        two = MajorFrameSchedule(build_set([
+            sporadic("s1", source="rt-3"), sporadic("s2", source="rt-4")]))
+        assert two.polling_duration() == pytest.approx(
+            2 * one.polling_duration())
+
+    def test_background_sporadic_is_not_reserved(self):
+        schedule = MajorFrameSchedule(build_set([
+            sporadic("hard", deadline_ms=40),
+            sporadic("soft", deadline_ms=None, source="rt-4"),
+        ]))
+        reserved_names = {m.name for m in schedule.reserved_sporadic()}
+        assert reserved_names == {"hard"}
+
+    def test_worst_case_sporadic_duration_counts_reserved_only(self):
+        with_background = MajorFrameSchedule(build_set([
+            sporadic("hard", words=8, deadline_ms=40),
+            sporadic("soft", words=32, deadline_ms=None, source="rt-4"),
+        ]))
+        without_background = MajorFrameSchedule(build_set([
+            sporadic("hard", words=8, deadline_ms=40),
+        ]))
+        assert with_background.worst_case_sporadic_duration() == \
+            pytest.approx(without_background.worst_case_sporadic_duration())
+
+
+class TestFeasibility:
+    def test_light_schedule_is_feasible(self):
+        schedule = MajorFrameSchedule(build_set([
+            periodic("p1", 20, 8), periodic("p2", 40, 16),
+            sporadic("s1", words=4),
+        ]))
+        assert schedule.is_feasible()
+        schedule.validate()
+
+    def test_overloaded_minor_frame_detected(self):
+        # Forty 32-word messages every 20 ms need ~30 ms of bus time per
+        # minor frame: infeasible.
+        messages = [periodic(f"m{i}", 20, 32) for i in range(40)]
+        schedule = MajorFrameSchedule(build_set(messages))
+        assert not schedule.is_feasible()
+        with pytest.raises(InvalidScheduleError):
+            schedule.validate()
+
+    def test_utilizations_match_durations(self):
+        schedule = MajorFrameSchedule(build_set([periodic("p", 20, 8)]))
+        for duration, utilization in zip(schedule.minor_frame_durations(),
+                                         schedule.utilizations()):
+            assert utilization == pytest.approx(duration / units.ms(20))
+
+    def test_summary_fields(self):
+        schedule = MajorFrameSchedule(build_set([
+            periodic("p", 20, 8), sporadic("s"),
+        ]))
+        summary = schedule.summary()
+        assert summary["minor_frames"] == 8
+        assert summary["periodic_messages"] == 1
+        assert summary["polled_terminals"] == 1
+        assert summary["feasible"] is True
+
+    def test_real_case_schedule_is_feasible(self, real_case):
+        schedule = MajorFrameSchedule(real_case)
+        assert schedule.is_feasible()
+        assert 0.5 < schedule.summary()["max_utilization"] <= 1.0

@@ -1,0 +1,105 @@
+"""1553B transactions and transfer formats."""
+
+import pytest
+
+from repro import Message, units
+from repro.errors import ConfigurationError
+from repro.milstd1553 import Transaction, TransferFormat
+from repro.milstd1553.transaction import transactions_for_message
+from repro.milstd1553.words import (
+    INTERMESSAGE_GAP,
+    RESPONSE_TIME,
+    WORD_TIME,
+)
+
+
+def message(words=16):
+    return Message.periodic("nav", period=units.ms(20),
+                            size=units.words1553(words),
+                            source="rt-1", destination="rt-2")
+
+
+class TestTransactionDurations:
+    def test_bc_to_rt_duration(self):
+        transaction = Transaction(message=message(4),
+                                  transfer_format=TransferFormat.BC_TO_RT,
+                                  data_words=4)
+        expected = (1 + 4 + 1) * WORD_TIME + RESPONSE_TIME + INTERMESSAGE_GAP
+        assert transaction.duration == pytest.approx(expected)
+
+    def test_rt_to_bc_duration_equals_bc_to_rt(self):
+        receive = Transaction(message=message(4),
+                              transfer_format=TransferFormat.BC_TO_RT,
+                              data_words=4)
+        transmit = Transaction(message=message(4),
+                               transfer_format=TransferFormat.RT_TO_BC,
+                               data_words=4)
+        assert receive.duration == pytest.approx(transmit.duration)
+
+    def test_rt_to_rt_has_two_commands_and_two_responses(self):
+        transaction = Transaction(message=message(4),
+                                  transfer_format=TransferFormat.RT_TO_RT,
+                                  data_words=4)
+        expected = (2 + 1 + 4 + 1) * WORD_TIME + 2 * RESPONSE_TIME \
+            + INTERMESSAGE_GAP
+        assert transaction.duration == pytest.approx(expected)
+
+    def test_duration_grows_with_word_count(self):
+        small = Transaction(message=message(1),
+                            transfer_format=TransferFormat.RT_TO_RT,
+                            data_words=1)
+        large = Transaction(message=message(32),
+                            transfer_format=TransferFormat.RT_TO_RT,
+                            data_words=32)
+        assert large.duration - small.duration == pytest.approx(
+            31 * WORD_TIME)
+
+    def test_32_word_rt_to_rt_fits_in_a_millisecond(self):
+        transaction = Transaction(message=message(32),
+                                  transfer_format=TransferFormat.RT_TO_RT,
+                                  data_words=32)
+        assert transaction.duration < units.ms(1)
+
+
+class TestValidation:
+    def test_zero_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transaction(message=message(), data_words=0,
+                        transfer_format=TransferFormat.RT_TO_RT)
+
+    def test_more_than_32_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transaction(message=message(), data_words=33,
+                        transfer_format=TransferFormat.RT_TO_RT)
+
+    def test_bad_fragment_indexing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transaction(message=message(), data_words=4,
+                        transfer_format=TransferFormat.RT_TO_RT,
+                        part_index=2, part_count=2)
+
+
+class TestTransactionsForMessage:
+    def test_small_message_is_a_single_transaction(self):
+        transactions = transactions_for_message(message(16))
+        assert len(transactions) == 1
+        assert transactions[0].data_words == 16
+        assert transactions[0].is_last_part
+        assert transactions[0].name == "nav"
+
+    def test_large_message_is_split_into_32_word_transactions(self):
+        transactions = transactions_for_message(message(70))
+        assert [t.data_words for t in transactions] == [32, 32, 6]
+        assert transactions[-1].is_last_part
+        assert not transactions[0].is_last_part
+        assert transactions[0].name == "nav#0"
+
+    def test_split_preserves_total_word_count(self):
+        transactions = transactions_for_message(message(100))
+        assert sum(t.data_words for t in transactions) == 100
+
+    def test_transfer_format_is_propagated(self):
+        transactions = transactions_for_message(
+            message(40), transfer_format=TransferFormat.BC_TO_RT)
+        assert all(t.transfer_format is TransferFormat.BC_TO_RT
+                   for t in transactions)

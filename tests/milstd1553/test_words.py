@@ -1,0 +1,61 @@
+"""MIL-STD-1553B word timing."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.milstd1553 import (
+    BUS_RATE,
+    INTERMESSAGE_GAP,
+    RESPONSE_TIME,
+    WORD_TIME,
+    data_word_count,
+)
+from repro.milstd1553.words import MAX_DATA_WORDS, data_words_duration
+
+
+class TestConstants:
+    def test_bus_rate_is_one_megabit(self):
+        assert BUS_RATE == units.mbps(1)
+
+    def test_word_time_is_twenty_microseconds(self):
+        assert WORD_TIME == pytest.approx(units.us(20))
+
+    def test_response_time_is_the_standard_worst_case(self):
+        assert RESPONSE_TIME == pytest.approx(units.us(12))
+
+    def test_intermessage_gap(self):
+        assert INTERMESSAGE_GAP == pytest.approx(units.us(4))
+
+    def test_max_data_words(self):
+        assert MAX_DATA_WORDS == 32
+
+
+class TestDataWordCount:
+    def test_exact_word_multiple(self):
+        assert data_word_count(units.words1553(8)) == 8
+
+    def test_partial_word_rounds_up(self):
+        assert data_word_count(17) == 2
+
+    def test_single_bit_needs_one_word(self):
+        assert data_word_count(1) == 1
+
+    def test_large_message_can_exceed_32_words(self):
+        assert data_word_count(units.words1553(64)) == 64
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            data_word_count(0)
+
+
+class TestDataWordsDuration:
+    def test_duration_scales_with_count(self):
+        assert data_words_duration(10) == pytest.approx(10 * WORD_TIME)
+
+    def test_zero_words_is_zero_time(self):
+        assert data_words_duration(0) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            data_words_duration(-1)

@@ -1,0 +1,126 @@
+"""Property-based tests of the paper's multiplexer bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FcfsMultiplexerAnalysis,
+    Message,
+    PriorityClass,
+    StrictPriorityMultiplexerAnalysis,
+    units,
+)
+
+CAPACITY = units.mbps(10)
+
+
+@st.composite
+def message_sets(draw, min_size=1, max_size=12):
+    """Random message populations that keep the multiplexer stable."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    messages = []
+    for index in range(count):
+        kind = draw(st.sampled_from(["periodic", "urgent", "sporadic",
+                                     "background"]))
+        words = draw(st.integers(min_value=1, max_value=64))
+        period_ms = draw(st.sampled_from([20, 40, 80, 160]))
+        size = units.words1553(words)
+        if kind == "periodic":
+            messages.append(Message.periodic(
+                f"m{index}", period=units.ms(period_ms), size=size,
+                source=f"s{index}", destination="sink"))
+        elif kind == "urgent":
+            messages.append(Message.sporadic(
+                f"m{index}", min_interarrival=units.ms(20), size=size,
+                source=f"s{index}", destination="sink",
+                deadline=units.ms(3)))
+        elif kind == "sporadic":
+            messages.append(Message.sporadic(
+                f"m{index}", min_interarrival=units.ms(period_ms), size=size,
+                source=f"s{index}", destination="sink",
+                deadline=units.ms(draw(st.sampled_from([20, 40, 80, 160])))))
+        else:
+            messages.append(Message.sporadic(
+                f"m{index}", min_interarrival=units.ms(160), size=size,
+                source=f"s{index}", destination="sink", deadline=None))
+    return messages
+
+
+class TestFcfsProperties:
+    @given(messages=message_sets())
+    @settings(max_examples=60)
+    def test_bound_equals_the_formula(self, messages):
+        analysis = FcfsMultiplexerAnalysis(CAPACITY, units.us(16))
+        bound = analysis.bound(messages)
+        expected = sum(m.size for m in messages) / CAPACITY + units.us(16)
+        assert abs(bound.delay - expected) < 1e-12
+
+    @given(messages=message_sets(min_size=2))
+    @settings(max_examples=60)
+    def test_adding_a_flow_never_decreases_the_bound(self, messages):
+        analysis = FcfsMultiplexerAnalysis(CAPACITY)
+        partial = analysis.bound(messages[:-1]).delay
+        full = analysis.bound(messages).delay
+        assert full >= partial
+
+
+class TestStrictPriorityProperties:
+    @given(messages=message_sets())
+    @settings(max_examples=60)
+    def test_class_bounds_are_monotone_in_priority(self, messages):
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, units.us(16))
+        bounds = analysis.class_bounds(messages)
+        ordered = [bounds[cls].delay for cls in sorted(bounds)]
+        assert ordered == sorted(ordered)
+
+    @given(messages=message_sets())
+    @settings(max_examples=60)
+    def test_highest_populated_class_never_exceeds_fcfs(self, messages):
+        """The most urgent populated class always improves on (or equals) FCFS."""
+        priority_analysis = StrictPriorityMultiplexerAnalysis(CAPACITY,
+                                                              units.us(16))
+        fcfs_analysis = FcfsMultiplexerAnalysis(CAPACITY, units.us(16))
+        bounds = priority_analysis.class_bounds(messages)
+        top_class = min(bounds)
+        assert bounds[top_class].delay <= \
+            fcfs_analysis.bound(messages).delay + 1e-12
+
+    @given(messages=message_sets())
+    @settings(max_examples=60)
+    def test_preemption_never_hurts(self, messages):
+        non_preemptive = StrictPriorityMultiplexerAnalysis(CAPACITY)
+        preemptive = StrictPriorityMultiplexerAnalysis(CAPACITY,
+                                                       preemptive=True)
+        np_bounds = non_preemptive.class_bounds(messages)
+        p_bounds = preemptive.class_bounds(messages)
+        for cls in np_bounds:
+            assert p_bounds[cls].delay <= np_bounds[cls].delay + 1e-12
+
+    @given(messages=message_sets())
+    @settings(max_examples=60)
+    def test_bound_matches_the_formula(self, messages):
+        analysis = StrictPriorityMultiplexerAnalysis(CAPACITY, units.us(16))
+        grouped = analysis.group_by_class(messages)
+        bounds = analysis.class_bounds(messages)
+        for cls, bound in bounds.items():
+            higher_or_equal = [m for c in PriorityClass if c <= cls
+                               for m in grouped[c]]
+            strictly_higher = [m for c in PriorityClass if c < cls
+                               for m in grouped[c]]
+            strictly_lower = [m for c in PriorityClass if c > cls
+                              for m in grouped[c]]
+            numerator = sum(m.size for m in higher_or_equal) + max(
+                (m.size for m in strictly_lower), default=0.0)
+            denominator = CAPACITY - sum(m.rate for m in strictly_higher)
+            expected = numerator / denominator + units.us(16)
+            assert abs(bound.delay - expected) < 1e-9
+
+    @given(messages=message_sets())
+    @settings(max_examples=40)
+    def test_raising_capacity_never_increases_any_bound(self, messages):
+        slow = StrictPriorityMultiplexerAnalysis(CAPACITY).class_bounds(
+            messages)
+        fast = StrictPriorityMultiplexerAnalysis(10 * CAPACITY).class_bounds(
+            messages)
+        for cls in slow:
+            assert fast[cls].delay <= slow[cls].delay + 1e-12

@@ -1,0 +1,98 @@
+"""Property-based tests of the queueing disciplines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PriorityClass
+from repro.shaping import FifoQueue, QueuedItem, StrictPriorityQueues
+
+items = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=10_000.0),
+              st.sampled_from(list(PriorityClass))),
+    min_size=1, max_size=40)
+
+
+class TestFifoProperties:
+    @given(entries=items)
+    def test_fifo_preserves_insertion_order(self, entries):
+        queue = FifoQueue()
+        for index, (size, priority) in enumerate(entries):
+            queue.push(QueuedItem(size=size, enqueue_time=float(index),
+                                  priority=priority, payload=index))
+        popped = []
+        while not queue.is_empty:
+            popped.append(queue.pop().payload)
+        assert popped == list(range(len(entries)))
+
+    @given(entries=items)
+    def test_occupancy_is_conserved(self, entries):
+        queue = FifoQueue()
+        total = 0.0
+        for size, priority in entries:
+            queue.push(QueuedItem(size=size, enqueue_time=0.0,
+                                  priority=priority))
+            total += size
+        assert queue.occupancy == total
+        drained = 0.0
+        while not queue.is_empty:
+            drained += queue.pop().size
+        assert drained == total
+        assert queue.occupancy == 0.0
+
+    @given(entries=items, capacity=st.floats(min_value=1.0, max_value=20_000))
+    def test_bounded_queue_never_exceeds_its_capacity(self, entries, capacity):
+        queue = FifoQueue(capacity=capacity)
+        for size, priority in entries:
+            queue.push(QueuedItem(size=size, enqueue_time=0.0,
+                                  priority=priority))
+            assert queue.occupancy <= capacity + 1e-9
+        accepted = len(queue)
+        assert accepted + queue.drops == len(entries)
+
+
+class TestStrictPriorityProperties:
+    @given(entries=items)
+    def test_pop_order_is_by_class_then_fifo(self, entries):
+        queues = StrictPriorityQueues()
+        for index, (size, priority) in enumerate(entries):
+            queues.push(QueuedItem(size=size, enqueue_time=float(index),
+                                   priority=priority, payload=index))
+        popped = []
+        while not queues.is_empty:
+            popped.append(queues.pop())
+        # Priorities never increase numerically... within a class the
+        # original insertion order (payload index) is preserved.
+        for cls in PriorityClass:
+            indices = [item.payload for item in popped
+                       if item.priority is cls]
+            assert indices == sorted(indices)
+        # Every popped item of a class comes after all higher-class items.
+        first_seen = {}
+        last_seen = {}
+        for position, item in enumerate(popped):
+            first_seen.setdefault(item.priority, position)
+            last_seen[item.priority] = position
+
+    @given(entries=items)
+    def test_total_items_conserved(self, entries):
+        queues = StrictPriorityQueues()
+        for size, priority in entries:
+            queues.push(QueuedItem(size=size, enqueue_time=0.0,
+                                   priority=priority))
+        assert len(queues) == len(entries)
+        count = 0
+        while queues.pop() is not None:
+            count += 1
+        assert count == len(entries)
+
+    @given(entries=items)
+    @settings(max_examples=50)
+    def test_peek_always_matches_the_next_pop(self, entries):
+        queues = StrictPriorityQueues()
+        for size, priority in entries:
+            queues.push(QueuedItem(size=size, enqueue_time=0.0,
+                                   priority=priority))
+        while not queues.is_empty:
+            peeked = queues.peek()
+            popped = queues.pop()
+            assert peeked is popped

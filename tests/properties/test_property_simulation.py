@@ -1,0 +1,51 @@
+"""Property-based tests of the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                  max_size=50)
+
+
+class TestEventOrdering:
+    @given(delays=delays)
+    def test_callbacks_fire_in_non_decreasing_time_order(self, delays):
+        simulator = Simulator()
+        fired_times = []
+        for delay in delays:
+            simulator.schedule(delay, lambda: fired_times.append(simulator.now))
+        simulator.run()
+        assert fired_times == sorted(fired_times)
+        assert len(fired_times) == len(delays)
+
+    @given(delays=delays)
+    def test_clock_ends_at_the_latest_event(self, delays):
+        simulator = Simulator()
+        for delay in delays:
+            simulator.schedule(delay, lambda: None)
+        simulator.run()
+        assert simulator.now == max(delays)
+
+    @given(delays=delays, horizon=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=50)
+    def test_run_until_never_processes_later_events(self, delays, horizon):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            simulator.schedule(delay, fired.append, delay)
+        simulator.run(until=horizon)
+        assert all(delay <= horizon for delay in fired)
+        expected = sorted(delay for delay in delays if delay <= horizon)
+        assert sorted(fired) == expected
+
+    @given(delays=delays)
+    def test_equal_time_events_keep_scheduling_order(self, delays):
+        simulator = Simulator()
+        fired = []
+        # Schedule every event at the same instant; insertion order must win.
+        for index, __ in enumerate(delays):
+            simulator.schedule(5.0, fired.append, index)
+        simulator.run()
+        assert fired == list(range(len(delays)))

@@ -1,0 +1,81 @@
+"""Property-based tests of the token-bucket shaper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shaping import FlowShaper, TokenBucket
+
+bucket_sizes = st.floats(min_value=100.0, max_value=1e5)
+token_rates = st.floats(min_value=1e3, max_value=1e7)
+
+
+class TestTokenBucketProperties:
+    @given(bucket=bucket_sizes, rate=token_rates,
+           times=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                          min_size=1, max_size=10))
+    def test_tokens_never_exceed_the_bucket_size(self, bucket, rate, times):
+        tb = TokenBucket(bucket, rate)
+        for time in sorted(times):
+            assert tb.tokens_at(time) <= bucket + 1e-9
+
+    @given(bucket=bucket_sizes, rate=token_rates,
+           sizes=st.lists(st.floats(min_value=1.0, max_value=100.0),
+                          min_size=1, max_size=20))
+    def test_conforming_consumption_never_goes_negative(self, bucket, rate,
+                                                        sizes):
+        tb = TokenBucket(bucket, rate)
+        time = 0.0
+        for size in sizes:
+            time = tb.earliest_conforming_time(size, time)
+            tb.consume(size, time)
+            assert tb.tokens_at(time) >= -1e-9
+
+    @given(bucket=bucket_sizes, rate=token_rates,
+           size=st.floats(min_value=1.0, max_value=100.0),
+           start=st.floats(min_value=0.0, max_value=0.5))
+    def test_earliest_conforming_time_is_conforming_and_minimal(self, bucket,
+                                                                rate, size,
+                                                                start):
+        tb = TokenBucket(bucket, rate, initial_tokens=0.0)
+        earliest = tb.earliest_conforming_time(size, start)
+        assert earliest >= start
+        assert tb.conforms(size, earliest)
+
+
+class TestShaperOutputConformance:
+    @given(bucket=bucket_sizes, rate=token_rates,
+           sizes=st.lists(st.floats(min_value=10.0, max_value=99.0),
+                          min_size=2, max_size=15))
+    @settings(max_examples=60)
+    def test_released_traffic_respects_the_arrival_curve(self, bucket, rate,
+                                                         sizes):
+        """Over any window, released bits never exceed b + r * window."""
+        shaper = FlowShaper("flow", TokenBucket(bucket, rate))
+        releases = []
+        time = 0.0
+        for size in sizes:
+            shaper.submit(size=size, time=time)
+            time = shaper.next_release(time)
+            shaper.release(time)
+            releases.append((time, size))
+        for start_index in range(len(releases)):
+            volume = 0.0
+            for end_index in range(start_index, len(releases)):
+                volume += releases[end_index][1]
+                window = releases[end_index][0] - releases[start_index][0]
+                assert volume <= bucket + rate * window + 1e-6
+
+    @given(bucket=bucket_sizes, rate=token_rates,
+           sizes=st.lists(st.floats(min_value=10.0, max_value=99.0),
+                          min_size=2, max_size=15))
+    @settings(max_examples=30)
+    def test_releases_are_ordered_in_time(self, bucket, rate, sizes):
+        shaper = FlowShaper("flow", TokenBucket(bucket, rate))
+        for size in sizes:
+            shaper.submit(size=size, time=0.0)
+        previous = 0.0
+        while shaper.backlog:
+            release = shaper.next_release(previous)
+            shaper.release(release)
+            assert release >= previous
+            previous = release

@@ -1,0 +1,37 @@
+"""Text bar charts."""
+
+import pytest
+
+from repro.reporting import render_bar_chart
+
+
+class TestRenderBarChart:
+    def test_bars_scale_with_values(self):
+        output = render_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = output.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_and_values_present(self):
+        output = render_bar_chart(["urgent"], [3.3], unit="ms")
+        assert "urgent" in output
+        assert "3.3 ms" in output
+
+    def test_title(self):
+        output = render_bar_chart(["a"], [1.0], title="Figure 1")
+        assert output.splitlines()[0] == "Figure 1"
+
+    def test_marker_rendered(self):
+        output = render_bar_chart(["a"], [2.0], width=20, markers={0: 1.0})
+        assert "|" in output.splitlines()[0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert "empty" in render_bar_chart([], [])
+
+    def test_zero_values_do_not_crash(self):
+        output = render_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in output

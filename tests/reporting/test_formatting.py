@@ -1,0 +1,37 @@
+"""Formatting helpers."""
+
+from repro import units
+from repro.reporting import format_ms, format_rate, yes_no
+
+
+class TestFormatMs:
+    def test_milliseconds(self):
+        assert format_ms(units.ms(3)) == "3.000 ms"
+
+    def test_digits(self):
+        assert format_ms(units.ms(3.14159), digits=1) == "3.1 ms"
+
+    def test_none_is_a_dash(self):
+        assert format_ms(None) == "-"
+
+    def test_nan_is_a_dash(self):
+        assert format_ms(float("nan")) == "-"
+
+
+class TestFormatRate:
+    def test_megabits(self):
+        assert format_rate(units.mbps(10)) == "10.00 Mbps"
+
+    def test_kilobits(self):
+        assert format_rate(2500) == "2.5 kbps"
+
+    def test_bits(self):
+        assert format_rate(500) == "500 bps"
+
+
+class TestYesNo:
+    def test_yes(self):
+        assert yes_no(True) == "yes"
+
+    def test_no_is_shouted(self):
+        assert yes_no(False) == "NO"

@@ -1,0 +1,49 @@
+"""ASCII tables and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.reporting import render_table, write_csv
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        output = render_table(["name", "value"], [["alpha", 1], ["beta", 22]])
+        assert "name" in output
+        assert "alpha" in output
+        assert "22" in output
+
+    def test_columns_are_aligned(self):
+        output = render_table(["h"], [["short"], ["a-much-longer-cell"]])
+        lines = output.splitlines()
+        data_lines = lines[2:]
+        assert len({len(line) for line in data_lines if line.strip()}) <= 2
+
+    def test_title_is_underlined(self):
+        output = render_table(["h"], [["x"]], title="My table")
+        lines = output.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1] == "=" * len("My table")
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_ends_with_a_newline(self):
+        assert render_table(["a"], [["x"]]).endswith("\n")
+
+    def test_empty_rows_still_renders_headers(self):
+        output = render_table(["a", "b"], [])
+        assert "a" in output and "b" in output
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(path, ["name", "value"], [["alpha", 1], ["beta", 2]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["alpha", "1"]
+        assert len(rows) == 3

@@ -1,0 +1,138 @@
+"""FIFO and strict-priority queue disciplines."""
+
+import pytest
+
+from repro import PriorityClass
+from repro.errors import BufferOverflowError
+from repro.shaping import FifoQueue, QueuedItem, StrictPriorityQueues
+
+
+def item(size=1000, priority=PriorityClass.PERIODIC, time=0.0, payload=None):
+    return QueuedItem(size=size, enqueue_time=time, priority=priority,
+                      payload=payload)
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        queue = FifoQueue()
+        queue.push(item(payload="a"))
+        queue.push(item(payload="b"))
+        assert queue.pop().payload == "a"
+        assert queue.pop().payload == "b"
+
+    def test_pop_empty_returns_none(self):
+        assert FifoQueue().pop() is None
+
+    def test_occupancy_tracks_bits(self):
+        queue = FifoQueue()
+        queue.push(item(size=100))
+        queue.push(item(size=200))
+        assert queue.occupancy == 300
+        queue.pop()
+        assert queue.occupancy == 200
+
+    def test_max_occupancy(self):
+        queue = FifoQueue()
+        queue.push(item(size=100))
+        queue.push(item(size=200))
+        queue.pop()
+        queue.pop()
+        assert queue.max_occupancy == 300
+
+    def test_overflow_drops_by_default(self):
+        queue = FifoQueue(capacity=150)
+        assert queue.push(item(size=100)) is True
+        assert queue.push(item(size=100)) is False
+        assert queue.drops == 1
+        assert len(queue) == 1
+
+    def test_overflow_can_raise(self):
+        queue = FifoQueue(capacity=150, drop_on_overflow=False)
+        queue.push(item(size=100))
+        with pytest.raises(BufferOverflowError):
+            queue.push(item(size=100))
+
+    def test_peek_does_not_remove(self):
+        queue = FifoQueue()
+        queue.push(item(payload="a"))
+        assert queue.peek().payload == "a"
+        assert len(queue) == 1
+
+    def test_is_empty(self):
+        queue = FifoQueue()
+        assert queue.is_empty
+        queue.push(item())
+        assert not queue.is_empty
+
+    def test_items_snapshot(self):
+        queue = FifoQueue()
+        queue.push(item(payload="a"))
+        queue.push(item(payload="b"))
+        assert [entry.payload for entry in queue.items()] == ["a", "b"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FifoQueue(capacity=0)
+
+
+class TestStrictPriorityQueues:
+    def test_higher_priority_served_first(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(priority=PriorityClass.BACKGROUND, payload="bg"))
+        queues.push(item(priority=PriorityClass.URGENT, payload="urgent"))
+        queues.push(item(priority=PriorityClass.PERIODIC, payload="per"))
+        assert queues.pop().payload == "urgent"
+        assert queues.pop().payload == "per"
+        assert queues.pop().payload == "bg"
+
+    def test_fifo_within_a_class(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(priority=PriorityClass.URGENT, payload="first"))
+        queues.push(item(priority=PriorityClass.URGENT, payload="second"))
+        assert queues.pop().payload == "first"
+        assert queues.pop().payload == "second"
+
+    def test_pop_empty_returns_none(self):
+        assert StrictPriorityQueues().pop() is None
+
+    def test_peek_matches_pop(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(priority=PriorityClass.SPORADIC, payload="x"))
+        assert queues.peek().payload == "x"
+        assert len(queues) == 1
+
+    def test_total_and_per_class_occupancy(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(size=100, priority=PriorityClass.URGENT))
+        queues.push(item(size=200, priority=PriorityClass.BACKGROUND))
+        assert queues.occupancy == 300
+        assert queues.occupancy_of(PriorityClass.URGENT) == 100
+        assert queues.occupancy_of(PriorityClass.BACKGROUND) == 200
+
+    def test_per_class_capacity_and_drops(self):
+        queues = StrictPriorityQueues(capacity_per_class=150)
+        assert queues.push(item(size=100, priority=PriorityClass.URGENT))
+        assert not queues.push(item(size=100, priority=PriorityClass.URGENT))
+        # Other classes still have room.
+        assert queues.push(item(size=100, priority=PriorityClass.PERIODIC))
+        assert queues.drops == 1
+
+    def test_max_occupancy_aggregates_class_maxima(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(size=100, priority=PriorityClass.URGENT))
+        queues.push(item(size=300, priority=PriorityClass.BACKGROUND))
+        queues.pop()
+        queues.pop()
+        assert queues.max_occupancy == 400
+
+    def test_is_empty(self):
+        queues = StrictPriorityQueues()
+        assert queues.is_empty
+        queues.push(item())
+        assert not queues.is_empty
+
+    def test_queue_accessor(self):
+        queues = StrictPriorityQueues()
+        queues.push(item(priority=PriorityClass.SPORADIC))
+        assert len(queues.queue(PriorityClass.SPORADIC)) == 1
+        assert len(queues.queue(PriorityClass.URGENT)) == 0

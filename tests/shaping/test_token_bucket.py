@@ -1,0 +1,135 @@
+"""Token-bucket shapers."""
+
+import pytest
+
+from repro import Message, units
+from repro.errors import ConfigurationError
+from repro.shaping import FlowShaper, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_by_default(self):
+        bucket = TokenBucket(bucket_size=1000, token_rate=1e6)
+        assert bucket.tokens_at(0.0) == 1000
+
+    def test_initial_tokens_can_be_lower(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=200)
+        assert bucket.tokens_at(0.0) == 200
+
+    def test_initial_tokens_clamped_to_bucket(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=5000)
+        assert bucket.tokens_at(0.0) == 1000
+
+    def test_refill_is_linear_and_capped(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=0)
+        assert bucket.tokens_at(0.0005) == pytest.approx(500)
+        assert bucket.tokens_at(0.01) == 1000
+
+    def test_consume_removes_tokens(self):
+        bucket = TokenBucket(1000, 1e6)
+        bucket.consume(600, 0.0)
+        assert bucket.tokens_at(0.0) == pytest.approx(400)
+
+    def test_consume_non_conforming_raises(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=0)
+        with pytest.raises(ConfigurationError):
+            bucket.consume(500, 0.0)
+
+    def test_conforms(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=0)
+        assert not bucket.conforms(500, 0.0)
+        assert bucket.conforms(500, 0.0006)
+
+    def test_earliest_conforming_time_when_already_conforming(self):
+        bucket = TokenBucket(1000, 1e6)
+        assert bucket.earliest_conforming_time(500, 1.0) == 1.0
+
+    def test_earliest_conforming_time_waits_for_refill(self):
+        bucket = TokenBucket(1000, 1e6, initial_tokens=0)
+        assert bucket.earliest_conforming_time(500, 0.0) == \
+            pytest.approx(0.0005)
+
+    def test_packet_bigger_than_bucket_never_conforms(self):
+        bucket = TokenBucket(1000, 1e6)
+        with pytest.raises(ConfigurationError):
+            bucket.earliest_conforming_time(2000, 0.0)
+
+    def test_time_going_backwards_rejected(self):
+        bucket = TokenBucket(1000, 1e6)
+        bucket.consume(100, 1.0)
+        with pytest.raises(ConfigurationError):
+            bucket.tokens_at(0.5)
+
+    def test_arrival_curve_matches_parameters(self):
+        curve = TokenBucket(1000, 1e6).arrival_curve()
+        assert curve.burst == 1000
+        assert curve.rate == 1e6
+
+    def test_for_message_uses_paper_sizing(self):
+        message = Message.periodic("nav", period=units.ms(20),
+                                   size=units.words1553(8),
+                                   source="a", destination="b")
+        bucket = TokenBucket.for_message(message)
+        assert bucket.bucket_size == message.size
+        assert bucket.token_rate == pytest.approx(message.rate)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0, 1e6)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1000, 0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1000, 1e6, initial_tokens=-1)
+
+
+class TestFlowShaper:
+    def test_release_immediately_when_tokens_available(self):
+        shaper = FlowShaper("nav", TokenBucket(1000, 1e6))
+        shaper.submit(size=500, time=0.0, payload="frame")
+        assert shaper.next_release(0.0) == 0.0
+        released = shaper.release(0.0)
+        assert released.payload == "frame"
+        assert shaper.backlog == 0
+
+    def test_backpressure_when_tokens_missing(self):
+        shaper = FlowShaper("nav", TokenBucket(1000, 1e6, initial_tokens=0))
+        shaper.submit(size=1000, time=0.0)
+        assert shaper.next_release(0.0) == pytest.approx(0.001)
+
+    def test_fifo_order_between_packets(self):
+        shaper = FlowShaper("nav", TokenBucket(1000, 1e6))
+        shaper.submit(size=1000, time=0.0, payload="first")
+        shaper.submit(size=1000, time=0.0, payload="second")
+        first_release = shaper.next_release(0.0)
+        assert shaper.release(first_release).payload == "first"
+        second_release = shaper.next_release(first_release)
+        assert second_release > first_release
+        assert shaper.release(second_release).payload == "second"
+
+    def test_output_conforms_to_the_arrival_curve(self):
+        """Cumulative released bits over any window never exceed b + r*t."""
+        bucket = TokenBucket(1000, 1e6)
+        shaper = FlowShaper("nav", bucket)
+        releases = []
+        time = 0.0
+        for __ in range(20):
+            shaper.submit(size=800, time=time)
+            release_time = shaper.next_release(time)
+            shaper.release(release_time)
+            releases.append((release_time, 800))
+            time = release_time
+        for start_index in range(len(releases)):
+            for end_index in range(start_index, len(releases)):
+                window = releases[end_index][0] - releases[start_index][0]
+                volume = sum(size for __, size
+                             in releases[start_index:end_index + 1])
+                assert volume <= 1000 + 1e6 * window + 1e-6
+
+    def test_next_release_of_empty_backlog_is_none(self):
+        shaper = FlowShaper("nav", TokenBucket(1000, 1e6))
+        assert shaper.next_release(0.0) is None
+
+    def test_release_from_empty_backlog_raises(self):
+        shaper = FlowShaper("nav", TokenBucket(1000, 1e6))
+        with pytest.raises(ConfigurationError):
+            shaper.release(0.0)

@@ -1,0 +1,136 @@
+"""The discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SchedulingInPastError
+from repro.simulation import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero_by_default(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_can_start_elsewhere(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, fired.append, "b")
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingInPastError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SchedulingInPastError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+
+class TestExecutionOrder:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(2.0, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule_new_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(count):
+            fired.append(count)
+            if count < 3:
+                sim.schedule(1.0, chain, count + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestRunControls:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "kept")
+        sim.schedule(5.0, fired.append, "dropped")
+        sim.run(until=2.0)
+        assert fired == ["kept"]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_max_events_limits_processing(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.schedule(float(index), fired.append, index)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop_inside_callback_halts_the_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_step_processes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(float(index), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

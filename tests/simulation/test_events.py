@@ -1,0 +1,82 @@
+"""Event objects and the pending-event queue."""
+
+from repro.simulation.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_ordering_by_time(self):
+        early = Event(time=1.0, sequence=5, callback=lambda: None)
+        late = Event(time=2.0, sequence=1, callback=lambda: None)
+        assert early < late
+
+    def test_ties_broken_by_sequence(self):
+        first = Event(time=1.0, sequence=1, callback=lambda: None)
+        second = Event(time=1.0, sequence=2, callback=lambda: None)
+        assert first < second
+
+    def test_cancel_sets_flag(self):
+        event = Event(time=1.0, sequence=0, callback=lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_fire_invokes_callback_with_args(self):
+        seen = []
+        event = Event(time=0.0, sequence=0, callback=seen.append,
+                      args=("payload",))
+        event.fire()
+        assert seen == ["payload"]
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_order_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, order.append, ("first",))
+        queue.push(1.0, order.append, ("second",))
+        queue.pop().fire()
+        queue.pop().fire()
+        assert order == ["first", "second"]
+
+    def test_pop_skips_cancelled_events(self):
+        queue = EventQueue()
+        cancelled = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert queue.pop().time == 2.0
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(2.0, lambda: None)
+        drop.cancel()
+        assert len(queue) == 1
+        assert keep in [drop, keep]
+
+    def test_bool_false_when_only_cancelled_remain(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert not queue
+
+    def test_peek_time_returns_earliest_live_event(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

@@ -1,0 +1,50 @@
+"""Trace recorder."""
+
+from repro.simulation import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_entries_in_order(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "frame.enqueue", "station-00", frame_id=1)
+        trace.record(2.0, "frame.tx_start", "station-00", frame_id=1)
+        assert [entry.category for entry in trace] == [
+            "frame.enqueue", "frame.tx_start"]
+
+    def test_details_are_stored(self):
+        trace = TraceRecorder()
+        trace.record(0.5, "bus.poll", "bus-controller", terminal="rt-3")
+        assert trace.entries[0].details == {"terminal": "rt-3"}
+
+    def test_disabled_recorder_ignores_entries(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "frame.enqueue", "x")
+        assert len(trace) == 0
+
+    def test_category_whitelist(self):
+        trace = TraceRecorder(categories=["frame."])
+        trace.record(1.0, "frame.enqueue", "x")
+        trace.record(1.0, "bus.poll", "y")
+        assert len(trace) == 1
+        assert trace.entries[0].category == "frame.enqueue"
+
+    def test_filter_by_prefix(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "frame.enqueue", "x")
+        trace.record(2.0, "frame.tx_start", "x")
+        trace.record(3.0, "switch.forward", "y")
+        assert len(trace.filter("frame.")) == 2
+        assert len(trace.filter("switch.")) == 1
+
+    def test_clear_discards_entries(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_entries_returns_copy(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "x")
+        entries = trace.entries
+        entries.clear()
+        assert len(trace) == 1

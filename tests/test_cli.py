@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_every_command_is_registered(self):
+        parser = build_parser()
+        for command in ("figure1", "violations", "baseline-1553", "compare",
+                        "validate", "jitter", "buffers", "export"):
+            args = parser.parse_args(
+                [command] if command != "export"
+                else [command, "--output", "x.csv"])
+            assert args.command == command
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_figure1_prints_the_table_and_succeeds(self, capsys):
+        exit_code = main(["--stations", "8", "--seed", "3", "figure1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Delay bounds for the two approaches" in output
+        assert "P0 urgent sporadic" in output
+
+    def test_violations_command(self, capsys):
+        exit_code = main(["--stations", "8", "--seed", "3", "violations"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "10 Mbps" in output and "100 Mbps" in output
+
+    def test_compare_command(self, capsys):
+        exit_code = main(["--stations", "8", "--seed", "3", "compare"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "1553B" in output
+
+    def test_validate_command_reports_holding_bounds(self, capsys):
+        exit_code = main(["--stations", "6", "--seed", "3", "validate"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "strict-priority" in output
+
+    def test_export_then_reuse_as_workload(self, tmp_path, capsys):
+        target = tmp_path / "exported.csv"
+        assert main(["--stations", "6", "--seed", "3", "export",
+                     "--output", str(target)]) == 0
+        assert target.exists()
+        exit_code = main(["--workload", str(target), "figure1"])
+        assert exit_code == 0
+        assert "Delay bounds" in capsys.readouterr().out
+
+    def test_capacity_override_changes_the_result(self, capsys):
+        main(["--stations", "8", "--seed", "3",
+              "--capacity-mbps", "100", "figure1"])
+        fast_output = capsys.readouterr().out
+        main(["--stations", "8", "--seed", "3", "figure1"])
+        slow_output = capsys.readouterr().out
+        assert fast_output != slow_output

@@ -1,0 +1,58 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exception_type", [
+        errors.ConfigurationError,
+        errors.InvalidMessageError,
+        errors.InvalidFlowError,
+        errors.InvalidTopologyError,
+        errors.RoutingError,
+        errors.InvalidScheduleError,
+        errors.InvalidWorkloadError,
+        errors.AnalysisError,
+        errors.UnstableSystemError,
+        errors.EmptyAggregateError,
+        errors.CurveDomainError,
+        errors.SimulationError,
+        errors.SchedulingInPastError,
+        errors.BufferOverflowError,
+        errors.SimulationNotRunError,
+    ])
+    def test_every_exception_derives_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, errors.ReproError)
+
+    def test_routing_error_is_a_topology_error(self):
+        assert issubclass(errors.RoutingError, errors.InvalidTopologyError)
+
+    def test_invalid_message_is_a_configuration_error(self):
+        assert issubclass(errors.InvalidMessageError,
+                          errors.ConfigurationError)
+
+    def test_unstable_system_is_an_analysis_error(self):
+        assert issubclass(errors.UnstableSystemError, errors.AnalysisError)
+
+    def test_scheduling_in_past_is_a_simulation_error(self):
+        assert issubclass(errors.SchedulingInPastError,
+                          errors.SimulationError)
+
+
+class TestUnstableSystemError:
+    def test_carries_rate_and_capacity(self):
+        error = errors.UnstableSystemError("overload", offered_rate=2e6,
+                                           capacity=1e6)
+        assert error.offered_rate == 2e6
+        assert error.capacity == 1e6
+
+    def test_fields_default_to_none(self):
+        error = errors.UnstableSystemError("overload")
+        assert error.offered_rate is None
+        assert error.capacity is None
+
+    def test_is_raisable_and_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.UnstableSystemError("overload")

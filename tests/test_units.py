@@ -1,0 +1,84 @@
+"""Unit conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_milliseconds_to_seconds(self):
+        assert units.ms(20) == pytest.approx(0.02)
+
+    def test_microseconds_to_seconds(self):
+        assert units.us(16) == pytest.approx(16e-6)
+
+    def test_seconds_to_milliseconds_roundtrip(self):
+        assert units.to_ms(units.ms(3)) == pytest.approx(3.0)
+
+    def test_seconds_to_microseconds_roundtrip(self):
+        assert units.to_us(units.us(12)) == pytest.approx(12.0)
+
+    def test_millisecond_constant(self):
+        assert units.MILLISECOND == 1e-3
+        assert units.MICROSECOND == 1e-6
+
+
+class TestSizeConversions:
+    def test_bytes_to_bits(self):
+        assert units.bytes_(64) == 512
+
+    def test_kibibytes_to_bits(self):
+        assert units.kib(1) == 8192
+
+    def test_bits_to_bytes(self):
+        assert units.to_bytes(512) == 64
+
+    def test_1553_words_to_bits(self):
+        assert units.words1553(32) == 512
+
+    def test_1553_word_on_wire_is_20_bits(self):
+        assert units.BITS_PER_1553_WORD_ON_WIRE == 20
+
+
+class TestRateConversions:
+    def test_mbps(self):
+        assert units.mbps(10) == 10_000_000.0
+
+    def test_kbps(self):
+        assert units.kbps(250) == 250_000.0
+
+    def test_gbps(self):
+        assert units.gbps(1) == 1e9
+
+    def test_to_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(100)) == pytest.approx(100.0)
+
+
+class TestTransmissionTime:
+    def test_one_megabit_at_ten_mbps(self):
+        assert units.transmission_time(1e6, units.mbps(10)) == pytest.approx(0.1)
+
+    def test_1553_word_at_one_mbps_is_twenty_microseconds(self):
+        time = units.transmission_time(units.BITS_PER_1553_WORD_ON_WIRE,
+                                       units.mbps(1))
+        assert time == pytest.approx(units.us(20))
+
+    def test_zero_size_is_zero_time(self):
+        assert units.transmission_time(0, units.mbps(10)) == 0.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(-1, units.mbps(10))
+
+    def test_result_is_finite(self):
+        assert math.isfinite(units.transmission_time(1e9, 1.0))

@@ -1,0 +1,108 @@
+"""The synthetic real-case workload generator."""
+
+import pytest
+
+from repro import PriorityClass, units
+from repro.errors import InvalidWorkloadError
+from repro.workloads import RealCaseParameters, generate_real_case
+
+
+class TestStructure:
+    def test_default_population(self, real_case):
+        params = RealCaseParameters()
+        expected_per_station = (params.periodic_per_station
+                                + params.urgent_per_station
+                                + params.medium_per_station
+                                + params.background_per_station)
+        assert len(real_case) == params.station_count * expected_per_station
+        assert len(real_case.stations()) == params.station_count
+
+    def test_period_extremes_match_the_paper(self, real_case):
+        assert real_case.smallest_period() == pytest.approx(units.ms(20))
+        assert real_case.largest_period() == pytest.approx(units.ms(160))
+
+    def test_every_priority_class_is_populated(self, real_case):
+        by_priority = real_case.by_priority()
+        for cls in PriorityClass:
+            assert by_priority[cls], cls
+
+    def test_urgent_messages_have_the_3ms_deadline(self, real_case):
+        for message in real_case.by_priority()[PriorityClass.URGENT]:
+            assert message.deadline == pytest.approx(units.ms(3))
+            assert message.period >= units.ms(20)
+
+    def test_medium_sporadic_deadlines_are_in_the_paper_range(self, real_case):
+        for message in real_case.by_priority()[PriorityClass.SPORADIC]:
+            assert units.ms(20) <= message.deadline <= units.ms(160)
+
+    def test_sporadic_interarrival_at_least_one_minor_frame(self, real_case):
+        for message in real_case.sporadic():
+            assert message.period >= units.ms(20) - 1e-12
+
+    def test_message_sizes_are_on_the_16_bit_word_grid(self, real_case):
+        for message in real_case:
+            assert message.size % units.BITS_PER_1553_WORD == 0
+
+    def test_traffic_converges_on_the_mission_computer(self, real_case):
+        by_destination = real_case.by_destination()
+        mission_computer = "station-00"
+        assert len(by_destination[mission_computer]) >= \
+            max(len(messages) for station, messages in by_destination.items()
+                if station != mission_computer)
+
+
+class TestCalibration:
+    """The defaults must exhibit the paper's three headline properties."""
+
+    def test_total_burst_exceeds_the_3ms_fcfs_threshold(self, real_case):
+        # FCFS bound = total burst / 10 Mbps: above 3 ms needs > 30 kbits.
+        assert real_case.total_burst() > 30_000
+
+    def test_ethernet_utilization_is_low(self, real_case):
+        assert real_case.utilization(units.mbps(10)) < 0.1
+
+    def test_1553_utilization_is_high_but_below_one(self, real_case):
+        utilization = real_case.total_rate() / units.mbps(1)
+        assert 0.2 < utilization < 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_set(self):
+        first = generate_real_case(seed=7)
+        second = generate_real_case(seed=7)
+        assert [m.name for m in first] == [m.name for m in second]
+        assert [m.size for m in first] == [m.size for m in second]
+        assert [m.destination for m in first] == [m.destination for m in second]
+
+    def test_different_seed_differs(self):
+        first = generate_real_case(seed=7)
+        second = generate_real_case(seed=8)
+        assert [m.size for m in first] != [m.size for m in second]
+
+    def test_custom_parameters(self):
+        params = RealCaseParameters(station_count=8, periodic_per_station=3,
+                                    urgent_per_station=1,
+                                    medium_per_station=1,
+                                    background_per_station=0)
+        message_set = generate_real_case(params, seed=1)
+        assert len(message_set) == 8 * 5
+        assert len(message_set.stations()) == 8
+
+
+class TestParameterValidation:
+    def test_too_few_stations_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            RealCaseParameters(station_count=2)
+
+    def test_period_weights_must_sum_to_one(self):
+        with pytest.raises(InvalidWorkloadError):
+            RealCaseParameters(period_weights=(0.5, 0.5, 0.5, 0.5))
+
+    def test_sinks_must_differ(self):
+        with pytest.raises(InvalidWorkloadError):
+            RealCaseParameters(mission_computer_index=1,
+                               concentrator_index=1)
+
+    def test_convergence_ratio_bounds(self):
+        with pytest.raises(InvalidWorkloadError):
+            RealCaseParameters(convergence_ratio=1.5)

@@ -1,0 +1,75 @@
+"""Workload sweeps."""
+
+import pytest
+
+from repro import units
+from repro.errors import InvalidWorkloadError
+from repro.workloads import (
+    scale_message_sizes,
+    scale_station_count,
+    with_capacity_profile,
+)
+
+
+class TestSizeScaling:
+    def test_doubling_roughly_doubles_the_burst(self, tiny_message_set):
+        scaled = scale_message_sizes(tiny_message_set, 2.0)
+        assert scaled.total_burst() == pytest.approx(
+            2 * tiny_message_set.total_burst(), rel=0.05)
+
+    def test_sizes_stay_on_the_word_grid(self, tiny_message_set):
+        scaled = scale_message_sizes(tiny_message_set, 1.3)
+        for message in scaled:
+            assert message.size % units.BITS_PER_1553_WORD == 0
+
+    def test_shrinking_never_drops_below_one_word(self, tiny_message_set):
+        scaled = scale_message_sizes(tiny_message_set, 0.01)
+        for message in scaled:
+            assert message.size >= units.BITS_PER_1553_WORD
+
+    def test_other_attributes_preserved(self, tiny_message_set):
+        scaled = scale_message_sizes(tiny_message_set, 2.0)
+        assert [m.name for m in scaled] == [m.name for m in tiny_message_set]
+        assert [m.period for m in scaled] == [m.period
+                                              for m in tiny_message_set]
+
+    def test_invalid_factor_rejected(self, tiny_message_set):
+        with pytest.raises(InvalidWorkloadError):
+            scale_message_sizes(tiny_message_set, 0.0)
+
+
+class TestStationScaling:
+    def test_replication_multiplies_messages_and_stations(self, tiny_message_set):
+        scaled = scale_station_count(tiny_message_set, 3)
+        assert len(scaled) == 3 * len(tiny_message_set)
+        assert len(scaled.stations()) == 3 * len(tiny_message_set.stations())
+
+    def test_replica_one_is_identity(self, tiny_message_set):
+        assert scale_station_count(tiny_message_set, 1) is tiny_message_set
+
+    def test_replicas_do_not_collide(self, tiny_message_set):
+        scaled = scale_station_count(tiny_message_set, 2)
+        names = [m.name for m in scaled]
+        assert len(set(names)) == len(names)
+
+    def test_invalid_replication_rejected(self, tiny_message_set):
+        with pytest.raises(InvalidWorkloadError):
+            scale_station_count(tiny_message_set, 0)
+
+
+class TestCapacityProfiles:
+    def test_paper_profile(self):
+        profile = with_capacity_profile("ethernet-10")
+        assert profile.capacity == units.mbps(10)
+        assert profile.technology_delay == pytest.approx(units.us(16))
+
+    def test_fast_ethernet_profile(self):
+        assert with_capacity_profile("fast-ethernet-100").capacity == \
+            units.mbps(100)
+
+    def test_1553_profile(self):
+        assert with_capacity_profile("mil-std-1553b").capacity == units.mbps(1)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            with_capacity_profile("token-ring")

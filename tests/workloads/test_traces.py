@@ -1,0 +1,72 @@
+"""CSV export / import of message sets."""
+
+import pytest
+
+from repro import units
+from repro.errors import InvalidWorkloadError
+from repro.workloads import load_message_set_csv, save_message_set_csv
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_every_field(self, tiny_message_set, tmp_path):
+        path = tmp_path / "messages.csv"
+        save_message_set_csv(tiny_message_set, path)
+        loaded = load_message_set_csv(path)
+        assert len(loaded) == len(tiny_message_set)
+        for original in tiny_message_set:
+            restored = loaded[original.name]
+            assert restored.kind == original.kind
+            assert restored.period == pytest.approx(original.period)
+            assert restored.size == pytest.approx(original.size)
+            assert restored.source == original.source
+            assert restored.destination == original.destination
+            if original.deadline is None:
+                assert restored.deadline is None
+            else:
+                assert restored.deadline == pytest.approx(original.deadline)
+
+    def test_roundtrip_of_the_real_case(self, real_case, tmp_path):
+        path = tmp_path / "real-case.csv"
+        save_message_set_csv(real_case, path)
+        loaded = load_message_set_csv(path)
+        assert loaded.total_burst() == pytest.approx(real_case.total_burst())
+        assert loaded.total_rate() == pytest.approx(real_case.total_rate())
+
+    def test_set_name_defaults_to_the_file_stem(self, tiny_message_set,
+                                                tmp_path):
+        path = tmp_path / "my-workload.csv"
+        save_message_set_csv(tiny_message_set, path)
+        assert load_message_set_csv(path).name == "my-workload"
+
+
+class TestErrors:
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,kind\nmsg,periodic\n")
+        with pytest.raises(InvalidWorkloadError):
+            load_message_set_csv(path)
+
+    def test_malformed_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "name,kind,period_ms,size_bits,source,destination,deadline_ms\n"
+            "msg,periodic,not-a-number,128,a,b,\n")
+        with pytest.raises(InvalidWorkloadError):
+            load_message_set_csv(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "name,kind,period_ms,size_bits,source,destination,deadline_ms\n"
+            "msg,event-driven,20,128,a,b,\n")
+        with pytest.raises(InvalidWorkloadError):
+            load_message_set_csv(path)
+
+    def test_empty_deadline_means_none(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        path.write_text(
+            "name,kind,period_ms,size_bits,source,destination,deadline_ms\n"
+            "msg,sporadic,160,128,a,b,\n")
+        loaded = load_message_set_csv(path)
+        assert loaded["msg"].deadline is None
+        assert loaded["msg"].period == pytest.approx(units.ms(160))
