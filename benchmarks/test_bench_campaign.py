@@ -1,0 +1,62 @@
+"""Campaign engine — memoized vs naive batch analysis.
+
+Times the scenario campaign runner on the scalability ladder twice: once
+with the shared :class:`~repro.campaigns.cache.AnalysisCache` (the default)
+and once in naive mode, which rebuilds and re-aggregates every scenario's
+message set from scratch.  The memoized runner must win — that speedup is
+the campaign layer's reason to exist — and the recorded table lets future
+PRs track the ratio.
+"""
+
+import time
+
+from repro.campaigns import CampaignRunner, builtin_scenarios, select
+
+#: Timing loops per mode; small because the naive mode is the slow one.
+ROUNDS = 5
+
+
+def _time_runner(scenarios, *, memoize: bool) -> tuple[float, object]:
+    """Best-of-ROUNDS wall-clock seconds for one full campaign run."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        runner = CampaignRunner(memoize=memoize)
+        started = time.perf_counter()
+        result = runner.run(scenarios)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_campaign_memoization(benchmark, report):
+    ladder = select("ladder")
+    everything = builtin_scenarios()
+
+    naive_time, naive_result = _time_runner(ladder, memoize=False)
+    memo_time, memo_result = _time_runner(ladder, memoize=True)
+    full_time, full_result = _time_runner(everything, memoize=True)
+
+    # The benchmark fixture records the memoized ladder run for history.
+    benchmark.pedantic(
+        lambda: CampaignRunner().run(ladder), rounds=3, iterations=1)
+
+    speedup = naive_time / memo_time
+    report(
+        "campaign", "Campaign runner: memoized vs naive recomputation",
+        ["campaign", "scenarios", "rows", "naive", "memoized", "speedup"],
+        [("scalability ladder", len(ladder), len(memo_result.rows()),
+          f"{naive_time * 1e3:.2f} ms", f"{memo_time * 1e3:.2f} ms",
+          f"{speedup:.1f}x"),
+         ("full catalogue", len(everything), len(full_result.rows()),
+          "-", f"{full_time * 1e3:.2f} ms", "-")])
+
+    # Same answers either way ...
+    assert len(naive_result.rows()) == len(memo_result.rows())
+    # ... but the memoizing runner must beat naive recomputation.
+    assert memo_time < naive_time, (
+        f"memoized ladder run ({memo_time * 1e3:.2f} ms) is not faster "
+        f"than naive recomputation ({naive_time * 1e3:.2f} ms)")
+    # The ladder shares one base workload: the cache must prove it.
+    stats = memo_result.stats
+    assert stats["base_sets"].misses == 1
+    assert stats["base_aggregates"].hits >= len(ladder) - 1

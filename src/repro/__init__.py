@@ -12,10 +12,25 @@ sub-packages are documented in DESIGN.md:
 >>> study = PaperCaseStudy(generate_real_case())
 >>> study.priority_meets_all_constraints()
 True
+
+Batched what-if analysis goes through the campaign layer (README.md shows
+the matching ``repro campaign`` CLI):
+
+>>> from repro import CampaignRunner, builtin_scenarios
+>>> result = CampaignRunner().run(builtin_scenarios())
+>>> len(result.rows()) >= 8
+True
 """
 
 from repro import units
 from repro.analysis.paper_model import PaperCaseStudy, figure1_rows
+from repro.campaigns import (
+    CampaignResult,
+    CampaignRunner,
+    Scenario,
+    WorkloadSpec,
+    builtin_scenarios,
+)
 from repro.core.multiplexer import (
     FcfsMultiplexerAnalysis,
     StrictPriorityMultiplexerAnalysis,
@@ -60,5 +75,10 @@ __all__ = [
     "Milstd1553BusSimulator",
     "RealCaseParameters",
     "generate_real_case",
+    "Scenario",
+    "WorkloadSpec",
+    "CampaignRunner",
+    "CampaignResult",
+    "builtin_scenarios",
     "__version__",
 ]

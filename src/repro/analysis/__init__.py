@@ -19,7 +19,14 @@ with :mod:`repro.reporting`.
 * :mod:`~repro.analysis.jitter` — **E6**: per-class jitter under the two
   Ethernet policies and on the 1553B bus,
 * :mod:`~repro.analysis.sensitivity` — **E7**: ablations on ``t_techno``,
-  shaper burst sizing and preemption.
+  shaper burst sizing and preemption,
+* :mod:`~repro.analysis.scalability` — **E8**: feasibility of each
+  approach as the case-study traffic is replicated.
+
+To evaluate whole families of configurations (capacities, topologies,
+replication ladders) in one batch with shared-intermediate memoization, use
+the campaign layer (:mod:`repro.campaigns`) or ``repro campaign`` instead
+of looping over these entry points by hand.
 """
 
 from repro.analysis.paper_model import (

@@ -1,0 +1,243 @@
+"""Memoization of the intermediate results scenarios share.
+
+A campaign evaluates N scenarios that differ in capacity, technology delay,
+replication factor or topology but frequently share the *same* underlying
+traffic.  The expensive intermediates form a small dependency chain::
+
+    WorkloadSpec --(generate, O(stations))--> base MessageSet
+                 --(one pass, O(messages))--> per-class ClassAggregate
+                 --(arithmetic, O(classes))--> replicated aggregates
+                 --(closed form, O(classes))--> arrival/service curves, bounds
+
+:class:`AnalysisCache` memoizes every level of that chain, keyed by the
+value-level specs, so an N-scenario sweep touches each message set once
+instead of N times — and never materialises the replicated sets of the
+scalability ladder at all (replicating every flow ``k`` times multiplies the
+per-class sums by ``k`` and leaves the max burst unchanged, so the scaled
+aggregates are exact).  Hit/miss counters are kept per level; the campaign
+benchmark asserts the memoized runner beats naive per-scenario
+recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.core.multiplexer import (
+    ClassAggregate,
+    FcfsMultiplexerAnalysis,
+    StrictPriorityMultiplexerAnalysis,
+    aggregate_flows,
+)
+from repro.core.netcalc.arrival import TokenBucketArrivalCurve
+from repro.core.netcalc.service import RateLatencyServiceCurve
+from repro.errors import UnstableSystemError
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+
+from repro.campaigns.scenario import WorkloadSpec
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "compute_class_bounds",
+    "compute_arrival_curve",
+    "compute_service_curve",
+    "compute_class_deadlines",
+]
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# The closed forms, as pure functions of the aggregates
+# ---------------------------------------------------------------------------
+# Both the memoized cache below and the runner's naive baseline call these,
+# so the two modes can never drift apart formula-wise.
+
+def compute_class_bounds(aggregates: dict[PriorityClass, ClassAggregate],
+                         capacity: float, technology_delay: float,
+                         policy: str) -> dict[PriorityClass, object | None]:
+    """Single-point per-class bounds; ``None`` marks a saturated class."""
+    bounds: dict[PriorityClass, object | None] = {}
+    if policy == "fcfs":
+        analysis = FcfsMultiplexerAnalysis(
+            capacity=capacity, technology_delay=technology_delay)
+        fcfs = analysis.bound_from_aggregates(aggregates, strict=False)
+        return {cls: fcfs for cls, a in aggregates.items() if a.count}
+    analysis = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay)
+    for cls, aggregate in aggregates.items():
+        if not aggregate.count:
+            continue
+        try:
+            bounds[cls] = analysis.bound_for_class_from_aggregates(
+                aggregates, cls, strict=False)
+        except UnstableSystemError:
+            bounds[cls] = None
+    return bounds
+
+
+def compute_arrival_curve(aggregates: dict[PriorityClass, ClassAggregate],
+                          up_to: PriorityClass | None
+                          ) -> TokenBucketArrivalCurve:
+    """Token-bucket curve of the aggregate of classes ``<= up_to``."""
+    included = [a for cls, a in aggregates.items()
+                if up_to is None or cls <= up_to]
+    return TokenBucketArrivalCurve(
+        bucket=sum(a.burst for a in included),
+        token_rate=sum(a.rate for a in included))
+
+
+def compute_service_curve(aggregates: dict[PriorityClass, ClassAggregate],
+                          capacity: float, technology_delay: float,
+                          policy: str, priority: PriorityClass | None
+                          ) -> RateLatencyServiceCurve:
+    """Per-hop service curve seen by ``priority`` under ``policy``."""
+    if policy == "fcfs":
+        return RateLatencyServiceCurve(rate=capacity,
+                                       delay=technology_delay)
+    analysis = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay)
+    return analysis.residual_service_curve_from_aggregates(
+        aggregates, priority)
+
+
+def compute_class_deadlines(message_set: MessageSet
+                            ) -> dict[PriorityClass, float | None]:
+    """Binding (smallest) deadline of every class present in the set."""
+    deadlines: dict[PriorityClass, float | None] = {}
+    for cls, messages in message_set.by_priority().items():
+        if not messages:
+            continue
+        with_deadline = [m.deadline for m in messages
+                         if m.deadline is not None]
+        deadlines[cls] = min(with_deadline) if with_deadline else None
+    return deadlines
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memoization level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+
+class AnalysisCache:
+    """Shared intermediate results of a campaign run.
+
+    Every public method is a memoized pure function of its value-level
+    arguments; ``stats`` maps a level name (``base_sets``, ``aggregates``,
+    ``bounds``, ...) to its :class:`CacheStats`.
+    """
+
+    def __init__(self) -> None:
+        self._stores: dict[str, dict] = {}
+        self.stats: dict[str, CacheStats] = {}
+
+    def _memo(self, level: str, key, factory: Callable[[], T]) -> T:
+        store = self._stores.setdefault(level, {})
+        stats = self.stats.setdefault(level, CacheStats())
+        try:
+            value = store[key]
+        except KeyError:
+            stats.misses += 1
+            value = store[key] = factory()
+            return value
+        stats.hits += 1
+        return value
+
+    # -- message sets --------------------------------------------------------
+
+    def base_message_set(self, spec: WorkloadSpec) -> MessageSet:
+        """The base (un-replicated) message set of ``spec``."""
+        return self._memo("base_sets", spec.base_key, spec.build_base)
+
+    def message_set(self, spec: WorkloadSpec) -> MessageSet:
+        """The fully materialised message set, replication included.
+
+        Only needed by consumers that want the individual messages (e.g. a
+        simulation); the analytic pipeline goes through :meth:`aggregates`
+        and never materialises replicated sets.
+        """
+        return self._memo("message_sets", spec, spec.build)
+
+    # -- aggregates ----------------------------------------------------------
+
+    def aggregates(self, spec: WorkloadSpec
+                   ) -> dict[PriorityClass, ClassAggregate]:
+        """Per-class aggregates of ``spec``, replication applied arithmetically."""
+
+        def compute() -> dict[PriorityClass, ClassAggregate]:
+            base = self._memo(
+                "base_aggregates", spec.base_key,
+                lambda: aggregate_flows(self.base_message_set(spec).messages))
+            if spec.replication == 1:
+                return base
+            return {cls: aggregate.scaled(spec.replication)
+                    for cls, aggregate in base.items()}
+
+        return self._memo("aggregates", spec, compute)
+
+    def class_deadlines(self, spec: WorkloadSpec
+                        ) -> dict[PriorityClass, float | None]:
+        """Binding (smallest) deadline per class; replication-invariant."""
+        return self._memo(
+            "deadlines", spec.base_key,
+            lambda: compute_class_deadlines(self.base_message_set(spec)))
+
+    # -- curves --------------------------------------------------------------
+
+    def arrival_curve(self, spec: WorkloadSpec,
+                      up_to: PriorityClass | None = None
+                      ) -> TokenBucketArrivalCurve:
+        """Token-bucket curve of the aggregate of classes ``<= up_to``.
+
+        ``up_to=None`` aggregates every class (the FCFS view); passing a
+        class gives the arrival curve whose delay through the residual
+        service curve reproduces the strict-priority bound ``D_p``.
+        """
+        return self._memo(
+            "arrival_curves", (spec, up_to),
+            lambda: compute_arrival_curve(self.aggregates(spec), up_to))
+
+    def service_curve(self, spec: WorkloadSpec, capacity: float,
+                      technology_delay: float, policy: str,
+                      priority: PriorityClass | None = None
+                      ) -> RateLatencyServiceCurve:
+        """Per-hop service curve seen by ``priority`` under ``policy``.
+
+        FCFS serves the whole aggregate at the link rate after ``t_techno``;
+        strict priority serves class ``priority`` at the residual rate after
+        the lower-priority blocking latency.
+        """
+        return self._memo(
+            "service_curves",
+            (spec, capacity, technology_delay, policy, priority),
+            lambda: compute_service_curve(self.aggregates(spec), capacity,
+                                          technology_delay, policy,
+                                          priority))
+
+    # -- bounds --------------------------------------------------------------
+
+    def class_bounds(self, spec: WorkloadSpec, capacity: float,
+                     technology_delay: float, policy: str
+                     ) -> dict[PriorityClass, object | None]:
+        """Single-point per-class bounds; ``None`` marks an unstable class.
+
+        The values are :class:`repro.core.multiplexer.MultiplexerBound`
+        objects computed from the memoized aggregates with ``strict=False``
+        (a campaign must report overloaded scenarios, not crash on them);
+        classes whose residual capacity is exhausted map to ``None``.
+        """
+        return self._memo(
+            "bounds", (spec, capacity, technology_delay, policy),
+            lambda: compute_class_bounds(self.aggregates(spec), capacity,
+                                         technology_delay, policy))

@@ -1,0 +1,151 @@
+"""The named scenario registry and its builtin catalogue.
+
+Scenarios are registered by unique name; ``repro campaign --list`` prints
+the catalogue and ``--run name,name`` (or ``--run all``) selects from it.
+The builtin catalogue covers the paper's case study and the natural
+extensions called out by the roadmap: the Figure-1 capacity sweep, the
+multi-switch topologies, overload, inflated-burst (jitter-tolerant)
+shaping, a MIL-STD-1553B-rate migration check and the scalability ladder.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.campaigns.scenario import Scenario, TopologySpec, WorkloadSpec
+from repro.errors import DuplicateScenarioError, UnknownScenarioError
+
+__all__ = ["register", "get", "names", "select", "builtin_scenarios"]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry; rejects duplicate names by default."""
+    if not replace and scenario.name in _REGISTRY:
+        raise DuplicateScenarioError(
+            f"scenario {scenario.name!r} is already registered "
+            f"(pass replace=True to overwrite)")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look up a scenario by name.
+
+    Raises
+    ------
+    UnknownScenarioError
+        If no scenario of that name is registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; known scenarios: "
+            f"{names()}") from None
+
+
+def names() -> list[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def builtin_scenarios() -> list[Scenario]:
+    """Every registered scenario, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def select(selection: str) -> list[Scenario]:
+    """Resolve a CLI selection string to scenarios.
+
+    ``"all"`` selects the whole catalogue; otherwise the string is a
+    comma-separated list where each item is a scenario name or, when no
+    scenario has that name, a tag (``ladder`` selects every scenario
+    tagged ``ladder``).  An exact name always wins over a tag of the same
+    spelling.
+    """
+    if selection.strip() == "all":
+        return builtin_scenarios()
+    chosen: list[Scenario] = []
+    for item in (part.strip() for part in selection.split(",")):
+        if not item:
+            continue
+        if item in _REGISTRY:
+            scenario = _REGISTRY[item]
+            if scenario not in chosen:
+                chosen.append(scenario)
+            continue
+        tagged = [s for s in _REGISTRY.values() if item in s.tags]
+        if not tagged:
+            raise UnknownScenarioError(
+                f"unknown scenario {item!r}; known scenarios: {names()}")
+        chosen.extend(s for s in tagged if s not in chosen)
+    if not chosen:
+        raise UnknownScenarioError(
+            f"selection {selection!r} matched no scenario; known scenarios: "
+            f"{names()}")
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Builtin catalogue
+# ---------------------------------------------------------------------------
+
+register(Scenario(
+    name="paper-real-case",
+    description="The paper's case study: 16 stations, one switch, 10 Mbps "
+                "(Figure 1).",
+    tags=("paper",)))
+
+register(Scenario(
+    name="figure1-fast-ethernet",
+    description="Figure-1 sweep companion: the same traffic on a 100 Mbps "
+                "Fast-Ethernet link.",
+    capacity=units.mbps(100),
+    tags=("paper", "sweep")))
+
+register(Scenario(
+    name="dual-switch",
+    description="Federated architecture: two switches joined by a "
+                "backbone, traffic crossing both equipment bays.",
+    topology=TopologySpec(kind="dual-switch"),
+    tags=("topology",)))
+
+register(Scenario(
+    name="tree-federated",
+    description="Two-level tree: leaf access switches under a core, "
+                "worst-case route crossing three multiplexing points.",
+    topology=TopologySpec(kind="tree", leaf_count=2),
+    tags=("topology",)))
+
+register(Scenario(
+    name="overload",
+    description="Deliberate overload: the case study replicated 32x "
+                "saturates the 10 Mbps link — unstable classes must be "
+                "reported gracefully, not crash the batch.",
+    workload=WorkloadSpec(replication=32),
+    tags=("stress",)))
+
+register(Scenario(
+    name="high-jitter",
+    description="Jitter-tolerant shaping: every token bucket doubled to "
+                "absorb release jitter, inflating all burst terms.",
+    workload=WorkloadSpec(size_factor=2.0),
+    tags=("shaping",)))
+
+register(Scenario(
+    name="milstd1553-migration",
+    description="Migration sanity check: the Ethernet analysis on a "
+                "1553B-rate 1 Mbps link (no relaying delay), showing why "
+                "raw 1553B bandwidth cannot carry the shaped traffic.",
+    capacity=units.mbps(1),
+    technology_delay=0.0,
+    tags=("migration",)))
+
+for _scale in (2, 4, 6, 8):
+    register(Scenario(
+        name=f"scalability-x{_scale}",
+        description=f"Scalability ladder rung: the case-study traffic "
+                    f"replicated {_scale}x through the shared link.",
+        workload=WorkloadSpec(replication=_scale),
+        tags=("ladder",)))

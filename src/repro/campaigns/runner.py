@@ -1,0 +1,293 @@
+"""Batched execution of scenarios with shared-intermediate memoization.
+
+:class:`CampaignRunner` evaluates every scenario's per-class worst-case
+delay and backlog bounds in one pass.  In the default *memoized* mode all
+scenarios share one :class:`~repro.campaigns.cache.AnalysisCache`, so the
+base message set is generated and aggregated once per distinct workload and
+the scalability ladder's replicated sets are never materialised.  With
+``memoize=False`` the runner does what a user would do by hand — rebuild the
+full message set and recompute every aggregate for each scenario — which is
+the baseline the campaign benchmark compares against.
+
+Multi-hop scenarios use the paper's composition without burst propagation:
+the single-point bound pays the burst terms once, and every additional
+multiplexing point adds the latency of its per-class residual service curve
+(pay-bursts-only-once, as in
+:class:`repro.core.endtoend.EndToEndAnalysis` with
+``burst_propagation=False``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.campaigns.cache import (
+    AnalysisCache,
+    CacheStats,
+    compute_arrival_curve,
+    compute_class_bounds,
+    compute_class_deadlines,
+    compute_service_curve,
+)
+from repro.campaigns.scenario import Scenario
+from repro.core.multiplexer import aggregate_flows
+from repro.core.netcalc.arrival import TokenBucketArrivalCurve
+from repro.core.netcalc.bounds import backlog_bound
+from repro.core.netcalc.service import RateLatencyServiceCurve
+from repro.errors import UnstableSystemError
+from repro.flows.priorities import PriorityClass
+from repro.reporting import (
+    format_ms,
+    render_markdown_table,
+    render_table,
+    write_csv,
+    yes_no,
+)
+
+__all__ = ["CampaignRow", "ScenarioResult", "CampaignResult",
+           "CampaignRunner"]
+
+#: Short policy labels used in the result tables.
+POLICY_LABELS = {"fcfs": "FCFS", "strict-priority": "priority"}
+
+
+def _format_bound(seconds: float) -> str:
+    return "unbounded" if math.isinf(seconds) else format_ms(seconds)
+
+
+def _format_backlog(bits: float) -> str:
+    if math.isinf(bits):
+        return "unbounded"
+    return f"{bits / 8:.0f} B"
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Per-(scenario, policy, class) worst-case bounds."""
+
+    scenario: str
+    policy: str
+    priority: PriorityClass
+    #: Number of messages of the class (replication included).
+    message_count: int
+    #: Binding deadline of the class, or ``None``.
+    deadline: float | None
+    #: End-to-end worst-case delay bound in seconds; ``inf`` when the
+    #: class is unstable under this scenario.
+    bound: float
+    #: Per-point backlog bound in bits (buffer dimensioning); ``inf`` when
+    #: the class aggregate overruns its residual service rate.
+    backlog_bits: float
+    #: False when the bound is not a valid worst case (overload).
+    stable: bool
+    #: Multiplexing points on the worst-case route.
+    hops: int
+
+    @property
+    def meets_deadline(self) -> bool:
+        """True when the bound respects the class constraint."""
+        return self.deadline is None or self.bound <= self.deadline
+
+
+@dataclass
+class ScenarioResult:
+    """Every row produced by one scenario, plus its wall-clock cost."""
+
+    scenario: Scenario
+    rows: list[CampaignRow]
+    elapsed: float
+
+    def rows_for(self, policy: str) -> list[CampaignRow]:
+        """The rows of one multiplexing policy."""
+        return [row for row in self.rows if row.policy == policy]
+
+    def feasible(self, policy: str) -> bool:
+        """True when every class is stable and meets its constraint."""
+        rows = self.rows_for(policy)
+        return bool(rows) and all(row.stable and row.meets_deadline
+                                  for row in rows)
+
+
+@dataclass
+class CampaignResult:
+    """The combined outcome of a campaign run."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    #: Cache statistics of the run (empty in naive mode).
+    stats: dict[str, CacheStats] = field(default_factory=dict)
+
+    SUMMARY_HEADERS = ("scenario", "configuration", "policy", "classes",
+                      "feasible")
+    DETAIL_HEADERS = ("scenario", "policy", "class", "messages",
+                      "constraint", "bound", "ok", "backlog", "stable")
+
+    def rows(self) -> list[CampaignRow]:
+        """Every row of every scenario, in campaign order."""
+        return [row for result in self.results for row in result.rows]
+
+    def summary_cells(self) -> list[tuple]:
+        """One summary line per (scenario, policy)."""
+        cells = []
+        for result in self.results:
+            for policy in result.scenario.policies:
+                cells.append((
+                    result.scenario.name,
+                    result.scenario.describe(),
+                    POLICY_LABELS[policy],
+                    len(result.rows_for(policy)),
+                    yes_no(result.feasible(policy))))
+        return cells
+
+    def detail_cells(self) -> list[tuple]:
+        """One formatted line per result row."""
+        return [(row.scenario, POLICY_LABELS[row.policy],
+                 row.priority.label, row.message_count,
+                 format_ms(row.deadline), _format_bound(row.bound),
+                 yes_no(row.meets_deadline),
+                 _format_backlog(row.backlog_bits), yes_no(row.stable))
+                for row in self.rows()]
+
+    def to_table(self) -> str:
+        """Summary plus per-class detail as aligned ASCII tables."""
+        summary = render_table(self.SUMMARY_HEADERS, self.summary_cells(),
+                               title="Campaign summary")
+        detail = render_table(self.DETAIL_HEADERS, self.detail_cells(),
+                              title="Per-class worst-case bounds")
+        return summary + "\n" + detail
+
+    def to_markdown(self) -> str:
+        """The same two tables in GitHub-flavoured markdown."""
+        summary = render_markdown_table(
+            self.SUMMARY_HEADERS, self.summary_cells(),
+            title="Campaign summary")
+        detail = render_markdown_table(
+            self.DETAIL_HEADERS, self.detail_cells(),
+            title="Per-class worst-case bounds")
+        return summary + "\n" + detail
+
+    def write_csv(self, path: str | Path) -> None:
+        """Dump the raw (unformatted) rows to ``path``."""
+        write_csv(path,
+                  ["scenario", "policy", "priority", "messages",
+                   "deadline_s", "bound_s", "backlog_bits", "meets_deadline",
+                   "stable", "hops"],
+                  [(row.scenario, row.policy, row.priority.name,
+                    row.message_count,
+                    "" if row.deadline is None else repr(row.deadline),
+                    repr(row.bound), repr(row.backlog_bits),
+                    row.meets_deadline, row.stable, row.hops)
+                   for row in self.rows()])
+
+
+class CampaignRunner:
+    """Run scenarios in one batch, sharing intermediates when allowed.
+
+    Parameters
+    ----------
+    cache:
+        The shared :class:`AnalysisCache`; a fresh one is created when
+        omitted.  Passing a warm cache lets successive campaigns reuse each
+        other's intermediates.
+    memoize:
+        ``True`` (default) shares intermediates across scenarios and scales
+        replicated aggregates arithmetically.  ``False`` rebuilds and
+        re-aggregates every scenario's full message set from scratch — the
+        naive baseline used by the campaign benchmark.
+    """
+
+    def __init__(self, cache: AnalysisCache | None = None, *,
+                 memoize: bool = True) -> None:
+        self.memoize = memoize
+        self.cache = cache if cache is not None else AnalysisCache()
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
+        """Evaluate every scenario and return the combined result."""
+        started = time.perf_counter()
+        result = CampaignResult()
+        for scenario in scenarios:
+            result.results.append(self._run_scenario(scenario))
+        result.elapsed = time.perf_counter() - started
+        if self.memoize:
+            # Snapshot the counters: the cache keeps mutating across runs.
+            result.stats = {level: CacheStats(stats.hits, stats.misses)
+                            for level, stats in self.cache.stats.items()}
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _scenario_inputs(self, scenario: Scenario):
+        """(aggregates, deadlines) — shared in memoized mode, fresh otherwise."""
+        spec = scenario.workload
+        if self.memoize:
+            return self.cache.aggregates(spec), self.cache.class_deadlines(spec)
+        message_set = spec.build()
+        return (aggregate_flows(message_set.messages),
+                compute_class_deadlines(message_set))
+
+    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        started = time.perf_counter()
+        aggregates, deadlines = self._scenario_inputs(scenario)
+        rows: list[CampaignRow] = []
+        for policy in scenario.policies:
+            if self.memoize:
+                bounds = self.cache.class_bounds(
+                    scenario.workload, scenario.capacity,
+                    scenario.technology_delay, policy)
+            else:
+                bounds = compute_class_bounds(
+                    aggregates, scenario.capacity,
+                    scenario.technology_delay, policy)
+            for cls in sorted(bounds):
+                rows.append(self._row(scenario, policy, cls, bounds[cls],
+                                      aggregates, deadlines))
+        return ScenarioResult(scenario=scenario, rows=rows,
+                              elapsed=time.perf_counter() - started)
+
+    def _curves(self, scenario: Scenario, policy: str, cls: PriorityClass,
+                aggregates) -> tuple[TokenBucketArrivalCurve,
+                                     RateLatencyServiceCurve]:
+        """(arrival, per-point service) curves for one class."""
+        up_to = None if policy == "fcfs" else cls
+        if self.memoize:
+            return (self.cache.arrival_curve(scenario.workload, up_to),
+                    self.cache.service_curve(
+                        scenario.workload, scenario.capacity,
+                        scenario.technology_delay, policy, up_to))
+        return (compute_arrival_curve(aggregates, up_to),
+                compute_service_curve(aggregates, scenario.capacity,
+                                      scenario.technology_delay, policy,
+                                      up_to))
+
+    def _row(self, scenario: Scenario, policy: str, cls: PriorityClass,
+             mux_bound, aggregates, deadlines) -> CampaignRow:
+        """Compose one result row from the single-point bound."""
+        stable = (mux_bound is not None
+                  and not mux_bound.details.get("unstable"))
+        if not stable:
+            bound = backlog = math.inf
+        else:
+            arrival, service = self._curves(scenario, policy, cls,
+                                            aggregates)
+            # Pay the bursts once; every extra point adds its latency.
+            bound = mux_bound.delay + (scenario.hops - 1) * service.latency
+            try:
+                backlog = backlog_bound(arrival, service, strict=False)
+            except UnstableSystemError:  # pragma: no cover - strict=False
+                backlog = math.inf
+        return CampaignRow(
+            scenario=scenario.name,
+            policy=policy,
+            priority=cls,
+            message_count=aggregates[cls].count,
+            deadline=deadlines.get(cls),
+            bound=bound,
+            backlog_bits=backlog,
+            stable=stable,
+            hops=scenario.hops)

@@ -11,17 +11,23 @@ without pytest::
     python -m repro jitter                   # E6 - jitter comparison
     python -m repro buffers                  # buffer dimensioning
     python -m repro export --output set.csv  # dump the synthetic message set
+    python -m repro campaign --list          # the scenario catalogue
+    python -m repro campaign --run all       # batched scenario analysis
 
-Every command accepts ``--seed``, ``--stations`` and ``--capacity-mbps`` to
-vary the workload and the link rate, and ``--workload path.csv`` to run on a
-user-provided message set instead of the synthetic one.
+Every workload-based command accepts ``--seed``, ``--stations`` and
+``--capacity-mbps`` to vary the workload and the link rate, and
+``--workload path.csv`` to run on a user-provided message set instead of
+the synthetic one.  Commands are registered in the :data:`COMMANDS` table;
+adding one means adding a handler and one table entry, not another copy of
+the parser/dispatch plumbing.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro import units
 from repro.analysis import (
@@ -33,6 +39,8 @@ from repro.analysis import (
 )
 from repro.analysis.buffers import validate_buffer_requirements
 from repro.analysis.paper_model import PaperCaseStudy
+from repro.campaigns import CampaignRunner, builtin_scenarios, select
+from repro.errors import UnknownScenarioError
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 from repro.reporting import format_ms, render_table, yes_no
@@ -43,7 +51,235 @@ from repro.workloads import (
     save_message_set_csv,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "COMMANDS"]
+
+
+@dataclass(frozen=True)
+class CommandContext:
+    """Everything a command handler may need, resolved once in :func:`main`."""
+
+    args: argparse.Namespace
+    #: The selected message set; ``None`` for commands that manage their own
+    #: workloads (the campaign subcommand).
+    message_set: MessageSet | None
+    capacity: float
+    technology_delay: float
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One row of the CLI dispatch table."""
+
+    name: str
+    help: str
+    handler: Callable[[CommandContext], int]
+    #: Adds command-specific arguments to the subparser, if any.
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+    #: False for commands that do not analyse the shared workload.
+    needs_workload: bool = True
+
+
+def _print(table: str) -> None:
+    sys.stdout.write(table)
+    sys.stdout.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Experiment handlers
+# ---------------------------------------------------------------------------
+
+def _command_figure1(ctx: CommandContext) -> int:
+    study = PaperCaseStudy(ctx.message_set, capacity=ctx.capacity,
+                           technology_delay=ctx.technology_delay)
+    rows = [(row.priority.label, row.message_count, format_ms(row.deadline),
+             format_ms(row.fcfs_bound), yes_no(row.fcfs_meets_deadline),
+             format_ms(row.priority_bound),
+             yes_no(row.priority_meets_deadline))
+            for row in study.figure1_rows()]
+    _print(render_table(
+        ["class", "messages", "constraint", "FCFS", "ok", "priority", "ok"],
+        rows, title="Delay bounds for the two approaches"))
+    return 0 if study.priority_meets_all_constraints() else 1
+
+
+def _command_violations(ctx: CommandContext) -> int:
+    rows = [(f"{row.capacity / 1e6:.0f} Mbps", row.priority.name,
+             format_ms(row.fcfs_bound), row.fcfs_violated_messages,
+             format_ms(row.priority_bound), row.priority_violated_messages)
+            for row in fcfs_violation_table(
+                ctx.message_set, technology_delay=ctx.technology_delay)]
+    _print(render_table(
+        ["capacity", "class", "FCFS bound", "FCFS violations",
+         "priority bound", "priority violations"],
+        rows, title="Constraint violations vs link capacity"))
+    return 0
+
+
+def _command_baseline(ctx: CommandContext) -> int:
+    report = baseline_1553_report(ctx.message_set)
+    rows = [(index, format_ms(duration), f"{utilization * 100:.1f} %")
+            for index, (duration, utilization)
+            in enumerate(zip(report.minor_frame_durations,
+                             report.minor_frame_utilizations))]
+    _print(render_table(["minor frame", "busy time", "utilisation"], rows,
+                        title="MIL-STD-1553B minor frames"))
+    _print(render_table(
+        ["class", "analytic worst", "simulated worst"],
+        [(cls.label, format_ms(report.analytic_worst_per_class.get(cls)),
+          format_ms(report.simulated_worst_per_class.get(cls)))
+         for cls in PriorityClass],
+        title="1553B response times per class"))
+    return 0 if report.feasible else 1
+
+
+def _command_compare(ctx: CommandContext) -> int:
+    rows = [(row.priority.label, format_ms(row.deadline),
+             format_ms(row.milstd1553_bound), yes_no(row.milstd1553_ok),
+             format_ms(row.ethernet_fcfs_bound), yes_no(row.fcfs_ok),
+             format_ms(row.ethernet_priority_bound), yes_no(row.priority_ok))
+            for row in technology_comparison(
+                ctx.message_set, capacity=ctx.capacity,
+                technology_delay=ctx.technology_delay)]
+    _print(render_table(
+        ["class", "constraint", "1553B", "ok", "FCFS", "ok", "priority",
+         "ok"], rows, title="1553B vs switched Ethernet"))
+    return 0
+
+
+def _command_validate(ctx: CommandContext) -> int:
+    rows = validate_bounds(ctx.message_set, capacity=ctx.capacity,
+                           technology_delay=ctx.technology_delay)
+    _print(render_table(
+        ["policy", "class", "bound", "simulated worst", "holds"],
+        [(row.policy, row.priority.name, format_ms(row.analytic_bound),
+          format_ms(row.simulated_worst), yes_no(row.bound_holds))
+         for row in rows],
+        title="Analytic bounds vs simulated worst delays"))
+    return 0 if all(row.bound_holds for row in rows) else 1
+
+
+def _command_jitter(ctx: CommandContext) -> int:
+    rows = jitter_comparison(ctx.message_set, capacity=ctx.capacity,
+                             technology_delay=ctx.technology_delay)
+    _print(render_table(
+        ["technology", "class", "worst jitter", "mean jitter", "streams"],
+        [(row.technology, row.priority.name, format_ms(row.worst_jitter),
+          format_ms(row.mean_jitter), row.streams) for row in rows],
+        title="Per-stream delivery jitter"))
+    return 0
+
+
+def _command_buffers(ctx: CommandContext) -> int:
+    rows = validate_buffer_requirements(
+        ctx.message_set, technology_delay=ctx.technology_delay)
+    _print(render_table(
+        ["egress port", "flows", "backlog bound (bytes)",
+         "observed max (bytes)", "within bound"],
+        [(f"{row.node}->{row.toward}", row.flow_count,
+          f"{row.backlog_bytes:.0f}",
+          "-" if row.observed_bits != row.observed_bits
+          else f"{units.to_bytes(row.observed_bits):.0f}",
+          yes_no(row.observed_within_bound)) for row in rows],
+        title="Buffer dimensioning per egress port"))
+    return 0 if all(row.observed_within_bound for row in rows) else 1
+
+
+def _command_export(ctx: CommandContext) -> int:
+    save_message_set_csv(ctx.message_set, ctx.args.output)
+    sys.stdout.write(f"wrote {len(ctx.message_set)} messages to "
+                     f"{ctx.args.output}\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Campaign subcommand
+# ---------------------------------------------------------------------------
+
+def _configure_campaign(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--list", action="store_true", dest="list_scenarios",
+                     help="list the registered scenarios and exit")
+    sub.add_argument("--run", metavar="NAMES", default=None,
+                     help="run scenarios: 'all', or a comma-separated list "
+                          "of names/tags (e.g. 'paper-real-case,ladder')")
+    sub.add_argument("--naive", action="store_true",
+                     help="disable cross-scenario memoization (baseline "
+                          "mode used by the benchmarks)")
+    sub.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the raw result rows to a CSV file")
+    sub.add_argument("--markdown", action="store_true",
+                     help="render the result tables as markdown")
+
+
+def _command_campaign(ctx: CommandContext) -> int:
+    args = ctx.args
+    ignored = [flag for flag, is_default in (
+        ("--workload", args.workload is None),
+        ("--stations", args.stations == 16),
+        ("--seed", args.seed == 7),
+        ("--capacity-mbps", args.capacity_mbps == 10.0),
+        ("--technology-delay-us", args.technology_delay_us == 16.0),
+    ) if not is_default]
+    if ignored:
+        sys.stderr.write(
+            f"warning: campaign scenarios define their own workloads and "
+            f"link parameters; ignoring {', '.join(ignored)}\n")
+    if args.list_scenarios or not args.run:
+        _print(render_table(
+            ["name", "configuration", "description"],
+            [(s.name, s.describe(), s.description)
+             for s in builtin_scenarios()],
+            title=f"Registered scenarios ({len(builtin_scenarios())})"))
+        return 0
+    try:
+        scenarios = select(args.run)
+    except UnknownScenarioError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    runner = CampaignRunner(memoize=not args.naive)
+    result = runner.run(scenarios)
+    _print(result.to_markdown() if args.markdown else result.to_table())
+    sys.stdout.write(
+        f"{len(result.results)} scenarios, {len(result.rows())} rows in "
+        f"{result.elapsed * 1e3:.1f} ms"
+        f"{' (memoized)' if not args.naive else ' (naive)'}\n")
+    if args.csv:
+        result.write_csv(args.csv)
+        sys.stdout.write(f"wrote {len(result.rows())} rows to {args.csv}\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Dispatch table, parser, entry point
+# ---------------------------------------------------------------------------
+
+def _configure_export(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--output", required=True, help="destination CSV path")
+
+
+#: The dispatch table: every subcommand of ``repro`` in display order.
+COMMANDS: tuple[CommandSpec, ...] = (
+    CommandSpec("figure1", "per-class delay bounds, FCFS vs strict priority",
+                _command_figure1),
+    CommandSpec("violations", "FCFS violations vs link capacity",
+                _command_violations),
+    CommandSpec("baseline-1553", "MIL-STD-1553B schedule and simulation",
+                _command_baseline),
+    CommandSpec("compare", "1553B vs Ethernet FCFS vs Ethernet priority",
+                _command_compare),
+    CommandSpec("validate", "analytic bounds vs simulated worst delays",
+                _command_validate),
+    CommandSpec("jitter", "per-class jitter under the three technologies",
+                _command_jitter),
+    CommandSpec("buffers", "per-port buffer dimensioning",
+                _command_buffers),
+    CommandSpec("export", "write the workload to a CSV file",
+                _command_export, configure=_configure_export),
+    CommandSpec("campaign", "list or batch-run the scenario catalogue",
+                _command_campaign, configure=_configure_campaign,
+                needs_workload=False),
+)
+
+_COMMAND_INDEX = {spec.name: spec for spec in COMMANDS}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,19 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CSV message set to use instead of the "
                              "synthetic case study")
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name, help_text in [
-            ("figure1", "per-class delay bounds, FCFS vs strict priority"),
-            ("violations", "FCFS violations vs link capacity"),
-            ("baseline-1553", "MIL-STD-1553B schedule and simulation"),
-            ("compare", "1553B vs Ethernet FCFS vs Ethernet priority"),
-            ("validate", "analytic bounds vs simulated worst delays"),
-            ("jitter", "per-class jitter under the three technologies"),
-            ("buffers", "per-port buffer dimensioning"),
-            ("export", "write the workload to a CSV file")]:
-        sub = subparsers.add_parser(name, help=help_text)
-        if name == "export":
-            sub.add_argument("--output", required=True,
-                             help="destination CSV path")
+    for spec in COMMANDS:
+        sub = subparsers.add_parser(spec.name, help=spec.help)
+        if spec.configure is not None:
+            spec.configure(sub)
     return parser
 
 
@@ -87,131 +314,17 @@ def _load_workload(args: argparse.Namespace) -> MessageSet:
     return generate_real_case(parameters, seed=args.seed)
 
 
-def _print(table: str) -> None:
-    sys.stdout.write(table)
-    sys.stdout.write("\n")
-
-
-def _command_figure1(message_set, capacity, technology_delay) -> int:
-    study = PaperCaseStudy(message_set, capacity=capacity,
-                           technology_delay=technology_delay)
-    rows = [(row.priority.label, row.message_count, format_ms(row.deadline),
-             format_ms(row.fcfs_bound), yes_no(row.fcfs_meets_deadline),
-             format_ms(row.priority_bound),
-             yes_no(row.priority_meets_deadline))
-            for row in study.figure1_rows()]
-    _print(render_table(
-        ["class", "messages", "constraint", "FCFS", "ok", "priority", "ok"],
-        rows, title="Delay bounds for the two approaches"))
-    return 0 if study.priority_meets_all_constraints() else 1
-
-
-def _command_violations(message_set, capacity, technology_delay) -> int:
-    rows = [(f"{row.capacity / 1e6:.0f} Mbps", row.priority.name,
-             format_ms(row.fcfs_bound), row.fcfs_violated_messages,
-             format_ms(row.priority_bound), row.priority_violated_messages)
-            for row in fcfs_violation_table(
-                message_set, technology_delay=technology_delay)]
-    _print(render_table(
-        ["capacity", "class", "FCFS bound", "FCFS violations",
-         "priority bound", "priority violations"],
-        rows, title="Constraint violations vs link capacity"))
-    return 0
-
-
-def _command_baseline(message_set, capacity, technology_delay) -> int:
-    report = baseline_1553_report(message_set)
-    rows = [(index, format_ms(duration), f"{utilization * 100:.1f} %")
-            for index, (duration, utilization)
-            in enumerate(zip(report.minor_frame_durations,
-                             report.minor_frame_utilizations))]
-    _print(render_table(["minor frame", "busy time", "utilisation"], rows,
-                        title="MIL-STD-1553B minor frames"))
-    _print(render_table(
-        ["class", "analytic worst", "simulated worst"],
-        [(cls.label, format_ms(report.analytic_worst_per_class.get(cls)),
-          format_ms(report.simulated_worst_per_class.get(cls)))
-         for cls in PriorityClass],
-        title="1553B response times per class"))
-    return 0 if report.feasible else 1
-
-
-def _command_compare(message_set, capacity, technology_delay) -> int:
-    rows = [(row.priority.label, format_ms(row.deadline),
-             format_ms(row.milstd1553_bound), yes_no(row.milstd1553_ok),
-             format_ms(row.ethernet_fcfs_bound), yes_no(row.fcfs_ok),
-             format_ms(row.ethernet_priority_bound), yes_no(row.priority_ok))
-            for row in technology_comparison(
-                message_set, capacity=capacity,
-                technology_delay=technology_delay)]
-    _print(render_table(
-        ["class", "constraint", "1553B", "ok", "FCFS", "ok", "priority",
-         "ok"], rows, title="1553B vs switched Ethernet"))
-    return 0
-
-
-def _command_validate(message_set, capacity, technology_delay) -> int:
-    rows = validate_bounds(message_set, capacity=capacity,
-                           technology_delay=technology_delay)
-    _print(render_table(
-        ["policy", "class", "bound", "simulated worst", "holds"],
-        [(row.policy, row.priority.name, format_ms(row.analytic_bound),
-          format_ms(row.simulated_worst), yes_no(row.bound_holds))
-         for row in rows],
-        title="Analytic bounds vs simulated worst delays"))
-    return 0 if all(row.bound_holds for row in rows) else 1
-
-
-def _command_jitter(message_set, capacity, technology_delay) -> int:
-    rows = jitter_comparison(message_set, capacity=capacity,
-                             technology_delay=technology_delay)
-    _print(render_table(
-        ["technology", "class", "worst jitter", "mean jitter", "streams"],
-        [(row.technology, row.priority.name, format_ms(row.worst_jitter),
-          format_ms(row.mean_jitter), row.streams) for row in rows],
-        title="Per-stream delivery jitter"))
-    return 0
-
-
-def _command_buffers(message_set, capacity, technology_delay) -> int:
-    rows = validate_buffer_requirements(message_set,
-                                        technology_delay=technology_delay)
-    _print(render_table(
-        ["egress port", "flows", "backlog bound (bytes)",
-         "observed max (bytes)", "within bound"],
-        [(f"{row.node}->{row.toward}", row.flow_count,
-          f"{row.backlog_bytes:.0f}",
-          "-" if row.observed_bits != row.observed_bits
-          else f"{units.to_bytes(row.observed_bits):.0f}",
-          yes_no(row.observed_within_bound)) for row in rows],
-        title="Buffer dimensioning per egress port"))
-    return 0 if all(row.observed_within_bound for row in rows) else 1
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    message_set = _load_workload(args)
-    capacity = units.mbps(args.capacity_mbps)
-    technology_delay = units.us(args.technology_delay_us)
-
-    if args.command == "export":
-        save_message_set_csv(message_set, args.output)
-        sys.stdout.write(f"wrote {len(message_set)} messages to "
-                         f"{args.output}\n")
-        return 0
-
-    handlers = {
-        "figure1": _command_figure1,
-        "violations": _command_violations,
-        "baseline-1553": _command_baseline,
-        "compare": _command_compare,
-        "validate": _command_validate,
-        "jitter": _command_jitter,
-        "buffers": _command_buffers,
-    }
-    return handlers[args.command](message_set, capacity, technology_delay)
+    spec = _COMMAND_INDEX[args.command]
+    context = CommandContext(
+        args=args,
+        message_set=_load_workload(args) if spec.needs_workload else None,
+        capacity=units.mbps(args.capacity_mbps),
+        technology_delay=units.us(args.technology_delay_us))
+    return spec.handler(context)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -25,9 +25,11 @@ from repro.core.netcalc import (
     output_arrival_curve,
 )
 from repro.core.multiplexer import (
+    ClassAggregate,
     FcfsMultiplexerAnalysis,
     MultiplexerBound,
     StrictPriorityMultiplexerAnalysis,
+    aggregate_flows,
 )
 from repro.core.endtoend import (
     EndToEndAnalysis,
@@ -50,6 +52,8 @@ __all__ = [
     "FcfsMultiplexerAnalysis",
     "StrictPriorityMultiplexerAnalysis",
     "MultiplexerBound",
+    "ClassAggregate",
+    "aggregate_flows",
     "EndToEndAnalysis",
     "FlowBound",
     "NetworkAnalysisResult",

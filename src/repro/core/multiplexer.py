@@ -44,6 +44,8 @@ from repro.simulation.statistics import safe_max
 
 __all__ = [
     "MultiplexerBound",
+    "ClassAggregate",
+    "aggregate_flows",
     "FcfsMultiplexerAnalysis",
     "StrictPriorityMultiplexerAnalysis",
     "priority_of",
@@ -65,6 +67,67 @@ def priority_of(item: Flow | Message) -> PriorityClass:
         return PriorityClass(priority)
     raise TypeError(
         f"cannot determine the priority of a {type(item).__name__}")
+
+
+@dataclass(frozen=True)
+class ClassAggregate:
+    """Sufficient statistics of one priority class at a multiplexing point.
+
+    Both closed-form bounds only depend on the flow population through four
+    per-class numbers — the burst sum, the rate sum, the largest individual
+    burst and the flow count.  Aggregating once and evaluating the formulas
+    on the aggregates turns an O(flows · classes) analysis into O(flows) +
+    O(classes), which is what the campaign runner's memoization exploits.
+    """
+
+    #: Sum of the token-bucket bursts ``Σ b_i`` of the class (bits).
+    burst: float
+    #: Sum of the token-bucket rates ``Σ r_i`` of the class (bits/s).
+    rate: float
+    #: Largest individual burst of the class (bits) — the non-preemptive
+    #: blocking a lower-priority packet of this class can inflict.
+    max_burst: float
+    #: Number of flows in the class.
+    count: int
+
+    def scaled(self, replication: int) -> "ClassAggregate":
+        """The aggregate of the class replicated ``replication`` times.
+
+        Replicating every flow multiplies the sums and the count but leaves
+        the largest individual burst unchanged, so the scaled aggregate is
+        exact — no need to materialise the replicated flow set.
+        """
+        if replication < 1:
+            raise ValueError(
+                f"replication must be at least 1, got {replication!r}")
+        return ClassAggregate(
+            burst=self.burst * replication,
+            rate=self.rate * replication,
+            max_burst=self.max_burst,
+            count=self.count * replication)
+
+
+def aggregate_flows(flows: Iterable[Flow | Message]
+                    ) -> dict[PriorityClass, ClassAggregate]:
+    """Per-class :class:`ClassAggregate` of a flow population.
+
+    Only classes with at least one flow appear in the result; keys are
+    ordered from most to least urgent.
+    """
+    bursts: dict[PriorityClass, float] = {}
+    rates: dict[PriorityClass, float] = {}
+    max_bursts: dict[PriorityClass, float] = {}
+    counts: dict[PriorityClass, int] = {}
+    for flow in flows:
+        cls = priority_of(flow)
+        burst = float(flow.burst)
+        bursts[cls] = bursts.get(cls, 0.0) + burst
+        rates[cls] = rates.get(cls, 0.0) + float(flow.rate)
+        max_bursts[cls] = max(max_bursts.get(cls, 0.0), burst)
+        counts[cls] = counts.get(cls, 0) + 1
+    return {cls: ClassAggregate(burst=bursts[cls], rate=rates[cls],
+                                max_burst=max_bursts[cls], count=counts[cls])
+            for cls in sorted(bursts)}
 
 
 @dataclass(frozen=True)
@@ -148,8 +211,25 @@ class FcfsMultiplexerAnalysis:
         if not flows:
             raise EmptyAggregateError(
                 "the FCFS bound needs at least one flow")
-        total_burst = sum(float(f.burst) for f in flows)
-        total_rate = sum(float(f.rate) for f in flows)
+        return self.bound_from_aggregates(aggregate_flows(flows),
+                                          strict=strict)
+
+    def bound_from_aggregates(self,
+                              aggregates: Mapping[PriorityClass,
+                                                  ClassAggregate], *,
+                              strict: bool = True) -> MultiplexerBound:
+        """:meth:`bound` evaluated on pre-computed per-class aggregates.
+
+        This is the memoization-friendly entry point used by the campaign
+        runner: the O(flows) aggregation is done once per flow population
+        and the closed form is re-evaluated in O(classes) for every
+        (capacity, technology-delay) combination.
+        """
+        if not any(a.count for a in aggregates.values()):
+            raise EmptyAggregateError(
+                "the FCFS bound needs at least one flow")
+        total_burst = sum(a.burst for a in aggregates.values())
+        total_rate = sum(a.rate for a in aggregates.values())
         unstable = total_rate > self.capacity
         if unstable and strict:
             raise UnstableSystemError(
@@ -164,7 +244,7 @@ class FcfsMultiplexerAnalysis:
             blocking_term=0.0,
             residual_rate=self.capacity,
             technology_delay=self.technology_delay,
-            flow_count=len(flows),
+            flow_count=sum(a.count for a in aggregates.values()),
             details={"total_rate": total_rate,
                      "utilization": total_rate / self.capacity,
                      "unstable": float(unstable)},
@@ -179,9 +259,16 @@ class FcfsMultiplexerAnalysis:
         same bound; classes with no flow are omitted.  This view is what
         Figure 1 plots on the FCFS side.
         """
-        bound = self.bound(flows, strict=strict)
-        present = {priority_of(f) for f in flows}
-        return {cls: bound for cls in sorted(present)}
+        return self.class_bounds_from_aggregates(aggregate_flows(flows),
+                                                 strict=strict)
+
+    def class_bounds_from_aggregates(
+            self, aggregates: Mapping[PriorityClass, ClassAggregate], *,
+            strict: bool = True) -> dict[PriorityClass, MultiplexerBound]:
+        """:meth:`class_bounds` evaluated on pre-computed aggregates."""
+        bound = self.bound_from_aggregates(aggregates, strict=strict)
+        return {cls: bound for cls in sorted(aggregates)
+                if aggregates[cls].count}
 
     # -- composition helpers ----------------------------------------------
 
@@ -265,22 +352,33 @@ class StrictPriorityMultiplexerAnalysis:
             expression meaningless.
         """
         priority = PriorityClass(priority)
-        grouped = self.group_by_class(flows)
-        if not grouped[priority]:
+        return self.bound_for_class_from_aggregates(
+            aggregate_flows(flows), priority, strict=strict)
+
+    def bound_for_class_from_aggregates(
+            self, aggregates: Mapping[PriorityClass, ClassAggregate],
+            priority: PriorityClass, *,
+            strict: bool = True) -> MultiplexerBound:
+        """:meth:`bound_for_class` evaluated on pre-computed aggregates.
+
+        Like :meth:`FcfsMultiplexerAnalysis.bound_from_aggregates`, this is
+        the O(classes) closed form the campaign runner re-evaluates for every
+        (capacity, technology-delay) combination without revisiting the
+        flows.
+        """
+        priority = PriorityClass(priority)
+        tagged = aggregates.get(priority)
+        if tagged is None or not tagged.count:
             raise EmptyAggregateError(
                 f"no flow of class {priority.name} traverses the multiplexer")
 
-        higher_or_equal = [f for cls in PriorityClass if cls <= priority
-                           for f in grouped[cls]]
-        strictly_higher = [f for cls in PriorityClass if cls < priority
-                           for f in grouped[cls]]
-        strictly_lower = [f for cls in PriorityClass if cls > priority
-                          for f in grouped[cls]]
-
-        burst_term = sum(float(f.burst) for f in higher_or_equal)
+        burst_term = sum(a.burst for cls, a in aggregates.items()
+                         if cls <= priority)
         blocking_term = 0.0 if self.preemptive else safe_max(
-            (float(f.burst) for f in strictly_lower), default=0.0)
-        higher_rate = sum(float(f.rate) for f in strictly_higher)
+            (a.max_burst for cls, a in aggregates.items()
+             if cls > priority and a.count), default=0.0)
+        higher_rate = sum(a.rate for cls, a in aggregates.items()
+                          if cls < priority)
         residual_rate = self.capacity - higher_rate
 
         if residual_rate <= 0:
@@ -290,7 +388,8 @@ class StrictPriorityMultiplexerAnalysis:
                 f"has no residual capacity",
                 offered_rate=higher_rate, capacity=self.capacity)
 
-        higher_or_equal_rate = sum(float(f.rate) for f in higher_or_equal)
+        higher_or_equal_rate = sum(a.rate for cls, a in aggregates.items()
+                                   if cls <= priority)
         unstable = higher_or_equal_rate > self.capacity
         if unstable and strict:
             raise UnstableSystemError(
@@ -308,7 +407,8 @@ class StrictPriorityMultiplexerAnalysis:
             blocking_term=blocking_term,
             residual_rate=residual_rate,
             technology_delay=self.technology_delay,
-            flow_count=len(higher_or_equal),
+            flow_count=sum(a.count for cls, a in aggregates.items()
+                           if cls <= priority),
             details={"higher_rate": higher_rate,
                      "higher_or_equal_rate": higher_or_equal_rate,
                      "utilization": higher_or_equal_rate / self.capacity,
@@ -319,11 +419,19 @@ class StrictPriorityMultiplexerAnalysis:
                      strict: bool = True
                      ) -> dict[PriorityClass, MultiplexerBound]:
         """The ``D_p`` bound of every class that has at least one flow."""
-        grouped = self.group_by_class(flows)
+        return self.class_bounds_from_aggregates(aggregate_flows(flows),
+                                                 strict=strict)
+
+    def class_bounds_from_aggregates(
+            self, aggregates: Mapping[PriorityClass, ClassAggregate], *,
+            strict: bool = True) -> dict[PriorityClass, MultiplexerBound]:
+        """:meth:`class_bounds` evaluated on pre-computed aggregates."""
         bounds: dict[PriorityClass, MultiplexerBound] = {}
         for cls in PriorityClass:
-            if grouped[cls]:
-                bounds[cls] = self.bound_for_class(flows, cls, strict=strict)
+            aggregate = aggregates.get(cls)
+            if aggregate is not None and aggregate.count:
+                bounds[cls] = self.bound_for_class_from_aggregates(
+                    aggregates, cls, strict=strict)
         if not bounds:
             raise EmptyAggregateError(
                 "the strict-priority bound needs at least one flow")
@@ -343,12 +451,16 @@ class StrictPriorityMultiplexerAnalysis:
         a path.
         """
         priority = PriorityClass(priority)
-        grouped = self.group_by_class(flows)
-        strictly_higher = [f for cls in PriorityClass if cls < priority
-                           for f in grouped[cls]]
-        strictly_lower = [f for cls in PriorityClass if cls > priority
-                          for f in grouped[cls]]
-        higher_rate = sum(float(f.rate) for f in strictly_higher)
+        return self.residual_service_curve_from_aggregates(
+            aggregate_flows(flows), priority)
+
+    def residual_service_curve_from_aggregates(
+            self, aggregates: Mapping[PriorityClass, ClassAggregate],
+            priority: PriorityClass) -> RateLatencyServiceCurve:
+        """:meth:`residual_service_curve` evaluated on pre-computed aggregates."""
+        priority = PriorityClass(priority)
+        higher_rate = sum(a.rate for cls, a in aggregates.items()
+                          if cls < priority)
         residual_rate = self.capacity - higher_rate
         if residual_rate <= 0:
             raise UnstableSystemError(
@@ -356,6 +468,7 @@ class StrictPriorityMultiplexerAnalysis:
                 f"{priority.name}", offered_rate=higher_rate,
                 capacity=self.capacity)
         blocking = 0.0 if self.preemptive else safe_max(
-            (float(f.burst) for f in strictly_lower), default=0.0)
+            (a.max_burst for cls, a in aggregates.items()
+             if cls > priority and a.count), default=0.0)
         latency = blocking / residual_rate + self.technology_delay
         return RateLatencyServiceCurve(rate=residual_rate, delay=latency)

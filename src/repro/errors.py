@@ -63,6 +63,14 @@ class InvalidWorkloadError(ConfigurationError):
     """A workload specification is internally inconsistent."""
 
 
+class UnknownScenarioError(ConfigurationError):
+    """A campaign references a scenario name absent from the registry."""
+
+
+class DuplicateScenarioError(ConfigurationError):
+    """A scenario name is registered twice without ``replace=True``."""
+
+
 # ---------------------------------------------------------------------------
 # Analytical problems
 # ---------------------------------------------------------------------------

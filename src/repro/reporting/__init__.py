@@ -4,17 +4,24 @@ The benchmark harness is console based (no plotting dependency), so every
 table and figure of the paper is rendered as:
 
 * an aligned ASCII table (:func:`render_table`),
+* a GitHub-flavoured markdown table (:func:`render_markdown_table`) for
+  reports and campaign output,
 * a horizontal text bar chart (:func:`render_bar_chart`) for figure-like
   exhibits such as Figure 1,
 * or exported to CSV (:func:`write_csv`) for external plotting.
 """
 
-from repro.reporting.tables import render_table, write_csv
+from repro.reporting.tables import (
+    render_markdown_table,
+    render_table,
+    write_csv,
+)
 from repro.reporting.figures import render_bar_chart
 from repro.reporting.formatting import format_ms, format_rate, yes_no
 
 __all__ = [
     "render_table",
+    "render_markdown_table",
     "write_csv",
     "render_bar_chart",
     "format_ms",

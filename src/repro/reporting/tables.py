@@ -1,4 +1,4 @@
-"""Aligned ASCII tables and CSV export."""
+"""Aligned ASCII tables, GitHub-flavoured markdown tables and CSV export."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import csv
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["render_table", "write_csv"]
+__all__ = ["render_table", "render_markdown_table", "write_csv"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
@@ -37,6 +37,29 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     lines.append(format_row(list(headers)))
     lines.append("-+-".join("-" * width for width in widths))
     lines.extend(format_row(row) for row in cells)
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[Any]],
+                          title: str | None = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Same cell conventions as :func:`render_table`; the optional title
+    becomes a ``###`` heading.  The result ends with a newline.
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    lines.extend("| " + " | ".join(row) + " |" for row in cells)
     return "\n".join(lines) + "\n"
 
 

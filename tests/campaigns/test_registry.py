@@ -1,0 +1,104 @@
+"""The scenario registry and its builtin catalogue."""
+
+import pytest
+
+from repro.campaigns import registry
+from repro.campaigns.scenario import Scenario, TopologySpec, WorkloadSpec
+from repro.errors import (
+    DuplicateScenarioError,
+    InvalidTopologyError,
+    InvalidWorkloadError,
+    UnknownScenarioError,
+)
+
+
+class TestBuiltinCatalogue:
+    def test_at_least_eight_scenarios(self):
+        assert len(registry.builtin_scenarios()) >= 8
+
+    def test_names_are_unique_and_ordered(self):
+        names = registry.names()
+        assert len(names) == len(set(names))
+        assert names[0] == "paper-real-case"
+
+    def test_expected_families_are_present(self):
+        names = set(registry.names())
+        for expected in ("paper-real-case", "figure1-fast-ethernet",
+                         "dual-switch", "tree-federated", "overload",
+                         "high-jitter", "milstd1553-migration",
+                         "scalability-x8"):
+            assert expected in names
+
+    def test_every_scenario_builds_its_topology(self):
+        for scenario in registry.builtin_scenarios():
+            network = scenario.topology.build(
+                scenario.workload.station_count,
+                capacity=scenario.capacity,
+                technology_delay=max(scenario.technology_delay, 1e-9))
+            assert len(network.stations) >= 4
+
+    def test_ladder_tag_selects_the_scalability_rungs(self):
+        ladder = registry.select("ladder")
+        assert len(ladder) >= 4
+        assert all("scalability" in s.name for s in ladder)
+
+
+class TestSelection:
+    def test_select_all(self):
+        assert registry.select("all") == registry.builtin_scenarios()
+
+    def test_select_by_name_list_deduplicates(self):
+        chosen = registry.select("paper-real-case, paper-real-case,overload")
+        assert [s.name for s in chosen] == ["paper-real-case", "overload"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownScenarioError, match="unknown scenario"):
+            registry.select("does-not-exist")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownScenarioError):
+            registry.get("does-not-exist")
+
+    def test_duplicate_registration_is_rejected(self):
+        scenario = registry.get("paper-real-case")
+        with pytest.raises(DuplicateScenarioError,
+                           match="already registered"):
+            registry.register(scenario)
+        registry.register(scenario, replace=True)  # idempotent overwrite
+
+    def test_a_name_always_wins_over_a_same_spelled_tag(self):
+        shadow = Scenario(name="ladder", description="name/tag collision",
+                          workload=WorkloadSpec())
+        registry.register(shadow)
+        try:
+            assert registry.select("ladder") == [shadow]
+        finally:
+            registry._REGISTRY.pop("ladder", None)
+
+
+class TestSpecValidation:
+    def test_workload_spec_rejects_bad_parameters(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(station_count=2)
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(size_factor=0.0)
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(replication=0)
+
+    def test_topology_spec_rejects_unknown_kind(self):
+        with pytest.raises(InvalidTopologyError):
+            TopologySpec(kind="ring")
+
+    def test_scenario_rejects_unknown_policy(self):
+        with pytest.raises(InvalidWorkloadError):
+            Scenario(name="x", description="", policies=("wfq",))
+
+    def test_multiplexing_points_follow_the_paper_accounting(self):
+        assert TopologySpec("single-switch-star").multiplexing_points == 1
+        assert TopologySpec("dual-switch").multiplexing_points == 2
+        assert TopologySpec("tree").multiplexing_points == 3
+
+    def test_specs_are_hashable_cache_keys(self):
+        assert hash(WorkloadSpec()) == hash(WorkloadSpec())
+        assert len({registry.get("overload"),
+                    registry.get("overload")}) == 1

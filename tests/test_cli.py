@@ -2,22 +2,107 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import COMMANDS, build_parser, main
+
+#: Arguments completing each command for an end-to-end run on a small
+#: workload; ``None`` marks commands needing per-test extras (export).
+WORKLOAD_ARGS = ["--stations", "6", "--seed", "3"]
 
 
 class TestParser:
     def test_every_command_is_registered(self):
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
-                        "validate", "jitter", "buffers", "export"):
+                        "validate", "jitter", "buffers", "export",
+                        "campaign"):
             args = parser.parse_args(
                 [command] if command != "export"
                 else [command, "--output", "x.csv"])
             assert args.command == command
 
+    def test_the_dispatch_table_drives_the_parser(self):
+        assert [spec.name for spec in COMMANDS] == [
+            "figure1", "violations", "baseline-1553", "compare", "validate",
+            "jitter", "buffers", "export", "campaign"]
+
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestEveryCommandEndToEnd:
+    """Each subcommand runs on the synthetic case study and prints a table."""
+
+    @pytest.mark.parametrize("command", [
+        spec.name for spec in COMMANDS if spec.name != "export"])
+    def test_command_exits_zero_with_output(self, command, capsys, tmp_path):
+        argv = WORKLOAD_ARGS + [command]
+        if command == "campaign":
+            argv = ["campaign", "--run", "paper-real-case"]
+        exit_code = main(argv)
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.strip()
+
+    def test_export_writes_the_message_set(self, tmp_path, capsys):
+        target = tmp_path / "set.csv"
+        assert main(WORKLOAD_ARGS + ["export", "--output",
+                                     str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCampaignCommand:
+    def test_list_shows_at_least_eight_scenarios(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "Registered scenarios" in output
+        for name in ("paper-real-case", "overload", "scalability-x8"):
+            assert name in output
+
+    def test_bare_campaign_defaults_to_the_listing(self, capsys):
+        assert main(["campaign"]) == 0
+        assert "Registered scenarios" in capsys.readouterr().out
+
+    def test_run_all_prints_the_combined_tables(self, capsys):
+        assert main(["campaign", "--run", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "Campaign summary" in output
+        assert "Per-class worst-case bounds" in output
+        assert "scalability-x8" in output and "overload" in output
+        assert "(memoized)" in output
+
+    def test_run_by_tag_and_naive_mode(self, capsys):
+        assert main(["campaign", "--run", "ladder", "--naive"]) == 0
+        output = capsys.readouterr().out
+        assert "(naive)" in output
+        assert "scalability-x2" in output
+
+    def test_markdown_rendering(self, capsys):
+        assert main(["campaign", "--run", "paper-real-case",
+                     "--markdown"]) == 0
+        assert "### Campaign summary" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "rows.csv"
+        assert main(["campaign", "--run", "paper-real-case", "--csv",
+                     str(target)]) == 0
+        assert target.exists()
+        assert target.read_text().startswith("scenario,policy,priority")
+
+    def test_unknown_scenario_fails_with_a_message(self, capsys):
+        assert main(["campaign", "--run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_workload_flags_are_flagged_as_ignored(self, capsys):
+        assert main(["--stations", "8", "campaign", "--run",
+                     "paper-real-case"]) == 0
+        err = capsys.readouterr().err
+        assert "ignoring --stations" in err
+
+    def test_no_warning_with_default_flags(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        assert capsys.readouterr().err == ""
 
 
 class TestCommands:

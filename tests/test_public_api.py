@@ -1,0 +1,65 @@
+"""Public-API hygiene: docstrings and ``__all__`` stay in sync.
+
+Every sub-package advertises its public API in its ``__init__`` docstring
+and ``__all__``; these tests keep that promise honest — every exported name
+must import, and every package must document itself.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Every package and module under ``repro`` (computed once at import time).
+_PACKAGES = ["repro"] + [
+    f"repro.{name}" for name in (
+        "analysis", "campaigns", "core", "core.netcalc", "ethernet",
+        "flows", "milstd1553", "reporting", "shaping", "simulation",
+        "topology", "workloads")]
+
+
+def _walk_modules() -> list[str]:
+    found = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        found.append(info.name)
+    return found
+
+
+@pytest.mark.parametrize("package", _PACKAGES)
+class TestPackageContract:
+    def test_has_a_meaningful_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40, (
+            f"{package} needs a one-paragraph docstring naming its API")
+
+    def test_declares_all(self, package):
+        module = importlib.import_module(package)
+        assert getattr(module, "__all__", None), (
+            f"{package} must declare __all__")
+
+    def test_every_all_name_imports(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{package}.__all__ lists {name!r} but the attribute "
+                f"does not exist")
+
+
+class TestWholeTree:
+    def test_every_module_in_the_tree_imports(self):
+        for name in _walk_modules():
+            importlib.import_module(name)
+
+    def test_every_module_has_a_docstring(self):
+        for name in _walk_modules():
+            module = importlib.import_module(name)
+            assert module.__doc__ and module.__doc__.strip(), (
+                f"{name} has no module docstring")
+
+    def test_top_level_all_is_not_missing_campaign_api(self):
+        for name in ("Scenario", "CampaignRunner", "builtin_scenarios",
+                     "WorkloadSpec", "CampaignResult"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docs-link checker: the files our docs point at must exist.
+
+Three rules, enforced in CI and by ``tests/test_docs.py``:
+
+1. the documentation layer itself exists (``README.md``, ``DESIGN.md``);
+2. every mention of ``README.md`` / ``DESIGN.md`` in a docstring or comment
+   under ``src/`` resolves to a repo-root file;
+3. every relative markdown link in ``README.md`` / ``DESIGN.md``, and every
+   backtick-quoted repo path (``src/...``, ``examples/...``, ...), points
+   at an existing file or directory.
+
+Run from anywhere: ``python tools/check_docs_links.py``; exits non-zero and
+lists the broken references when any rule fails.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation layer that must exist (rule 1).
+REQUIRED_DOCS = ("README.md", "DESIGN.md")
+
+#: Directories whose backtick-quoted paths are checked (rule 3).
+CHECKED_PREFIXES = ("src/", "tests/", "benchmarks/", "examples/", "tools/",
+                    ".github/")
+
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_BACKTICK_PATH = re.compile(r"`([.\w/-]+)`")
+_DOC_MENTION = re.compile(r"\b(README\.md|DESIGN\.md)\b")
+
+
+def missing_required_docs(root: Path = REPO_ROOT) -> list[str]:
+    """Rule 1: the top-level documentation files that are absent."""
+    return [name for name in REQUIRED_DOCS if not (root / name).is_file()]
+
+
+def broken_docstring_references(root: Path = REPO_ROOT) -> list[str]:
+    """Rule 2: ``src/`` files mentioning a doc that does not exist."""
+    problems = []
+    for path in sorted((root / "src").rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for mention in set(_DOC_MENTION.findall(text)):
+            if not (root / mention).is_file():
+                problems.append(
+                    f"{path.relative_to(root)}: references {mention} "
+                    f"which does not exist")
+    return problems
+
+
+def broken_doc_links(root: Path = REPO_ROOT) -> list[str]:
+    """Rule 3: broken relative links / repo paths inside the docs."""
+    problems = []
+    for name in REQUIRED_DOCS:
+        doc = root / name
+        if not doc.is_file():
+            continue
+        text = doc.read_text(encoding="utf-8")
+        targets = set()
+        for target in _MARKDOWN_LINK.findall(text):
+            if not target.startswith(("http://", "https://", "mailto:")):
+                targets.add(target)
+        for token in _BACKTICK_PATH.findall(text):
+            if token.startswith(CHECKED_PREFIXES) and "*" not in token:
+                targets.add(token)
+        for target in sorted(targets):
+            if not (root / target).exists():
+                problems.append(f"{name}: broken reference {target!r}")
+    return problems
+
+
+def main() -> int:
+    problems = (
+        [f"missing required doc: {name}"
+         for name in missing_required_docs()]
+        + broken_docstring_references()
+        + broken_doc_links())
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"docs-check: OK ({', '.join(REQUIRED_DOCS)} present, "
+              f"all references resolve)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
