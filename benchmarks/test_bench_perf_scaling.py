@@ -1,0 +1,53 @@
+"""Perf regression guard: the scalability sweep to 64x traffic.
+
+The vectorised analytic paths (incremental 1553B minor-frame packing, the
+struct-of-arrays aggregation backend and arithmetic station replication)
+turned the 64x sweep from ~36 s into well under a second.  This benchmark
+records the wall time and the speedup over the seed implementation into
+``benchmarks/results/perf_scaling.{csv,txt}`` and fails when the sweep
+regresses past a deliberately generous threshold, so CI smoke runs catch
+an accidental return of the quadratic paths without flaking on slow
+machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.scalability import scalability_sweep
+
+#: The ladder of the acceptance criterion.
+SCALES = (1, 2, 4, 8, 16, 32, 64)
+
+#: Wall time of the seed implementation on the same ladder (measured on the
+#: development container before the vectorisation), kept as the fixed
+#: "before" of the recorded ratio.
+SEED_WALL_TIME_S = 36.0
+
+#: Generous regression threshold for CI smoke runs: an order of magnitude
+#: above the expected wall time, far below the seed's.
+THRESHOLD_S = 10.0
+
+
+def test_bench_perf_scaling(real_case, report):
+    started = time.perf_counter()
+    rows = scalability_sweep(real_case, scales=SCALES)
+    elapsed = time.perf_counter() - started
+
+    report(
+        "perf_scaling", "Scalability sweep to 64x: wall time vs the seed",
+        ["metric", "value"],
+        [("scales", "x".join(str(s) for s in SCALES)),
+         ("messages_at_64x", rows[-1].message_count),
+         ("wall_time_s", f"{elapsed:.3f}"),
+         ("seed_wall_time_s", f"{SEED_WALL_TIME_S:.1f}"),
+         ("speedup", f"{SEED_WALL_TIME_S / elapsed:.0f}x"),
+         ("threshold_s", f"{THRESHOLD_S:.1f}")])
+
+    # The sweep's shape must survive the fast paths.
+    assert rows[0].milstd1553_feasible
+    assert not rows[-1].milstd1553_feasible
+    assert rows[-1].message_count == 64 * len(real_case)
+    assert elapsed < THRESHOLD_S, (
+        f"scalability sweep took {elapsed:.2f}s (threshold {THRESHOLD_S}s) "
+        f"— a scale-sensitive path has regressed")

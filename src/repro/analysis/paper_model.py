@@ -22,12 +22,16 @@ those bounds; its qualitative findings are:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro import units
 from repro.core.multiplexer import (
+    ClassAggregate,
     FcfsMultiplexerAnalysis,
     StrictPriorityMultiplexerAnalysis,
+    aggregate_flows,
+    compute_class_bounds,
 )
 from repro.errors import EmptyAggregateError
 from repro.flows.message_set import MessageSet
@@ -43,17 +47,29 @@ DEFAULT_TECHNOLOGY_DELAY = units.us(16)
 
 @dataclass(frozen=True)
 class ClassBoundRow:
-    """One row of Figure 1: a priority class and its two bounds."""
+    """One row of Figure 1: a priority class and its two bounds.
+
+    Overloaded populations follow the campaign runner's unbounded-row
+    convention: the affected bound is ``math.inf`` and the matching
+    ``*_stable`` flag is ``False`` — the row reports the overload instead of
+    the analysis raising on it.
+    """
 
     priority: PriorityClass
     #: Number of messages in the class.
     message_count: int
     #: The binding (smallest) deadline of the class, or ``None``.
     deadline: float | None
-    #: Worst-case delay bound with the FCFS multiplexer (seconds).
+    #: Worst-case delay bound with the FCFS multiplexer (seconds); ``inf``
+    #: when the aggregate overruns the link.
     fcfs_bound: float
-    #: Worst-case delay bound with the strict-priority multiplexer (seconds).
+    #: Worst-case delay bound with the strict-priority multiplexer
+    #: (seconds); ``inf`` when the class is unstable.
     priority_bound: float
+    #: False when the FCFS bound is not a valid worst case (overload).
+    fcfs_stable: bool = True
+    #: False when the strict-priority bound is not a valid worst case.
+    priority_stable: bool = True
 
     @property
     def fcfs_meets_deadline(self) -> bool:
@@ -64,6 +80,16 @@ class ClassBoundRow:
     def priority_meets_deadline(self) -> bool:
         """True when the strict-priority bound respects the class constraint."""
         return self.deadline is None or self.priority_bound <= self.deadline
+
+    @property
+    def fcfs_feasible(self) -> bool:
+        """Stable *and* within the constraint — the campaign convention."""
+        return self.fcfs_stable and self.fcfs_meets_deadline
+
+    @property
+    def priority_feasible(self) -> bool:
+        """Stable *and* within the constraint — the campaign convention."""
+        return self.priority_stable and self.priority_meets_deadline
 
 
 class PaperCaseStudy:
@@ -90,79 +116,121 @@ class PaperCaseStudy:
             capacity=self.capacity, technology_delay=self.technology_delay)
         self._priority = StrictPriorityMultiplexerAnalysis(
             capacity=self.capacity, technology_delay=self.technology_delay)
+        self._aggregates_cache: dict[PriorityClass, ClassAggregate] | None = \
+            None
+        self._aggregates_version: int | None = None
+
+    # -- aggregates ------------------------------------------------------------
+
+    def aggregates(self) -> dict[PriorityClass, ClassAggregate]:
+        """Per-class sufficient statistics of the set, computed once.
+
+        Goes through the set's struct-of-arrays view (or the arithmetic
+        replication shortcut for lazily replicated sets), so every bound of
+        the study shares a single O(messages) pass.  The cache is keyed on
+        the set's mutation counter, so adding messages after construction
+        refreshes every bound, like the per-call reference analysis did.
+        """
+        version = self.message_set.version
+        if self._aggregates_cache is None \
+                or self._aggregates_version != version:
+            self._aggregates_cache = aggregate_flows(self.message_set)
+            self._aggregates_version = version
+        return self._aggregates_cache
 
     # -- bounds ----------------------------------------------------------------
 
     def fcfs_bound(self) -> float:
         """The single FCFS bound ``D`` applying to every packet (seconds)."""
-        return self._fcfs.bound(self.message_set.messages).delay
+        return self._fcfs.bound_from_aggregates(self.aggregates()).delay
 
     def fcfs_class_bounds(self) -> dict[PriorityClass, float]:
         """The FCFS bound reported for every class present in the set."""
         return {cls: bound.delay for cls, bound in
-                self._fcfs.class_bounds(self.message_set.messages).items()}
+                self._fcfs.class_bounds_from_aggregates(
+                    self.aggregates()).items()}
 
     def priority_class_bounds(self) -> dict[PriorityClass, float]:
         """The strict-priority bound ``D_p`` of every class present."""
         return {cls: bound.delay for cls, bound in
-                self._priority.class_bounds(self.message_set.messages).items()}
+                self._priority.class_bounds_from_aggregates(
+                    self.aggregates()).items()}
 
     def class_deadlines(self) -> dict[PriorityClass, float | None]:
         """The binding (smallest) deadline of every class present in the set."""
-        deadlines: dict[PriorityClass, float | None] = {}
-        for cls, messages in self.message_set.by_priority().items():
-            if not messages:
-                continue
-            with_deadline = [m.deadline for m in messages
-                             if m.deadline is not None]
-            deadlines[cls] = min(with_deadline) if with_deadline else None
-        return deadlines
+        return self.message_set.class_deadlines()
 
     # -- figure 1 ----------------------------------------------------------------
 
     def figure1_rows(self) -> list[ClassBoundRow]:
-        """The per-class rows of Figure 1, ordered by priority."""
-        fcfs = self.fcfs_class_bounds()
-        priority = self.priority_class_bounds()
+        """The per-class rows of Figure 1, ordered by priority.
+
+        Overloaded sets do not raise: following the campaign runner's
+        convention, a class whose bound is not a valid worst case gets an
+        ``inf`` bound with the matching stability flag cleared (see
+        :func:`repro.core.multiplexer.compute_class_bounds`).
+        """
+        aggregates = self.aggregates()
+        if not any(a.count for a in aggregates.values()):
+            raise EmptyAggregateError("the message set is empty")
+        fcfs = compute_class_bounds(aggregates, self.capacity,
+                                    self.technology_delay, "fcfs")
+        priority = compute_class_bounds(aggregates, self.capacity,
+                                        self.technology_delay,
+                                        "strict-priority")
         deadlines = self.class_deadlines()
-        grouped = self.message_set.by_priority()
         rows = []
         for cls in PriorityClass:
             if cls not in priority:
                 continue
+            fcfs_bound = fcfs.get(cls)
+            priority_bound = priority[cls]
+            fcfs_stable = (fcfs_bound is not None
+                           and not fcfs_bound.details.get("unstable"))
+            priority_stable = (priority_bound is not None
+                               and not priority_bound.details.get("unstable"))
             rows.append(ClassBoundRow(
                 priority=cls,
-                message_count=len(grouped[cls]),
+                message_count=aggregates[cls].count,
                 deadline=deadlines.get(cls),
-                fcfs_bound=fcfs[cls],
-                priority_bound=priority[cls]))
-        if not rows:
-            raise EmptyAggregateError("the message set is empty")
+                fcfs_bound=fcfs_bound.delay if fcfs_stable else math.inf,
+                priority_bound=(priority_bound.delay if priority_stable
+                                else math.inf),
+                fcfs_stable=fcfs_stable,
+                priority_stable=priority_stable))
         return rows
 
     # -- headline claims -----------------------------------------------------------
 
     def fcfs_violates_constraints(self) -> bool:
-        """Paper claim 1: the FCFS bound violates at least one constraint."""
-        return any(not row.fcfs_meets_deadline for row in self.figure1_rows())
+        """Paper claim 1: the FCFS bound violates at least one constraint.
+
+        An unstable (overloaded) class counts as a violation, like an
+        infeasible campaign row.
+        """
+        return any(not row.fcfs_feasible for row in self.figure1_rows())
 
     def priority_meets_all_constraints(self) -> bool:
-        """Paper claim 4: every constraint is respected with priorities."""
-        return all(row.priority_meets_deadline for row in self.figure1_rows())
+        """Paper claim 4: every constraint is respected with priorities.
+
+        Requires every class to be stable *and* within its constraint — the
+        campaign runner's feasibility convention.
+        """
+        return all(row.priority_feasible for row in self.figure1_rows())
 
     def urgent_priority_bound_below_3ms(self) -> bool:
         """Paper claim 2: the urgent class's priority bound is below 3 ms."""
-        bounds = self.priority_class_bounds()
-        if PriorityClass.URGENT not in bounds:
-            return False
-        return bounds[PriorityClass.URGENT] < units.ms(3)
+        rows = {row.priority: row for row in self.figure1_rows()}
+        row = rows.get(PriorityClass.URGENT)
+        return (row is not None and row.priority_stable
+                and row.priority_bound < units.ms(3))
 
     def periodic_priority_bound_below_fcfs(self) -> bool:
         """Paper claim 3: the periodic class improves over the FCFS bound."""
-        priority = self.priority_class_bounds()
-        if PriorityClass.PERIODIC not in priority:
-            return False
-        return priority[PriorityClass.PERIODIC] < self.fcfs_bound()
+        rows = {row.priority: row for row in self.figure1_rows()}
+        row = rows.get(PriorityClass.PERIODIC)
+        return (row is not None and row.priority_stable
+                and row.priority_bound < row.fcfs_bound)
 
 
 def figure1_rows(message_set: MessageSet,

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 from repro import units
 from repro.analysis.paper_model import PaperCaseStudy
-from repro.errors import UnstableSystemError
 from repro.flows.message_set import MessageSet
 from repro.milstd1553.schedule import MajorFrameSchedule
 from repro.workloads.sweeps import scale_station_count
@@ -54,20 +53,18 @@ class ScalabilityRow:
 
 def _ethernet_feasibility(message_set: MessageSet, capacity: float,
                           technology_delay: float) -> tuple[bool, bool]:
-    """(FCFS ok, priority ok) for a message set, tolerating overload."""
-    study = PaperCaseStudy(message_set, capacity=capacity,
-                           technology_delay=technology_delay)
+    """(FCFS ok, priority ok) for a message set, tolerating overload.
+
+    Overloaded sets no longer need exception handling: Figure 1's rows
+    follow the campaign runner's unbounded-row convention, so an unstable
+    class simply makes the corresponding approach infeasible.
+    """
     if message_set.total_rate() >= capacity:
         return False, False
-    try:
-        fcfs_ok = not study.fcfs_violates_constraints()
-    except UnstableSystemError:
-        fcfs_ok = False
-    try:
-        priority_ok = study.priority_meets_all_constraints()
-    except UnstableSystemError:
-        priority_ok = False
-    return fcfs_ok, priority_ok
+    study = PaperCaseStudy(message_set, capacity=capacity,
+                           technology_delay=technology_delay)
+    return (not study.fcfs_violates_constraints(),
+            study.priority_meets_all_constraints())
 
 
 def scalability_sweep(message_set: MessageSet,

@@ -26,13 +26,13 @@ from typing import Callable, TypeVar
 
 from repro.core.multiplexer import (
     ClassAggregate,
-    FcfsMultiplexerAnalysis,
-    StrictPriorityMultiplexerAnalysis,
     aggregate_flows,
+    compute_arrival_curve,
+    compute_class_bounds,
+    compute_service_curve,
 )
 from repro.core.netcalc.arrival import TokenBucketArrivalCurve
 from repro.core.netcalc.service import RateLatencyServiceCurve
-from repro.errors import UnstableSystemError
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 
@@ -50,71 +50,16 @@ __all__ = [
 T = TypeVar("T")
 
 
-# ---------------------------------------------------------------------------
-# The closed forms, as pure functions of the aggregates
-# ---------------------------------------------------------------------------
-# Both the memoized cache below and the runner's naive baseline call these,
-# so the two modes can never drift apart formula-wise.
-
-def compute_class_bounds(aggregates: dict[PriorityClass, ClassAggregate],
-                         capacity: float, technology_delay: float,
-                         policy: str) -> dict[PriorityClass, object | None]:
-    """Single-point per-class bounds; ``None`` marks a saturated class."""
-    bounds: dict[PriorityClass, object | None] = {}
-    if policy == "fcfs":
-        analysis = FcfsMultiplexerAnalysis(
-            capacity=capacity, technology_delay=technology_delay)
-        fcfs = analysis.bound_from_aggregates(aggregates, strict=False)
-        return {cls: fcfs for cls, a in aggregates.items() if a.count}
-    analysis = StrictPriorityMultiplexerAnalysis(
-        capacity=capacity, technology_delay=technology_delay)
-    for cls, aggregate in aggregates.items():
-        if not aggregate.count:
-            continue
-        try:
-            bounds[cls] = analysis.bound_for_class_from_aggregates(
-                aggregates, cls, strict=False)
-        except UnstableSystemError:
-            bounds[cls] = None
-    return bounds
-
-
-def compute_arrival_curve(aggregates: dict[PriorityClass, ClassAggregate],
-                          up_to: PriorityClass | None
-                          ) -> TokenBucketArrivalCurve:
-    """Token-bucket curve of the aggregate of classes ``<= up_to``."""
-    included = [a for cls, a in aggregates.items()
-                if up_to is None or cls <= up_to]
-    return TokenBucketArrivalCurve(
-        bucket=sum(a.burst for a in included),
-        token_rate=sum(a.rate for a in included))
-
-
-def compute_service_curve(aggregates: dict[PriorityClass, ClassAggregate],
-                          capacity: float, technology_delay: float,
-                          policy: str, priority: PriorityClass | None
-                          ) -> RateLatencyServiceCurve:
-    """Per-hop service curve seen by ``priority`` under ``policy``."""
-    if policy == "fcfs":
-        return RateLatencyServiceCurve(rate=capacity,
-                                       delay=technology_delay)
-    analysis = StrictPriorityMultiplexerAnalysis(
-        capacity=capacity, technology_delay=technology_delay)
-    return analysis.residual_service_curve_from_aggregates(
-        aggregates, priority)
-
+# The closed forms themselves (compute_class_bounds & friends) live in
+# :mod:`repro.core.multiplexer` next to the formulas, shared with the
+# paper-model case study; they are re-exported here because both the
+# memoized cache below and the runner's naive baseline call them, so the
+# two modes can never drift apart formula-wise.
 
 def compute_class_deadlines(message_set: MessageSet
                             ) -> dict[PriorityClass, float | None]:
     """Binding (smallest) deadline of every class present in the set."""
-    deadlines: dict[PriorityClass, float | None] = {}
-    for cls, messages in message_set.by_priority().items():
-        if not messages:
-            continue
-        with_deadline = [m.deadline for m in messages
-                         if m.deadline is not None]
-        deadlines[cls] = min(with_deadline) if with_deadline else None
-    return deadlines
+    return message_set.class_deadlines()
 
 
 @dataclass
@@ -178,7 +123,7 @@ class AnalysisCache:
         def compute() -> dict[PriorityClass, ClassAggregate]:
             base = self._memo(
                 "base_aggregates", spec.base_key,
-                lambda: aggregate_flows(self.base_message_set(spec).messages))
+                lambda: aggregate_flows(self.base_message_set(spec)))
             if spec.replication == 1:
                 return base
             return {cls: aggregate.scaled(spec.replication)

@@ -15,12 +15,19 @@ multiplexing point adds the latency of its per-class residual service curve
 (pay-bursts-only-once, as in
 :class:`repro.core.endtoend.EndToEndAnalysis` with
 ``burst_propagation=False``).
+
+Large campaigns can opt into process-level fan-out with ``jobs=N`` (the CLI
+flag ``repro campaign --jobs N``): scenarios are distributed over worker
+processes with :mod:`concurrent.futures`, each worker memoizing within its
+own :class:`AnalysisCache`.  The single-process memoized path stays the
+default and the naive path stays the correctness oracle.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -192,17 +199,27 @@ class CampaignRunner:
     cache:
         The shared :class:`AnalysisCache`; a fresh one is created when
         omitted.  Passing a warm cache lets successive campaigns reuse each
-        other's intermediates.
+        other's intermediates.  Single-process only: with ``jobs > 1`` the
+        workers build their own caches and this one is not consulted.
     memoize:
         ``True`` (default) shares intermediates across scenarios and scales
         replicated aggregates arithmetically.  ``False`` rebuilds and
         re-aggregates every scenario's full message set from scratch — the
         naive baseline used by the campaign benchmark.
+    jobs:
+        Number of worker processes to spread the scenarios over
+        (default 1: evaluate in-process).  With ``jobs > 1`` every worker
+        keeps its own memoization cache, so cross-scenario sharing happens
+        per worker and the combined result carries no cache statistics;
+        the rows are identical to a single-process run.
     """
 
     def __init__(self, cache: AnalysisCache | None = None, *,
-                 memoize: bool = True) -> None:
+                 memoize: bool = True, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs!r}")
         self.memoize = memoize
+        self.jobs = int(jobs)
         self.cache = cache if cache is not None else AnalysisCache()
 
     # -- public API ----------------------------------------------------------
@@ -210,7 +227,12 @@ class CampaignRunner:
     def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
         """Evaluate every scenario and return the combined result."""
         started = time.perf_counter()
+        scenarios = list(scenarios)
         result = CampaignResult()
+        if self.jobs > 1 and len(scenarios) > 1:
+            result.results = self._run_parallel(scenarios)
+            result.elapsed = time.perf_counter() - started
+            return result
         for scenario in scenarios:
             result.results.append(self._run_scenario(scenario))
         result.elapsed = time.perf_counter() - started
@@ -221,6 +243,20 @@ class CampaignRunner:
         return result
 
     # -- internals -----------------------------------------------------------
+
+    def _run_parallel(self, scenarios: list[Scenario]
+                      ) -> list[ScenarioResult]:
+        """Evaluate the scenarios in worker processes, preserving order.
+
+        Scenarios are value-level (frozen, picklable) specs, so they ship to
+        the workers as-is; each worker builds one runner (and one cache)
+        lazily on first use and keeps it for the tasks it serves.
+        """
+        workers = min(self.jobs, len(scenarios))
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(self.memoize,)) as pool:
+            return list(pool.map(_evaluate_scenario, scenarios))
 
     def _scenario_inputs(self, scenario: Scenario):
         """(aggregates, deadlines) — shared in memoized mode, fresh otherwise."""
@@ -291,3 +327,23 @@ class CampaignRunner:
             backlog_bits=backlog,
             stable=stable,
             hops=scenario.hops)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing for CampaignRunner(jobs=N)
+# ---------------------------------------------------------------------------
+
+#: The per-process runner of the fan-out mode, built by :func:`_init_worker`.
+_WORKER_RUNNER: CampaignRunner | None = None
+
+
+def _init_worker(memoize: bool) -> None:
+    """Process-pool initializer: one runner (and cache) per worker."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = CampaignRunner(memoize=memoize)
+
+
+def _evaluate_scenario(scenario: Scenario) -> ScenarioResult:
+    """Evaluate one scenario inside a worker process."""
+    assert _WORKER_RUNNER is not None, "worker used before initialization"
+    return _WORKER_RUNNER._run_scenario(scenario)

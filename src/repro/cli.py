@@ -204,6 +204,9 @@ def _configure_campaign(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--naive", action="store_true",
                      help="disable cross-scenario memoization (baseline "
                           "mode used by the benchmarks)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="evaluate scenarios in N worker processes "
+                          "(default: 1, in-process)")
     sub.add_argument("--csv", metavar="PATH", default=None,
                      help="also write the raw result rows to a CSV file")
     sub.add_argument("--markdown", action="store_true",
@@ -230,18 +233,24 @@ def _command_campaign(ctx: CommandContext) -> int:
              for s in builtin_scenarios()],
             title=f"Registered scenarios ({len(builtin_scenarios())})"))
         return 0
+    if args.jobs < 1:
+        sys.stderr.write(f"error: --jobs must be at least 1, "
+                         f"got {args.jobs}\n")
+        return 2
     try:
         scenarios = select(args.run)
     except UnknownScenarioError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
-    runner = CampaignRunner(memoize=not args.naive)
+    runner = CampaignRunner(memoize=not args.naive, jobs=args.jobs)
     result = runner.run(scenarios)
     _print(result.to_markdown() if args.markdown else result.to_table())
+    mode = "naive" if args.naive else "memoized"
+    if args.jobs > 1:
+        mode += f", {args.jobs} jobs"
     sys.stdout.write(
         f"{len(result.results)} scenarios, {len(result.rows())} rows in "
-        f"{result.elapsed * 1e3:.1f} ms"
-        f"{' (memoized)' if not args.naive else ' (naive)'}\n")
+        f"{result.elapsed * 1e3:.1f} ms ({mode})\n")
     if args.csv:
         result.write_csv(args.csv)
         sys.stdout.write(f"wrote {len(result.rows())} rows to {args.csv}\n")

@@ -37,7 +37,9 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.netcalc.arrival import TokenBucketArrivalCurve
 from repro.core.netcalc.service import RateLatencyServiceCurve
 from repro.errors import EmptyAggregateError, UnstableSystemError
+from repro.flows.arrays import MessageArrays, sequential_sum
 from repro.flows.flow import Flow
+from repro.flows.message_set import MessageSet
 from repro.flows.messages import Message
 from repro.flows.priorities import PriorityClass, assign_priority
 from repro.simulation.statistics import safe_max
@@ -46,9 +48,13 @@ __all__ = [
     "MultiplexerBound",
     "ClassAggregate",
     "aggregate_flows",
+    "aggregate_from_arrays",
     "FcfsMultiplexerAnalysis",
     "StrictPriorityMultiplexerAnalysis",
     "priority_of",
+    "compute_class_bounds",
+    "compute_arrival_curve",
+    "compute_service_curve",
 ]
 
 
@@ -107,13 +113,51 @@ class ClassAggregate:
             count=self.count * replication)
 
 
-def aggregate_flows(flows: Iterable[Flow | Message]
+def aggregate_from_arrays(arrays: MessageArrays
+                          ) -> dict[PriorityClass, ClassAggregate]:
+    """Per-class :class:`ClassAggregate` of a struct-of-arrays population.
+
+    Vectorised counterpart of the per-flow loop: per-class masks select the
+    columns, :func:`~repro.flows.arrays.sequential_sum` reduces them with
+    the same left-to-right accumulation as the reference loop, so the
+    aggregates are bit-identical.
+    """
+    aggregates: dict[PriorityClass, ClassAggregate] = {}
+    for cls in arrays.present_classes():
+        mask = arrays.class_mask(cls)
+        bursts = arrays.bursts[mask]
+        aggregates[cls] = ClassAggregate(
+            burst=sequential_sum(bursts),
+            rate=sequential_sum(arrays.rates[mask]),
+            max_burst=float(bursts.max()),
+            count=int(mask.sum()))
+    return aggregates
+
+
+def aggregate_flows(flows: Iterable[Flow | Message] | MessageSet |
+                    MessageArrays
                     ) -> dict[PriorityClass, ClassAggregate]:
     """Per-class :class:`ClassAggregate` of a flow population.
 
     Only classes with at least one flow appear in the result; keys are
     ordered from most to least urgent.
+
+    Fast paths: a :class:`MessageSet` is aggregated through its cached
+    struct-of-arrays view; a lazily replicated set
+    (:attr:`MessageSet.arithmetic_replication`) aggregates its base once
+    and scales the sums by the replication factor without materialising the
+    replicas (:meth:`ClassAggregate.scaled`).  Generic iterables of flows
+    or messages take the per-item reference loop.
     """
+    if isinstance(flows, MessageSet):
+        replica = flows.arithmetic_replication
+        if replica is not None:
+            base, replication = replica
+            return {cls: aggregate.scaled(replication)
+                    for cls, aggregate in aggregate_flows(base).items()}
+        return aggregate_from_arrays(flows.arrays())
+    if isinstance(flows, MessageArrays):
+        return aggregate_from_arrays(flows)
     bursts: dict[PriorityClass, float] = {}
     rates: dict[PriorityClass, float] = {}
     max_bursts: dict[PriorityClass, float] = {}
@@ -207,10 +251,6 @@ class FcfsMultiplexerAnalysis:
             it is no longer a valid worst case, so the unstable flag is set
             in the details.
         """
-        flows = list(flows)
-        if not flows:
-            raise EmptyAggregateError(
-                "the FCFS bound needs at least one flow")
         return self.bound_from_aggregates(aggregate_flows(flows),
                                           strict=strict)
 
@@ -273,8 +313,14 @@ class FcfsMultiplexerAnalysis:
     # -- composition helpers ----------------------------------------------
 
     def aggregate_arrival_curve(
-            self, flows: Sequence[Flow | Message]) -> TokenBucketArrivalCurve:
+            self, flows: Sequence[Flow | Message] | MessageSet
+            ) -> TokenBucketArrivalCurve:
         """Token-bucket curve of the aggregate entering the multiplexer."""
+        if isinstance(flows, MessageSet):
+            if not len(flows):
+                raise EmptyAggregateError("empty aggregate")
+            return TokenBucketArrivalCurve(
+                bucket=flows.total_burst(), token_rate=flows.total_rate())
         flows = list(flows)
         if not flows:
             raise EmptyAggregateError("empty aggregate")
@@ -472,3 +518,66 @@ class StrictPriorityMultiplexerAnalysis:
              if cls > priority and a.count), default=0.0)
         latency = blocking / residual_rate + self.technology_delay
         return RateLatencyServiceCurve(rate=residual_rate, delay=latency)
+
+
+# ---------------------------------------------------------------------------
+# The closed forms, as pure functions of the aggregates
+# ---------------------------------------------------------------------------
+# Shared by every consumer of the formulas — the paper-model case study, the
+# campaign runner's memoized and naive modes, the scalability sweep — so the
+# different entry points can never drift apart formula-wise.  ``policy`` is
+# "fcfs" or "strict-priority" (see repro.campaigns.scenario.POLICIES).
+
+def compute_class_bounds(aggregates: Mapping[PriorityClass, ClassAggregate],
+                         capacity: float, technology_delay: float,
+                         policy: str
+                         ) -> dict[PriorityClass, MultiplexerBound | None]:
+    """Single-point per-class bounds; ``None`` marks a saturated class.
+
+    Evaluated with ``strict=False`` — overloaded populations yield bounds
+    flagged unstable in their details (or ``None`` when the class has no
+    residual capacity at all) instead of raising, which is the shared
+    "unbounded row" convention of the campaign runner and Figure 1.
+    """
+    bounds: dict[PriorityClass, MultiplexerBound | None] = {}
+    if policy == "fcfs":
+        analysis = FcfsMultiplexerAnalysis(
+            capacity=capacity, technology_delay=technology_delay)
+        fcfs = analysis.bound_from_aggregates(aggregates, strict=False)
+        return {cls: fcfs for cls, a in aggregates.items() if a.count}
+    analysis = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay)
+    for cls, aggregate in aggregates.items():
+        if not aggregate.count:
+            continue
+        try:
+            bounds[cls] = analysis.bound_for_class_from_aggregates(
+                aggregates, cls, strict=False)
+        except UnstableSystemError:
+            bounds[cls] = None
+    return bounds
+
+
+def compute_arrival_curve(aggregates: Mapping[PriorityClass, ClassAggregate],
+                          up_to: PriorityClass | None
+                          ) -> TokenBucketArrivalCurve:
+    """Token-bucket curve of the aggregate of classes ``<= up_to``."""
+    included = [a for cls, a in aggregates.items()
+                if up_to is None or cls <= up_to]
+    return TokenBucketArrivalCurve(
+        bucket=sum(a.burst for a in included),
+        token_rate=sum(a.rate for a in included))
+
+
+def compute_service_curve(aggregates: Mapping[PriorityClass, ClassAggregate],
+                          capacity: float, technology_delay: float,
+                          policy: str, priority: PriorityClass | None
+                          ) -> RateLatencyServiceCurve:
+    """Per-hop service curve seen by ``priority`` under ``policy``."""
+    if policy == "fcfs":
+        return RateLatencyServiceCurve(rate=capacity,
+                                       delay=technology_delay)
+    analysis = StrictPriorityMultiplexerAnalysis(
+        capacity=capacity, technology_delay=technology_delay)
+    return analysis.residual_service_curve_from_aggregates(
+        aggregates, priority)

@@ -18,9 +18,10 @@ burst the flow may emit (``b`` for a token bucket).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.errors import CurveDomainError, EmptyAggregateError
 
@@ -56,8 +57,10 @@ class ArrivalCurve(Protocol):
         ...
 
 
-def _check_interval(interval: float) -> None:
-    if interval < 0:
+def _check_interval(interval: float | np.ndarray) -> None:
+    negative = (bool(np.any(interval < 0))
+                if isinstance(interval, np.ndarray) else interval < 0)
+    if negative:
         raise CurveDomainError(
             f"arrival curves are defined for non-negative intervals, "
             f"got {interval!r}")
@@ -88,10 +91,13 @@ class TokenBucketArrivalCurve:
             raise CurveDomainError(
                 f"token rate must be non-negative, got {self.token_rate!r}")
 
-    def __call__(self, interval: float) -> float:
+    def __call__(self, interval: float | np.ndarray) -> float | np.ndarray:
+        """``b + r t``; accepts a scalar or an array of interval lengths.
+
+        At ``t = 0`` the affine expression evaluates to the bucket exactly
+        (``r * 0.0 == 0.0``), so no scalar special case is needed.
+        """
         _check_interval(interval)
-        if interval == 0:
-            return self.bucket
         return self.bucket + self.token_rate * interval
 
     @property
@@ -164,10 +170,10 @@ class StairArrivalCurve:
             raise CurveDomainError(
                 f"jitter must be non-negative, got {self.jitter!r}")
 
-    def __call__(self, interval: float) -> float:
+    def __call__(self, interval: float | np.ndarray) -> float | np.ndarray:
         _check_interval(interval)
         return self.message_size * (
-            math.floor((interval + self.jitter) / self.period) + 1)
+            np.floor((interval + self.jitter) / self.period) + 1)
 
     @property
     def rate(self) -> float:

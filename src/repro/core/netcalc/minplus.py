@@ -14,6 +14,11 @@ For the curve families used in this library closed forms exist
 :func:`repro.core.netcalc.bounds.output_arrival_curve`); the generic numeric
 versions below work on arbitrary callables and are used by the property-based
 tests to check the closed forms.
+
+The numeric versions are vectorised: a curve that accepts a numpy array of
+interval lengths (every curve class in :mod:`repro.core.netcalc` does) is
+evaluated on the whole sample grid in one call; plain scalar callables fall
+back to a per-sample loop transparently.
 """
 
 from __future__ import annotations
@@ -33,6 +38,22 @@ __all__ = [
 Curve = Callable[[float], float]
 
 
+def _sample_curve(curve: Curve, points: np.ndarray) -> np.ndarray:
+    """Evaluate ``curve`` on every point, vectorised when supported.
+
+    Array-aware curves are called once with the whole grid; anything that
+    rejects the array (or returns something of the wrong shape) is
+    evaluated point by point, reproducing the scalar reference loop.
+    """
+    try:
+        values = np.asarray(curve(points), dtype=float)
+        if values.shape == points.shape:
+            return values
+    except Exception:
+        pass
+    return np.array([curve(float(point)) for point in points], dtype=float)
+
+
 def min_plus_convolution(f: Curve, g: Curve, interval: float,
                          samples: int = 2048) -> float:
     """Numerically evaluate ``(f ⊗ g)(interval)``.
@@ -48,8 +69,8 @@ def min_plus_convolution(f: Curve, g: Curve, interval: float,
     if interval == 0:
         return f(0.0) + g(0.0)
     split = np.linspace(0.0, interval, samples + 1)
-    values = [f(float(s)) + g(float(interval - s)) for s in split]
-    return float(min(values))
+    values = _sample_curve(f, split) + _sample_curve(g, interval - split)
+    return float(values.min())
 
 
 def min_plus_deconvolution(f: Curve, g: Curve, interval: float,
@@ -67,8 +88,8 @@ def min_plus_deconvolution(f: Curve, g: Curve, interval: float,
     if horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon!r}")
     split = np.linspace(0.0, horizon, samples + 1)
-    values = [f(float(interval + s)) - g(float(s)) for s in split]
-    return float(max(values))
+    values = _sample_curve(f, interval + split) - _sample_curve(g, split)
+    return float(values.max())
 
 
 def convolve_rate_latency(

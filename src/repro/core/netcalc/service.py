@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.errors import CurveDomainError
 
 __all__ = [
@@ -47,8 +49,10 @@ class ServiceCurve(Protocol):
         ...
 
 
-def _check_interval(interval: float) -> None:
-    if interval < 0:
+def _check_interval(interval: float | np.ndarray) -> None:
+    negative = (bool(np.any(interval < 0))
+                if isinstance(interval, np.ndarray) else interval < 0)
+    if negative:
         raise CurveDomainError(
             f"service curves are defined for non-negative intervals, "
             f"got {interval!r}")
@@ -65,7 +69,7 @@ class ConstantRateServiceCurve:
             raise CurveDomainError(
                 f"link capacity must be positive, got {self.capacity!r}")
 
-    def __call__(self, interval: float) -> float:
+    def __call__(self, interval: float | np.ndarray) -> float | np.ndarray:
         _check_interval(interval)
         return self.capacity * interval
 
@@ -99,9 +103,10 @@ class RateLatencyServiceCurve:
             raise CurveDomainError(
                 f"service latency must be non-negative, got {self.delay!r}")
 
-    def __call__(self, interval: float) -> float:
+    def __call__(self, interval: float | np.ndarray) -> float | np.ndarray:
+        """``R * max(0, t - T)``; accepts a scalar or an array of lengths."""
         _check_interval(interval)
-        return self.rate * max(0.0, interval - self.delay)
+        return self.rate * np.maximum(0.0, interval - self.delay)
 
     @property
     def service_rate(self) -> float:

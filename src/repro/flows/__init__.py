@@ -21,6 +21,11 @@ Public API
 * :class:`Flow` — a routed message,
 * :class:`MessageSet` — a validated collection with per-station /
   per-priority views and utilization accounting,
+* :class:`ReplicatedMessageSet` — lazy ``k``-fold station replication with
+  arithmetic aggregate shortcuts (the scalability ladder's workhorse),
+* :class:`MessageArrays` — struct-of-arrays numeric view consumed by the
+  vectorised analytic paths (:func:`sequential_sum` is its bit-exact
+  reduction helper),
 * :class:`VirtualLink` — AFDX-style (BAG, s_max) description of a shaped
   flow, convertible to a token bucket.
 """
@@ -33,8 +38,9 @@ from repro.flows.priorities import (
     PriorityClass,
     assign_priority,
 )
+from repro.flows.arrays import MessageArrays, sequential_sum
 from repro.flows.flow import Flow
-from repro.flows.message_set import MessageSet
+from repro.flows.message_set import MessageSet, ReplicatedMessageSet
 from repro.flows.virtual_link import VirtualLink
 
 __all__ = [
@@ -47,5 +53,8 @@ __all__ = [
     "PERIOD_MAJOR_FRAME",
     "Flow",
     "MessageSet",
+    "ReplicatedMessageSet",
+    "MessageArrays",
+    "sequential_sum",
     "VirtualLink",
 ]

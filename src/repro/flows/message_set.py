@@ -4,6 +4,16 @@ A :class:`MessageSet` is the unit the evaluation harness works with: the
 synthetic "real case" workload is a message set, the 1553B schedule builder
 consumes a message set, and the Ethernet analysis groups a message set by
 source station and by priority class.
+
+Two scale-sensitive companions live here as well:
+
+* every set exposes a lazily built struct-of-arrays view
+  (:meth:`MessageSet.arrays`, invalidated on mutation) that the analytic
+  paths consume instead of per-message loops,
+* :class:`ReplicatedMessageSet` models the scalability ladder's ``k``-fold
+  station replication *arithmetically*: aggregate quantities scale by ``k``
+  without materialising the replicas, which only happens when a consumer
+  (e.g. the 1553B schedule builder) actually iterates the messages.
 """
 
 from __future__ import annotations
@@ -12,10 +22,11 @@ from collections import defaultdict
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import InvalidWorkloadError
+from repro.flows.arrays import MessageArrays
 from repro.flows.messages import Message, MessageKind
 from repro.flows.priorities import PriorityClass, assign_priority
 
-__all__ = ["MessageSet"]
+__all__ = ["MessageSet", "ReplicatedMessageSet"]
 
 
 class MessageSet:
@@ -38,6 +49,8 @@ class MessageSet:
                  name: str = "message-set") -> None:
         self.name = name
         self._messages: dict[str, Message] = {}
+        self._arrays: MessageArrays | None = None
+        self._version = 0
         for message in messages:
             self.add(message)
 
@@ -61,6 +74,8 @@ class MessageSet:
             raise InvalidWorkloadError(
                 f"duplicate message name {message.name!r} in set {self.name!r}")
         self._messages[message.name] = message
+        self._arrays = None
+        self._version += 1
 
     def extend(self, messages: Iterable[Message]) -> None:
         """Add several messages."""
@@ -71,6 +86,40 @@ class MessageSet:
     def messages(self) -> list[Message]:
         """All messages, in insertion order."""
         return list(self._messages.values())
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every :meth:`add`.
+
+        Consumers that cache derived results (struct-of-arrays views,
+        per-class aggregates, response-time contexts) key them on this
+        counter so a mutated set never serves stale analysis.
+        """
+        return self._version
+
+    # -- array backend ---------------------------------------------------------
+
+    def arrays(self) -> MessageArrays:
+        """The struct-of-arrays view of this set, built lazily.
+
+        The view is cached until the set is mutated (:meth:`add` /
+        :meth:`extend` invalidate it), so repeated analytic passes share one
+        column extraction.
+        """
+        if self._arrays is None:
+            self._arrays = MessageArrays(self._messages.values())
+        return self._arrays
+
+    @property
+    def arithmetic_replication(self) -> "tuple[MessageSet, int] | None":
+        """``(base_set, k)`` when this set is a pristine ``k``-fold replica.
+
+        Consumers whose aggregates scale linearly with the population (the
+        per-class :class:`~repro.core.multiplexer.ClassAggregate` sums) use
+        this to work on the base set and scale arithmetically instead of
+        materialising the replicas.  Plain sets return ``None``.
+        """
+        return None
 
     # -- views ----------------------------------------------------------------
 
@@ -135,15 +184,19 @@ class MessageSet:
 
     def total_rate(self) -> float:
         """Sum of the token-bucket rates ``r_i`` (bits per second)."""
-        return sum(m.rate for m in self)
+        return self.arrays().total_rate()
 
     def total_burst(self) -> float:
         """Sum of the token-bucket bursts ``b_i`` (bits)."""
-        return sum(m.burst for m in self)
+        return self.arrays().total_burst()
 
     def max_burst(self) -> float:
         """Largest single burst ``b_i`` (bits); 0 for an empty set."""
-        return max((m.burst for m in self), default=0.0)
+        return self.arrays().max_burst()
+
+    def class_deadlines(self) -> dict[PriorityClass, float | None]:
+        """Binding (smallest) deadline of every class present in the set."""
+        return self.arrays().class_deadlines()
 
     def utilization(self, capacity: float) -> float:
         """Aggregate long-term utilization of a link of ``capacity`` bps."""
@@ -183,3 +236,126 @@ class MessageSet:
             **{f"class_{cls.value}": len(msgs)
                for cls, msgs in by_priority.items()},
         }
+
+
+class ReplicatedMessageSet(MessageSet):
+    """A ``k``-fold station replication of a base set, materialised lazily.
+
+    Replica ``j > 0`` gets its own stations and message names (suffix
+    ``-rj``), exactly like the eager replication the sweeps module used to
+    build — but the copies are only created when a consumer iterates or
+    indexes the set (the 1553B schedule builder does; the Ethernet analytic
+    path does not).  Until then:
+
+    * ``len``, :meth:`total_rate`, :meth:`total_burst`, :meth:`max_burst`
+      and :meth:`class_deadlines` are derived arithmetically from the base,
+    * :attr:`arithmetic_replication` advertises ``(base, k)`` so flow
+      aggregation can scale the base's per-class sums instead of walking
+      ``k`` copies of every message.
+
+    Materialisation snapshots the base: from that point on the replica is
+    self-contained (the arithmetic shortcuts are dropped so every quantity
+    is derived from the frozen copy, never from a base that may have
+    mutated since), and :meth:`add` works like on a plain
+    :class:`MessageSet` holding the replicated messages.
+    """
+
+    def __init__(self, base: MessageSet, replication: int,
+                 name: str | None = None) -> None:
+        if replication < 1:
+            raise InvalidWorkloadError(
+                f"replication must be at least 1, got {replication!r}")
+        self.name = name or f"{base.name}-r{replication}"
+        self.base = base
+        self.replication = int(replication)
+        self._materialized: dict[str, Message] | None = None
+        self._arrays = None
+        self._version = 0
+
+    # -- lazy materialisation --------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; base-set mutations count until materialisation."""
+        if self._materialized is None:
+            return self._version + self.base.version
+        return self._version
+
+    @property
+    def _messages(self) -> dict[str, Message]:
+        if self._materialized is None:
+            materialized: dict[str, Message] = {}
+            for replica in range(self.replication):
+                suffix = "" if replica == 0 else f"-r{replica}"
+                for message in self.base:
+                    replicated = Message(
+                        name=f"{message.name}{suffix}",
+                        kind=message.kind,
+                        period=message.period,
+                        size=message.size,
+                        source=f"{message.source}{suffix}",
+                        destination=f"{message.destination}{suffix}",
+                        deadline=message.deadline,
+                        metadata=dict(message.metadata))
+                    if replicated.name in materialized:
+                        # Same duplicate guard eager replication had (via
+                        # MessageSet.add), e.g. a base already containing
+                        # replica-suffixed names.
+                        raise InvalidWorkloadError(
+                            f"duplicate message name {replicated.name!r} "
+                            f"in set {self.name!r}")
+                    materialized[replicated.name] = replicated
+            self._materialized = materialized
+            # Freeze the inherited version component: base mutations no
+            # longer reach the materialised copy, and the counter must not
+            # jump backwards to a previously observed value.
+            self._version += self.base.version
+        return self._materialized
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the replicas have actually been built."""
+        return self._materialized is not None
+
+    def add(self, message: Message) -> None:
+        """Add a message; materialises the replicas first."""
+        self._messages  # force materialisation before departing from k x base
+        super().add(message)
+
+    # -- arithmetic shortcuts --------------------------------------------------
+    # Only valid while unmaterialised: once the replicas are snapshot, the
+    # base may mutate independently, so every quantity must come from the
+    # frozen copy to stay consistent with iteration and the version counter.
+
+    @property
+    def arithmetic_replication(self) -> "tuple[MessageSet, int] | None":
+        if self._materialized is not None:
+            return None
+        return (self.base, self.replication)
+
+    def __len__(self) -> int:
+        if self._materialized is not None:
+            return len(self._messages)
+        return len(self.base) * self.replication
+
+    def total_rate(self) -> float:
+        if self._materialized is not None:
+            return super().total_rate()
+        return self.base.total_rate() * self.replication
+
+    def total_burst(self) -> float:
+        if self._materialized is not None:
+            return super().total_burst()
+        return self.base.total_burst() * self.replication
+
+    def max_burst(self) -> float:
+        """Replicating flows never changes the largest individual burst."""
+        if self._materialized is not None:
+            return super().max_burst()
+        return self.base.max_burst()
+
+    def class_deadlines(self) -> dict[PriorityClass, float | None]:
+        """Deadlines are copied verbatim to every replica."""
+        if self._materialized is not None:
+            return super().class_deadlines()
+        return self.base.class_deadlines()

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import AnalysisError
 from repro.flows.message_set import MessageSet
 from repro.flows.messages import Message
 from repro.milstd1553.schedule import POLL_DURATION, MajorFrameSchedule
-from repro.milstd1553.transaction import transactions_for_message
+from repro.milstd1553.transaction import message_duration
 
 __all__ = ["ResponseTimeBound", "Milstd1553Analysis"]
 
@@ -79,32 +81,88 @@ class Milstd1553Analysis:
     def __init__(self, schedule: MajorFrameSchedule) -> None:
         self.schedule = schedule
         self.message_set: MessageSet = schedule.message_set
+        #: Worst completion offset of every scheduled periodic message,
+        #: built lazily in one pass over the transaction table.
+        self._periodic_offsets: dict[str, float] | None = None
+        #: Per-station offset of the end of the station's poll in the worst
+        #: minor frame, plus the station's sporadic messages in poll order.
+        #: Rebuilt when the message set mutates (keyed on its version), like
+        #: the per-message reference scan that recomputed it every call.
+        self._sporadic_context: tuple[dict[str, float],
+                                      dict[str, list[Message]]] | None = None
+        self._sporadic_version: int | None = None
 
     # -- helpers ----------------------------------------------------------------
 
     def _message_duration(self, message: Message) -> float:
-        return sum(t.duration for t in transactions_for_message(
-            message, self.schedule.transfer_format))
+        return message_duration(message, self.schedule.transfer_format)
+
+    def _periodic_completion_offsets(self) -> dict[str, float]:
+        """Worst completion offset of every periodic message, per name.
+
+        One pass over the transaction table instead of one per message: for
+        each minor frame the running completion offsets are the cumulative
+        sum of the transaction durations (``np.cumsum`` accumulates left to
+        right, matching the per-transaction scan), and a message's offset in
+        the frame is the cumsum entry of the first last-part transaction
+        that carries it.
+        """
+        if self._periodic_offsets is None:
+            worst: dict[str, float] = {}
+            for slot in self.schedule.slots:
+                if not slot.transactions:
+                    continue
+                offsets = np.cumsum(
+                    [t.duration for t in slot.transactions])
+                seen: set[str] = set()
+                for transaction, offset in zip(slot.transactions, offsets):
+                    name = transaction.message.name
+                    if transaction.is_last_part and name not in seen:
+                        seen.add(name)
+                        completed = float(offset)
+                        if completed > worst.get(name, 0.0):
+                            worst[name] = completed
+            self._periodic_offsets = worst
+        return self._periodic_offsets
 
     def _worst_completion_offset_periodic(self, message: Message) -> float:
         """Worst offset, within a serving minor frame, of the message's completion."""
-        worst = 0.0
-        for slot in self.schedule.slots:
-            offset = 0.0
-            found = False
-            for transaction in slot.transactions:
-                offset += transaction.duration
-                if transaction.message.name == message.name \
-                        and transaction.is_last_part:
-                    found = True
-                    break
-            if found:
-                worst = max(worst, offset)
-        if worst == 0.0:
+        offset = self._periodic_completion_offsets().get(message.name, 0.0)
+        if offset == 0.0:
             raise AnalysisError(
                 f"periodic message {message.name!r} is not present in the "
                 f"schedule")
-        return worst
+        return offset
+
+    def _poll_offsets(self) -> tuple[dict[str, float],
+                                     dict[str, list[Message]]]:
+        """(end-of-poll offset per station, sporadic messages per station).
+
+        The offset of station ``s`` is the worst periodic load, plus the
+        polls of every station up to and including ``s``, plus all sporadic
+        messages of the stations polled before ``s`` — the prefix every
+        sporadic bound of station ``s`` starts from.
+        """
+        version = self.message_set.version
+        if self._sporadic_context is None \
+                or self._sporadic_version != version:
+            self._sporadic_version = version
+            loads = self.schedule.periodic_loads()
+            heaviest_periodic = float(loads.max()) if loads.size else 0.0
+            sporadic = self.message_set.sporadic()
+            by_station: dict[str, list[Message]] = {
+                station: [] for station in self.schedule.polled_terminals()}
+            for message in sporadic:
+                by_station[message.source].append(message)
+            offsets: dict[str, float] = {}
+            offset = heaviest_periodic
+            for station in self.schedule.polled_terminals():
+                offset += POLL_DURATION
+                offsets[station] = offset
+                offset += sum(self._message_duration(m)
+                              for m in by_station[station])
+            self._sporadic_context = (offsets, by_station)
+        return self._sporadic_context
 
     def _worst_completion_offset_sporadic(self, message: Message) -> float:
         """Worst offset of the sporadic message's completion within a minor frame.
@@ -115,23 +173,16 @@ class Milstd1553Analysis:
         terminal's poll, then every *other* sporadic message of the same
         terminal, and finally this message.
         """
-        heaviest_periodic = max(
-            (slot.periodic_duration() for slot in self.schedule.slots),
-            default=0.0)
-        offset = heaviest_periodic
-        for station in self.schedule.polled_terminals():
-            offset += POLL_DURATION
-            station_sporadic = [m for m in self.message_set.sporadic()
-                                if m.source == station]
-            if station == message.source:
-                for other in station_sporadic:
-                    if other.name != message.name:
-                        offset += self._message_duration(other)
-                offset += self._message_duration(message)
-                return offset
-            offset += sum(self._message_duration(m) for m in station_sporadic)
-        raise AnalysisError(
-            f"sporadic message {message.name!r} has no polled terminal")
+        offsets, by_station = self._poll_offsets()
+        if message.source not in offsets:
+            raise AnalysisError(
+                f"sporadic message {message.name!r} has no polled terminal")
+        offset = offsets[message.source]
+        for other in by_station[message.source]:
+            if other.name != message.name:
+                offset += self._message_duration(other)
+        offset += self._message_duration(message)
+        return offset
 
     # -- bounds ----------------------------------------------------------------
 

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro import units
 from repro.errors import InvalidScheduleError
 from repro.flows.message_set import MessageSet
@@ -34,6 +36,7 @@ from repro.flows.messages import Message
 from repro.milstd1553.transaction import (
     Transaction,
     TransferFormat,
+    message_duration,
     transactions_for_message,
 )
 from repro.milstd1553.words import INTERMESSAGE_GAP, RESPONSE_TIME, WORD_TIME
@@ -105,6 +108,12 @@ class MajorFrameSchedule:
         self._intervals: dict[str, int] = {}
         #: Phase (first minor frame index) of each periodic message.
         self._phases: dict[str, int] = {}
+        #: Per-minor-frame periodic load vector, maintained incrementally:
+        #: ``_loads[i]`` always equals ``slots[i].periodic_duration()`` (the
+        #: same left-to-right float accumulation over the appended
+        #: transactions), so phase selection and the feasibility checks never
+        #: re-sum transaction durations.
+        self._loads = np.zeros(self.minor_frame_count)
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -138,23 +147,27 @@ class MajorFrameSchedule:
             self._phases[message.name] = phase
             for transaction in transactions_for_message(
                     message, self.transfer_format):
+                duration = transaction.duration
                 for slot_index in range(phase, self.minor_frame_count,
                                         interval):
                     self.slots[slot_index].transactions.append(transaction)
+                    self._loads[slot_index] += duration
 
     def _best_phase(self, message: Message, interval: int) -> int:
-        """Choose the phase minimising the worst loaded minor frame."""
-        message_duration = sum(
-            t.duration for t in transactions_for_message(
-                message, self.transfer_format))
-        best_phase, best_load = 0, float("inf")
-        for phase in range(interval):
-            load = max(
-                self.slots[i].periodic_duration() + message_duration
-                for i in range(phase, self.minor_frame_count, interval))
-            if load < best_load:
-                best_phase, best_load = phase, load
-        return best_phase
+        """Choose the phase minimising the worst loaded minor frame.
+
+        The candidate load of phase ``p`` is the maximum current load over
+        the minor frames ``p, p + interval, ...`` plus the message's bus
+        time.  ``_loads`` reshaped to ``(count / interval, interval)`` puts
+        phase ``p``'s frames in column ``p``, so a column-wise max plus an
+        argmin evaluates every candidate at once; ``np.argmin`` returns the
+        first minimum, matching the greedy first-strictly-smaller scan.
+        Float addition is monotone, so adding the message duration after the
+        max (instead of to every frame) yields bit-identical candidates.
+        """
+        duration = message_duration(message, self.transfer_format)
+        candidates = self._loads.reshape(-1, interval).max(axis=0) + duration
+        return int(np.argmin(candidates))
 
     # -- sporadic accounting ------------------------------------------------
 
@@ -187,8 +200,7 @@ class MajorFrameSchedule:
         """
         total = 0.0
         for message in self.reserved_sporadic():
-            total += sum(t.duration for t in transactions_for_message(
-                message, self.transfer_format))
+            total += message_duration(message, self.transfer_format)
         return total
 
     # -- inspection ----------------------------------------------------------
@@ -205,6 +217,14 @@ class MajorFrameSchedule:
         """The minor frame slot ``index`` (0-based)."""
         return self.slots[index]
 
+    def periodic_loads(self) -> np.ndarray:
+        """Per-minor-frame periodic bus time (seconds), as a vector.
+
+        A copy of the load vector maintained during construction; entry
+        ``i`` equals ``slots[i].periodic_duration()``.
+        """
+        return self._loads.copy()
+
     def minor_frame_durations(self) -> list[float]:
         """Worst-case busy time of every minor frame (seconds).
 
@@ -212,7 +232,7 @@ class MajorFrameSchedule:
         worst-case sporadic transfers.
         """
         overhead = self.polling_duration() + self.worst_case_sporadic_duration()
-        return [slot.periodic_duration() + overhead for slot in self.slots]
+        return [float(load) + overhead for load in self._loads]
 
     def utilizations(self) -> list[float]:
         """Worst-case utilisation of every minor frame (fraction of 20 ms)."""

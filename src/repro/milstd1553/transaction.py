@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 from repro.errors import ConfigurationError
 from repro.flows.messages import Message
@@ -32,7 +33,13 @@ from repro.milstd1553.words import (
     data_word_count,
 )
 
-__all__ = ["TransferFormat", "Transaction", "transactions_for_message"]
+__all__ = [
+    "TransferFormat",
+    "Transaction",
+    "transactions_for_message",
+    "transfer_duration",
+    "message_duration",
+]
 
 
 class TransferFormat(enum.Enum):
@@ -41,6 +48,65 @@ class TransferFormat(enum.Enum):
     BC_TO_RT = "bc-to-rt"
     RT_TO_BC = "rt-to-bc"
     RT_TO_RT = "rt-to-rt"
+
+
+@lru_cache(maxsize=None)
+def transfer_duration(transfer_format: TransferFormat,
+                      data_words: int) -> float:
+    """Bus occupation time of one transaction (seconds), gap included.
+
+    The duration covers every word on the bus, the worst-case RT response
+    time(s) and the trailing intermessage gap, i.e. the time the bus is
+    unavailable to any other transaction.  There are at most
+    ``3 x MAX_DATA_WORDS`` distinct (format, word-count) combinations, so
+    the cache stays tiny while the schedule builder asks for millions of
+    durations.
+    """
+    if transfer_format is TransferFormat.BC_TO_RT:
+        # command + data words, RT response, status
+        words = 1 + data_words + 1
+        responses = 1
+    elif transfer_format is TransferFormat.RT_TO_BC:
+        # command, RT response, status + data words
+        words = 1 + 1 + data_words
+        responses = 1
+    else:  # RT_TO_RT
+        # two commands, source RT response, status + data, destination RT
+        # response, status
+        words = 2 + 1 + data_words + 1
+        responses = 2
+    return (words * WORD_TIME + responses * RESPONSE_TIME
+            + INTERMESSAGE_GAP)
+
+
+@lru_cache(maxsize=None)
+def _message_duration_for_words(transfer_format: TransferFormat,
+                                total_words: int) -> float:
+    """Total bus time of a message of ``total_words`` data words.
+
+    Accumulated left to right over the maximal-then-partial split, exactly
+    like summing the durations of :func:`transactions_for_message`.
+    """
+    total = 0.0
+    remaining = total_words
+    while remaining > 0:
+        words = min(remaining, MAX_DATA_WORDS)
+        total += transfer_duration(transfer_format, words)
+        remaining -= words
+    return total
+
+
+def message_duration(message: Message,
+                     transfer_format: TransferFormat = TransferFormat.RT_TO_RT
+                     ) -> float:
+    """Total bus time needed to carry one instance of ``message`` (seconds).
+
+    Equals ``sum(t.duration for t in transactions_for_message(message,
+    transfer_format))`` without materialising the transactions; the value is
+    cached per (format, word count).
+    """
+    return _message_duration_for_words(transfer_format,
+                                       data_word_count(message.size))
 
 
 @dataclass(frozen=True)
@@ -81,29 +147,15 @@ class Transaction:
             return self.message.name
         return f"{self.message.name}#{self.part_index}"
 
-    @property
+    @cached_property
     def duration(self) -> float:
         """Bus occupation time of the transaction (seconds), gap included.
 
-        The duration covers every word on the bus, the worst-case RT
-        response time(s) and the trailing intermessage gap, i.e. the time
-        the bus is unavailable to any other transaction.
+        See :func:`transfer_duration`; the value only depends on the
+        transfer format and the word count, both frozen, so it is computed
+        once per transaction.
         """
-        if self.transfer_format is TransferFormat.BC_TO_RT:
-            # command + data words, RT response, status
-            words = 1 + self.data_words + 1
-            responses = 1
-        elif self.transfer_format is TransferFormat.RT_TO_BC:
-            # command, RT response, status + data words
-            words = 1 + 1 + self.data_words
-            responses = 1
-        else:  # RT_TO_RT
-            # two commands, source RT response, status + data, destination RT
-            # response, status
-            words = 2 + 1 + self.data_words + 1
-            responses = 2
-        return (words * WORD_TIME + responses * RESPONSE_TIME
-                + INTERMESSAGE_GAP)
+        return transfer_duration(self.transfer_format, self.data_words)
 
     @property
     def is_last_part(self) -> bool:

@@ -14,8 +14,7 @@ from dataclasses import dataclass
 
 from repro import units
 from repro.errors import InvalidWorkloadError
-from repro.flows.message_set import MessageSet
-from repro.flows.messages import Message
+from repro.flows.message_set import MessageSet, ReplicatedMessageSet
 
 __all__ = [
     "scale_message_sizes",
@@ -49,26 +48,19 @@ def scale_station_count(message_set: MessageSet, replication: int,
     Each replica ``k`` gets its own stations (suffix ``rk``) and its own
     message names, so the result models an aircraft with ``replication``
     times as many subsystems exchanging the same kind of traffic.
+
+    The result is a :class:`~repro.flows.message_set.ReplicatedMessageSet`:
+    aggregate quantities (rates, bursts, per-class statistics) are derived
+    arithmetically from the base set, and the individual replica messages
+    are only materialised when a consumer iterates them — so the analytic
+    scalability ladder never pays for thousand-message copies.
     """
     if replication < 1:
         raise InvalidWorkloadError(
             f"replication must be at least 1, got {replication!r}")
     if replication == 1:
         return message_set
-    scaled = MessageSet(name=name or f"{message_set.name}-r{replication}")
-    for replica in range(replication):
-        suffix = "" if replica == 0 else f"-r{replica}"
-        for message in message_set:
-            scaled.add(Message(
-                name=f"{message.name}{suffix}" if suffix else message.name,
-                kind=message.kind,
-                period=message.period,
-                size=message.size,
-                source=f"{message.source}{suffix}",
-                destination=f"{message.destination}{suffix}",
-                deadline=message.deadline,
-                metadata=dict(message.metadata)))
-    return scaled
+    return ReplicatedMessageSet(message_set, replication, name=name)
 
 
 @dataclass(frozen=True)

@@ -93,3 +93,71 @@ class TestSmallSets:
         study = PaperCaseStudy(MessageSet())
         with pytest.raises(EmptyAggregateError):
             study.figure1_rows()
+
+
+class TestUnboundedRowConvention:
+    """Overloaded sets report inf rows — the campaign runner's convention —
+    instead of raising UnstableSystemError."""
+
+    @pytest.fixture(scope="class")
+    def overloaded(self, real_case):
+        from repro.workloads.sweeps import scale_station_count
+        # 32x the case study offers ~12.3 Mbps to a 10 Mbps link.
+        return PaperCaseStudy(scale_station_count(real_case, 32))
+
+    def test_figure1_rows_do_not_raise(self, overloaded):
+        rows = overloaded.figure1_rows()
+        assert [row.priority for row in rows] == list(PriorityClass)
+
+    def test_fcfs_rows_are_unbounded_and_unstable(self, overloaded):
+        import math
+        for row in overloaded.figure1_rows():
+            assert not row.fcfs_stable
+            assert math.isinf(row.fcfs_bound)
+            assert not row.fcfs_feasible
+
+    def test_only_saturated_priority_classes_are_unbounded(self, overloaded):
+        import math
+        rows = {row.priority: row for row in overloaded.figure1_rows()}
+        assert rows[PriorityClass.URGENT].priority_stable
+        assert math.isfinite(rows[PriorityClass.URGENT].priority_bound)
+        assert not rows[PriorityClass.BACKGROUND].priority_stable
+        assert math.isinf(rows[PriorityClass.BACKGROUND].priority_bound)
+
+    def test_headline_claims_report_the_overload(self, overloaded):
+        assert overloaded.fcfs_violates_constraints()
+        assert not overloaded.priority_meets_all_constraints()
+
+    def test_convention_matches_the_campaign_runner(self, overloaded):
+        """Same verdicts as CampaignRunner on the same overloaded traffic."""
+        from repro.campaigns import CampaignRunner, WorkloadSpec, Scenario
+        scenario = Scenario(
+            name="t-overload-32", description="",
+            workload=WorkloadSpec(replication=32))
+        result = CampaignRunner().run([scenario]).results[0]
+        assert result.feasible("fcfs") is \
+            (not overloaded.fcfs_violates_constraints())
+        assert result.feasible("strict-priority") is \
+            overloaded.priority_meets_all_constraints()
+        rows = {row.priority: row for row in result.rows_for("fcfs")}
+        for fig_row in overloaded.figure1_rows():
+            assert rows[fig_row.priority].stable == fig_row.fcfs_stable
+
+    def test_stable_studies_keep_default_flags(self, real_case):
+        for row in PaperCaseStudy(real_case).figure1_rows():
+            assert row.fcfs_stable and row.priority_stable
+
+
+class TestMutationAfterConstruction:
+    def test_bounds_refresh_when_the_set_mutates(self):
+        message_set = MessageSet([
+            Message.periodic("a", period=units.ms(20), size=1000,
+                             source="s0", destination="sink")])
+        study = PaperCaseStudy(message_set)
+        before = study.fcfs_bound()
+        message_set.add(Message.periodic(
+            "b", period=units.ms(20), size=1000,
+            source="s1", destination="sink"))
+        assert study.fcfs_bound() == pytest.approx(2 * before -
+                                                   study.technology_delay)
+        assert study.figure1_rows()[0].message_count == 2

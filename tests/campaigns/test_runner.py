@@ -147,3 +147,34 @@ class TestRendering:
         lines = target.read_text().strip().splitlines()
         assert lines[0].startswith("scenario,policy,priority")
         assert len(lines) == len(result.rows()) + 1
+
+
+class TestParallelJobs:
+    """CampaignRunner(jobs=N): process fan-out over the scenarios."""
+
+    def test_rows_identical_to_the_sequential_run(self):
+        scenarios = builtin_scenarios()
+        sequential = CampaignRunner().run(scenarios)
+        parallel = CampaignRunner(jobs=3).run(scenarios)
+        assert [r.scenario.name for r in parallel.results] == \
+            [r.scenario.name for r in sequential.results]
+        assert [r.rows for r in parallel.results] == \
+            [r.rows for r in sequential.results]
+
+    def test_naive_mode_also_fans_out(self):
+        parallel = CampaignRunner(memoize=False, jobs=2).run(LADDER)
+        sequential = CampaignRunner(memoize=False).run(LADDER)
+        assert [r.rows for r in parallel.results] == \
+            [r.rows for r in sequential.results]
+
+    def test_parallel_runs_report_no_cache_statistics(self):
+        result = CampaignRunner(jobs=2).run(LADDER)
+        assert result.stats == {}
+
+    def test_single_scenario_stays_in_process(self):
+        result = CampaignRunner(jobs=4).run([PAPER])
+        assert result.stats  # in-process memoized path keeps its counters
+
+    def test_invalid_job_count_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(jobs=0)

@@ -68,3 +68,41 @@ class TestNumericDeconvolution:
             min_plus_deconvolution(alpha, beta, -1.0, horizon=1.0)
         with pytest.raises(ValueError):
             min_plus_deconvolution(alpha, beta, 1.0, horizon=-1.0)
+
+
+class TestVectorizedEvaluation:
+    """The numeric operators evaluate array-aware curves in one call and
+    fall back to a scalar loop for plain callables."""
+
+    def test_array_aware_and_scalar_curves_agree(self):
+        curve = RateLatencyServiceCurve(rate=1e6, delay=0.002)
+
+        def scalar_only(t):
+            if t < 0:  # array input would raise on the ambiguous truth value
+                raise ValueError(t)
+            return curve(float(t))
+
+        for t in [0.001, 0.004, 0.02]:
+            assert min_plus_convolution(curve, curve, t) == \
+                min_plus_convolution(scalar_only, scalar_only, t)
+            assert min_plus_deconvolution(curve, curve, t, horizon=0.01) == \
+                min_plus_deconvolution(scalar_only, scalar_only, t,
+                                       horizon=0.01)
+
+    def test_curves_accept_interval_arrays(self):
+        import numpy as np
+
+        grid = np.linspace(0.0, 0.01, 5)
+        bucket = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        assert list(bucket(grid)) == [bucket(float(t)) for t in grid]
+        service = RateLatencyServiceCurve(rate=1e6, delay=0.002)
+        assert list(service(grid)) == [service(float(t)) for t in grid]
+
+    def test_negative_array_entries_rejected(self):
+        import numpy as np
+
+        from repro.errors import CurveDomainError
+
+        bucket = TokenBucketArrivalCurve(bucket=1000, token_rate=1e5)
+        with pytest.raises(CurveDomainError):
+            bucket(np.array([0.0, -1.0]))

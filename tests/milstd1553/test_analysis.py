@@ -97,3 +97,32 @@ class TestAgainstSimulation:
         assert analysis.worst_bound() > units.ms(20)
         # The urgent 3 ms class is not satisfiable with 20 ms polling.
         assert len(analysis.violations()) >= 16
+
+
+class TestMutationAfterFirstQuery:
+    def test_sporadic_added_after_a_query_is_analysed_fresh(self):
+        from repro import Message, MessageSet, units
+        from repro.milstd1553.schedule import MajorFrameSchedule
+
+        message_set = MessageSet([
+            Message.periodic("nav", period=units.ms(20),
+                             size=units.words1553(8),
+                             source="s0", destination="sink"),
+            Message.sporadic("alarm", min_interarrival=units.ms(20),
+                             size=units.words1553(2),
+                             source="s1", destination="sink",
+                             deadline=units.ms(3)),
+        ])
+        schedule = MajorFrameSchedule(message_set)
+        analysis = Milstd1553Analysis(schedule)
+        first = analysis.bound_for(message_set["alarm"])
+        # "a0" sorts before "s1", so its poll precedes alarm's terminal.
+        message_set.add(Message.sporadic(
+            "late", min_interarrival=units.ms(40),
+            size=units.words1553(4), source="a0", destination="sink",
+            deadline=units.ms(40)))
+        # The new terminal is polled and analysable, not an error...
+        late = analysis.bound_for(message_set["late"])
+        assert late.bound > 0
+        # ...and existing bounds account for the extra poll slot.
+        assert analysis.bound_for(message_set["alarm"]).bound > first.bound

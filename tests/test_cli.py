@@ -147,3 +147,15 @@ class TestCommands:
         main(["--stations", "8", "--seed", "3", "figure1"])
         slow_output = capsys.readouterr().out
         assert fast_output != slow_output
+
+
+class TestCampaignJobs:
+    def test_parallel_jobs_run_and_report_the_mode(self, capsys):
+        assert main(["campaign", "--run", "ladder", "--jobs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "(memoized, 2 jobs)" in output
+        assert "scalability-x8" in output
+
+    def test_invalid_job_count_fails_cleanly(self, capsys):
+        assert main(["campaign", "--run", "ladder", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
