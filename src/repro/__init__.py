@@ -20,6 +20,14 @@ the matching ``repro campaign`` CLI):
 >>> result = CampaignRunner().run(builtin_scenarios())
 >>> len(result.rows()) >= 8
 True
+
+The reproduction report — every registered experiment rendered into the
+committed ``artifacts/`` tree, drift-checked by CI — is the report layer
+(``repro report`` on the command line):
+
+>>> from repro import ReportPipeline, all_experiments
+>>> len(all_experiments()) >= 10
+True
 """
 
 from repro import units
@@ -43,6 +51,12 @@ from repro.flows.messages import Message, MessageKind
 from repro.flows.priorities import PriorityClass, assign_priority
 from repro.milstd1553.bus import Milstd1553BusSimulator
 from repro.milstd1553.schedule import MajorFrameSchedule
+from repro.reports import (
+    ExperimentSpec,
+    ReportPipeline,
+    all_experiments,
+    register_experiment,
+)
 from repro.topology.builders import (
     dual_switch_topology,
     single_switch_star,
@@ -80,5 +94,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignResult",
     "builtin_scenarios",
+    "ExperimentSpec",
+    "ReportPipeline",
+    "all_experiments",
+    "register_experiment",
     "__version__",
 ]

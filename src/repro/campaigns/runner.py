@@ -48,6 +48,8 @@ from repro.core.netcalc.service import RateLatencyServiceCurve
 from repro.errors import UnstableSystemError
 from repro.flows.priorities import PriorityClass
 from repro.reporting import (
+    format_bound,
+    format_bytes,
     format_ms,
     render_markdown_table,
     render_table,
@@ -60,16 +62,6 @@ __all__ = ["CampaignRow", "ScenarioResult", "CampaignResult",
 
 #: Short policy labels used in the result tables.
 POLICY_LABELS = {"fcfs": "FCFS", "strict-priority": "priority"}
-
-
-def _format_bound(seconds: float) -> str:
-    return "unbounded" if math.isinf(seconds) else format_ms(seconds)
-
-
-def _format_backlog(bits: float) -> str:
-    if math.isinf(bits):
-        return "unbounded"
-    return f"{bits / 8:.0f} B"
 
 
 @dataclass(frozen=True)
@@ -154,9 +146,9 @@ class CampaignResult:
         """One formatted line per result row."""
         return [(row.scenario, POLICY_LABELS[row.policy],
                  row.priority.label, row.message_count,
-                 format_ms(row.deadline), _format_bound(row.bound),
+                 format_ms(row.deadline), format_bound(row.bound),
                  yes_no(row.meets_deadline),
-                 _format_backlog(row.backlog_bits), yes_no(row.stable))
+                 format_bytes(row.backlog_bits), yes_no(row.stable))
                 for row in self.rows()]
 
     def to_table(self) -> str:

@@ -13,6 +13,8 @@ without pytest::
     python -m repro export --output set.csv  # dump the synthetic message set
     python -m repro campaign --list          # the scenario catalogue
     python -m repro campaign --run all       # batched scenario analysis
+    python -m repro report                   # regenerate artifacts/
+    python -m repro report --check           # CI drift gate on artifacts/
 
 Every workload-based command accepts ``--seed``, ``--stations`` and
 ``--capacity-mbps`` to vary the workload and the link rate, and
@@ -39,8 +41,9 @@ from repro.analysis import (
 )
 from repro.analysis.buffers import validate_buffer_requirements
 from repro.analysis.paper_model import PaperCaseStudy
+from repro import reports
 from repro.campaigns import CampaignRunner, builtin_scenarios, select
-from repro.errors import UnknownScenarioError
+from repro.errors import UnknownExperimentError, UnknownScenarioError
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 from repro.reporting import format_ms, render_table, yes_no
@@ -258,6 +261,66 @@ def _command_campaign(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Report subcommand
+# ---------------------------------------------------------------------------
+
+def _configure_report(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--list", action="store_true", dest="list_experiments",
+                     help="list the registered experiments and exit")
+    sub.add_argument("--experiment", metavar="NAMES", default=None,
+                     help="render only these experiments (comma-separated; "
+                          "default: the whole catalogue)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="build experiments in N worker processes "
+                          "(default: 1, in-process)")
+    sub.add_argument("--output", metavar="DIR",
+                     default=reports.DEFAULT_ARTIFACTS_DIR,
+                     help="artifacts directory (default: artifacts/)")
+    sub.add_argument("--check", action="store_true",
+                     help="re-render into a temporary directory and fail "
+                          "on any difference with the committed artifacts "
+                          "(the CI drift gate); writes nothing")
+
+
+def _command_report(ctx: CommandContext) -> int:
+    args = ctx.args
+    if args.jobs < 1:
+        sys.stderr.write(f"error: --jobs must be at least 1, "
+                         f"got {args.jobs}\n")
+        return 2
+    if args.list_experiments:
+        _print(render_table(
+            ["name", "exhibit", "description"],
+            [(spec.name, spec.exhibit, spec.description)
+             for spec in reports.all_experiments()],
+            title=f"Registered experiments "
+                  f"({len(reports.all_experiments())})"))
+        return 0
+    try:
+        selected = reports.select_experiments(args.experiment)
+    except UnknownExperimentError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    pipeline = reports.ReportPipeline(args.output, experiments=selected)
+    if args.check:
+        problems = pipeline.check(jobs=args.jobs)
+        for problem in problems:
+            sys.stderr.write(f"report-check: {problem}\n")
+        if not problems:
+            sys.stdout.write(
+                f"report-check: OK ({len(selected)} experiments match "
+                f"the committed artifacts under {args.output})\n")
+        return 1 if problems else 0
+    run = pipeline.run(jobs=args.jobs)
+    sys.stdout.write(f"wrote {len(run.files)} artifacts under "
+                     f"{args.output}: {run.summary()}\n")
+    if not pipeline.full_catalogue:
+        sys.stdout.write("note: partial run — REPORT.md and values.json "
+                         "are only refreshed by a full `repro report`\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Dispatch table, parser, entry point
 # ---------------------------------------------------------------------------
 
@@ -285,6 +348,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
                 _command_export, configure=_configure_export),
     CommandSpec("campaign", "list or batch-run the scenario catalogue",
                 _command_campaign, configure=_configure_campaign,
+                needs_workload=False),
+    CommandSpec("report", "regenerate or drift-check the artifacts/ "
+                          "reproduction report",
+                _command_report, configure=_configure_report,
                 needs_workload=False),
 )
 

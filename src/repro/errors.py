@@ -71,6 +71,14 @@ class DuplicateScenarioError(ConfigurationError):
     """A scenario name is registered twice without ``replace=True``."""
 
 
+class UnknownExperimentError(ConfigurationError):
+    """A report references an experiment name absent from the registry."""
+
+
+class DuplicateExperimentError(ConfigurationError):
+    """An experiment name is registered twice without ``replace=True``."""
+
+
 # ---------------------------------------------------------------------------
 # Analytical problems
 # ---------------------------------------------------------------------------

@@ -329,6 +329,7 @@ class ReplicatedMessageSet(MessageSet):
 
     @property
     def arithmetic_replication(self) -> "tuple[MessageSet, int] | None":
+        """``(base, k)`` while unmaterialised; ``None`` after a snapshot."""
         if self._materialized is not None:
             return None
         return (self.base, self.replication)
@@ -339,11 +340,13 @@ class ReplicatedMessageSet(MessageSet):
         return len(self.base) * self.replication
 
     def total_rate(self) -> float:
+        """Sum of the token-bucket rates: ``k`` times the base's sum."""
         if self._materialized is not None:
             return super().total_rate()
         return self.base.total_rate() * self.replication
 
     def total_burst(self) -> float:
+        """Sum of the token-bucket bursts: ``k`` times the base's sum."""
         if self._materialized is not None:
             return super().total_burst()
         return self.base.total_burst() * self.replication

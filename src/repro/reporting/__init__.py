@@ -1,4 +1,4 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text, markdown, CSV and SVG rendering of experiment results.
 
 The benchmark harness is console based (no plotting dependency), so every
 table and figure of the paper is rendered as:
@@ -6,9 +6,16 @@ table and figure of the paper is rendered as:
 * an aligned ASCII table (:func:`render_table`),
 * a GitHub-flavoured markdown table (:func:`render_markdown_table`) for
   reports and campaign output,
-* a horizontal text bar chart (:func:`render_bar_chart`) for figure-like
-  exhibits such as Figure 1,
+* a horizontal text bar chart (:func:`render_bar_chart`) or its standalone
+  SVG twin (:func:`render_svg_bar_chart`) for figure-like exhibits such as
+  Figure 1,
 * or exported to CSV (:func:`write_csv`) for external plotting.
+
+The formatting helpers (:func:`format_ms`, :func:`format_bound`,
+:func:`format_bytes`, :func:`format_rate`, :func:`yes_no`) keep units and
+the unbounded/overload convention consistent across every renderer; the
+report pipeline (:mod:`repro.reports`) builds its committed artifacts
+exclusively from these primitives so the output is deterministic.
 """
 
 from repro.reporting.tables import (
@@ -16,15 +23,24 @@ from repro.reporting.tables import (
     render_table,
     write_csv,
 )
-from repro.reporting.figures import render_bar_chart
-from repro.reporting.formatting import format_ms, format_rate, yes_no
+from repro.reporting.figures import render_bar_chart, render_svg_bar_chart
+from repro.reporting.formatting import (
+    format_bound,
+    format_bytes,
+    format_ms,
+    format_rate,
+    yes_no,
+)
 
 __all__ = [
     "render_table",
     "render_markdown_table",
     "write_csv",
     "render_bar_chart",
+    "render_svg_bar_chart",
     "format_ms",
+    "format_bound",
+    "format_bytes",
     "format_rate",
     "yes_no",
 ]

@@ -1,10 +1,27 @@
-"""Text bar charts for figure-like exhibits (Figure 1)."""
+"""Text and SVG bar charts for figure-like exhibits (Figure 1).
+
+Both renderers share the same data model — one bar per (label, value) pair
+with optional per-row marker lines (e.g. the class deadline) — and both
+tolerate infinite values, which the campaign layer uses to report
+overloaded classes: an infinite bar is drawn clipped at full scale and
+annotated ``unbounded`` instead of crashing the chart.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-__all__ = ["render_bar_chart"]
+__all__ = ["render_bar_chart", "render_svg_bar_chart"]
+
+
+def _chart_scale(values: Sequence[float],
+                 markers: dict[int, float]) -> float:
+    """The value drawn at full width: the largest finite value or marker."""
+    finite = [v for v in list(values) + list(markers.values())
+              if not math.isinf(v)]
+    peak = max(finite, default=0.0)
+    return peak if peak > 0 else 1.0
 
 
 def render_bar_chart(labels: Sequence[str], values: Sequence[float],
@@ -16,7 +33,8 @@ def render_bar_chart(labels: Sequence[str], values: Sequence[float],
     Parameters
     ----------
     labels / values:
-        One bar per (label, value) pair.
+        One bar per (label, value) pair.  An infinite value (an overloaded
+        class) draws a full-width bar annotated ``unbounded``.
     unit:
         Unit appended to the numeric value (e.g. ``"ms"``).
     width:
@@ -32,21 +50,97 @@ def render_bar_chart(labels: Sequence[str], values: Sequence[float],
     if not labels:
         return "(empty chart)\n"
     markers = markers or {}
-    peak = max(list(values) + list(markers.values()))
-    if peak <= 0:
-        peak = 1.0
+    peak = _chart_scale(values, markers)
     label_width = max(len(label) for label in labels)
     lines = []
     if title:
         lines.append(title)
         lines.append("=" * len(title))
     for index, (label, value) in enumerate(zip(labels, values)):
-        bar_length = int(round(width * value / peak))
+        if math.isinf(value):
+            bar_length, annotation = width, "unbounded"
+        else:
+            bar_length, annotation = (int(round(width * value / peak)),
+                                      f"{value:g} {unit}")
         bar = "#" * bar_length
-        if index in markers:
+        if index in markers and not math.isinf(markers[index]):
             marker_position = int(round(width * markers[index] / peak))
             padded = list(bar.ljust(max(marker_position + 1, len(bar))))
             padded[marker_position] = "|"
             bar = "".join(padded)
-        lines.append(f"{label.ljust(label_width)}  {bar} {value:g} {unit}".rstrip())
+        lines.append(f"{label.ljust(label_width)}  {bar} {annotation}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SVG
+# ---------------------------------------------------------------------------
+
+#: Fixed geometry of the SVG chart (deterministic output is the point).
+_BAR_HEIGHT = 18
+_BAR_GAP = 8
+_LABEL_WIDTH = 190
+_VALUE_WIDTH = 110
+_CHART_WIDTH = 420
+_TOP = 34
+
+
+def _svg_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_svg_bar_chart(labels: Sequence[str], values: Sequence[float],
+                         unit: str = "", title: str | None = None,
+                         markers: dict[int, float] | None = None) -> str:
+    """Render the same horizontal bar chart as standalone SVG markup.
+
+    The output is deterministic (fixed geometry, fixed decimal formatting,
+    no timestamps) so generated figures can be committed and byte-compared
+    by the drift check.  Infinite values are drawn clipped at full scale in
+    a hatched style and annotated ``unbounded``; markers are vertical lines
+    (the class deadline in Figure 1).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    markers = markers or {}
+    peak = _chart_scale(values, markers)
+    rows = len(labels)
+    height = _TOP + rows * (_BAR_HEIGHT + _BAR_GAP) + 10
+    width = _LABEL_WIDTH + _CHART_WIDTH + _VALUE_WIDTH
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="12">',
+        '<style>text{fill:#24292f}.bar{fill:#4878d0}'
+        '.bar-unbounded{fill:#d65f5f}.marker{stroke:#d62728;'
+        'stroke-width:2}.frame{fill:none;stroke:#d0d7de}</style>',
+    ]
+    if title:
+        lines.append(f'<text x="{_LABEL_WIDTH}" y="18" font-size="14" '
+                     f'font-weight="bold">{_svg_escape(title)}</text>')
+    if not labels:
+        lines.append(f'<text x="{_LABEL_WIDTH}" y="{_TOP + 14}">'
+                     f'(empty chart)</text>')
+    for index, (label, value) in enumerate(zip(labels, values)):
+        y = _TOP + index * (_BAR_HEIGHT + _BAR_GAP)
+        text_y = y + _BAR_HEIGHT - 5
+        unbounded = math.isinf(value)
+        bar = _CHART_WIDTH if unbounded \
+            else int(round(_CHART_WIDTH * value / peak))
+        css = "bar-unbounded" if unbounded else "bar"
+        annotation = "unbounded" if unbounded else f"{value:g} {unit}".strip()
+        lines.append(f'<text x="0" y="{text_y}">{_svg_escape(label)}</text>')
+        lines.append(f'<rect class="{css}" x="{_LABEL_WIDTH}" y="{y}" '
+                     f'width="{bar}" height="{_BAR_HEIGHT}"/>')
+        if index in markers and not math.isinf(markers[index]):
+            x = _LABEL_WIDTH + int(round(_CHART_WIDTH * markers[index] / peak))
+            lines.append(f'<line class="marker" x1="{x}" y1="{y - 2}" '
+                         f'x2="{x}" y2="{y + _BAR_HEIGHT + 2}"/>')
+        lines.append(f'<text x="{_LABEL_WIDTH + _CHART_WIDTH + 8}" '
+                     f'y="{text_y}">{_svg_escape(annotation)}</text>')
+    lines.append(f'<rect class="frame" x="{_LABEL_WIDTH}" y="{_TOP - 6}" '
+                 f'width="{_CHART_WIDTH}" '
+                 f'height="{height - _TOP - 4}"/>')
+    lines.append("</svg>")
     return "\n".join(lines) + "\n"

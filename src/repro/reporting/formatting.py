@@ -6,7 +6,8 @@ import math
 
 from repro import units
 
-__all__ = ["format_ms", "format_rate", "yes_no"]
+__all__ = ["format_ms", "format_bound", "format_bytes", "format_rate",
+           "yes_no"]
 
 
 def format_ms(seconds: float | None, digits: int = 3) -> str:
@@ -17,6 +18,27 @@ def format_ms(seconds: float | None, digits: int = 3) -> str:
     if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
         return "-"
     return f"{units.to_ms(seconds):.{digits}f} ms"
+
+
+def format_bound(seconds: float | None, digits: int = 3) -> str:
+    """Format a delay bound: like :func:`format_ms`, but infinite bounds
+    render as ``'unbounded'`` (the campaign convention for overload)."""
+    if isinstance(seconds, float) and math.isinf(seconds):
+        return "unbounded"
+    return format_ms(seconds, digits)
+
+
+def format_bytes(bits: float | None) -> str:
+    """Format a bit quantity in whole bytes, e.g. ``'1106 B'``.
+
+    ``None`` / NaN render as ``'-'``; an infinite backlog (overloaded
+    aggregate) renders as ``'unbounded'``.
+    """
+    if bits is None or (isinstance(bits, float) and math.isnan(bits)):
+        return "-"
+    if isinstance(bits, float) and math.isinf(bits):
+        return "unbounded"
+    return f"{units.to_bytes(bits):.0f} B"
 
 
 def format_rate(bits_per_second: float) -> str:

@@ -1,0 +1,66 @@
+"""The reproduction-report pipeline: experiments → versioned artifacts.
+
+The publication layer of the repo.  Where :mod:`repro.analysis` computes
+experiment rows and :mod:`repro.reporting` renders individual tables, this
+package makes the full reproduction *reproducible as an artifact*:
+
+* :mod:`~repro.reports.spec` — :class:`ExperimentSpec`: a declarative
+  mapping from one paper exhibit (or beyond-paper study) to a build
+  callable returning structured :class:`ExperimentResult` data (tables,
+  figures, headline values, :class:`ClaimCheck` pass/fail badges), plus
+  the named registry (:func:`register_experiment`,
+  :func:`all_experiments`, :func:`select_experiments`),
+* :mod:`~repro.reports.experiments` — the builtin catalogue: E1–E6 of the
+  paper plus the sensitivity, scalability, buffer and campaign studies,
+* :mod:`~repro.reports.pipeline` — :class:`ReportPipeline`: renders every
+  experiment into ``artifacts/<experiment>/`` (markdown + CSV tables,
+  SVG + text figures) and stitches ``artifacts/REPORT.md`` (the full
+  reproduction report with the paper's headline claims badged) and
+  ``artifacts/values.json`` (the value map ``tools/docgen.py`` uses to
+  keep README.md/DESIGN.md numbers in sync with the code).
+
+Everything is deterministic, so the artifact tree is committed and
+``repro report --check`` — the CI drift gate — fails whenever the
+committed artifacts stop matching the code's current output.
+"""
+
+from repro.reports.spec import (
+    ClaimCheck,
+    ExperimentResult,
+    ExperimentSpec,
+    FigureArtifact,
+    TableArtifact,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    select_experiments,
+)
+from repro.reports import experiments as _builtin_experiments  # noqa: F401
+from repro.reports.experiments import (
+    case_study_message_set,
+    register_builtin_experiments,
+)
+from repro.reports.pipeline import (
+    DEFAULT_ARTIFACTS_DIR,
+    ReportPipeline,
+    ReportRunResult,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "TableArtifact",
+    "FigureArtifact",
+    "ClaimCheck",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "all_experiments",
+    "select_experiments",
+    "case_study_message_set",
+    "register_builtin_experiments",
+    "ReportPipeline",
+    "ReportRunResult",
+    "DEFAULT_ARTIFACTS_DIR",
+]

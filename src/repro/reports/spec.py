@@ -1,0 +1,188 @@
+"""Declarative experiment specifications and the report registry.
+
+An :class:`ExperimentSpec` maps one exhibit — a paper table/figure or one of
+the beyond-paper studies — to a ``build`` callable that recomputes it from
+scratch and returns an :class:`ExperimentResult`: structured tables,
+figures, headline values and claim checks.  The pipeline
+(:mod:`repro.reports.pipeline`) turns those results into committed
+artifacts; nothing in a result may depend on wall-clock time, machine or
+iteration order, so the artifacts are byte-reproducible and CI can diff
+them (``repro report --check``).
+
+Experiments are registered by unique name, exactly like campaign scenarios
+(:mod:`repro.campaigns.registry`); ``repro report --list`` prints the
+catalogue and ``--experiment name,name`` selects from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import DuplicateExperimentError, UnknownExperimentError
+
+__all__ = [
+    "TableArtifact",
+    "FigureArtifact",
+    "ClaimCheck",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+    "all_experiments",
+    "select_experiments",
+]
+
+
+@dataclass(frozen=True)
+class TableArtifact:
+    """One table of an experiment, in display and raw (CSV) form.
+
+    ``display_rows`` carry formatted cells (units, yes/NO, unbounded) for
+    the markdown rendering; ``raw_rows`` carry unformatted values for the
+    CSV twin so external plotting never has to parse formatted strings.
+    When ``raw_headers`` is ``None`` the display headers and rows are
+    reused verbatim.
+    """
+
+    #: File stem inside the experiment's artifact directory.
+    name: str
+    title: str
+    headers: tuple[str, ...]
+    display_rows: tuple[tuple, ...]
+    raw_headers: tuple[str, ...] | None = None
+    raw_rows: tuple[tuple, ...] | None = None
+
+    def csv_content(self) -> tuple[tuple[str, ...], tuple[tuple, ...]]:
+        """(headers, rows) written to the CSV artifact."""
+        if self.raw_headers is None:
+            return self.headers, self.display_rows
+        return self.raw_headers, self.raw_rows or ()
+
+
+@dataclass(frozen=True)
+class FigureArtifact:
+    """One bar-chart figure, rendered both as SVG and as a text chart."""
+
+    #: File stem inside the experiment's artifact directory.
+    name: str
+    title: str
+    labels: tuple[str, ...]
+    values: tuple[float, ...]
+    unit: str = ""
+    #: Optional per-row marker lines (e.g. the class deadline).
+    markers: tuple[tuple[int, float], ...] = ()
+
+    def marker_dict(self) -> dict[int, float]:
+        """The markers as the dict the renderers expect."""
+        return dict(self.markers)
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One falsifiable claim re-checked by an experiment.
+
+    ``headline`` marks the paper's three banner results; the top of
+    ``REPORT.md`` badges exactly those.
+    """
+
+    claim: str
+    passed: bool
+    #: The measured evidence, e.g. ``"bound 5.432 ms > 3.000 ms"``.
+    detail: str = ""
+    headline: bool = False
+
+    @property
+    def badge(self) -> str:
+        """The pass/fail badge used in the generated report."""
+        return "✅ reproduced" if self.passed else "❌ NOT reproduced"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment contributes to the reproduction report."""
+
+    tables: list[TableArtifact] = field(default_factory=list)
+    figures: list[FigureArtifact] = field(default_factory=list)
+    claims: list[ClaimCheck] = field(default_factory=list)
+    #: Headline values for the docs substitution layer (``tools/docgen.py``),
+    #: merged into ``artifacts/values.json`` as ``<experiment>.<key>``.
+    values: dict[str, str] = field(default_factory=dict)
+    #: Optional free-form paragraph printed under the experiment heading.
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment of the reproduction report."""
+
+    #: Unique registry name (``repro report --experiment <name>``).
+    name: str
+    #: Human heading used in ``REPORT.md``.
+    title: str
+    #: One-line description shown by ``repro report --list`` and the index.
+    description: str
+    #: Recompute the exhibit from scratch; must be deterministic.
+    build: Callable[[], ExperimentResult]
+    #: The exhibit the experiment reproduces (``"E1 / Figure 1"``), or
+    #: ``"beyond paper"`` for the studies the paper only announces.
+    exhibit: str = "beyond paper"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise UnknownExperimentError(
+                "an experiment needs a non-empty name")
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec, *,
+                        replace: bool = False) -> ExperimentSpec:
+    """Add an experiment to the registry; rejects duplicates by default."""
+    if not replace and spec.name in _REGISTRY:
+        raise DuplicateExperimentError(
+            f"experiment {spec.name!r} is already registered "
+            f"(pass replace=True to overwrite)")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment by name.
+
+    Raises
+    ------
+    UnknownExperimentError
+        If no experiment of that name is registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {name!r}; known experiments: "
+            f"{experiment_names()}") from None
+
+
+def experiment_names() -> list[str]:
+    """Registered experiment names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_experiments() -> list[ExperimentSpec]:
+    """Every registered experiment, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def select_experiments(selection: str | Sequence[str] | None
+                       ) -> list[ExperimentSpec]:
+    """Resolve a CLI selection (comma list, ``"all"`` or ``None``) to specs."""
+    if selection is None:
+        return all_experiments()
+    if isinstance(selection, str):
+        selection = [part.strip() for part in selection.split(",")]
+    names = [name for name in selection if name]
+    if not names or names == ["all"]:
+        return all_experiments()
+    return [get_experiment(name) for name in names]

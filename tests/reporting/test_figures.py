@@ -1,8 +1,10 @@
-"""Text bar charts."""
+"""Text and SVG bar charts."""
+
+import math
 
 import pytest
 
-from repro.reporting import render_bar_chart
+from repro.reporting import render_bar_chart, render_svg_bar_chart
 
 
 class TestRenderBarChart:
@@ -35,3 +37,69 @@ class TestRenderBarChart:
     def test_zero_values_do_not_crash(self):
         output = render_bar_chart(["a", "b"], [0.0, 0.0])
         assert "a" in output
+
+    def test_infinite_value_draws_a_clipped_unbounded_bar(self):
+        # PR 2's overload convention: an unstable class reports bound=inf
+        # and the chart must degrade gracefully, not crash on the scale.
+        output = render_bar_chart(["stable", "overload"],
+                                  [1.0, math.inf], unit="ms", width=10)
+        lines = output.splitlines()
+        assert "unbounded" in lines[1]
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 10  # scaled to the largest finite
+
+    def test_all_infinite_values_still_render(self):
+        output = render_bar_chart(["a"], [math.inf])
+        assert "unbounded" in output
+
+    def test_infinite_marker_is_ignored(self):
+        output = render_bar_chart(["a"], [1.0], width=10,
+                                  markers={0: math.inf})
+        assert "|" not in output
+
+
+class TestRenderSvgBarChart:
+    def test_svg_structure_labels_and_values(self):
+        svg = render_svg_bar_chart(["urgent", "periodic"], [1.5, 3.0],
+                                   unit="ms", title="Bounds")
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        assert "urgent" in svg and "periodic" in svg
+        assert "1.5 ms" in svg and "3 ms" in svg
+        assert "Bounds" in svg
+
+    def test_bars_scale_with_values(self):
+        svg = render_svg_bar_chart(["a", "b"], [1.0, 2.0])
+        widths = [int(part.split('"')[0])
+                  for part in svg.split('width="')[2:4]]
+        assert widths[0] * 2 == widths[1]
+
+    def test_infinite_value_is_annotated_unbounded(self):
+        svg = render_svg_bar_chart(["x"], [math.inf], unit="ms")
+        assert "unbounded" in svg
+        assert 'class="bar-unbounded"' in svg
+
+    def test_markers_render_as_lines(self):
+        svg = render_svg_bar_chart(["a"], [2.0], markers={0: 1.0})
+        assert 'class="marker"' in svg
+
+    def test_labels_are_escaped(self):
+        svg = render_svg_bar_chart(["a<b&c"], [1.0])
+        assert "a&lt;b&amp;c" in svg
+        assert "a<b&c" not in svg
+
+    def test_empty_chart_is_valid_svg(self):
+        svg = render_svg_bar_chart([], [])
+        assert svg.startswith("<svg ")
+        assert "(empty chart)" in svg
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg_bar_chart(["a"], [1.0, 2.0])
+
+    def test_output_is_deterministic(self):
+        first = render_svg_bar_chart(["a", "b"], [1.0, math.inf],
+                                     unit="ms", markers={0: 2.0})
+        second = render_svg_bar_chart(["a", "b"], [1.0, math.inf],
+                                      unit="ms", markers={0: 2.0})
+        assert first == second

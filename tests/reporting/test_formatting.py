@@ -1,7 +1,15 @@
 """Formatting helpers."""
 
+import math
+
 from repro import units
-from repro.reporting import format_ms, format_rate, yes_no
+from repro.reporting import (
+    format_bound,
+    format_bytes,
+    format_ms,
+    format_rate,
+    yes_no,
+)
 
 
 class TestFormatMs:
@@ -18,6 +26,34 @@ class TestFormatMs:
         assert format_ms(float("nan")) == "-"
 
 
+class TestFormatBound:
+    def test_finite_bound_matches_format_ms(self):
+        assert format_bound(units.ms(3)) == format_ms(units.ms(3))
+
+    def test_infinite_bound_is_unbounded(self):
+        # The overload convention of PR 2: bound=inf, stable=False.
+        assert format_bound(math.inf) == "unbounded"
+
+    def test_none_and_nan_are_dashes(self):
+        assert format_bound(None) == "-"
+        assert format_bound(float("nan")) == "-"
+
+    def test_digits_forwarded(self):
+        assert format_bound(units.ms(3.14159), digits=1) == "3.1 ms"
+
+
+class TestFormatBytes:
+    def test_bits_become_whole_bytes(self):
+        assert format_bytes(8848) == "1106 B"
+
+    def test_infinite_backlog_is_unbounded(self):
+        assert format_bytes(math.inf) == "unbounded"
+
+    def test_none_and_nan_are_dashes(self):
+        assert format_bytes(None) == "-"
+        assert format_bytes(float("nan")) == "-"
+
+
 class TestFormatRate:
     def test_megabits(self):
         assert format_rate(units.mbps(10)) == "10.00 Mbps"
@@ -27,6 +63,11 @@ class TestFormatRate:
 
     def test_bits(self):
         assert format_rate(500) == "500 bps"
+
+    def test_unit_boundaries(self):
+        assert format_rate(1e6) == "1.00 Mbps"
+        assert format_rate(1e3) == "1.0 kbps"
+        assert format_rate(999) == "999 bps"
 
 
 class TestYesNo:

@@ -1,10 +1,16 @@
-"""ASCII tables and CSV export."""
+"""ASCII tables, markdown tables and CSV export."""
 
 import csv
+import math
 
 import pytest
 
-from repro.reporting import render_table, write_csv
+from repro.reporting import (
+    format_bound,
+    render_markdown_table,
+    render_table,
+    write_csv,
+)
 
 
 class TestRenderTable:
@@ -36,6 +42,39 @@ class TestRenderTable:
     def test_empty_rows_still_renders_headers(self):
         output = render_table(["a", "b"], [])
         assert "a" in output and "b" in output
+
+    def test_unbounded_cells_render_like_any_string(self):
+        # Overloaded classes flow through as pre-formatted 'unbounded'
+        # cells (format_bound); the table must align them, not choke.
+        output = render_table(["class", "bound"],
+                              [["urgent", format_bound(math.inf)],
+                               ["periodic", format_bound(0.003)]])
+        assert "unbounded" in output
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+
+class TestRenderMarkdownTable:
+    def test_structure(self):
+        output = render_markdown_table(["a", "b"], [["1", "2"]],
+                                       title="T")
+        lines = output.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "| --- | --- |"
+        assert lines[4] == "| 1 | 2 |"
+
+    def test_empty_rows_render_header_and_separator_only(self):
+        output = render_markdown_table(["a", "b"], [])
+        lines = output.splitlines()
+        assert lines == ["| a | b |", "| --- | --- |"]
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a", "b"], [["only-one"]])
+
+    def test_ends_with_a_newline(self):
+        assert render_markdown_table(["a"], [["x"]]).endswith("\n")
 
 
 class TestWriteCsv:

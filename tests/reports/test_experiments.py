@@ -1,0 +1,94 @@
+"""The builtin experiment catalogue builds valid, deterministic results."""
+
+import math
+
+import pytest
+
+from repro.reports import all_experiments, get_experiment
+
+
+@pytest.fixture(scope="module")
+def built_catalogue():
+    """Every builtin experiment built once for the whole module."""
+    return {spec.name: spec.build() for spec in all_experiments()}
+
+
+class TestCatalogueShape:
+    def test_every_paper_exhibit_is_covered(self):
+        exhibits = {spec.exhibit for spec in all_experiments()}
+        for exhibit in ("E1 / Figure 1", "E2", "E3", "E4", "E5", "E6"):
+            assert exhibit in exhibits
+
+    def test_beyond_paper_studies_are_covered(self):
+        names = {spec.name for spec in all_experiments()}
+        assert {"sensitivity", "scalability", "buffers",
+                "campaign"} <= names
+
+    def test_every_experiment_produces_at_least_one_table(
+            self, built_catalogue):
+        for name, result in built_catalogue.items():
+            assert result.tables, f"{name} produced no table"
+
+    def test_every_table_row_matches_its_headers(self, built_catalogue):
+        for name, result in built_catalogue.items():
+            for table in result.tables:
+                for row in table.display_rows:
+                    assert len(row) == len(table.headers), (
+                        f"{name}/{table.name}")
+                headers, rows = table.csv_content()
+                for row in rows:
+                    assert len(row) == len(headers), f"{name}/{table.name}"
+
+    def test_every_figure_is_well_formed(self, built_catalogue):
+        for name, result in built_catalogue.items():
+            for figure in result.figures:
+                assert len(figure.labels) == len(figure.values), (
+                    f"{name}/{figure.name}")
+                for index, value in figure.markers:
+                    assert 0 <= index < len(figure.labels)
+                    assert not math.isnan(value)
+
+    def test_artifact_stems_are_unique_per_experiment(self,
+                                                      built_catalogue):
+        # Tables and figures use disjoint extensions (.md/.csv vs
+        # .svg/.txt), so stems only need to be unique within each kind.
+        for name, result in built_catalogue.items():
+            table_stems = [t.name for t in result.tables]
+            figure_stems = [f.name for f in result.figures]
+            assert len(table_stems) == len(set(table_stems)), name
+            assert len(figure_stems) == len(set(figure_stems)), name
+
+
+class TestHeadlineClaims:
+    def test_the_three_paper_claims_are_reproduced(self, built_catalogue):
+        headline = [claim for result in built_catalogue.values()
+                    for claim in result.claims if claim.headline]
+        assert len(headline) == 3
+        assert all(claim.passed for claim in headline), [
+            claim.claim for claim in headline if not claim.passed]
+
+    def test_all_claims_pass_on_the_seeded_workload(self, built_catalogue):
+        failing = [(name, claim.claim)
+                   for name, result in built_catalogue.items()
+                   for claim in result.claims if not claim.passed]
+        assert failing == []
+
+
+class TestValues:
+    def test_figure1_exports_its_headline_numbers(self, built_catalogue):
+        values = built_catalogue["figure1"].values
+        assert values["urgent-deadline"] == "3.000 ms"
+        assert values["fcfs-bound"].endswith(" ms")
+
+    def test_campaign_counts_match_the_scenario_registry(
+            self, built_catalogue):
+        from repro.campaigns import builtin_scenarios
+        values = built_catalogue["campaign"].values
+        assert values["scenario-count"] == str(len(builtin_scenarios()))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["figure1", "scalability", "campaign"])
+    def test_rebuilding_reproduces_identical_results(self, name,
+                                                     built_catalogue):
+        assert get_experiment(name).build() == built_catalogue[name]

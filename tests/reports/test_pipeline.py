@@ -1,0 +1,187 @@
+"""The report pipeline: artifact tree, REPORT.md stitching, drift gate."""
+
+import json
+
+import pytest
+
+from repro.reports import (
+    ExperimentResult,
+    ExperimentSpec,
+    ReportPipeline,
+    TableArtifact,
+    all_experiments,
+    select_experiments,
+)
+from repro.reports.pipeline import heading_slug
+
+
+def _adhoc_build() -> ExperimentResult:
+    """Module-level so the pool can pickle it by reference."""
+    return ExperimentResult(tables=[TableArtifact(
+        name="t", title="T", headers=("a",), display_rows=(("1",),))])
+
+
+@pytest.fixture(scope="module")
+def full_run(tmp_path_factory):
+    """One full pipeline run shared by the read-only assertions."""
+    root = tmp_path_factory.mktemp("artifacts")
+    pipeline = ReportPipeline(root)
+    return pipeline, pipeline.run(), root
+
+
+class TestFullRun:
+    def test_every_experiment_gets_a_directory(self, full_run):
+        _, run, root = full_run
+        for spec in all_experiments():
+            assert (root / spec.name).is_dir()
+            assert any((root / spec.name).iterdir())
+        assert sorted(run.experiments) == sorted(
+            spec.name for spec in all_experiments())
+
+    def test_tables_render_as_markdown_and_csv(self, full_run):
+        _, _, root = full_run
+        assert (root / "figure1" / "bounds.md").is_file()
+        assert (root / "figure1" / "bounds.csv").is_file()
+        markdown = (root / "figure1" / "bounds.md").read_text()
+        assert markdown.startswith("### ")
+        assert "| --- |" in markdown
+
+    def test_figures_render_as_svg_and_text(self, full_run):
+        _, _, root = full_run
+        svg = (root / "figure1" / "bounds.svg").read_text()
+        assert svg.startswith("<svg ")
+        assert (root / "figure1" / "bounds.txt").read_text().strip()
+
+    def test_report_badges_the_headline_claims(self, full_run):
+        _, run, root = full_run
+        report = (root / "REPORT.md").read_text()
+        assert "## Headline claims" in report
+        assert report.count("✅ reproduced") >= len(run.claims)
+        assert "❌" not in report
+        assert len(run.headline_claims) == 3
+
+    def test_report_section_anchors_match_the_index_links(self, full_run):
+        _, _, root = full_run
+        report = (root / "REPORT.md").read_text()
+        for spec in all_experiments():
+            anchor = heading_slug(f"{spec.name}: {spec.title}")
+            assert f"(#{anchor})" in report
+            assert f"## {spec.name}: {spec.title}" in report
+
+    def test_values_json_is_namespaced_and_sorted(self, full_run):
+        _, _, root = full_run
+        values = json.loads((root / "values.json").read_text())
+        assert list(values) == sorted(values)
+        assert values["report.experiment-count"] == str(
+            len(all_experiments()))
+        assert "figure1.fcfs-bound" in values
+
+    def test_run_files_inventory_matches_the_tree(self, full_run):
+        _, run, root = full_run
+        on_disk = sorted(path.relative_to(root).as_posix()
+                         for path in root.rglob("*") if path.is_file())
+        assert on_disk == sorted(run.files)
+
+    def test_summary_counts_experiments_and_claims(self, full_run):
+        _, run, _ = full_run
+        assert f"{len(run.experiments)} experiments" in run.summary()
+        assert "3/3 headline" in run.summary()
+
+
+class TestDriftGate:
+    def test_check_passes_right_after_a_run(self, full_run):
+        pipeline, _, _ = full_run
+        assert pipeline.check() == []
+
+    def test_hand_edit_is_caught(self, tmp_path):
+        pipeline = ReportPipeline(
+            tmp_path, experiments=select_experiments("figure1"))
+        pipeline.run()
+        target = tmp_path / "figure1" / "bounds.md"
+        target.write_text(target.read_text().replace("3.000", "2.718"))
+        problems = pipeline.check()
+        assert any("figure1/bounds.md" in problem for problem in problems)
+        assert any("stale" in problem for problem in problems)
+
+    def test_missing_artifact_is_caught(self, tmp_path):
+        pipeline = ReportPipeline(
+            tmp_path, experiments=select_experiments("figure1"))
+        pipeline.run()
+        (tmp_path / "figure1" / "bounds.csv").unlink()
+        assert any("missing" in problem for problem in pipeline.check())
+
+    def test_unexpected_file_is_caught_by_a_full_check(self, full_run,
+                                                       tmp_path):
+        pipeline, _, root = full_run
+        stray = root / "figure1" / "stray.md"
+        stray.write_text("left behind\n")
+        try:
+            assert any("unexpected" in problem
+                       for problem in pipeline.check())
+        finally:
+            stray.unlink()
+
+
+class TestPartialRuns:
+    def test_partial_run_only_touches_its_experiments(self, tmp_path):
+        pipeline = ReportPipeline(
+            tmp_path, experiments=select_experiments("figure1,violations"))
+        run = pipeline.run()
+        assert sorted(run.experiments) == ["figure1", "violations"]
+        assert not (tmp_path / "REPORT.md").exists()
+        assert not (tmp_path / "values.json").exists()
+
+    def test_full_run_cleans_stale_files_of_a_previous_run(self, tmp_path):
+        # Simulate a previous run whose layout had an experiment that has
+        # since been renamed: its file is in the manifest inventory, so
+        # the next full run sweeps it and prunes the emptied directory.
+        ReportPipeline(tmp_path).run()
+        stale = tmp_path / "renamed-experiment" / "old.md"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("from a previous layout\n")
+        manifest = tmp_path / ".manifest"
+        manifest.write_text(manifest.read_text()
+                            + "renamed-experiment/old.md\n")
+        ReportPipeline(tmp_path).run()
+        assert not stale.exists()
+        assert not stale.parent.exists()
+
+    def test_runs_never_sweep_files_they_did_not_write(self, tmp_path):
+        # Unrelated user data in the output directory survives any number
+        # of full runs: only manifest-listed files may be deleted.
+        precious = tmp_path / "precious.txt"
+        nested = tmp_path / "figure1" / "notes.txt"
+        precious.write_text("user data\n")
+        ReportPipeline(tmp_path).run()
+        nested.write_text("user notes inside an experiment dir\n")
+        ReportPipeline(tmp_path).run()
+        assert precious.read_text() == "user data\n"
+        assert nested.read_text() == "user notes inside an experiment dir\n"
+        assert (tmp_path / "REPORT.md").is_file()
+
+
+class TestJobs:
+    def test_parallel_build_matches_the_serial_tree(self, full_run,
+                                                    tmp_path):
+        _, serial_run, serial_root = full_run
+        parallel = ReportPipeline(tmp_path)
+        parallel_run = parallel.run(jobs=2)
+        assert parallel_run.files == serial_run.files
+        for relative in parallel_run.files:
+            assert ((tmp_path / relative).read_bytes()
+                    == (serial_root / relative).read_bytes()), relative
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReportPipeline(tmp_path).build_results(jobs=0)
+
+    def test_unregistered_adhoc_specs_build_under_jobs(self, tmp_path):
+        # Workers receive the build callable, not a name to resolve in
+        # their own registry, so ad-hoc specs work with jobs > 1.
+        specs = [ExperimentSpec(name=f"adhoc-{index}", title="Ad hoc",
+                                description="never registered",
+                                build=_adhoc_build)
+                 for index in range(2)]
+        run = ReportPipeline(tmp_path, experiments=specs).run(jobs=2)
+        assert run.experiments == ["adhoc-0", "adhoc-1"]
+        assert (tmp_path / "adhoc-0" / "t.md").is_file()

@@ -1,0 +1,103 @@
+"""The experiment registry and its spec types."""
+
+import pytest
+
+from repro.errors import DuplicateExperimentError, UnknownExperimentError
+from repro.reports import (
+    ClaimCheck,
+    ExperimentResult,
+    ExperimentSpec,
+    TableArtifact,
+    all_experiments,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    select_experiments,
+)
+from repro.reports.spec import _REGISTRY
+
+
+def _dummy_build() -> ExperimentResult:
+    return ExperimentResult(tables=[TableArtifact(
+        name="t", title="T", headers=("a",), display_rows=(("1",),))])
+
+
+@pytest.fixture
+def scratch_registry():
+    """Snapshot the registry, hand out a spec factory, restore afterwards."""
+    saved = dict(_REGISTRY)
+    try:
+        yield lambda name: ExperimentSpec(
+            name=name, title=name, description=f"{name} spec",
+            build=_dummy_build)
+    finally:
+        _REGISTRY.clear()
+        _REGISTRY.update(saved)
+
+
+class TestRegistry:
+    def test_builtins_are_registered_in_order(self):
+        names = experiment_names()
+        assert names[:3] == ["figure1", "violations", "baseline-1553"]
+        assert len(names) >= 10
+        assert names == [spec.name for spec in all_experiments()]
+
+    def test_get_by_name(self):
+        spec = get_experiment("figure1")
+        assert spec.exhibit == "E1 / Figure 1"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownExperimentError, match="no-such"):
+            get_experiment("no-such")
+
+    def test_duplicate_registration_rejected(self, scratch_registry):
+        register_experiment(scratch_registry("dup"))
+        with pytest.raises(DuplicateExperimentError):
+            register_experiment(scratch_registry("dup"))
+
+    def test_replace_allows_overwrite(self, scratch_registry):
+        register_experiment(scratch_registry("dup"))
+        replacement = scratch_registry("dup")
+        assert register_experiment(replacement,
+                                   replace=True) is replacement
+        assert get_experiment("dup") is replacement
+
+    def test_empty_name_rejected(self, scratch_registry):
+        with pytest.raises(UnknownExperimentError):
+            scratch_registry("")
+
+
+class TestSelectExperiments:
+    def test_none_and_all_select_everything(self):
+        everything = all_experiments()
+        assert select_experiments(None) == everything
+        assert select_experiments("all") == everything
+
+    def test_comma_list_preserves_order(self):
+        selected = select_experiments("scalability,figure1")
+        assert [spec.name for spec in selected] == ["scalability",
+                                                    "figure1"]
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(UnknownExperimentError):
+            select_experiments("figure1,nope")
+
+
+class TestClaimCheck:
+    def test_badges(self):
+        assert "reproduced" in ClaimCheck("c", True).badge
+        assert "NOT" in ClaimCheck("c", False).badge
+        assert "NOT" not in ClaimCheck("c", True).badge
+
+
+class TestTableArtifact:
+    def test_csv_falls_back_to_display_rows(self):
+        table = TableArtifact(name="t", title="T", headers=("a",),
+                              display_rows=(("1",),))
+        assert table.csv_content() == (("a",), (("1",),))
+
+    def test_csv_uses_raw_rows_when_given(self):
+        table = TableArtifact(name="t", title="T", headers=("a",),
+                              display_rows=(("1 ms",),),
+                              raw_headers=("a_ms",), raw_rows=((1.0,),))
+        assert table.csv_content() == (("a_ms",), ((1.0,),))

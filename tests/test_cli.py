@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
-                        "campaign"):
+                        "campaign", "report"):
             args = parser.parse_args(
                 [command] if command != "export"
                 else [command, "--output", "x.csv"])
@@ -23,7 +23,7 @@ class TestParser:
     def test_the_dispatch_table_drives_the_parser(self):
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
-            "jitter", "buffers", "export", "campaign"]
+            "jitter", "buffers", "export", "campaign", "report"]
 
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -39,6 +39,9 @@ class TestEveryCommandEndToEnd:
         argv = WORKLOAD_ARGS + [command]
         if command == "campaign":
             argv = ["campaign", "--run", "paper-real-case"]
+        elif command == "report":
+            argv = ["report", "--experiment", "figure1",
+                    "--output", str(tmp_path / "artifacts")]
         exit_code = main(argv)
         output = capsys.readouterr().out
         assert exit_code == 0
@@ -147,6 +150,57 @@ class TestCommands:
         main(["--stations", "8", "--seed", "3", "figure1"])
         slow_output = capsys.readouterr().out
         assert fast_output != slow_output
+
+
+class TestReportCommand:
+    def test_list_shows_the_experiment_catalogue(self, capsys):
+        assert main(["report", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "Registered experiments" in output
+        for name in ("figure1", "baseline-1553", "campaign"):
+            assert name in output
+
+    def test_partial_run_writes_artifacts_and_warns(self, tmp_path, capsys):
+        target = tmp_path / "artifacts"
+        assert main(["report", "--experiment", "figure1", "--output",
+                     str(target)]) == 0
+        output = capsys.readouterr().out
+        assert (target / "figure1" / "bounds.md").is_file()
+        assert "partial run" in output
+
+    def test_check_fails_on_a_hand_edit(self, tmp_path, capsys):
+        target = tmp_path / "artifacts"
+        assert main(["report", "--experiment", "violations", "--output",
+                     str(target)]) == 0
+        capsys.readouterr()
+        table = target / "violations" / "violations.md"
+        table.write_text(table.read_text() + "tampered\n")
+        assert main(["report", "--experiment", "violations", "--check",
+                     "--output", str(target)]) == 1
+        assert "stale artifact" in capsys.readouterr().err
+
+    def test_check_passes_right_after_a_run(self, tmp_path, capsys):
+        target = tmp_path / "artifacts"
+        assert main(["report", "--experiment", "violations", "--output",
+                     str(target)]) == 0
+        assert main(["report", "--experiment", "violations", "--check",
+                     "--output", str(target)]) == 0
+        assert "report-check: OK" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["report", "--experiment", "no-such"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_invalid_job_count_fails_cleanly(self, capsys):
+        assert main(["report", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_committed_artifacts_match_the_code(self):
+        # The acceptance gate: the committed artifacts/ tree is exactly
+        # what the code generates today.
+        from pathlib import Path
+        committed = Path(__file__).resolve().parents[1] / "artifacts"
+        assert main(["report", "--check", "--output", str(committed)]) == 0
 
 
 class TestCampaignJobs:

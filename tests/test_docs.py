@@ -1,26 +1,32 @@
-"""The documentation layer stays present and internally consistent.
+"""The documentation layer stays present, consistent and executable.
 
-Mirrors CI's ``tools/check_docs_links.py`` run so broken docs fail tier-1
-locally, not just on GitHub.
+Mirrors CI's documentation gates so broken docs fail tier-1 locally, not
+just on GitHub: ``tools/check_docs_links.py`` (files, anchors and
+``artifacts/`` links resolve), ``tools/check_docstrings.py`` (every public
+symbol documents itself) and ``tools/docgen.py`` (every quantitative
+statement in the docs matches the generated artifacts).
 """
 
 import importlib.util
+import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def _load_checker():
+def _load_tool(stem):
     spec = importlib.util.spec_from_file_location(
-        "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py")
+        stem, REPO_ROOT / "tools" / f"{stem}.py")
     module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("check_docs_links", module)
+    sys.modules.setdefault(stem, module)
     spec.loader.exec_module(module)
     return module
 
 
-checker = _load_checker()
+checker = _load_tool("check_docs_links")
+docstrings = _load_tool("check_docstrings")
+docgen = _load_tool("docgen")
 
 
 class TestDocumentationLayer:
@@ -39,7 +45,7 @@ class TestDocumentationLayer:
         for package in ("core.netcalc", "core.multiplexer", "flows",
                         "shaping", "ethernet", "milstd1553", "simulation",
                         "topology", "workloads", "analysis", "reporting",
-                        "campaigns"):
+                        "campaigns", "reports"):
             assert f"repro.{package}" in design, (
                 f"DESIGN.md does not document repro.{package}")
 
@@ -48,3 +54,130 @@ class TestDocumentationLayer:
 
     def test_markdown_links_resolve(self):
         assert checker.broken_doc_links() == []
+
+
+class TestAnchors:
+    def test_heading_slugs_follow_github_rules(self):
+        assert checker.heading_slug("9. Reports & artifacts") \
+            == "9-reports--artifacts"
+        assert checker.heading_slug("Tests and benchmarks") \
+            == "tests-and-benchmarks"
+        assert checker.heading_slug("`code` and *emphasis*") \
+            == "code-and-emphasis"
+
+    def test_underscores_survive_like_on_github(self):
+        # t_techno must slug to t_techno (underscores are word chars);
+        # the REPORT.md sensitivity heading depends on it.
+        assert checker.heading_slug(
+            "Sensitivity to the relaying-delay bound t_techno") \
+            == "sensitivity-to-the-relaying-delay-bound-t_techno"
+
+    def test_checker_slugs_agree_with_the_pipeline_slugger(self):
+        from repro.reports import all_experiments
+        from repro.reports.pipeline import heading_slug as pipeline_slug
+        for spec in all_experiments():
+            heading = f"{spec.name}: {spec.title}"
+            assert checker.heading_slug(heading) == pipeline_slug(heading)
+
+    def test_duplicate_headings_get_suffixes(self):
+        slugs = checker.heading_slugs("# Same\n\n# Same\n")
+        assert slugs == {"same", "same-1"}
+
+    def test_fenced_code_blocks_are_not_headings(self):
+        slugs = checker.heading_slugs("```\n# not a heading\n```\n# Real\n")
+        assert slugs == {"real"}
+
+    def test_broken_anchor_is_reported(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "README.md").write_text(
+            "# Title\n[link](#no-such-section)\n")
+        (tmp_path / "DESIGN.md").write_text("# Design\n")
+        problems = checker.broken_doc_links(tmp_path)
+        assert any("no-such-section" in problem for problem in problems)
+
+    def test_cross_document_anchor_is_checked(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[ok](DESIGN.md#a-section)\n[bad](DESIGN.md#missing)\n")
+        (tmp_path / "DESIGN.md").write_text("## A section\n")
+        problems = checker.broken_doc_links(tmp_path)
+        assert len(problems) == 1
+        assert "DESIGN.md#missing" in problems[0]
+
+    def test_links_inside_fenced_code_blocks_are_ignored(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "README.md").write_text(
+            "# Title\n```\n[example](no-such.md) and `src/fake.py`\n```\n")
+        (tmp_path / "DESIGN.md").write_text("# Design\n")
+        assert checker.broken_doc_links(tmp_path) == []
+
+    def test_artifacts_links_are_validated(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "README.md").write_text(
+            "See `artifacts/REPORT.md` for the report.\n")
+        (tmp_path / "DESIGN.md").write_text("# Design\n")
+        problems = checker.broken_doc_links(tmp_path)
+        assert any("artifacts/REPORT.md" in problem for problem in problems)
+
+    def test_generated_report_links_resolve_from_its_own_directory(self):
+        # artifacts/REPORT.md links figure1/bounds.csv etc. relative to
+        # itself; the checker must resolve those against artifacts/.
+        assert (REPO_ROOT / "artifacts" / "REPORT.md").is_file()
+        assert checker.broken_doc_links() == []
+
+
+class TestDocstringCoverage:
+    def test_every_public_symbol_is_documented(self):
+        assert docstrings.undocumented_symbols() == []
+
+
+class TestExecutableDocs:
+    def test_docgen_check_passes_on_the_committed_docs(self):
+        values = docgen.load_values(REPO_ROOT / "artifacts" / "values.json")
+        for name in docgen.DEFAULT_DOCS:
+            text = (REPO_ROOT / name).read_text()
+            new_text, stale, unknown = docgen.substitute(text, values)
+            assert unknown == [], f"{name}: unknown keys {unknown}"
+            assert stale == [], (
+                f"{name}: stale spans {stale} — run `repro report` then "
+                f"`python tools/docgen.py`")
+            assert new_text == text
+
+    def test_stale_span_is_detected_and_rewritten(self):
+        text = "Bound: <!-- repro:k -->old<!-- /repro --> end"
+        new_text, stale, unknown = docgen.substitute(text, {"k": "new"})
+        assert stale == ["k"] and unknown == []
+        assert new_text == "Bound: <!-- repro:k -->new<!-- /repro --> end"
+
+    def test_unknown_key_is_reported_and_left_alone(self):
+        text = "<!-- repro:ghost -->x<!-- /repro -->"
+        new_text, stale, unknown = docgen.substitute(text, {})
+        assert unknown == ["ghost"] and new_text == text
+
+    def test_multiline_values_round_trip(self):
+        table = "| a |\n| - |\n"
+        text = f"<!-- repro:idx -->\n{table}<!-- /repro -->"
+        new_text, stale, unknown = docgen.substitute(text, {"idx": table})
+        assert stale == [] and unknown == []
+        assert new_text == text
+
+
+class TestExperimentIndexSync:
+    def test_design_index_matches_the_registry(self):
+        from repro.reports import all_experiments
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        match = re.search(
+            r"<!--\s*repro:report\.experiment-index\s*-->(.*?)"
+            r"<!--\s*/repro\s*-->", design, re.DOTALL)
+        assert match, "DESIGN.md lost its experiment-index span"
+        indexed = re.findall(r"\|\s*\[([\w-]+)\]\(artifacts/",
+                             match.group(1))
+        assert indexed == [spec.name for spec in all_experiments()], (
+            "DESIGN.md's experiment index is out of sync with the "
+            "registry — run `repro report` then `python tools/docgen.py`")
+
+    def test_report_covers_every_registered_experiment(self):
+        from repro.reports import all_experiments
+        report = (REPO_ROOT / "artifacts" / "REPORT.md").read_text()
+        for spec in all_experiments():
+            assert f"## {spec.name}: {spec.title}" in report

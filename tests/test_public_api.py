@@ -16,8 +16,8 @@ import repro
 _PACKAGES = ["repro"] + [
     f"repro.{name}" for name in (
         "analysis", "campaigns", "core", "core.netcalc", "ethernet",
-        "flows", "milstd1553", "reporting", "shaping", "simulation",
-        "topology", "workloads")]
+        "flows", "milstd1553", "reporting", "reports", "shaping",
+        "simulation", "topology", "workloads")]
 
 
 def _walk_modules() -> list[str]:
@@ -61,5 +61,11 @@ class TestWholeTree:
     def test_top_level_all_is_not_missing_campaign_api(self):
         for name in ("Scenario", "CampaignRunner", "builtin_scenarios",
                      "WorkloadSpec", "CampaignResult"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_top_level_all_is_not_missing_report_api(self):
+        for name in ("ExperimentSpec", "ReportPipeline", "all_experiments",
+                     "register_experiment"):
             assert name in repro.__all__
             assert hasattr(repro, name)

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Docs-link checker: the files our docs point at must exist.
+"""Docs-link checker: everything our docs point at must exist.
 
-Three rules, enforced in CI and by ``tests/test_docs.py``:
+Four rules, enforced in CI and by ``tests/test_docs.py``:
 
 1. the documentation layer itself exists (``README.md``, ``DESIGN.md``);
 2. every mention of ``README.md`` / ``DESIGN.md`` in a docstring or comment
    under ``src/`` resolves to a repo-root file;
-3. every relative markdown link in ``README.md`` / ``DESIGN.md``, and every
-   backtick-quoted repo path (``src/...``, ``examples/...``, ...), points
-   at an existing file or directory.
+3. every relative markdown link in the checked documents, and every
+   backtick-quoted repo path (``src/...``, ``artifacts/...``, ...), points
+   at an existing file or directory — links are resolved relative to the
+   document that contains them, so the generated ``artifacts/REPORT.md``
+   is checked against its own directory;
+4. every ``#fragment`` of a relative markdown link resolves to a heading
+   of the target document (GitHub anchor-slug rules: lowercase,
+   punctuation dropped, spaces become hyphens).
 
 Run from anywhere: ``python tools/check_docs_links.py``; exits non-zero and
 lists the broken references when any rule fails.
@@ -25,13 +30,81 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: The documentation layer that must exist (rule 1).
 REQUIRED_DOCS = ("README.md", "DESIGN.md")
 
+#: Generated docs checked for links/anchors when present (rules 3 and 4).
+OPTIONAL_DOCS = ("artifacts/REPORT.md",)
+
 #: Directories whose backtick-quoted paths are checked (rule 3).
 CHECKED_PREFIXES = ("src/", "tests/", "benchmarks/", "examples/", "tools/",
-                    ".github/")
+                    "artifacts/", ".github/")
 
-_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _BACKTICK_PATH = re.compile(r"`([.\w/-]+)`")
 _DOC_MENTION = re.compile(r"\b(README\.md|DESIGN\.md)\b")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def heading_slug(text: str) -> str:
+    """GitHub-style anchor slug of a markdown heading.
+
+    Same algorithm as :func:`repro.reports.pipeline.heading_slug` (plus
+    inline-code unwrapping), so the anchors the generated report emits are
+    checkable by this script without importing the package.  Underscores
+    are word characters and survive — ``t_techno`` slugs to ``t_techno``,
+    as on GitHub — while ``*`` and other punctuation are dropped by the
+    character filter.
+    """
+    text = re.sub(r"`([^`]*)`", r"\1", text)          # inline code markers
+    return re.sub(r"[^\w\- ]", "", text.lower()).replace(" ", "-")
+
+
+def _checked_docs(root: Path) -> list[Path]:
+    """Every document whose links and anchors are validated."""
+    docs = [root / name for name in REQUIRED_DOCS]
+    docs.extend(root / name for name in OPTIONAL_DOCS)
+    return [doc for doc in docs if doc.is_file()]
+
+
+def _strip_fenced_blocks(markdown: str) -> str:
+    """The document with fenced code blocks blanked out.
+
+    Links and repo paths inside a ``` fence are illustrative, not real
+    references, so they must not be validated (headings inside fences are
+    likewise ignored by :func:`heading_slugs`).
+    """
+    kept: list[str] = []
+    in_fence = False
+    for line in markdown.splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        kept.append("" if in_fence else line)
+    return "\n".join(kept)
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    """The anchor slugs of every heading of a markdown text.
+
+    Headings inside fenced code blocks are ignored; duplicate headings get
+    the ``-1``, ``-2``, ... suffixes GitHub appends.
+    """
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in markdown.splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = heading_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    return slugs
 
 
 def missing_required_docs(root: Path = REPO_ROOT) -> list[str]:
@@ -52,24 +125,54 @@ def broken_docstring_references(root: Path = REPO_ROOT) -> list[str]:
     return problems
 
 
-def broken_doc_links(root: Path = REPO_ROOT) -> list[str]:
-    """Rule 3: broken relative links / repo paths inside the docs."""
-    problems = []
-    for name in REQUIRED_DOCS:
-        doc = root / name
-        if not doc.is_file():
+def _link_targets(doc: Path, text: str) -> set[tuple[str, str]]:
+    """The ``(path, fragment)`` pairs a document references."""
+    text = _strip_fenced_blocks(text)
+    targets: set[tuple[str, str]] = set()
+    for target in _MARKDOWN_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
+        path, _, fragment = target.partition("#")
+        targets.add((path, fragment))
+    for token in _BACKTICK_PATH.findall(text):
+        if token.startswith(CHECKED_PREFIXES) and "*" not in token:
+            targets.add((token, ""))
+    return targets
+
+
+def broken_doc_links(root: Path = REPO_ROOT) -> list[str]:
+    """Rules 3 and 4: broken paths, repo references and anchors."""
+    problems = []
+    slug_cache: dict[Path, set[str]] = {}
+    for doc in _checked_docs(root):
+        name = doc.relative_to(root).as_posix()
         text = doc.read_text(encoding="utf-8")
-        targets = set()
-        for target in _MARKDOWN_LINK.findall(text):
-            if not target.startswith(("http://", "https://", "mailto:")):
-                targets.add(target)
-        for token in _BACKTICK_PATH.findall(text):
-            if token.startswith(CHECKED_PREFIXES) and "*" not in token:
-                targets.add(token)
-        for target in sorted(targets):
-            if not (root / target).exists():
-                problems.append(f"{name}: broken reference {target!r}")
+        slug_cache[doc.resolve()] = heading_slugs(text)
+        for path, fragment in sorted(_link_targets(doc, text)):
+            if path:
+                # Backtick repo paths anchor at the root; relative links
+                # resolve from the document's own directory.
+                base = root if path.startswith(CHECKED_PREFIXES) \
+                    else doc.parent
+                resolved = (base / path).resolve()
+                if not resolved.exists():
+                    problems.append(f"{name}: broken reference {path!r}")
+                    continue
+            else:
+                resolved = doc.resolve()
+            if not fragment:
+                continue
+            if resolved.suffix.lower() != ".md" or not resolved.is_file():
+                problems.append(
+                    f"{name}: anchor #{fragment} on non-markdown "
+                    f"target {path!r}")
+                continue
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(
+                    resolved.read_text(encoding="utf-8"))
+            if fragment not in slug_cache[resolved]:
+                problems.append(
+                    f"{name}: broken anchor {path or name}#{fragment}")
     return problems
 
 
@@ -82,8 +185,10 @@ def main() -> int:
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if not problems:
-        print(f"docs-check: OK ({', '.join(REQUIRED_DOCS)} present, "
-              f"all references resolve)")
+        checked = [doc.relative_to(REPO_ROOT).as_posix()
+                   for doc in _checked_docs(REPO_ROOT)]
+        print(f"docs-check: OK ({', '.join(checked)} present, all "
+              f"references and anchors resolve)")
     return 1 if problems else 0
 
 

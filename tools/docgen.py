@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Executable documentation: fill ``<!-- repro:... -->`` spans.
+
+Every quantitative statement in README.md / DESIGN.md is wrapped in a
+placeholder span (HTML comments, so the committed docs render the value
+while still marking where it came from)::
+
+    <!-- repro:figure1.fcfs-bound -->3.318 ms<!-- /repro -->
+
+The key names an entry of ``artifacts/values.json``, which ``repro report``
+regenerates from the code on every run.  This script substitutes the
+current value into each span:
+
+* default mode rewrites the documents in place (run after
+  ``repro report`` when the numbers move),
+* ``--check`` (the CI mode) rewrites nothing and exits non-zero when any
+  span is stale or references an unknown key — so a number in the docs can
+  never silently drift from what the code computes.
+
+Values may span multiple lines (DESIGN.md embeds the whole experiment
+index table this way).  Run from anywhere:
+``python tools/docgen.py [--check]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documents scanned for placeholder spans.
+DEFAULT_DOCS = ("README.md", "DESIGN.md")
+
+#: Where ``repro report`` writes the value map.
+DEFAULT_VALUES = "artifacts/values.json"
+
+_SPAN = re.compile(
+    r"<!--\s*repro:(?P<key>[A-Za-z0-9_.-]+)\s*-->"
+    r"(?P<value>.*?)"
+    r"<!--\s*/repro\s*-->",
+    re.DOTALL)
+
+
+def load_values(path: Path) -> dict[str, str]:
+    """The key→value map produced by ``repro report``."""
+    with path.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def substitute(text: str, values: dict[str, str]
+               ) -> tuple[str, list[str], list[str]]:
+    """Fill every placeholder span of ``text``.
+
+    Returns ``(new_text, stale_keys, unknown_keys)`` where *stale* keys had
+    a value different from the current one.  Multi-line values keep the
+    span's surrounding newline convention: a value ending in a newline is
+    embedded with the closing marker on its own line.
+    """
+    stale: list[str] = []
+    unknown: list[str] = []
+
+    def replace(match: re.Match[str]) -> str:
+        key = match.group("key")
+        if key not in values:
+            unknown.append(key)
+            return match.group(0)
+        current = values[key]
+        embedded = f"\n{current}" if current.endswith("\n") \
+            else current
+        if match.group("value") != embedded:
+            stale.append(key)
+        return f"<!-- repro:{key} -->{embedded}<!-- /repro -->"
+
+    return _SPAN.sub(replace, text), stale, unknown
+
+
+def process_doc(doc: Path, values: dict[str, str], *,
+                check: bool) -> list[str]:
+    """Substitute one document; returns the problems found (check mode)."""
+    text = doc.read_text(encoding="utf-8")
+    new_text, stale, unknown = substitute(text, values)
+    problems = [f"{doc.name}: unknown value key {key!r} "
+                f"(not in values.json — rerun `repro report`?)"
+                for key in unknown]
+    if check:
+        problems.extend(
+            f"{doc.name}: stale value for {key!r} "
+            f"(run `python tools/docgen.py` after `repro report`)"
+            for key in stale)
+    elif new_text != text:
+        doc.write_text(new_text, encoding="utf-8")
+        print(f"docgen: {doc.name}: updated {len(stale)} span(s)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify the docs are in sync; write nothing")
+    parser.add_argument("--values", default=DEFAULT_VALUES,
+                        help=f"value map path (default: {DEFAULT_VALUES})")
+    parser.add_argument("docs", nargs="*", default=list(DEFAULT_DOCS),
+                        help="documents to process (default: README.md "
+                             "DESIGN.md)")
+    args = parser.parse_args(argv)
+
+    values_path = REPO_ROOT / args.values
+    if not values_path.is_file():
+        print(f"docgen: missing {args.values}; run "
+              f"`PYTHONPATH=src python -m repro report` first",
+              file=sys.stderr)
+        return 1
+    values = load_values(values_path)
+
+    problems: list[str] = []
+    spans = 0
+    for name in args.docs:
+        doc = REPO_ROOT / name
+        if not doc.is_file():
+            problems.append(f"{name}: document does not exist")
+            continue
+        spans += len(_SPAN.findall(doc.read_text(encoding="utf-8")))
+        problems.extend(process_doc(doc, values, check=args.check))
+    for problem in problems:
+        print(f"docgen: {problem}", file=sys.stderr)
+    if not problems:
+        mode = "check OK" if args.check else "in sync"
+        print(f"docgen: {mode} ({spans} placeholder span(s) across "
+              f"{len(args.docs)} document(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
