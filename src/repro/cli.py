@@ -13,6 +13,7 @@ without pytest::
     python -m repro export --output set.csv  # dump the synthetic message set
     python -m repro campaign --list          # the scenario catalogue
     python -m repro campaign --run all       # batched scenario analysis
+    python -m repro simulate --seeds 8       # Monte-Carlo bound validation
     python -m repro report                   # regenerate artifacts/
     python -m repro report --check           # CI drift gate on artifacts/
 
@@ -43,7 +44,12 @@ from repro.analysis.buffers import validate_buffer_requirements
 from repro.analysis.paper_model import PaperCaseStudy
 from repro import reports
 from repro.campaigns import CampaignRunner, builtin_scenarios, select
-from repro.errors import UnknownExperimentError, UnknownScenarioError
+from repro.errors import (
+    ConfigurationError,
+    UnknownExperimentError,
+    UnknownScenarioError,
+)
+from repro.simulation.campaign import POLICIES, SCENARIOS, SimulationCampaign
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 from repro.reporting import format_ms, render_table, yes_no
@@ -261,6 +267,94 @@ def _command_campaign(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Simulate subcommand (Monte-Carlo simulation campaigns)
+# ---------------------------------------------------------------------------
+
+def _configure_simulate(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--seeds", type=int, default=5, metavar="N",
+                     help="number of simulation seeds per cell "
+                          "(seeds 1..N; default: 5)")
+    sub.add_argument("--scenarios", default=",".join(SCENARIOS),
+                     metavar="LIST",
+                     help="comma-separated release scenarios "
+                          f"(default: {','.join(SCENARIOS)})")
+    sub.add_argument("--policies", default=",".join(POLICIES),
+                     metavar="LIST",
+                     help="comma-separated multiplexing policies "
+                          f"(default: {','.join(POLICIES)})")
+    sub.add_argument("--size-factors", default="1", metavar="LIST",
+                     help="comma-separated station-count multipliers "
+                          "(default: 1)")
+    sub.add_argument("--duration-ms", type=float, default=320.0,
+                     help="simulated horizon per cell in ms (default: 320)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="simulate cells in N worker processes "
+                          "(default: 1, in-process)")
+    sub.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the aggregated rows to a CSV file")
+    sub.add_argument("--markdown", action="store_true",
+                     help="render the result table as markdown")
+
+
+def _command_simulate(ctx: CommandContext) -> int:
+    args = ctx.args
+    if args.seeds < 1:
+        sys.stderr.write(f"error: --seeds must be at least 1, "
+                         f"got {args.seeds}\n")
+        return 2
+    if args.jobs < 1:
+        sys.stderr.write(f"error: --jobs must be at least 1, "
+                         f"got {args.jobs}\n")
+        return 2
+    try:
+        size_factors = tuple(int(part) for part
+                             in args.size_factors.split(",") if part)
+    except ValueError:
+        sys.stderr.write(f"error: --size-factors must be a comma-separated "
+                         f"list of integers, got {args.size_factors!r}\n")
+        return 2
+    message_set = None
+    if args.workload:
+        message_set = load_message_set_csv(args.workload)
+        if size_factors != (1,):
+            sys.stderr.write("error: --size-factors other than 1 need the "
+                             "synthetic workload (drop --workload)\n")
+            return 2
+    try:
+        campaign = SimulationCampaign(
+            station_count=args.stations,
+            workload_seed=args.seed,
+            message_set=message_set,
+            seeds=tuple(range(1, args.seeds + 1)),
+            scenarios=tuple(part for part in args.scenarios.split(",")
+                            if part),
+            policies=tuple(part for part in args.policies.split(",")
+                           if part),
+            size_factors=size_factors,
+            duration=units.ms(args.duration_ms),
+            capacity=ctx.capacity,
+            technology_delay=ctx.technology_delay,
+            jobs=args.jobs)
+    except ConfigurationError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    result = campaign.run()
+    _print(result.to_markdown() if args.markdown else result.to_table())
+    rate = (result.events_processed / result.elapsed
+            if result.elapsed > 0 else float("nan"))
+    sys.stdout.write(
+        f"{result.cells} cells, {len(result.rows)} rows, "
+        f"{result.events_processed} events in {result.elapsed:.2f} s "
+        f"({rate:,.0f} events/s"
+        f"{f', {args.jobs} jobs' if args.jobs > 1 else ''}); "
+        f"bounds hold: {'yes' if result.all_bounds_hold else 'NO'}\n")
+    if args.csv:
+        result.write_csv(args.csv)
+        sys.stdout.write(f"wrote {len(result.rows)} rows to {args.csv}\n")
+    return 0 if result.all_bounds_hold else 1
+
+
+# ---------------------------------------------------------------------------
 # Report subcommand
 # ---------------------------------------------------------------------------
 
@@ -348,6 +442,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
                 _command_export, configure=_configure_export),
     CommandSpec("campaign", "list or batch-run the scenario catalogue",
                 _command_campaign, configure=_configure_campaign,
+                needs_workload=False),
+    CommandSpec("simulate", "Monte-Carlo simulation campaign: seeds x "
+                            "scenarios x policies x scales vs the bounds",
+                _command_simulate, configure=_configure_simulate,
                 needs_workload=False),
     CommandSpec("report", "regenerate or drift-check the artifacts/ "
                           "reproduction report",

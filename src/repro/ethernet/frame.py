@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -36,6 +35,7 @@ from repro.flows.priorities import PriorityClass
 __all__ = [
     "MessageInstance",
     "EthernetFrame",
+    "frame_plan",
     "frames_for_instance",
     "frame_overhead_bits",
     "on_wire_bits",
@@ -78,9 +78,12 @@ def on_wire_bits(payload_bits: float) -> float:
     return padded + frame_overhead_bits()
 
 
-@dataclass(frozen=True)
 class MessageInstance:
     """One occurrence of a message stream (one "transfer").
+
+    A hand-written ``__slots__`` class rather than a dataclass: the
+    simulator allocates one per released instance, so construction cost is
+    on the hot path.  Treat instances as immutable.
 
     Attributes
     ----------
@@ -94,10 +97,21 @@ class MessageInstance:
         Globally unique identifier (used to correlate fragments).
     """
 
-    message: Message
-    sequence: int
-    release_time: float
-    instance_id: int = field(default_factory=lambda: next(_instance_counter))
+    __slots__ = ("message", "sequence", "release_time", "instance_id")
+
+    def __init__(self, message: Message, sequence: int, release_time: float,
+                 instance_id: int | None = None) -> None:
+        self.message = message
+        self.sequence = sequence
+        self.release_time = release_time
+        self.instance_id = (next(_instance_counter) if instance_id is None
+                            else instance_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MessageInstance(message={self.message.name!r}, "
+                f"sequence={self.sequence}, "
+                f"release_time={self.release_time!r}, "
+                f"instance_id={self.instance_id})")
 
     @property
     def deadline_time(self) -> float | None:
@@ -107,9 +121,13 @@ class MessageInstance:
         return self.release_time + self.message.deadline
 
 
-@dataclass(frozen=True)
 class EthernetFrame:
     """A single Ethernet frame (possibly one fragment of a message instance).
+
+    A hand-written ``__slots__`` class (one allocation per transmitted
+    frame).  Treat frames as immutable.  Frames expose the ``size`` and
+    ``priority`` attributes the queueing disciplines dispatch on, so they
+    are queued directly, without a wrapper item, on every hop.
 
     Attributes
     ----------
@@ -123,29 +141,43 @@ class EthernetFrame:
         802.1p class carried in the 802.1Q tag.
     frame_id:
         Globally unique identifier.
+    size:
+        On-wire size in bits (padding, headers, preamble and IFG included).
+        Computed once at construction — the simulator reads it on every
+        hop, so it must not be recomputed per access.  Callers that know
+        the on-wire size already (the per-flow frame plans) pass it in.
+    destination:
+        Destination station name, denormalised from the message (the
+        switches and stations read it once per hop).
     """
 
-    instance: MessageInstance
-    payload_bits: float
-    fragment_index: int
-    fragment_count: int
-    priority: PriorityClass
-    frame_id: int = field(default_factory=lambda: next(_frame_counter))
+    __slots__ = ("instance", "payload_bits", "fragment_index",
+                 "fragment_count", "priority", "frame_id", "size",
+                 "destination")
 
-    @property
-    def size(self) -> float:
-        """On-wire size in bits (padding, headers, preamble and IFG included)."""
-        return on_wire_bits(self.payload_bits)
+    def __init__(self, instance: MessageInstance, payload_bits: float,
+                 fragment_index: int, fragment_count: int,
+                 priority: PriorityClass, frame_id: int | None = None,
+                 size: float | None = None) -> None:
+        self.instance = instance
+        self.payload_bits = payload_bits
+        self.fragment_index = fragment_index
+        self.fragment_count = fragment_count
+        self.priority = priority
+        self.frame_id = (next(_frame_counter) if frame_id is None
+                         else frame_id)
+        self.size = on_wire_bits(payload_bits) if size is None else size
+        self.destination = instance.message.destination
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EthernetFrame(flow={self.flow_name!r}, "
+                f"fragment={self.fragment_index}/{self.fragment_count}, "
+                f"size={self.size!r}, frame_id={self.frame_id})")
 
     @property
     def source(self) -> str:
         """Source station name."""
         return self.instance.message.source
-
-    @property
-    def destination(self) -> str:
-        """Destination station name."""
-        return self.instance.message.destination
 
     @property
     def flow_name(self) -> str:
@@ -183,22 +215,35 @@ def wire_burst(message: Message) -> float:
     return total
 
 
+def frame_plan(message: Message) -> tuple[tuple[float, int, int, float], ...]:
+    """The static fragmentation plan of one instance of ``message``.
+
+    Per fragment: ``(payload_bits, fragment_index, fragment_count,
+    on_wire_size)``.  The plan only depends on the message size, so
+    stations compute it once per flow at registration and stamp frames out
+    of it without re-deriving the split (or the padded on-wire size) for
+    every released instance.
+    """
+    total_bits = message.size
+    max_payload_bits = MAX_PAYLOAD_BYTES * units.BITS_PER_BYTE
+    fragment_count = max(1, math.ceil(total_bits / max_payload_bits))
+    plan = []
+    remaining = total_bits
+    for index in range(fragment_count):
+        payload = min(remaining, max_payload_bits)
+        plan.append((payload, index, fragment_count, on_wire_bits(payload)))
+        remaining -= payload
+    return tuple(plan)
+
+
 def frames_for_instance(instance: MessageInstance,
                         priority: PriorityClass) -> list[EthernetFrame]:
     """Split a message instance into the Ethernet frames that carry it.
 
     Messages that fit in one maximal payload yield a single frame; larger
-    ones are fragmented into maximal-size frames plus a final partial frame.
+    ones are fragmented into maximal-size frames plus a final partial
+    frame (per :func:`frame_plan`).
     """
-    total_bits = instance.message.size
-    max_payload_bits = MAX_PAYLOAD_BYTES * units.BITS_PER_BYTE
-    fragment_count = max(1, math.ceil(total_bits / max_payload_bits))
-    frames: list[EthernetFrame] = []
-    remaining = total_bits
-    for index in range(fragment_count):
-        payload = min(remaining, max_payload_bits)
-        frames.append(EthernetFrame(
-            instance=instance, payload_bits=payload, fragment_index=index,
-            fragment_count=fragment_count, priority=priority))
-        remaining -= payload
-    return frames
+    return [EthernetFrame(instance, payload, index, count, priority,
+                          size=size)
+            for payload, index, count, size in frame_plan(instance.message)]

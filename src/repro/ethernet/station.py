@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.ethernet.frame import (
     EthernetFrame,
     MessageInstance,
-    frames_for_instance,
+    frame_plan,
     wire_burst,
 )
 from repro.ethernet.link import LinkTransmitter
@@ -61,11 +61,16 @@ class EndStation:
                  shaping_enabled: bool = True) -> None:
         self.simulator = simulator
         self.name = name
-        self.trace = trace or TraceRecorder(enabled=False)
+        # `trace or ...` would discard an *empty* recorder
+        # (TraceRecorder defines __len__), silently disabling tracing.
+        self.trace = TraceRecorder(enabled=False) if trace is None else trace
         self.shaping_enabled = shaping_enabled
         self._uplink: LinkTransmitter | None = None
         self._shapers: dict[str, FlowShaper] = {}
         self._flows: dict[str, Flow] = {}
+        #: Hot-path registration record per flow name:
+        #: ``(shaper, frame_plan, priority)`` — one dict lookup per submit.
+        self._flow_state: dict[str, tuple] = {}
         self._release_pending: set[str] = set()
         self._pending_fragments: dict[int, int] = {}
         self._delivery_listeners: list[DeliveryListener] = []
@@ -97,10 +102,13 @@ class EndStation:
                 f"flow {flow.name!r} already registered on {self.name!r}")
         self._flows[flow.name] = flow
         burst = wire_burst(flow.message)
-        self._shapers[flow.name] = FlowShaper(
+        shaper = FlowShaper(
             name=flow.name,
             bucket=TokenBucket(bucket_size=burst,
                                token_rate=burst / flow.message.period))
+        self._shapers[flow.name] = shaper
+        self._flow_state[flow.name] = (
+            shaper, frame_plan(flow.message), flow.priority)
 
     def add_delivery_listener(self, listener: DeliveryListener) -> None:
         """Register a callback invoked for every fully received instance."""
@@ -120,54 +128,70 @@ class EndStation:
     def submit(self, instance: MessageInstance) -> None:
         """Hand a message instance over from the application layer.
 
-        The instance is fragmented into Ethernet frames, every fragment is
-        pushed into the flow's shaper, and the shaper release is scheduled.
+        The instance is fragmented into Ethernet frames (following the
+        flow's precomputed frame plan), every fragment is pushed into the
+        flow's shaper, and the shaper release is scheduled.
         """
         if self._uplink is None:
             raise ConfigurationError(
                 f"station {self.name!r} has no uplink attached")
-        flow = self._flows.get(instance.message.name)
-        if flow is None:
+        name = instance.message.name
+        state = self._flow_state.get(name)
+        if state is None:
             raise ConfigurationError(
-                f"station {self.name!r} does not emit flow "
-                f"{instance.message.name!r}")
-        self.instances_sent.increment()
-        frames = frames_for_instance(instance, flow.priority)
-        self.trace.record(self.simulator.now, "instance.submit", self.name,
-                          flow=flow.name, fragments=len(frames))
+                f"station {self.name!r} does not emit flow {name!r}")
+        shaper, plan, priority = state
+        self.instances_sent._value += 1  # inlined Counter.increment
+        now = self.simulator._now  # direct slot read
+        if self.trace.enabled:
+            self.trace.record(now, "instance.submit", self.name,
+                              flow=name, fragments=len(plan))
         if not self.shaping_enabled:
-            for frame in frames:
-                self._uplink.enqueue(frame)
+            enqueue = self._uplink.enqueue
+            for payload, index, count, size in plan:
+                enqueue(EthernetFrame(instance, payload, index, count,
+                                      priority, None, size))
             return
-        shaper = self._shapers[flow.name]
-        for frame in frames:
-            shaper.submit(size=frame.size, time=self.simulator.now,
-                          payload=frame)
-        self._schedule_release(flow.name)
+        if len(plan) == 1:
+            # Single-fragment fast path (the overwhelmingly common case).
+            payload, index, count, size = plan[0]
+            shaper._backlog.append(  # inlined FlowShaper.submit
+                (size, now, EthernetFrame(instance, payload, index, count,
+                                          priority, None, size)))
+        else:
+            for payload, index, count, size in plan:
+                shaper.submit(size, now,
+                              EthernetFrame(instance, payload, index, count,
+                                            priority, None, size))
+        self._schedule_release(name, shaper, now)
 
-    def _schedule_release(self, flow_name: str) -> None:
+    def _schedule_release(self, flow_name: str, shaper: FlowShaper,
+                          now: float) -> None:
         """Arm the next shaper release for ``flow_name`` if not already armed."""
         if flow_name in self._release_pending:
             return
-        shaper = self._shapers[flow_name]
-        release_time = shaper.next_release(self.simulator.now)
+        release_time = shaper.next_release(now)
         if release_time is None:
             return
         self._release_pending.add(flow_name)
-        self.simulator.schedule_at(release_time, self._release, flow_name)
+        # release_time >= now by construction (the shaper never returns a
+        # past instant), so the fast uncancellable path is safe.
+        self.simulator.post_at(release_time, self._release, flow_name)
 
     def _release(self, flow_name: str) -> None:
         """Release the head frame of a shaper into the egress multiplexer."""
         self._release_pending.discard(flow_name)
-        shaper = self._shapers[flow_name]
-        if shaper.backlog == 0:
+        shaper: FlowShaper = self._flow_state[flow_name][0]
+        if not shaper._backlog:
             return
-        pending = shaper.release(self.simulator.now)
-        frame: EthernetFrame = pending.payload
-        self.trace.record(self.simulator.now, "frame.shaped", self.name,
-                          flow=flow_name, frame_id=frame.frame_id)
+        now = self.simulator._now  # direct slot read
+        frame: EthernetFrame = shaper.release_payload(now)
+        if self.trace.enabled:
+            self.trace.record(now, "frame.shaped", self.name,
+                              flow=flow_name, frame_id=frame.frame_id)
         self._uplink.enqueue(frame)
-        self._schedule_release(flow_name)
+        if shaper._backlog:
+            self._schedule_release(flow_name, shaper, now)
 
     # -- reception -----------------------------------------------------------
 
@@ -177,18 +201,21 @@ class EndStation:
             raise ConfigurationError(
                 f"station {self.name!r} received a frame for "
                 f"{frame.destination!r}")
-        self.frames_received.increment()
+        self.frames_received._value += 1  # inlined Counter.increment
         instance = frame.instance
-        remaining = self._pending_fragments.get(
-            instance.instance_id, frame.fragment_count)
-        remaining -= 1
-        if remaining > 0:
-            self._pending_fragments[instance.instance_id] = remaining
-            return
-        self._pending_fragments.pop(instance.instance_id, None)
-        self.instances_received.increment()
-        latency = self.simulator.now - instance.release_time
-        self.trace.record(self.simulator.now, "instance.delivered", self.name,
-                          flow=instance.message.name, latency=latency)
+        if frame.fragment_count > 1:
+            # Reassembly bookkeeping only exists for fragmented messages.
+            remaining = self._pending_fragments.get(
+                instance.instance_id, frame.fragment_count) - 1
+            if remaining > 0:
+                self._pending_fragments[instance.instance_id] = remaining
+                return
+            self._pending_fragments.pop(instance.instance_id, None)
+        self.instances_received._value += 1  # inlined Counter.increment
+        latency = self.simulator._now - instance.release_time
+        if self.trace.enabled:
+            self.trace.record(self.simulator.now, "instance.delivered",
+                              self.name, flow=instance.message.name,
+                              latency=latency)
         for listener in self._delivery_listeners:
             listener(instance, latency)

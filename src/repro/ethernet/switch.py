@@ -55,11 +55,17 @@ class EthernetSwitch:
         self.simulator = simulator
         self.name = name
         self.technology_delay = float(technology_delay)
-        self.trace = trace or TraceRecorder(enabled=False)
+        # `trace or ...` would discard an *empty* recorder
+        # (TraceRecorder defines __len__), silently disabling tracing.
+        self.trace = TraceRecorder(enabled=False) if trace is None else trace
         #: Output transmitters indexed by the neighbour they lead to.
         self._output_ports: dict[str, LinkTransmitter] = {}
         #: Forwarding table: destination station -> neighbour (output port).
         self._forwarding: dict[str, str] = {}
+        #: Hot-path table: destination station -> output transmitter (the
+        #: name-level table resolved once, saving a lookup per relayed
+        #: frame).
+        self._route: dict[str, LinkTransmitter] = {}
         self.frames_relayed = Counter(f"{name}.frames_relayed")
 
     # -- wiring ---------------------------------------------------------------
@@ -84,6 +90,7 @@ class EthernetSwitch:
                 f"switch {self.name!r}: conflicting forwarding entries for "
                 f"{destination!r} ({existing!r} vs {next_hop!r})")
         self._forwarding[destination] = next_hop
+        self._route[destination] = self._output_ports[next_hop]
 
     def output_port(self, neighbour: str) -> LinkTransmitter:
         """The transmitter of the port leading to ``neighbour``."""
@@ -98,18 +105,20 @@ class EthernetSwitch:
 
     def receive(self, frame: EthernetFrame) -> None:
         """Handle a frame fully received on one of the input ports."""
-        self.trace.record(self.simulator.now, "switch.receive", self.name,
-                          frame_id=frame.frame_id, flow=frame.flow_name)
-        self.simulator.schedule(self.technology_delay, self._forward, frame)
+        if self.trace.enabled:
+            self.trace.record(self.simulator.now, "switch.receive", self.name,
+                              frame_id=frame.frame_id, flow=frame.flow_name)
+        self.simulator.post(self.technology_delay, self._forward, frame)
 
     def _forward(self, frame: EthernetFrame) -> None:
-        next_hop = self._forwarding.get(frame.destination)
-        if next_hop is None:
+        transmitter = self._route.get(frame.destination)
+        if transmitter is None:
             raise ConfigurationError(
                 f"switch {self.name!r} has no forwarding entry for "
                 f"destination {frame.destination!r}")
-        self.frames_relayed.increment()
-        self.trace.record(self.simulator.now, "switch.forward", self.name,
-                          frame_id=frame.frame_id, flow=frame.flow_name,
-                          next_hop=next_hop)
-        self._output_ports[next_hop].enqueue(frame)
+        self.frames_relayed._value += 1  # inlined Counter.increment
+        if self.trace.enabled:
+            self.trace.record(self.simulator.now, "switch.forward", self.name,
+                              frame_id=frame.frame_id, flow=frame.flow_name,
+                              next_hop=self._forwarding[frame.destination])
+        transmitter.enqueue(frame)

@@ -61,17 +61,18 @@ class _SourceBase:
             raise ConfigurationError(f"'until' must be positive, got {until!r}")
         self._until = float(until)
         if self.offset < self._until:
-            self.simulator.schedule_at(self.offset, self._fire)
+            # offset >= 0 >= the clock at start, so the fast path is safe.
+            self.simulator.post_at(self.offset, self._fire, None)
 
-    def _fire(self) -> None:
-        instance = MessageInstance(message=self.message,
-                                   sequence=self._sequence,
-                                   release_time=self.simulator.now)
+    def _fire(self, _arg: object = None) -> None:
+        """Release one instance (the argument is the fast-path placeholder)."""
+        instance = MessageInstance(self.message, self._sequence,
+                                   self.simulator._now)  # direct slot read
         self._sequence += 1
         self.station.submit(instance)
         next_time = self._next_release_time()
         if self._until is not None and next_time < self._until:
-            self.simulator.schedule_at(next_time, self._fire)
+            self.simulator.post_at(next_time, self._fire, None)
 
     def _next_release_time(self) -> float:
         raise NotImplementedError
@@ -79,6 +80,16 @@ class _SourceBase:
 
 class PeriodicSource(_SourceBase):
     """Releases one instance every period, starting at ``offset``.
+
+    Without jitter the whole release ladder ``offset + k·T`` is known at
+    :meth:`start`, so it is precomputed in one vectorized numpy batch for
+    the full run horizon (a couple of message hyper-periods) instead of one
+    float multiply-add per chained callback.  The chained *event* itself is
+    kept — scheduling each release from the previous one is what preserves
+    the engine's deterministic same-instant tie-breaking, which the golden
+    equivalence tests pin down.  ``k·T`` in numpy is the same IEEE-754
+    multiply as in pure Python, so the precomputed instants are
+    bit-identical to the chained computation.
 
     Parameters
     ----------
@@ -103,14 +114,32 @@ class PeriodicSource(_SourceBase):
             raise ConfigurationError("a random generator is needed for jitter")
         self.jitter = float(jitter)
         self.rng = rng
+        #: Precomputed nominal release instants (jitter-free mode only).
+        self._release_ladder: list[float] | None = None
+
+    def start(self, until: float) -> None:
+        """Begin generating instances; stop releasing after ``until`` seconds."""
+        if self.jitter == 0 and until > 0:
+            period = self.message.period
+            count = int(np.ceil((until - self.offset) / period)) + 1
+            if count > 0:
+                self._release_ladder = (
+                    self.offset
+                    + np.arange(count, dtype=np.float64) * period).tolist()
+        super().start(until)
 
     def _next_release_time(self) -> float:
-        nominal = self.offset + self._sequence * self.message.period
-        if self.jitter > 0 and self.rng is not None:
-            nominal += float(self.rng.uniform(0.0, self.jitter))
+        ladder = self._release_ladder
+        if ladder is not None and self._sequence < len(ladder):
+            nominal = ladder[self._sequence]
+        else:
+            nominal = self.offset + self._sequence * self.message.period
+            if self.jitter > 0 and self.rng is not None:
+                nominal += float(self.rng.uniform(0.0, self.jitter))
         # Never release in the past (a large jitter on the previous instance
         # must not reorder releases).
-        return max(nominal, self.simulator.now)
+        now = self.simulator.now
+        return nominal if nominal >= now else now
 
 
 class SporadicSource(_SourceBase):

@@ -18,15 +18,29 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Protocol
 
 from repro.errors import BufferOverflowError
 from repro.flows.priorities import PriorityClass
 
-__all__ = ["QueuedItem", "FifoQueue", "StrictPriorityQueues"]
+__all__ = ["Queueable", "QueuedItem", "FifoQueue", "StrictPriorityQueues"]
 
 
-@dataclass(frozen=True)
+class Queueable(Protocol):
+    """What the disciplines require of a queued object.
+
+    Anything carrying an on-wire ``size`` (bits) and an 802.1p
+    ``priority`` can be queued: the generic :class:`QueuedItem` wrapper,
+    or — on the simulator's hot path — an
+    :class:`~repro.ethernet.frame.EthernetFrame` directly, which avoids
+    one wrapper allocation per hop.
+    """
+
+    size: float
+    priority: PriorityClass
+
+
+@dataclass(frozen=True, slots=True)
 class QueuedItem:
     """An item (frame) stored in a queue.
 
@@ -63,13 +77,16 @@ class FifoQueue:
         the shaped traffic never overflows a correctly-dimensioned buffer).
     """
 
+    __slots__ = ("capacity", "drop_on_overflow", "_items", "_occupancy",
+                 "_max_occupancy", "_drops")
+
     def __init__(self, capacity: float | None = None,
                  drop_on_overflow: bool = True) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.capacity = capacity
         self.drop_on_overflow = drop_on_overflow
-        self._items: deque[QueuedItem] = deque()
+        self._items: deque[Queueable] = deque()
         self._occupancy = 0.0
         self._max_occupancy = 0.0
         self._drops = 0
@@ -101,22 +118,23 @@ class FifoQueue:
 
     # -- operations -----------------------------------------------------------
 
-    def push(self, item: QueuedItem) -> bool:
+    def push(self, item: Queueable) -> bool:
         """Enqueue ``item``; return ``False`` if it was dropped."""
-        if self.capacity is not None \
-                and self._occupancy + item.size > self.capacity + 1e-9:
+        occupancy = self._occupancy + item.size
+        if self.capacity is not None and occupancy > self.capacity + 1e-9:
             if self.drop_on_overflow:
                 self._drops += 1
                 return False
             raise BufferOverflowError(
-                f"queue overflow: {self._occupancy + item.size:.0f} bits "
+                f"queue overflow: {occupancy:.0f} bits "
                 f"would exceed the {self.capacity:.0f} bits capacity")
         self._items.append(item)
-        self._occupancy += item.size
-        self._max_occupancy = max(self._max_occupancy, self._occupancy)
+        self._occupancy = occupancy
+        if occupancy > self._max_occupancy:
+            self._max_occupancy = occupancy
         return True
 
-    def pop(self) -> QueuedItem | None:
+    def pop(self) -> Queueable | None:
         """Dequeue the oldest item, or ``None`` when empty."""
         if not self._items:
             return None
@@ -127,11 +145,11 @@ class FifoQueue:
             self._occupancy = 0.0
         return item
 
-    def peek(self) -> QueuedItem | None:
+    def peek(self) -> Queueable | None:
         """The oldest item without removing it, or ``None`` when empty."""
         return self._items[0] if self._items else None
 
-    def items(self) -> Iterable[QueuedItem]:
+    def items(self) -> Iterable[Queueable]:
         """Snapshot of the queued items, oldest first."""
         return tuple(self._items)
 
@@ -152,12 +170,18 @@ class StrictPriorityQueues:
         See :class:`FifoQueue`.
     """
 
+    __slots__ = ("_queues", "_ordered")
+
     def __init__(self, capacity_per_class: float | None = None,
                  drop_on_overflow: bool = True) -> None:
         self._queues: dict[PriorityClass, FifoQueue] = {
             cls: FifoQueue(capacity=capacity_per_class,
                            drop_on_overflow=drop_on_overflow)
             for cls in PriorityClass}
+        #: The class queues in strict service order, for the hot scheduler
+        #: loop (tuple iteration beats dict lookups per pop).
+        self._ordered: tuple[FifoQueue, ...] = tuple(
+            self._queues[cls] for cls in PriorityClass)
 
     def __len__(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
@@ -190,24 +214,43 @@ class StrictPriorityQueues:
         """The FIFO dedicated to ``priority``."""
         return self._queues[PriorityClass(priority)]
 
-    def push(self, item: QueuedItem) -> bool:
+    def push(self, item: Queueable) -> bool:
         """Enqueue ``item`` in its class queue; return ``False`` if dropped."""
-        return self._queues[item.priority].push(item)
+        # Inlined FifoQueue.push — this runs once per frame per hop.
+        queue = self._queues[item.priority]
+        occupancy = queue._occupancy + item.size
+        if queue.capacity is not None and occupancy > queue.capacity + 1e-9:
+            if queue.drop_on_overflow:
+                queue._drops += 1
+                return False
+            raise BufferOverflowError(
+                f"queue overflow: {occupancy:.0f} bits "
+                f"would exceed the {queue.capacity:.0f} bits capacity")
+        queue._items.append(item)
+        queue._occupancy = occupancy
+        if occupancy > queue._max_occupancy:
+            queue._max_occupancy = occupancy
+        return True
 
-    def pop(self) -> QueuedItem | None:
+    def pop(self) -> Queueable | None:
         """Dequeue from the highest-priority non-empty queue."""
-        for cls in PriorityClass:
-            item = self._queues[cls].pop()
-            if item is not None:
+        # Inlined FifoQueue.pop — this runs once per transmitted frame.
+        for queue in self._ordered:
+            items = queue._items
+            if items:
+                item = items.popleft()
+                if items:
+                    queue._occupancy -= item.size
+                else:
+                    queue._occupancy = 0.0
                 return item
         return None
 
-    def peek(self) -> QueuedItem | None:
+    def peek(self) -> Queueable | None:
         """Next item the scheduler would serve, without removing it."""
-        for cls in PriorityClass:
-            item = self._queues[cls].peek()
-            if item is not None:
-                return item
+        for queue in self._ordered:
+            if queue._items:
+                return queue._items[0]
         return None
 
     def occupancy_of(self, priority: PriorityClass) -> float:

@@ -38,6 +38,8 @@ class TokenBucket:
         worst case is precisely every station sending a full burst at once).
     """
 
+    __slots__ = ("bucket_size", "token_rate", "_tokens", "_last_update")
+
     def __init__(self, bucket_size: float, token_rate: float,
                  initial_tokens: float | None = None) -> None:
         if bucket_size <= 0:
@@ -102,11 +104,16 @@ class TokenBucket:
         ConfigurationError
             If the packet does not conform at ``time``.
         """
-        if not self.conforms(size, time):
+        if size <= 0:
+            raise ConfigurationError(f"size must be positive, got {size!r}")
+        # One tokens_at() for the conformance check, the advance and the
+        # withdrawal (this runs once per released frame).
+        tokens = self.tokens_at(time)
+        if tokens < size - 1e-9:
             raise ConfigurationError(
                 f"packet of {size} bits does not conform at t={time}")
-        self._advance(time)
-        self._tokens = max(0.0, self._tokens - size)
+        self._last_update = time
+        self._tokens = max(0.0, tokens - size)
 
     # -- analytic view ----------------------------------------------------------
 
@@ -125,7 +132,7 @@ class TokenBucket:
                    token_rate=float(message.rate))
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingPacket:
     """A packet waiting in the shaper backlog."""
 
@@ -149,6 +156,8 @@ class FlowShaper:
         The token bucket regulating the flow.
     """
 
+    __slots__ = ("name", "bucket", "_backlog", "_last_release")
+
     def __init__(self, name: str, bucket: TokenBucket) -> None:
         self.name = name
         self.bucket = bucket
@@ -162,29 +171,83 @@ class FlowShaper:
 
     def submit(self, size: float, time: float,
                payload: object | None = None) -> None:
-        """Hand a packet of ``size`` bits over to the shaper at ``time``."""
-        self._backlog.append(
-            _PendingPacket(size=size, enqueue_time=time, payload=payload))
+        """Hand a packet of ``size`` bits over to the shaper at ``time``.
+
+        The backlog stores plain ``(size, enqueue_time, payload)`` tuples —
+        one per transmitted frame, so the wrapper object is skipped on the
+        hot path (:meth:`release` re-wraps for its public return value).
+        """
+        self._backlog.append((size, time, payload))
 
     def next_release(self, time: float) -> float | None:
         """Earliest instant ``>= time`` at which the head packet may leave.
 
         Returns ``None`` when the backlog is empty.  The release also honours
         FIFO order: a packet can never leave before the previous release.
+
+        The token-bucket conformance arithmetic is inlined (this runs at
+        least once per frame): it is exactly
+        :meth:`TokenBucket.earliest_conforming_time` over
+        :meth:`TokenBucket.tokens_at`.
         """
         if not self._backlog:
             return None
-        head = self._backlog[0]
-        earliest = self.bucket.earliest_conforming_time(
-            head.size, max(time, head.enqueue_time))
-        return max(earliest, self._last_release)
+        size, enqueue_time, _ = self._backlog[0]
+        at = enqueue_time if enqueue_time > time else time
+        bucket = self.bucket
+        bucket_size = bucket.bucket_size
+        if size > bucket_size + 1e-9:
+            raise ConfigurationError(
+                f"packet of {size} bits exceeds the bucket size "
+                f"{bucket_size} bits and can never conform")
+        last_update = bucket._last_update
+        if at < last_update:
+            raise ConfigurationError(
+                f"time goes backwards: {at} < {last_update}")
+        tokens = bucket._tokens + bucket.token_rate * (at - last_update)
+        if tokens > bucket_size:
+            tokens = bucket_size
+        if tokens >= size - 1e-9:
+            earliest = at
+        else:
+            earliest = at + (size - tokens) / bucket.token_rate
+        last = self._last_release
+        return earliest if earliest > last else last
+
+    def release_payload(self, time: float) -> object | None:
+        """Release the head packet at ``time``; return just its payload.
+
+        The hot-path variant of :meth:`release`: no wrapper allocation, and
+        the token withdrawal (exactly :meth:`TokenBucket.consume`) inlined.
+        """
+        if not self._backlog:
+            raise ConfigurationError(
+                f"shaper {self.name!r} has no packet to release")
+        size, _, payload = self._backlog.popleft()
+        bucket = self.bucket
+        last_update = bucket._last_update
+        if time < last_update:
+            raise ConfigurationError(
+                f"time goes backwards: {time} < {last_update}")
+        tokens = bucket._tokens + bucket.token_rate * (time - last_update)
+        if tokens > bucket.bucket_size:
+            tokens = bucket.bucket_size
+        if tokens < size - 1e-9:
+            raise ConfigurationError(
+                f"packet of {size} bits does not conform at t={time}")
+        tokens -= size
+        bucket._tokens = tokens if tokens > 0.0 else 0.0
+        bucket._last_update = time
+        self._last_release = time
+        return payload
 
     def release(self, time: float) -> _PendingPacket:
         """Release the head packet at ``time`` (consuming its tokens)."""
         if not self._backlog:
             raise ConfigurationError(
                 f"shaper {self.name!r} has no packet to release")
-        head = self._backlog.popleft()
-        self.bucket.consume(head.size, time)
+        size, enqueue_time, payload = self._backlog.popleft()
+        self.bucket.consume(size, time)
         self._last_release = time
-        return head
+        return _PendingPacket(size=size, enqueue_time=enqueue_time,
+                              payload=payload)

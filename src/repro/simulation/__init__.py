@@ -13,7 +13,10 @@ This package is the substrate shared by the switched-Ethernet simulator
 * :mod:`~repro.simulation.randomness` — independent, reproducible random
   streams derived from a single experiment seed,
 * :mod:`~repro.simulation.trace` — structured event tracing for debugging
-  and for exporting per-frame timelines.
+  and for exporting per-frame timelines,
+* :mod:`~repro.simulation.campaign` — Monte-Carlo simulation campaigns
+  (seeds × scenarios × policies × size factors) validating the analytic
+  bounds statistically (``repro simulate``).
 """
 
 from repro.simulation.engine import Simulator
@@ -27,6 +30,23 @@ from repro.simulation.statistics import (
 )
 from repro.simulation.trace import TraceEntry, TraceRecorder
 
+# The campaign layer sits on top of the Ethernet models and the analytic
+# bounds, which themselves import the kernel modules above — import it
+# lazily (PEP 562) so `repro.core` can import the kernel without pulling
+# the whole analysis stack back in (circular otherwise).
+_CAMPAIGN_EXPORTS = ("SimulationCell", "CellOutcome", "MonteCarloRow",
+                     "MonteCarloResult", "SimulationCampaign")
+
+
+def __getattr__(name: str):
+    """Lazily resolve the campaign-layer exports (PEP 562)."""
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.simulation import campaign
+        return getattr(campaign, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Simulator",
     "Event",
@@ -38,4 +58,9 @@ __all__ = [
     "TimeWeightedAverage",
     "TraceEntry",
     "TraceRecorder",
+    "SimulationCell",
+    "CellOutcome",
+    "MonteCarloRow",
+    "MonteCarloResult",
+    "SimulationCampaign",
 ]

@@ -1,0 +1,456 @@
+"""Monte-Carlo simulation campaigns: seeds × scenarios × policies × scales.
+
+The bound-vs-simulation exhibits used to rest on a *single* seed of a
+*single* scenario.  :class:`SimulationCampaign` turns them into a
+statistical statement: it sweeps a grid of simulation cells — random
+seeds × release scenarios (synchronized / staggered / random) ×
+multiplexing policies × workload size factors — runs the full
+discrete-event simulation for every cell, and aggregates, per
+(size factor, scenario, policy, priority class):
+
+* the worst latency observed across every seed,
+* the analytic worst-case delay bound for the same configuration,
+* whether the bound dominates every observation (``bound_holds``) and how
+  tight it is (``tightness`` = worst observed / bound).
+
+Cells are value-level (frozen, picklable) specs, so wide campaigns fan
+out over worker processes exactly like the analytic campaign runner
+(``jobs=N``, the machinery of :class:`repro.campaigns.runner.CampaignRunner`);
+each worker lazily builds and caches the per-size-factor workload and
+topology.  Every cell is fully deterministic given its seed, so the
+aggregated rows are identical regardless of ``jobs``.
+
+The grid is exposed on the CLI as ``repro simulate`` and feeds the
+``monte-carlo`` report experiment (REPORT.md's all-bounds-hold badge).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro import units
+from repro.analysis.validation import star_for_message_set, wire_level_messages
+from repro.core.endtoend import EndToEndAnalysis
+from repro.errors import ConfigurationError
+from repro.ethernet.network_sim import EthernetNetworkSimulator
+from repro.flows.message_set import MessageSet
+from repro.flows.priorities import PriorityClass
+from repro.reporting import (
+    format_ms,
+    render_markdown_table,
+    render_table,
+    write_csv,
+    yes_no,
+)
+from repro.workloads import RealCaseParameters, generate_real_case
+
+__all__ = [
+    "SimulationCell",
+    "CellOutcome",
+    "MonteCarloRow",
+    "MonteCarloResult",
+    "SimulationCampaign",
+    "SCENARIOS",
+    "POLICIES",
+]
+
+#: Every release scenario the simulator understands.
+SCENARIOS = ("synchronized", "staggered", "random")
+#: Every multiplexing policy the simulator understands.
+POLICIES = ("fcfs", "strict-priority")
+
+#: Short policy labels reused from the analytic campaign tables.
+_POLICY_LABELS = {"fcfs": "FCFS", "strict-priority": "priority"}
+
+
+@dataclass(frozen=True)
+class SimulationCell:
+    """One cell of the Monte-Carlo grid (a single simulation run)."""
+
+    #: Master seed of the run's random streams.
+    seed: int
+    #: Release scenario: ``synchronized`` / ``staggered`` / ``random``.
+    scenario: str
+    #: Multiplexing policy: ``fcfs`` / ``strict-priority``.
+    policy: str
+    #: Workload scale: multiplies the base station count.
+    size_factor: int
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Everything one simulated cell contributes to the aggregation."""
+
+    cell: SimulationCell
+    #: Worst observed latency per priority class (seconds).
+    worst_per_class: dict[PriorityClass, float]
+    #: Mean observed latency per priority class (seconds).
+    mean_per_class: dict[PriorityClass, float]
+    #: Number of latency samples per priority class.
+    samples_per_class: dict[PriorityClass, int]
+    instances_sent: int
+    instances_delivered: int
+    frames_dropped: int
+    events_processed: int
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class MonteCarloRow:
+    """Aggregate over every seed of one (scale, scenario, policy, class)."""
+
+    size_factor: int
+    scenario: str
+    policy: str
+    priority: PriorityClass
+    #: Number of seeds aggregated into this row.
+    seeds: int
+    #: Analytic worst-case delay bound for this configuration (seconds).
+    analytic_bound: float
+    #: Worst latency observed across every seed (seconds).
+    worst_simulated: float
+    #: Mean of the per-seed mean latencies (seconds).
+    mean_simulated: float
+    #: Total latency samples across every seed.
+    samples: int
+
+    @property
+    def bound_holds(self) -> bool:
+        """True when the bound dominates every observation of the row."""
+        return self.worst_simulated <= self.analytic_bound + 1e-9
+
+    @property
+    def tightness(self) -> float:
+        """Worst observation divided by the bound (1.0 = tight)."""
+        if not self.analytic_bound > 0:
+            return float("nan")
+        return self.worst_simulated / self.analytic_bound
+
+
+@dataclass
+class MonteCarloResult:
+    """The combined outcome of a Monte-Carlo simulation campaign."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    rows: list[MonteCarloRow] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    ROW_HEADERS = ("scale", "scenario", "policy", "class", "seeds",
+                   "bound", "worst sim", "tightness", "holds")
+
+    @property
+    def all_bounds_hold(self) -> bool:
+        """True when every aggregated row respects its analytic bound."""
+        return bool(self.rows) and all(row.bound_holds for row in self.rows)
+
+    @property
+    def cells(self) -> int:
+        """Number of simulated cells."""
+        return len(self.outcomes)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed across every cell."""
+        return sum(outcome.events_processed for outcome in self.outcomes)
+
+    @property
+    def frames_dropped(self) -> int:
+        """Total frames dropped across every cell (0 for shaped traffic)."""
+        return sum(outcome.frames_dropped for outcome in self.outcomes)
+
+    @property
+    def max_tightness(self) -> float:
+        """Largest worst-observed / bound ratio across the rows."""
+        ratios = [row.tightness for row in self.rows
+                  if not math.isnan(row.tightness)]
+        return max(ratios) if ratios else float("nan")
+
+    def row_cells(self) -> list[tuple]:
+        """One formatted line per aggregated row."""
+        return [(f"x{row.size_factor}", row.scenario,
+                 _POLICY_LABELS[row.policy], row.priority.label, row.seeds,
+                 format_ms(row.analytic_bound),
+                 format_ms(row.worst_simulated),
+                 f"{row.tightness:.3f}", yes_no(row.bound_holds))
+                for row in self.rows]
+
+    def to_table(self) -> str:
+        """The aggregated rows as an aligned ASCII table."""
+        return render_table(self.ROW_HEADERS, self.row_cells(),
+                            title="Monte-Carlo bound validation")
+
+    def to_markdown(self) -> str:
+        """The aggregated rows in GitHub-flavoured markdown."""
+        return render_markdown_table(self.ROW_HEADERS, self.row_cells(),
+                                     title="Monte-Carlo bound validation")
+
+    def write_csv(self, path: str | Path) -> None:
+        """Dump the raw (unformatted) aggregated rows to ``path``."""
+        write_csv(path,
+                  ["size_factor", "scenario", "policy", "priority", "seeds",
+                   "bound_s", "worst_simulated_s", "mean_simulated_s",
+                   "samples", "tightness", "bound_holds"],
+                  [(row.size_factor, row.scenario, row.policy,
+                    row.priority.name, row.seeds, repr(row.analytic_bound),
+                    repr(row.worst_simulated), repr(row.mean_simulated),
+                    row.samples, repr(row.tightness), row.bound_holds)
+                   for row in self.rows])
+
+
+class SimulationCampaign:
+    """Run the Monte-Carlo grid and aggregate it against the bounds.
+
+    Parameters
+    ----------
+    station_count:
+        Base station count of the synthetic workload; every cell's
+        workload is ``station_count × size_factor`` stations.
+    workload_seed:
+        Seed of the synthetic workload generator (*not* the simulation
+        seed — every cell reuses the same message set).
+    message_set:
+        Explicit workload to simulate instead of the synthetic one (e.g. a
+        CSV-loaded set).  Only ``size_factors == (1,)`` is supported then,
+        because foreign sets cannot be regenerated at other scales.
+    seeds:
+        The simulation seeds of the grid.
+    scenarios / policies / size_factors:
+        The remaining grid axes.
+    duration:
+        Simulated horizon per cell, seconds (320 ms = two 1553B major
+        frames, the validation default).
+    capacity / technology_delay:
+        Link rate and switch relaying-delay bound shared by the analytic
+        and simulated sides.
+    jobs:
+        Number of worker processes to spread the cells over (default 1:
+        evaluate in-process).  Results are identical for any value.
+    """
+
+    def __init__(self, *, station_count: int = 16, workload_seed: int = 7,
+                 message_set: MessageSet | None = None,
+                 seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                 scenarios: Sequence[str] = SCENARIOS,
+                 policies: Sequence[str] = POLICIES,
+                 size_factors: Sequence[int] = (1,),
+                 duration: float = units.ms(320),
+                 capacity: float = units.mbps(10),
+                 technology_delay: float = units.us(16),
+                 jobs: int = 1) -> None:
+        if not scenarios:
+            raise ConfigurationError("at least one scenario is required")
+        for scenario in scenarios:
+            if scenario not in SCENARIOS:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; known: {SCENARIOS}")
+        if not policies:
+            raise ConfigurationError("at least one policy is required")
+        for policy in policies:
+            if policy not in POLICIES:
+                raise ConfigurationError(
+                    f"unknown policy {policy!r}; known: {POLICIES}")
+        if not seeds:
+            raise ConfigurationError("at least one seed is required")
+        if not size_factors:
+            raise ConfigurationError("at least one size factor is required")
+        if any(factor < 1 for factor in size_factors):
+            raise ConfigurationError("size factors must be positive")
+        if message_set is not None and tuple(size_factors) != (1,):
+            raise ConfigurationError(
+                "an explicit message set only supports size_factors=(1,)")
+        if duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {duration!r}")
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be at least 1, got {jobs!r}")
+        self.station_count = int(station_count)
+        self.workload_seed = int(workload_seed)
+        self.message_set = message_set
+        self.seeds = tuple(int(seed) for seed in seeds)
+        self.scenarios = tuple(scenarios)
+        self.policies = tuple(policies)
+        self.size_factors = tuple(int(factor) for factor in size_factors)
+        self.duration = float(duration)
+        self.capacity = float(capacity)
+        self.technology_delay = float(technology_delay)
+        self.jobs = int(jobs)
+
+    # -- grid ----------------------------------------------------------------
+
+    def cells(self) -> list[SimulationCell]:
+        """The full grid, in deterministic (factor, scenario, policy, seed)
+        order."""
+        return [SimulationCell(seed=seed, scenario=scenario, policy=policy,
+                               size_factor=factor)
+                for factor in self.size_factors
+                for scenario in self.scenarios
+                for policy in self.policies
+                for seed in self.seeds]
+
+    def _context(self) -> dict:
+        """The picklable workload/topology context shipped to workers."""
+        return {
+            "station_count": self.station_count,
+            "workload_seed": self.workload_seed,
+            "messages": (None if self.message_set is None
+                         else list(self.message_set.messages)),
+            "duration": self.duration,
+            "capacity": self.capacity,
+            "technology_delay": self.technology_delay,
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> MonteCarloResult:
+        """Simulate every cell, then aggregate against the analytic bounds."""
+        started = time.perf_counter()
+        cells = self.cells()
+        if self.jobs > 1 and len(cells) > 1:
+            workers = min(self.jobs, len(cells))
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(self._context(),)) as pool:
+                outcomes = list(pool.map(_evaluate_cell, cells))
+        else:
+            _init_worker(self._context())
+            outcomes = [_evaluate_cell(cell) for cell in cells]
+        result = MonteCarloResult(outcomes=outcomes)
+        result.rows = self._aggregate(outcomes)
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _bounds_for(self, factor: int) -> dict[str, dict[PriorityClass, float]]:
+        """Analytic per-class bounds for one size factor, per policy."""
+        message_set = _workload(self._context(), factor)
+        network = star_for_message_set(message_set, capacity=self.capacity,
+                                       technology_delay=self.technology_delay)
+        analysis_messages = wire_level_messages(message_set)
+        bounds: dict[str, dict[PriorityClass, float]] = {}
+        for policy in self.policies:
+            analysis = EndToEndAnalysis(network, policy=policy)
+            analytic = analysis.analyze(analysis_messages)
+            bounds[policy] = {
+                cls: bound.total_delay
+                for cls, bound in analytic.worst_per_class().items()}
+        return bounds
+
+    def _aggregate(self, outcomes: Iterable[CellOutcome]
+                   ) -> list[MonteCarloRow]:
+        """Fold the per-cell outcomes into per-configuration rows."""
+        grouped: dict[tuple, list[CellOutcome]] = {}
+        for outcome in outcomes:
+            cell = outcome.cell
+            key = (cell.size_factor, cell.scenario, cell.policy)
+            grouped.setdefault(key, []).append(outcome)
+        bounds_per_factor = {factor: self._bounds_for(factor)
+                             for factor in self.size_factors}
+        rows: list[MonteCarloRow] = []
+        for factor in self.size_factors:
+            for scenario in self.scenarios:
+                for policy in self.policies:
+                    group = grouped.get((factor, scenario, policy), [])
+                    if not group:
+                        continue
+                    bounds = bounds_per_factor[factor][policy]
+                    for cls in sorted(bounds):
+                        samples = sum(
+                            outcome.samples_per_class.get(cls, 0)
+                            for outcome in group)
+                        if samples == 0:
+                            continue
+                        worst = max(
+                            outcome.worst_per_class[cls]
+                            for outcome in group
+                            if cls in outcome.worst_per_class)
+                        means = [outcome.mean_per_class[cls]
+                                 for outcome in group
+                                 if cls in outcome.mean_per_class]
+                        rows.append(MonteCarloRow(
+                            size_factor=factor,
+                            scenario=scenario,
+                            policy=policy,
+                            priority=cls,
+                            seeds=len(group),
+                            analytic_bound=bounds[cls],
+                            worst_simulated=worst,
+                            mean_simulated=sum(means) / len(means),
+                            samples=samples))
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing (shared by jobs=1, which runs it in-process)
+# ---------------------------------------------------------------------------
+
+#: Per-process campaign context set by :func:`_init_worker`.
+_WORKER_CONTEXT: dict | None = None
+#: Per-process cache: size factor -> (message_set, network).
+_WORKER_WORKLOADS: dict[int, tuple] = {}
+
+
+def _workload(context: dict, factor: int) -> MessageSet:
+    """The (possibly scaled) message set of one size factor."""
+    if context["messages"] is not None:
+        message_set = MessageSet(name="simulate-workload")
+        for message in context["messages"]:
+            message_set.add(message)
+        return message_set
+    return generate_real_case(
+        RealCaseParameters(
+            station_count=context["station_count"] * factor),
+        seed=context["workload_seed"])
+
+
+def _init_worker(context: dict) -> None:
+    """Process-pool initializer: stash the campaign context."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    _WORKER_WORKLOADS.clear()
+
+
+def _evaluate_cell(cell: SimulationCell) -> CellOutcome:
+    """Simulate one cell (runs inside a worker process or in-process)."""
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialization"
+    cached = _WORKER_WORKLOADS.get(cell.size_factor)
+    if cached is None:
+        message_set = _workload(context, cell.size_factor)
+        network = star_for_message_set(
+            message_set, capacity=context["capacity"],
+            technology_delay=context["technology_delay"])
+        cached = (message_set, network)
+        _WORKER_WORKLOADS[cell.size_factor] = cached
+    message_set, network = cached
+    started = time.perf_counter()
+    simulator = EthernetNetworkSimulator(
+        network, message_set.messages, policy=cell.policy,
+        scenario=cell.scenario, seed=cell.seed)
+    results = simulator.run(duration=context["duration"])
+    elapsed = time.perf_counter() - started
+    worst: dict[PriorityClass, float] = {}
+    mean: dict[PriorityClass, float] = {}
+    samples: dict[PriorityClass, int] = {}
+    for cls, recorder in results.class_latencies.items():
+        if recorder.count == 0:
+            continue
+        summary = recorder.summary()
+        worst[cls] = summary.maximum
+        mean[cls] = summary.mean
+        samples[cls] = summary.count
+    return CellOutcome(
+        cell=cell,
+        worst_per_class=worst,
+        mean_per_class=mean,
+        samples_per_class=samples,
+        instances_sent=results.instances_sent,
+        instances_delivered=results.instances_delivered,
+        frames_dropped=results.frames_dropped,
+        events_processed=simulator.simulator.events_processed,
+        elapsed=elapsed)

@@ -55,66 +55,112 @@ class SummaryStatistics:
 class LatencyRecorder:
     """Accumulates latency samples and produces a :class:`SummaryStatistics`.
 
+    Samples live in a preallocated ``float64`` buffer grown geometrically
+    (amortised O(1) per sample, no per-sample Python float boxing kept
+    around), so a Monte-Carlo campaign recording millions of latencies
+    stays cheap and :meth:`summary` reduces the buffer in one numpy pass
+    instead of converting a Python list first.
+
     Parameters
     ----------
     name:
         A label used in reports (e.g. the flow or priority-class name).
     """
 
+    __slots__ = ("name", "_buffer", "_count")
+
+    #: Initial buffer capacity (doubles on overflow).
+    _INITIAL_CAPACITY = 256
+
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._samples: list[float] = []
+        self._buffer = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._count = 0
 
     def record(self, latency: float) -> None:
         """Add one latency sample (seconds)."""
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency!r}")
-        self._samples.append(float(latency))
+        count = self._count
+        buffer = self._buffer
+        if count == buffer.shape[0]:
+            buffer = self._grow(2 * count)
+        buffer[count] = latency
+        self._count = count + 1
 
     def extend(self, latencies: Iterable[float]) -> None:
         """Add many latency samples at once."""
-        for value in latencies:
-            self.record(value)
+        values = np.asarray(list(latencies), dtype=np.float64)
+        if values.size == 0:
+            return
+        if np.any(values < 0):
+            worst = float(values.min())
+            raise ValueError(f"latency must be non-negative, got {worst!r}")
+        count = self._count
+        needed = count + values.size
+        if needed > self._buffer.shape[0]:
+            self._grow(max(needed, 2 * self._buffer.shape[0]))
+        self._buffer[count:needed] = values
+        self._count = needed
+
+    def _grow(self, capacity: int) -> np.ndarray:
+        """Reallocate the sample buffer to at least ``capacity`` slots."""
+        buffer = np.empty(capacity, dtype=np.float64)
+        buffer[:self._count] = self._buffer[:self._count]
+        self._buffer = buffer
+        return buffer
 
     @property
     def count(self) -> int:
         """Number of samples recorded so far."""
-        return len(self._samples)
+        return self._count
 
     @property
     def samples(self) -> list[float]:
         """A copy of the recorded samples, in insertion order."""
-        return list(self._samples)
+        return self._buffer[:self._count].tolist()
 
     @property
     def maximum(self) -> float:
         """Largest sample, or NaN if empty."""
-        return max(self._samples) if self._samples else float("nan")
+        if self._count == 0:
+            return float("nan")
+        return float(self._buffer[:self._count].max())
 
     @property
     def minimum(self) -> float:
         """Smallest sample, or NaN if empty."""
-        return min(self._samples) if self._samples else float("nan")
+        if self._count == 0:
+            return float("nan")
+        return float(self._buffer[:self._count].min())
 
     def summary(self) -> SummaryStatistics:
         """Compute the full summary of the samples recorded so far."""
-        if not self._samples:
+        if self._count == 0:
             return SummaryStatistics.empty()
-        data = np.asarray(self._samples, dtype=float)
+        data = self._buffer[:self._count]
+        p50, p95, p99 = np.percentile(data, (50, 95, 99))
         return SummaryStatistics(
             count=int(data.size),
             minimum=float(data.min()),
             maximum=float(data.max()),
             mean=float(data.mean()),
             std=float(data.std()),
-            p50=float(np.percentile(data, 50)),
-            p95=float(np.percentile(data, 95)),
-            p99=float(np.percentile(data, 99)),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
         )
 
 
 class Counter:
-    """A named integer counter."""
+    """A named integer counter.
+
+    Hot model paths bump ``_value`` directly instead of calling
+    :meth:`increment` — the call overhead is measurable at hundreds of
+    thousands of events per second.
+    """
+
+    __slots__ = ("name", "_value")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

@@ -181,3 +181,25 @@ class TestMultiSwitch:
         results = simulator.run(duration=units.ms(100))
         assert results.frames_dropped > 0
         assert results.instances_delivered < results.instances_sent
+
+
+class TestTraceToggleAfterConstruction:
+    def test_enabling_the_shared_trace_after_build_records_events(
+            self, small_case):
+        # TraceRecorder.enabled is a public mutable attribute: flipping it
+        # on after the network is built must still produce a frame-level
+        # trace (the hot-path guards read it live, not a snapshot).
+        from repro.analysis.validation import star_for_message_set
+        from repro.ethernet.network_sim import EthernetNetworkSimulator
+        from repro import units
+
+        network = star_for_message_set(small_case)
+        simulator = EthernetNetworkSimulator(
+            network, small_case.messages, policy="fcfs",
+            scenario="synchronized", seed=1)
+        simulator.trace.enabled = True
+        simulator.run(duration=units.ms(40))
+        assert len(simulator.trace) > 0
+        categories = {entry.category for entry in simulator.trace}
+        assert "frame.tx_start" in categories
+        assert "instance.delivered" in categories

@@ -136,3 +136,56 @@ class TestStrictPriorityQueues:
         queues.push(item(priority=PriorityClass.SPORADIC))
         assert len(queues.queue(PriorityClass.SPORADIC)) == 1
         assert len(queues.queue(PriorityClass.URGENT)) == 0
+
+
+class TestSharedQueueInterface:
+    """FifoQueue and StrictPriorityQueues expose one egress-queue surface.
+
+    The simulator (``EthernetNetworkSimulator.run``) reads these members
+    without ``getattr`` fallbacks, so both disciplines must keep them.
+    """
+
+    MEMBERS = ("push", "pop", "peek", "is_empty", "occupancy",
+               "max_occupancy", "drops", "__len__")
+
+    @pytest.mark.parametrize("factory", [
+        lambda: FifoQueue(),
+        lambda: StrictPriorityQueues(),
+    ], ids=["fifo", "strict-priority"])
+    def test_uniform_members(self, factory):
+        queue = factory()
+        for member in self.MEMBERS:
+            assert hasattr(queue, member), member
+        assert queue.is_empty
+        assert queue.occupancy == 0.0
+        assert queue.max_occupancy == 0.0
+        assert queue.drops == 0
+        assert len(queue) == 0
+        assert queue.pop() is None
+        assert queue.peek() is None
+
+    @pytest.mark.parametrize("factory", [
+        lambda: FifoQueue(),
+        lambda: StrictPriorityQueues(),
+    ], ids=["fifo", "strict-priority"])
+    def test_max_occupancy_tracks_peak_after_drain(self, factory):
+        queue = factory()
+        queue.push(item(size=100))
+        queue.push(item(size=200))
+        while queue.pop() is not None:
+            pass
+        assert queue.occupancy == 0.0
+        assert queue.max_occupancy >= 300.0
+
+    def test_queues_accept_any_sized_prioritised_item(self):
+        # Frames are queued directly (no QueuedItem wrapper): anything
+        # carrying `size` and `priority` must be accepted.
+        class Sized:
+            size = 64.0
+            priority = PriorityClass.URGENT
+
+        for queue in (FifoQueue(), StrictPriorityQueues()):
+            payload = Sized()
+            assert queue.push(payload)
+            assert queue.peek() is payload
+            assert queue.pop() is payload

@@ -1,0 +1,163 @@
+"""Monte-Carlo simulation campaigns."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.simulation.campaign import (
+    POLICIES,
+    SCENARIOS,
+    MonteCarloResult,
+    SimulationCampaign,
+    SimulationCell,
+)
+from repro.workloads import RealCaseParameters, generate_real_case
+
+#: A small, fast grid reused by most tests (8 stations, 2 seeds).
+SMALL = dict(station_count=8, workload_seed=3, seeds=(1, 2))
+
+
+def small_campaign(**overrides) -> SimulationCampaign:
+    return SimulationCampaign(**{**SMALL, **overrides})
+
+
+class TestGrid:
+    def test_cells_cover_the_full_product(self):
+        campaign = small_campaign(size_factors=(1, 2))
+        cells = campaign.cells()
+        assert len(cells) == 2 * len(SCENARIOS) * len(POLICIES) * 2
+        assert len(set(cells)) == len(cells)
+        assert cells[0] == SimulationCell(
+            seed=1, scenario="synchronized", policy="fcfs", size_factor=1)
+
+    def test_cell_order_is_deterministic(self):
+        assert small_campaign().cells() == small_campaign().cells()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(scenarios=("warp",))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(policies=("wfq",))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(seeds=())
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(scenarios=())
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(policies=())
+
+    def test_empty_size_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(size_factors=())
+
+    def test_nonpositive_size_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(size_factors=(0,))
+
+    def test_explicit_message_set_limits_size_factors(self):
+        message_set = generate_real_case(
+            RealCaseParameters(station_count=8), seed=3)
+        with pytest.raises(ConfigurationError):
+            small_campaign(message_set=message_set, size_factors=(1, 2))
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            small_campaign(jobs=0)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self) -> MonteCarloResult:
+        return small_campaign(scenarios=("synchronized", "staggered")).run()
+
+    def test_every_cell_simulated(self, result):
+        assert result.cells == 2 * 2 * 2
+        assert all(outcome.instances_delivered > 0
+                   for outcome in result.outcomes)
+
+    def test_rows_aggregate_every_configuration(self, result):
+        keys = {(row.scenario, row.policy) for row in result.rows}
+        assert keys == {(s, p) for s in ("synchronized", "staggered")
+                        for p in POLICIES}
+        assert all(row.seeds == 2 for row in result.rows)
+
+    def test_all_bounds_hold_on_the_shaped_workload(self, result):
+        assert result.all_bounds_hold
+        assert result.frames_dropped == 0
+        assert 0 < result.max_tightness <= 1.0
+
+    def test_worst_is_max_over_seeds(self, result):
+        for row in result.rows:
+            per_seed = [outcome.worst_per_class[row.priority]
+                        for outcome in result.outcomes
+                        if outcome.cell.scenario == row.scenario
+                        and outcome.cell.policy == row.policy
+                        and row.priority in outcome.worst_per_class]
+            assert row.worst_simulated == max(per_seed)
+
+    def test_synchronized_is_the_tightest_scenario(self, result):
+        for policy in POLICIES:
+            sync = max(row.tightness for row in result.rows
+                       if row.policy == policy
+                       and row.scenario == "synchronized")
+            staggered = max(row.tightness for row in result.rows
+                            if row.policy == policy
+                            and row.scenario == "staggered")
+            assert sync >= staggered
+
+    def test_run_is_deterministic(self, result):
+        again = small_campaign(scenarios=("synchronized", "staggered")).run()
+        assert [(r.scenario, r.policy, r.priority, r.worst_simulated,
+                 r.mean_simulated, r.samples) for r in again.rows] \
+            == [(r.scenario, r.policy, r.priority, r.worst_simulated,
+                 r.mean_simulated, r.samples) for r in result.rows]
+
+    def test_rendering_and_csv(self, result, tmp_path):
+        table = result.to_table()
+        assert "Monte-Carlo bound validation" in table
+        assert "### Monte-Carlo bound validation" in result.to_markdown()
+        path = tmp_path / "mc.csv"
+        result.write_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(result.rows)
+
+
+class TestProcessFanOut:
+    def test_jobs_fan_out_matches_single_process(self):
+        sequential = small_campaign(scenarios=("synchronized",)).run()
+        parallel = small_campaign(scenarios=("synchronized",), jobs=2).run()
+        key = lambda rows: [(r.size_factor, r.scenario, r.policy, r.priority,
+                             r.worst_simulated, r.mean_simulated, r.samples)
+                            for r in rows]
+        assert key(sequential.rows) == key(parallel.rows)
+
+
+class TestExplicitWorkload:
+    def test_csv_style_message_set_is_simulated(self):
+        message_set = generate_real_case(
+            RealCaseParameters(station_count=8), seed=3)
+        result = small_campaign(
+            message_set=message_set,
+            scenarios=("synchronized",)).run()
+        assert result.cells == 1 * 2 * 2
+        assert result.all_bounds_hold
+
+
+class TestSizeFactors:
+    def test_larger_factor_scales_the_workload(self):
+        result = small_campaign(
+            scenarios=("synchronized",), policies=("fcfs",),
+            seeds=(1,), size_factors=(1, 2),
+            duration=units.ms(40)).run()
+        small = [o for o in result.outcomes if o.cell.size_factor == 1]
+        large = [o for o in result.outcomes if o.cell.size_factor == 2]
+        assert large[0].instances_sent > small[0].instances_sent
+        factors = {row.size_factor for row in result.rows}
+        assert factors == {1, 2}

@@ -134,3 +134,74 @@ class TestRunControls:
             sim.schedule(float(index), lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestFastPathScheduling:
+    """post/post_at/dispatch_immediate — the model hot-path API."""
+
+    def test_post_fires_like_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.events_processed == 2
+
+    def test_post_and_schedule_share_the_sequence_counter(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "event")
+        sim.post(1.0, fired.append, "fast")
+        sim.schedule(1.0, fired.append, "event-2")
+        sim.run()
+        assert fired == ["event", "fast", "event-2"]
+
+    def test_post_at_uses_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.post_at(2.5, fired.append, "x")
+        sim.run()
+        assert sim.now == 2.5
+        assert fired == ["x"]
+
+    def test_dispatch_immediate_counts_as_processed(self):
+        sim = Simulator()
+        fired = []
+        sim.dispatch_immediate(fired.append, "now")
+        assert fired == ["now"]
+        assert sim.events_processed == 1
+        assert sim.now == 0.0
+
+    def test_cancelled_event_skipped_in_fast_loop(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "cancelled")
+        sim.post(2.0, fired.append, "kept")
+        event.cancel()
+        sim.run()
+        assert fired == ["kept"]
+        assert sim.events_processed == 1
+
+    def test_stop_halts_the_fast_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, lambda arg: (fired.append(arg), sim.stop()), "a")
+        sim.post(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.pending_events == 1
+
+    def test_bounded_run_handles_fast_entries(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, "kept")
+        sim.post(5.0, fired.append, "dropped")
+        sim.run(until=2.0)
+        assert fired == ["kept"]
+        assert sim.now == 2.0
+        sim2 = Simulator()
+        for index in range(5):
+            sim2.post(float(index), fired.append, index)
+        sim2.run(max_events=2)
+        assert sim2.events_processed == 2

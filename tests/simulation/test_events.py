@@ -80,3 +80,48 @@ class TestEventQueue:
 
     def test_peek_time_empty_returns_none(self):
         assert EventQueue().peek_time() is None
+
+
+class TestFastPathEntries:
+    """The uncancellable (time, sequence, callback, arg) heap entries."""
+
+    def test_push_fast_interleaves_with_push_deterministically(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, order.append, ("event",))
+        queue.push_fast(1.0, order.append, "fast")
+        queue.push(1.0, order.append, ("late-event",))
+        for _ in range(3):
+            queue.pop().fire()
+        assert order == ["event", "fast", "late-event"]
+
+    def test_pop_wraps_fast_entries_in_events(self):
+        queue = EventQueue()
+        queue.push_fast(2.0, lambda arg: None, "payload")
+        event = queue.pop()
+        assert isinstance(event, Event)
+        assert event.time == 2.0
+        assert event.args == ("payload",)
+        assert not event.cancelled
+
+    def test_len_counts_fast_entries(self):
+        queue = EventQueue()
+        queue.push_fast(1.0, lambda arg: None, None)
+        cancelled = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+
+    def test_peek_time_sees_fast_entries(self):
+        queue = EventQueue()
+        queue.push_fast(3.0, lambda arg: None, None)
+        assert queue.peek_time() == 3.0
+
+    def test_cancelled_event_before_fast_entry_is_purged(self):
+        queue = EventQueue()
+        cancelled = queue.push(1.0, lambda: None)
+        queue.push_fast(2.0, lambda arg: None, "x")
+        cancelled.cancel()
+        assert queue.peek_time() == 2.0
+        event = queue.pop()
+        assert event.time == 2.0

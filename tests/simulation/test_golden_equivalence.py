@@ -1,0 +1,49 @@
+"""The kernel rewrite must be bit-identical to the reference engine.
+
+Every cell of the golden grid (policies × release scenarios on the small
+and paper workloads, plus a drop-forcing cell) is re-simulated and compared
+against the digests captured from the pre-rewrite engine: same per-flow
+latency samples (order included), same drop counts, same link utilizations
+and queue maxima, same number of processed events.  Any optimisation that
+changes an event interleaving — and therefore possibly a latency — fails
+here instead of silently skewing the bound-vs-simulation exhibits.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.simulation.golden_fixture import (
+    GOLDEN_CELLS,
+    capture_cell,
+    cell_path,
+)
+
+
+@pytest.mark.parametrize(
+    "name,stations,workload_seed,policy,scenario,seed,capacity,shaping",
+    GOLDEN_CELLS, ids=[cell[0] for cell in GOLDEN_CELLS])
+def test_golden_cell_matches_reference(name, stations, workload_seed, policy,
+                                       scenario, seed, capacity, shaping):
+    expected = json.loads(cell_path(name).read_text())
+    actual = capture_cell(stations, workload_seed, policy, scenario, seed,
+                          capacity, shaping)
+    # Compare piecewise for actionable failure messages before the full
+    # dict equality (which also guards any key added later).
+    assert actual["events_processed"] == expected["events_processed"]
+    assert actual["instances_sent"] == expected["instances_sent"]
+    assert actual["instances_delivered"] == expected["instances_delivered"]
+    assert actual["frames_dropped"] == expected["frames_dropped"]
+    assert actual["link_utilization"] == expected["link_utilization"]
+    assert actual["max_queue_bits"] == expected["max_queue_bits"]
+    for flow, digest in expected["flows"].items():
+        assert actual["flows"][flow] == digest, f"flow {flow} diverged"
+    assert actual == expected
+
+
+def test_drop_cell_actually_drops():
+    """The fixture grid must keep exercising the drop-accounting path."""
+    expected = json.loads(cell_path("small-fcfs-drops").read_text())
+    assert expected["frames_dropped"] > 0

@@ -135,3 +135,56 @@ class TestSafeMax:
 
     def test_nan_returns_default(self):
         assert safe_max([float("nan")], default=0.0) == 0.0
+
+
+class TestLatencyRecorderBuffer:
+    """The amortized-growth array buffer behind the recorder."""
+
+    def test_growth_beyond_initial_capacity(self):
+        recorder = LatencyRecorder()
+        count = LatencyRecorder._INITIAL_CAPACITY * 4 + 3
+        for index in range(count):
+            recorder.record(float(index))
+        assert recorder.count == count
+        assert recorder.samples == [float(i) for i in range(count)]
+        assert recorder.maximum == float(count - 1)
+
+    def test_extend_grows_in_one_step(self):
+        recorder = LatencyRecorder()
+        values = [float(i) for i in range(LatencyRecorder._INITIAL_CAPACITY * 3)]
+        recorder.extend(values)
+        assert recorder.samples == values
+
+    def test_extend_rejects_negative_values_atomically(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.extend([2.0, -1.0])
+        # The batch was rejected as a whole.
+        assert recorder.count == 1
+
+    def test_extend_empty_iterable_is_a_noop(self):
+        recorder = LatencyRecorder()
+        recorder.extend([])
+        assert recorder.count == 0
+
+    def test_single_sample_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.004)
+        summary = recorder.summary()
+        assert summary.count == 1
+        assert summary.p50 == summary.p95 == summary.p99 == 0.004
+        assert summary.minimum == summary.maximum == 0.004
+        assert summary.std == 0.0
+        assert summary.jitter == 0.0
+
+    def test_summary_matches_reference_implementation(self):
+        import numpy as np
+        recorder = LatencyRecorder()
+        values = [0.001 * (i % 17) + 0.0005 for i in range(1000)]
+        recorder.extend(values)
+        summary = recorder.summary()
+        data = np.asarray(values)
+        assert summary.mean == pytest.approx(float(data.mean()))
+        assert summary.std == pytest.approx(float(data.std()))
+        assert summary.p95 == pytest.approx(float(np.percentile(data, 95)))

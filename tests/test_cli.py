@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
-                        "campaign", "report"):
+                        "campaign", "simulate", "report"):
             args = parser.parse_args(
                 [command] if command != "export"
                 else [command, "--output", "x.csv"])
@@ -23,7 +23,8 @@ class TestParser:
     def test_the_dispatch_table_drives_the_parser(self):
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
-            "jitter", "buffers", "export", "campaign", "report"]
+            "jitter", "buffers", "export", "campaign", "simulate",
+            "report"]
 
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -213,3 +214,59 @@ class TestCampaignJobs:
     def test_invalid_job_count_fails_cleanly(self, capsys):
         assert main(["campaign", "--run", "ladder", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_small_grid_prints_table_and_exits_zero(self, capsys):
+        assert main(["--stations", "8", "--seed", "3", "simulate",
+                     "--seeds", "2", "--scenarios", "synchronized",
+                     "--policies", "fcfs"]) == 0
+        output = capsys.readouterr().out
+        assert "Monte-Carlo bound validation" in output
+        assert "bounds hold: yes" in output
+        assert "2 cells" in output
+
+    def test_markdown_rendering(self, capsys):
+        assert main(["--stations", "8", "--seed", "3", "simulate",
+                     "--seeds", "1", "--scenarios", "synchronized",
+                     "--policies", "fcfs", "--markdown"]) == 0
+        assert "### Monte-Carlo bound validation" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "mc.csv"
+        assert main(["--stations", "8", "--seed", "3", "simulate",
+                     "--seeds", "1", "--scenarios", "synchronized",
+                     "--policies", "fcfs", "--csv", str(path)]) == 0
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert "bound_holds" in header
+
+    def test_jobs_fan_out(self, capsys):
+        assert main(["--stations", "8", "--seed", "3", "simulate",
+                     "--seeds", "2", "--scenarios", "synchronized",
+                     "--policies", "fcfs", "--jobs", "2"]) == 0
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_invalid_seeds_rejected(self, capsys):
+        assert main(["simulate", "--seeds", "0"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_invalid_size_factors_rejected(self, capsys):
+        assert main(["simulate", "--size-factors", "two"]) == 2
+        assert "--size-factors" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["simulate", "--scenarios", "warp"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_workload_csv_restricted_to_factor_one(self, tmp_path, capsys):
+        workload = tmp_path / "set.csv"
+        assert main(["--stations", "8", "--seed", "3", "export",
+                     "--output", str(workload)]) == 0
+        capsys.readouterr()
+        assert main(["--workload", str(workload), "simulate",
+                     "--seeds", "1", "--size-factors", "2"]) == 2
+        assert "--size-factors" in capsys.readouterr().err
+        assert main(["--workload", str(workload), "simulate",
+                     "--seeds", "1", "--scenarios", "synchronized",
+                     "--policies", "fcfs"]) == 0
