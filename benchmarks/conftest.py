@@ -18,11 +18,20 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+import os
+
 import pytest
 
 from repro import MessageSet
 from repro.reporting import render_table, write_csv
+from repro.store import STORE_DIR_ENV
 from repro.workloads import RealCaseParameters, generate_real_case
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory) -> None:
+    """Keep benchmark runs from touching the checkout's result store."""
+    os.environ[STORE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-store"))
 
 #: Where the benchmark harness drops its tables and CSV files.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"

@@ -1,0 +1,81 @@
+"""Result-store acceptance: a warm ``repro report`` re-run is near-free.
+
+The store keys every experiment by its spec plus the ``reports``
+code-version token, so an unchanged-code re-run must perform **zero**
+experiment recomputations and finish at least ``SPEEDUP_FLOOR`` times
+faster than the cold run — while producing a byte-identical artifact
+tree.  The measured cold/warm timings land in
+``benchmarks/results/store_warm.{csv,txt}`` and the docs-facing numbers
+in ``benchmarks/results/BENCH_values.json`` (the committed file
+``tools/docgen.py`` substitutes into README.md).  The perf-smoke CI job
+runs this file, so a regression that silently turns warm runs back into
+cold ones fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.reports import ReportPipeline
+from repro.store import ResultStore
+
+#: Acceptance floor: the warm run must be at least this much faster.
+SPEEDUP_FLOOR = 10.0
+
+
+def test_bench_store_warm_report(report, results_dir, tmp_path):
+    store_root = tmp_path / "store"
+
+    started = time.perf_counter()
+    cold_pipeline = ReportPipeline(tmp_path / "cold",
+                                   store=ResultStore(store_root))
+    cold_run = cold_pipeline.run()
+    cold = time.perf_counter() - started
+    assert cold_pipeline.last_cached == []
+
+    started = time.perf_counter()
+    warm_pipeline = ReportPipeline(tmp_path / "warm",
+                                   store=ResultStore(store_root))
+    warm_run = warm_pipeline.run()
+    warm = time.perf_counter() - started
+
+    # Zero recomputations on the warm run...
+    assert warm_pipeline.last_computed == []
+    assert len(warm_pipeline.last_cached) == len(cold_run.experiments)
+    # ...and a byte-identical artifact tree.
+    assert warm_run.files == cold_run.files
+    for relative in cold_run.files:
+        assert (tmp_path / "warm" / relative).read_bytes() \
+            == (tmp_path / "cold" / relative).read_bytes(), relative
+
+    speedup = cold / warm
+    hits = warm_pipeline.store.stats.hits
+    hit_rate = hits / max(1, warm_pipeline.store.stats.lookups)
+    report(
+        "store_warm", "Result store: cold vs warm full report run",
+        ["metric", "value"],
+        [("experiments", len(cold_run.experiments)),
+         ("artifacts", len(cold_run.files)),
+         ("cold_s", f"{cold:.3f}"),
+         ("warm_s", f"{warm:.3f}"),
+         ("speedup", f"{speedup:.0f}x"),
+         ("warm_recomputations", len(warm_pipeline.last_computed)),
+         ("warm_hit_rate", f"{hit_rate * 100:.0f} %"),
+         ("floor", f"{SPEEDUP_FLOOR:.0f}x")])
+
+    # The docs-facing numbers (README spans reference these keys).
+    values = {
+        "bench.store-cold-s": f"{cold:.2f} s",
+        "bench.store-warm-ms": f"{warm * 1e3:.0f} ms",
+        "bench.store-warm-speedup": f"{speedup:.0f}x",
+        "bench.store-warm-recomputations": str(
+            len(warm_pipeline.last_computed)),
+    }
+    (results_dir / "BENCH_values.json").write_text(
+        json.dumps(values, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm report run only {speedup:.1f}x faster than cold "
+        f"(floor {SPEEDUP_FLOOR}x) — the result store has regressed")

@@ -57,6 +57,7 @@ from repro.reports import (
     all_experiments,
     register_experiment,
 )
+from repro.store import ResultStore
 from repro.topology.builders import (
     dual_switch_topology,
     single_switch_star,
@@ -98,5 +99,6 @@ __all__ = [
     "ReportPipeline",
     "all_experiments",
     "register_experiment",
+    "ResultStore",
     "__version__",
 ]

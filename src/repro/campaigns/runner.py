@@ -56,6 +56,7 @@ from repro.reporting import (
     write_csv,
     yes_no,
 )
+from repro.store import ResultStore, StoreStats
 
 __all__ = ["CampaignRow", "ScenarioResult", "CampaignResult",
            "CampaignRunner"]
@@ -99,6 +100,10 @@ class ScenarioResult:
     scenario: Scenario
     rows: list[CampaignRow]
     elapsed: float
+    #: True when the rows were served by the result store (``--resume``)
+    #: instead of being recomputed; ``elapsed`` is then the *original*
+    #: computation's cost, as stored.
+    resumed: bool = False
 
     def rows_for(self, policy: str) -> list[CampaignRow]:
         """The rows of one multiplexing policy."""
@@ -119,6 +124,14 @@ class CampaignResult:
     elapsed: float = 0.0
     #: Cache statistics of the run (empty in naive mode).
     stats: dict[str, CacheStats] = field(default_factory=dict)
+    #: Result-store counters of the run; ``None`` without a store or when
+    #: the workers kept their own stores (``jobs > 1``).
+    store_stats: StoreStats | None = None
+
+    @property
+    def resumed(self) -> int:
+        """Number of scenarios served from the result store."""
+        return sum(1 for result in self.results if result.resumed)
 
     SUMMARY_HEADERS = ("scenario", "configuration", "policy", "classes",
                       "feasible")
@@ -204,15 +217,30 @@ class CampaignRunner:
         keeps its own memoization cache, so cross-scenario sharing happens
         per worker and the combined result carries no cache statistics;
         the rows are identical to a single-process run.
+    store:
+        An optional :class:`~repro.store.ResultStore`.  Finished
+        scenarios are always *written* to it (fingerprinted by the
+        scenario spec plus the ``campaigns`` code-version token); they
+        are only *read back* with ``resume=True``, so a plain run still
+        reports honest wall-clock numbers.
+    resume:
+        Reuse scenarios already present in the store — the
+        ``repro campaign --resume`` mode that skips everything a previous
+        (possibly interrupted) run completed.  Rows are identical either
+        way because scenario evaluation is deterministic.
     """
 
     def __init__(self, cache: AnalysisCache | None = None, *,
-                 memoize: bool = True, jobs: int = 1) -> None:
+                 memoize: bool = True, jobs: int = 1,
+                 store: ResultStore | None = None,
+                 resume: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs!r}")
         self.memoize = memoize
         self.jobs = int(jobs)
         self.cache = cache if cache is not None else AnalysisCache()
+        self.store = store
+        self.resume = bool(resume)
 
     # -- public API ----------------------------------------------------------
 
@@ -232,6 +260,10 @@ class CampaignRunner:
             # Snapshot the counters: the cache keeps mutating across runs.
             result.stats = {level: CacheStats(stats.hits, stats.misses)
                             for level, stats in self.cache.stats.items()}
+        if self.store is not None:
+            result.store_stats = StoreStats(self.store.stats.hits,
+                                            self.store.stats.misses,
+                                            self.store.stats.writes)
         return result
 
     # -- internals -----------------------------------------------------------
@@ -245,9 +277,10 @@ class CampaignRunner:
         lazily on first use and keeps it for the tasks it serves.
         """
         workers = min(self.jobs, len(scenarios))
+        store_root = None if self.store is None else str(self.store.root)
         with ProcessPoolExecutor(
                 max_workers=workers, initializer=_init_worker,
-                initargs=(self.memoize,)) as pool:
+                initargs=(self.memoize, store_root, self.resume)) as pool:
             return list(pool.map(_evaluate_scenario, scenarios))
 
     def _scenario_inputs(self, scenario: Scenario):
@@ -260,6 +293,20 @@ class CampaignRunner:
                 compute_class_deadlines(message_set))
 
     def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        """Evaluate one scenario, consulting the result store if present."""
+        if self.store is None:
+            return self._compute_scenario(scenario)
+        result, _ = self.store.cached(
+            "campaign-scenario", scenario,
+            lambda: self._compute_scenario(scenario),
+            subsystem="campaigns",
+            encode=_scenario_result_to_payload,
+            decode=lambda payload: _scenario_result_from_payload(scenario,
+                                                                 payload),
+            reuse=self.resume)
+        return result
+
+    def _compute_scenario(self, scenario: Scenario) -> ScenarioResult:
         started = time.perf_counter()
         aggregates, deadlines = self._scenario_inputs(scenario)
         rows: list[CampaignRow] = []
@@ -322,6 +369,46 @@ class CampaignRunner:
 
 
 # ---------------------------------------------------------------------------
+# Result-store (de)serialisation
+# ---------------------------------------------------------------------------
+
+def _scenario_result_to_payload(result: ScenarioResult) -> dict:
+    """One scenario's rows as a JSON payload for the result store."""
+    return {
+        "elapsed": result.elapsed,
+        "rows": [{
+            "scenario": row.scenario,
+            "policy": row.policy,
+            "priority": row.priority.name,
+            "message_count": row.message_count,
+            "deadline": row.deadline,
+            "bound": row.bound,
+            "backlog_bits": row.backlog_bits,
+            "stable": row.stable,
+            "hops": row.hops,
+        } for row in result.rows],
+    }
+
+
+def _scenario_result_from_payload(scenario: Scenario,
+                                  payload: dict) -> ScenarioResult:
+    """Rebuild a stored scenario result (marked ``resumed``)."""
+    rows = [CampaignRow(
+        scenario=row["scenario"],
+        policy=row["policy"],
+        priority=PriorityClass[row["priority"]],
+        message_count=int(row["message_count"]),
+        deadline=row["deadline"],
+        bound=float(row["bound"]),
+        backlog_bits=float(row["backlog_bits"]),
+        stable=bool(row["stable"]),
+        hops=int(row["hops"]),
+    ) for row in payload["rows"]]
+    return ScenarioResult(scenario=scenario, rows=rows,
+                          elapsed=float(payload["elapsed"]), resumed=True)
+
+
+# ---------------------------------------------------------------------------
 # Worker-process plumbing for CampaignRunner(jobs=N)
 # ---------------------------------------------------------------------------
 
@@ -329,10 +416,13 @@ class CampaignRunner:
 _WORKER_RUNNER: CampaignRunner | None = None
 
 
-def _init_worker(memoize: bool) -> None:
-    """Process-pool initializer: one runner (and cache) per worker."""
+def _init_worker(memoize: bool, store_root: str | None = None,
+                 resume: bool = False) -> None:
+    """Process-pool initializer: one runner (and cache/store) per worker."""
     global _WORKER_RUNNER
-    _WORKER_RUNNER = CampaignRunner(memoize=memoize)
+    store = None if store_root is None else ResultStore(store_root)
+    _WORKER_RUNNER = CampaignRunner(memoize=memoize, store=store,
+                                    resume=resume)
 
 
 def _evaluate_scenario(scenario: Scenario) -> ScenarioResult:

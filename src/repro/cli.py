@@ -16,6 +16,7 @@ without pytest::
     python -m repro simulate --seeds 8       # Monte-Carlo bound validation
     python -m repro report                   # regenerate artifacts/
     python -m repro report --check           # CI drift gate on artifacts/
+    python -m repro store stats              # inspect the result store
 
 Every workload-based command accepts ``--seed``, ``--stations`` and
 ``--capacity-mbps`` to vary the workload and the link rate, and
@@ -23,6 +24,16 @@ Every workload-based command accepts ``--seed``, ``--stations`` and
 the synthetic one.  Commands are registered in the :data:`COMMANDS` table;
 adding one means adding a handler and one table entry, not another copy of
 the parser/dispatch plumbing.
+
+The heavy subcommands (``campaign``, ``simulate``, ``report``) persist
+every finished unit of work in the content-addressed result store
+(:mod:`repro.store`, ``.repro-store/`` by default, ``--store DIR`` /
+``$REPRO_STORE_DIR`` to relocate, ``--no-store`` to disable).  ``report``
+reuses stored experiments automatically (a warm re-run recomputes
+nothing); ``campaign``/``simulate`` reuse finished cells with
+``--resume`` — e.g. to pick an interrupted run back up.  Errors are
+reported as a single ``error: ...`` line with exit code 2, never a
+traceback.
 """
 
 from __future__ import annotations
@@ -46,8 +57,15 @@ from repro import reports
 from repro.campaigns import CampaignRunner, builtin_scenarios, select
 from repro.errors import (
     ConfigurationError,
+    ReproError,
     UnknownExperimentError,
     UnknownScenarioError,
+)
+from repro.store import (
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    all_code_versions,
+    combined_token,
 )
 from repro.simulation.campaign import POLICIES, SCENARIOS, SimulationCampaign
 from repro.flows.message_set import MessageSet
@@ -201,10 +219,55 @@ def _command_export(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Result-store plumbing shared by campaign / simulate / report
+# ---------------------------------------------------------------------------
+
+def _configure_store_flags(sub: argparse.ArgumentParser, *,
+                           resume_help: str | None = None) -> None:
+    """Add the ``--store`` / ``--no-store`` / ``--resume`` trio."""
+    sub.add_argument("--store", metavar="DIR", default=None,
+                     help="result-store directory (default: "
+                          f"$REPRO_STORE_DIR or {DEFAULT_STORE_DIR})")
+    sub.add_argument("--no-store", action="store_true",
+                     help="do not read or write the result store")
+    sub.add_argument("--resume", action="store_true",
+                     help=resume_help
+                     or "reuse units of work already in the store "
+                        "(e.g. cells finished before an interruption)")
+
+
+def _resolve_store(args: argparse.Namespace) -> ResultStore | None:
+    """The run's store handle, honouring ``--no-store``/``--store``."""
+    if getattr(args, "no_store", False):
+        return None
+    return ResultStore(getattr(args, "store", None))
+
+
+def _store_line(store: ResultStore | None, *, resumed: int | None = None,
+                total: int | None = None, unit: str = "cells",
+                show_stats: bool = True) -> str:
+    """One ``store: ...`` status line for the end of a run.
+
+    ``show_stats=False`` drops the hit/miss/write counters — worker
+    processes keep their own counters under ``--jobs N``, so the parent's
+    would read as all zeros.
+    """
+    if store is None:
+        return "store: disabled\n"
+    parts = []
+    if show_stats:
+        parts.append(store.stats.describe())
+    if resumed is not None and total is not None:
+        parts.append(f"resumed {resumed}/{total} {unit}")
+    return f"store: {', '.join(parts)} under {store.root}\n"
+
+
+# ---------------------------------------------------------------------------
 # Campaign subcommand
 # ---------------------------------------------------------------------------
 
 def _configure_campaign(sub: argparse.ArgumentParser) -> None:
+    _configure_store_flags(sub)
     sub.add_argument("--list", action="store_true", dest="list_scenarios",
                      help="list the registered scenarios and exit")
     sub.add_argument("--run", metavar="NAMES", default=None,
@@ -251,7 +314,9 @@ def _command_campaign(ctx: CommandContext) -> int:
     except UnknownScenarioError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
-    runner = CampaignRunner(memoize=not args.naive, jobs=args.jobs)
+    store = _resolve_store(args)
+    runner = CampaignRunner(memoize=not args.naive, jobs=args.jobs,
+                            store=store, resume=args.resume)
     result = runner.run(scenarios)
     _print(result.to_markdown() if args.markdown else result.to_table())
     mode = "naive" if args.naive else "memoized"
@@ -260,6 +325,10 @@ def _command_campaign(ctx: CommandContext) -> int:
     sys.stdout.write(
         f"{len(result.results)} scenarios, {len(result.rows())} rows in "
         f"{result.elapsed * 1e3:.1f} ms ({mode})\n")
+    if store is not None:
+        sys.stdout.write(_store_line(
+            store, resumed=result.resumed, total=len(result.results),
+            unit="scenarios", show_stats=args.jobs == 1))
     if args.csv:
         result.write_csv(args.csv)
         sys.stdout.write(f"wrote {len(result.rows())} rows to {args.csv}\n")
@@ -271,6 +340,7 @@ def _command_campaign(ctx: CommandContext) -> int:
 # ---------------------------------------------------------------------------
 
 def _configure_simulate(sub: argparse.ArgumentParser) -> None:
+    _configure_store_flags(sub)
     sub.add_argument("--seeds", type=int, default=5, metavar="N",
                      help="number of simulation seeds per cell "
                           "(seeds 1..N; default: 5)")
@@ -320,6 +390,7 @@ def _command_simulate(ctx: CommandContext) -> int:
             sys.stderr.write("error: --size-factors other than 1 need the "
                              "synthetic workload (drop --workload)\n")
             return 2
+    store = _resolve_store(args)
     try:
         campaign = SimulationCampaign(
             station_count=args.stations,
@@ -334,20 +405,35 @@ def _command_simulate(ctx: CommandContext) -> int:
             duration=units.ms(args.duration_ms),
             capacity=ctx.capacity,
             technology_delay=ctx.technology_delay,
-            jobs=args.jobs)
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume)
     except ConfigurationError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
     result = campaign.run()
     _print(result.to_markdown() if args.markdown else result.to_table())
-    rate = (result.events_processed / result.elapsed
-            if result.elapsed > 0 else float("nan"))
+    # Resumed cells carry their *original* event counts; only freshly
+    # simulated events may enter the throughput figure, or a warm
+    # --resume run would report an absurd events/s.
+    fresh_events = sum(outcome.events_processed
+                       for outcome in result.outcomes
+                       if not outcome.resumed)
+    jobs_note = f", {args.jobs} jobs" if args.jobs > 1 else ""
+    if fresh_events and result.elapsed > 0:
+        rate_note = (f" ({fresh_events / result.elapsed:,.0f} events/s"
+                     f"{jobs_note})")
+    else:
+        rate_note = f" (all cells resumed{jobs_note})"
     sys.stdout.write(
         f"{result.cells} cells, {len(result.rows)} rows, "
-        f"{result.events_processed} events in {result.elapsed:.2f} s "
-        f"({rate:,.0f} events/s"
-        f"{f', {args.jobs} jobs' if args.jobs > 1 else ''}); "
+        f"{fresh_events} events in {result.elapsed:.2f} s"
+        f"{rate_note}; "
         f"bounds hold: {'yes' if result.all_bounds_hold else 'NO'}\n")
+    if store is not None:
+        sys.stdout.write(_store_line(
+            store, resumed=result.resumed, total=result.cells,
+            unit="cells", show_stats=args.jobs == 1))
     if args.csv:
         result.write_csv(args.csv)
         sys.stdout.write(f"wrote {len(result.rows)} rows to {args.csv}\n")
@@ -359,6 +445,10 @@ def _command_simulate(ctx: CommandContext) -> int:
 # ---------------------------------------------------------------------------
 
 def _configure_report(sub: argparse.ArgumentParser) -> None:
+    _configure_store_flags(
+        sub, resume_help="accepted for symmetry with campaign/simulate: "
+                         "report already reuses stored experiments by "
+                         "default (--no-store forces a full rebuild)")
     sub.add_argument("--list", action="store_true", dest="list_experiments",
                      help="list the registered experiments and exit")
     sub.add_argument("--experiment", metavar="NAMES", default=None,
@@ -395,7 +485,9 @@ def _command_report(ctx: CommandContext) -> int:
     except UnknownExperimentError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
-    pipeline = reports.ReportPipeline(args.output, experiments=selected)
+    store = _resolve_store(args)
+    pipeline = reports.ReportPipeline(args.output, experiments=selected,
+                                      store=store)
     if args.check:
         problems = pipeline.check(jobs=args.jobs)
         for problem in problems:
@@ -404,13 +496,74 @@ def _command_report(ctx: CommandContext) -> int:
             sys.stdout.write(
                 f"report-check: OK ({len(selected)} experiments match "
                 f"the committed artifacts under {args.output})\n")
+        if store is not None:
+            sys.stdout.write(_store_line(
+                store, resumed=len(pipeline.last_cached),
+                total=len(selected), unit="experiments"))
         return 1 if problems else 0
     run = pipeline.run(jobs=args.jobs)
     sys.stdout.write(f"wrote {len(run.files)} artifacts under "
                      f"{args.output}: {run.summary()}\n")
+    if store is not None:
+        sys.stdout.write(_store_line(
+            store, resumed=len(run.cached_experiments),
+            total=len(run.experiments), unit="experiments"))
     if not pipeline.full_catalogue:
         sys.stdout.write("note: partial run — REPORT.md and values.json "
                          "are only refreshed by a full `repro report`\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Store subcommand (inspect / manage the result store)
+# ---------------------------------------------------------------------------
+
+def _configure_store(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("action", choices=("stats", "gc", "clear", "key"),
+                     help="stats: summarise the store; gc: drop records "
+                          "invalidated by code edits; clear: drop "
+                          "everything; key: print the combined "
+                          "code-version token (the CI cache key)")
+    sub.add_argument("--store", metavar="DIR", default=None,
+                     help="result-store directory (default: "
+                          f"$REPRO_STORE_DIR or {DEFAULT_STORE_DIR})")
+
+
+def _command_store(ctx: CommandContext) -> int:
+    args = ctx.args
+    if args.action == "key":
+        sys.stdout.write(combined_token() + "\n")
+        return 0
+    store = ResultStore(args.store)
+    if args.action == "clear":
+        removed = store.clear()
+        sys.stdout.write(f"store: removed {removed} records "
+                         f"from {store.root}\n")
+        return 0
+    tokens = all_code_versions()
+    if args.action == "gc":
+        kept, removed, freed = store.gc(tokens)
+        sys.stdout.write(f"store: gc kept {kept} records, removed "
+                         f"{removed} stale ones ({freed} bytes) "
+                         f"under {store.root}\n")
+        return 0
+    # stats
+    groups: dict[tuple[str, str], list] = {}
+    for entry in store.entries():
+        groups.setdefault((entry.subsystem, entry.kind), []).append(entry)
+    rows = [(subsystem, kind, len(entries),
+             sum(entry.size_bytes for entry in entries),
+             sum(1 for entry in entries
+                 if tokens.get(subsystem) != entry.token))
+            for (subsystem, kind), entries in sorted(groups.items())]
+    _print(render_table(
+        ["subsystem", "kind", "records", "bytes", "stale"], rows,
+        title=f"Result store under {store.root}"))
+    for name, token in sorted(tokens.items()):
+        sys.stdout.write(f"token {name}: {token[:16]}\n")
+    total = sum(len(entries) for entries in groups.values())
+    sys.stdout.write(f"{total} records, {store.size_bytes()} bytes; "
+                     f"cache key {combined_token()[:16]}\n")
     return 0
 
 
@@ -451,6 +604,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
                           "reproduction report",
                 _command_report, configure=_configure_report,
                 needs_workload=False),
+    CommandSpec("store", "inspect or manage the result store "
+                         "(stats, gc, clear, key)",
+                _command_store, configure=_configure_store,
+                needs_workload=False),
 )
 
 _COMMAND_INDEX = {spec.name: spec for spec in COMMANDS}
@@ -489,16 +646,30 @@ def _load_workload(args: argparse.Namespace) -> MessageSet:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``python -m repro``; returns the process exit code."""
+    """Entry point of ``python -m repro``; returns the process exit code.
+
+    Bad arguments and bad inputs (a missing workload CSV, an invalid
+    station count, an unwritable output path) exit with code 2 and a
+    single ``error: ...`` line on stderr — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     spec = _COMMAND_INDEX[args.command]
-    context = CommandContext(
-        args=args,
-        message_set=_load_workload(args) if spec.needs_workload else None,
-        capacity=units.mbps(args.capacity_mbps),
-        technology_delay=units.us(args.technology_delay_us))
-    return spec.handler(context)
+    try:
+        context = CommandContext(
+            args=args,
+            message_set=(_load_workload(args) if spec.needs_workload
+                         else None),
+            capacity=units.mbps(args.capacity_mbps),
+            technology_delay=units.us(args.technology_delay_us))
+        return spec.handler(context)
+    except BrokenPipeError:
+        # `repro ... | head` closes stdout early; that is the consumer's
+        # choice, not a usage error — keep the historical behaviour.
+        raise
+    except (ReproError, OSError) as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

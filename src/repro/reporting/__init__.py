@@ -19,6 +19,7 @@ exclusively from these primitives so the output is deterministic.
 """
 
 from repro.reporting.tables import (
+    render_csv,
     render_markdown_table,
     render_table,
     write_csv,
@@ -35,6 +36,7 @@ from repro.reporting.formatting import (
 __all__ = [
     "render_table",
     "render_markdown_table",
+    "render_csv",
     "write_csv",
     "render_bar_chart",
     "render_svg_bar_chart",

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_markdown_table", "write_csv"]
+__all__ = ["render_table", "render_markdown_table", "render_csv",
+           "write_csv"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
@@ -63,12 +65,25 @@ def render_markdown_table(headers: Sequence[str],
     return "\n".join(lines) + "\n"
 
 
+def render_csv(headers: Sequence[str],
+               rows: Sequence[Sequence[Any]]) -> str:
+    """The exact text :func:`write_csv` puts on disk (``\\r\\n`` rows).
+
+    Exposed separately so consumers that cache or diff rendered artifacts
+    (the report pipeline's result store) handle CSV like every other
+    rendered string.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
 def write_csv(path: str | Path, headers: Sequence[str],
               rows: Sequence[Sequence[Any]]) -> None:
     """Write the same content as :func:`render_table` to a CSV file."""
     path = Path(path)
     with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(list(headers))
-        for row in rows:
-            writer.writerow(list(row))
+        handle.write(render_csv(headers, rows))

@@ -32,6 +32,8 @@ __all__ = [
     "experiment_names",
     "all_experiments",
     "select_experiments",
+    "result_to_payload",
+    "result_from_payload",
 ]
 
 
@@ -133,6 +135,82 @@ class ExperimentSpec:
         if not self.name:
             raise UnknownExperimentError(
                 "an experiment needs a non-empty name")
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialisation for the result store
+# ---------------------------------------------------------------------------
+
+def result_to_payload(result: ExperimentResult) -> dict:
+    """``result`` as a JSON-serialisable payload for the result store.
+
+    Cell values are restricted to JSON scalars (strings, numbers,
+    booleans, ``None``) by construction — experiment builds format
+    everything through :mod:`repro.reporting` — so the payload round-trips
+    exactly: :func:`result_from_payload` reconstructs a result whose
+    rendered artifacts are byte-identical to the original's.
+    """
+    return {
+        "tables": [{
+            "name": table.name,
+            "title": table.title,
+            "headers": list(table.headers),
+            "display_rows": [list(row) for row in table.display_rows],
+            "raw_headers": (None if table.raw_headers is None
+                            else list(table.raw_headers)),
+            "raw_rows": (None if table.raw_rows is None
+                         else [list(row) for row in table.raw_rows]),
+        } for table in result.tables],
+        "figures": [{
+            "name": figure.name,
+            "title": figure.title,
+            "labels": list(figure.labels),
+            "values": list(figure.values),
+            "unit": figure.unit,
+            "markers": [list(marker) for marker in figure.markers],
+        } for figure in result.figures],
+        "claims": [{
+            "claim": claim.claim,
+            "passed": claim.passed,
+            "detail": claim.detail,
+            "headline": claim.headline,
+        } for claim in result.claims],
+        "values": dict(result.values),
+        "notes": result.notes,
+    }
+
+
+def result_from_payload(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its stored payload."""
+    return ExperimentResult(
+        tables=[TableArtifact(
+            name=table["name"],
+            title=table["title"],
+            headers=tuple(table["headers"]),
+            display_rows=tuple(tuple(row) for row in table["display_rows"]),
+            raw_headers=(None if table["raw_headers"] is None
+                         else tuple(table["raw_headers"])),
+            raw_rows=(None if table["raw_rows"] is None
+                      else tuple(tuple(row) for row in table["raw_rows"])),
+        ) for table in payload["tables"]],
+        figures=[FigureArtifact(
+            name=figure["name"],
+            title=figure["title"],
+            labels=tuple(figure["labels"]),
+            values=tuple(figure["values"]),
+            unit=figure["unit"],
+            markers=tuple((int(index), value)
+                          for index, value in figure["markers"]),
+        ) for figure in payload["figures"]],
+        claims=[ClaimCheck(
+            claim=claim["claim"],
+            passed=bool(claim["passed"]),
+            detail=claim["detail"],
+            headline=bool(claim["headline"]),
+        ) for claim in payload["claims"]],
+        values=dict(payload["values"]),
+        notes=payload["notes"],
+    )
 
 
 _REGISTRY: dict[str, ExperimentSpec] = {}

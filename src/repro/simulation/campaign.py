@@ -47,6 +47,7 @@ from repro.reporting import (
     write_csv,
     yes_no,
 )
+from repro.store import ResultStore
 from repro.workloads import RealCaseParameters, generate_real_case
 
 __all__ = [
@@ -98,6 +99,9 @@ class CellOutcome:
     frames_dropped: int
     events_processed: int
     elapsed: float
+    #: True when this cell was served from the result store (``--resume``);
+    #: ``elapsed``/``events_processed`` then describe the original run.
+    resumed: bool = False
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,11 @@ class MonteCarloResult:
     def frames_dropped(self) -> int:
         """Total frames dropped across every cell (0 for shaped traffic)."""
         return sum(outcome.frames_dropped for outcome in self.outcomes)
+
+    @property
+    def resumed(self) -> int:
+        """Number of cells served from the result store."""
+        return sum(1 for outcome in self.outcomes if outcome.resumed)
 
     @property
     def max_tightness(self) -> float:
@@ -230,6 +239,16 @@ class SimulationCampaign:
     jobs:
         Number of worker processes to spread the cells over (default 1:
         evaluate in-process).  Results are identical for any value.
+    store:
+        An optional :class:`~repro.store.ResultStore`.  Every simulated
+        cell is written to it (fingerprinted by the cell spec, the
+        workload and the ``simulation`` code-version token); cells are
+        only read back with ``resume=True``.
+    resume:
+        Reuse cells already present in the store — ``repro simulate
+        --resume``: after an interruption only the unfinished cells are
+        simulated, and the aggregated rows (and CSV) are byte-identical
+        to an uninterrupted run because every cell is deterministic.
     """
 
     def __init__(self, *, station_count: int = 16, workload_seed: int = 7,
@@ -241,7 +260,9 @@ class SimulationCampaign:
                  duration: float = units.ms(320),
                  capacity: float = units.mbps(10),
                  technology_delay: float = units.us(16),
-                 jobs: int = 1) -> None:
+                 jobs: int = 1,
+                 store: ResultStore | None = None,
+                 resume: bool = False) -> None:
         if not scenarios:
             raise ConfigurationError("at least one scenario is required")
         for scenario in scenarios:
@@ -279,6 +300,8 @@ class SimulationCampaign:
         self.capacity = float(capacity)
         self.technology_delay = float(technology_delay)
         self.jobs = int(jobs)
+        self.store = store
+        self.resume = bool(resume)
 
     # -- grid ----------------------------------------------------------------
 
@@ -310,14 +333,17 @@ class SimulationCampaign:
         """Simulate every cell, then aggregate against the analytic bounds."""
         started = time.perf_counter()
         cells = self.cells()
+        store_root = None if self.store is None else str(self.store.root)
         if self.jobs > 1 and len(cells) > 1:
             workers = min(self.jobs, len(cells))
             with ProcessPoolExecutor(
                     max_workers=workers, initializer=_init_worker,
-                    initargs=(self._context(),)) as pool:
+                    initargs=(self._context(), store_root,
+                              self.resume)) as pool:
                 outcomes = list(pool.map(_evaluate_cell, cells))
         else:
-            _init_worker(self._context())
+            _init_worker(self._context(), store_root, self.resume,
+                         store=self.store)
             outcomes = [_evaluate_cell(cell) for cell in cells]
         result = MonteCarloResult(outcomes=outcomes)
         result.rows = self._aggregate(outcomes)
@@ -393,6 +419,10 @@ class SimulationCampaign:
 _WORKER_CONTEXT: dict | None = None
 #: Per-process cache: size factor -> (message_set, network).
 _WORKER_WORKLOADS: dict[int, tuple] = {}
+#: Per-process result store handle (``None`` disables persistence).
+_WORKER_STORE: ResultStore | None = None
+#: Whether stored cells may be reused (the ``--resume`` mode).
+_WORKER_RESUME: bool = False
 
 
 def _workload(context: dict, factor: int) -> MessageSet:
@@ -408,17 +438,89 @@ def _workload(context: dict, factor: int) -> MessageSet:
         seed=context["workload_seed"])
 
 
-def _init_worker(context: dict) -> None:
-    """Process-pool initializer: stash the campaign context."""
-    global _WORKER_CONTEXT
+def _init_worker(context: dict, store_root: str | None = None,
+                 resume: bool = False, *,
+                 store: ResultStore | None = None) -> None:
+    """Process-pool initializer: stash the campaign context and store.
+
+    The in-process path passes its live ``store`` handle so hit/miss
+    statistics accumulate on the campaign's own store; workers rebuild a
+    handle from ``store_root``.
+    """
+    global _WORKER_CONTEXT, _WORKER_STORE, _WORKER_RESUME
     _WORKER_CONTEXT = context
+    if store is None and store_root is not None:
+        store = ResultStore(store_root)
+    _WORKER_STORE = store
+    _WORKER_RESUME = bool(resume)
     _WORKER_WORKLOADS.clear()
 
 
+def _cell_key(context: dict, cell: SimulationCell) -> dict:
+    """The value-level spec fingerprinted for one simulation cell."""
+    return {"cell": cell,
+            "station_count": context["station_count"],
+            "workload_seed": context["workload_seed"],
+            "messages": context["messages"],
+            "duration": context["duration"],
+            "capacity": context["capacity"],
+            "technology_delay": context["technology_delay"]}
+
+
+def _outcome_to_payload(outcome: CellOutcome) -> dict:
+    """One cell outcome as a JSON payload for the result store."""
+    return {
+        "worst": {cls.name: value
+                  for cls, value in outcome.worst_per_class.items()},
+        "mean": {cls.name: value
+                 for cls, value in outcome.mean_per_class.items()},
+        "samples": {cls.name: count
+                    for cls, count in outcome.samples_per_class.items()},
+        "instances_sent": outcome.instances_sent,
+        "instances_delivered": outcome.instances_delivered,
+        "frames_dropped": outcome.frames_dropped,
+        "events_processed": outcome.events_processed,
+        "elapsed": outcome.elapsed,
+    }
+
+
+def _outcome_from_payload(cell: SimulationCell,
+                          payload: dict) -> CellOutcome:
+    """Rebuild a stored cell outcome (marked ``resumed``)."""
+    return CellOutcome(
+        cell=cell,
+        worst_per_class={PriorityClass[name]: float(value)
+                         for name, value in payload["worst"].items()},
+        mean_per_class={PriorityClass[name]: float(value)
+                        for name, value in payload["mean"].items()},
+        samples_per_class={PriorityClass[name]: int(count)
+                           for name, count in payload["samples"].items()},
+        instances_sent=int(payload["instances_sent"]),
+        instances_delivered=int(payload["instances_delivered"]),
+        frames_dropped=int(payload["frames_dropped"]),
+        events_processed=int(payload["events_processed"]),
+        elapsed=float(payload["elapsed"]),
+        resumed=True)
+
+
 def _evaluate_cell(cell: SimulationCell) -> CellOutcome:
-    """Simulate one cell (runs inside a worker process or in-process)."""
+    """One cell via the store (runs inside a worker process/in-process)."""
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before initialization"
+    if _WORKER_STORE is None:
+        return _simulate_cell(context, cell)
+    outcome, _ = _WORKER_STORE.cached(
+        "simulation-cell", _cell_key(context, cell),
+        lambda: _simulate_cell(context, cell),
+        subsystem="simulation",
+        encode=_outcome_to_payload,
+        decode=lambda payload: _outcome_from_payload(cell, payload),
+        reuse=_WORKER_RESUME)
+    return outcome
+
+
+def _simulate_cell(context: dict, cell: SimulationCell) -> CellOutcome:
+    """Actually run one cell's discrete-event simulation."""
     cached = _WORKER_WORKLOADS.get(cell.size_factor)
     if cached is None:
         message_set = _workload(context, cell.size_factor)

@@ -1,0 +1,54 @@
+"""Content-addressed result store and incremental-execution layer.
+
+PRs 1–4 made single runs fast; this package makes *repeat* runs cheap.
+Every unit of work the heavy pipelines execute — an analytic campaign
+scenario, a Monte-Carlo simulation cell, a report experiment — is given
+a stable :func:`fingerprint` hashed from its value-level spec plus the
+:mod:`code-version token <repro.store.versions>` of the subsystem that
+computes it.  Results are persisted as JSON records in a disk store
+(:class:`ResultStore`, ``.repro-store/`` by default) with atomic writes
+safe under ``--jobs N`` process fan-out, so:
+
+* a warm ``repro report`` re-run recomputes **zero** experiments,
+* ``repro campaign/simulate/report --resume`` skips every cell finished
+  before an interruption,
+* ``repro report --check`` only rebuilds experiments whose fingerprint
+  (spec or code) actually changed,
+* CI caches the store between workflow runs keyed on the code-version
+  tokens (``repro store key``), recomputing only invalidated cells.
+
+``repro store stats | gc | clear`` manage the store from the CLI;
+hit/miss/write statistics are surfaced after every store-enabled run.
+"""
+
+from repro.store.fingerprint import canonical, canonical_json, fingerprint
+from repro.store.store import (
+    DEFAULT_STORE_DIR,
+    STORE_DIR_ENV,
+    ResultStore,
+    StoreEntry,
+    StoreStats,
+)
+from repro.store.versions import (
+    SUBSYSTEMS,
+    ModuleGraph,
+    all_code_versions,
+    code_version,
+    combined_token,
+)
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "StoreEntry",
+    "STORE_DIR_ENV",
+    "DEFAULT_STORE_DIR",
+    "canonical",
+    "canonical_json",
+    "fingerprint",
+    "ModuleGraph",
+    "SUBSYSTEMS",
+    "code_version",
+    "all_code_versions",
+    "combined_token",
+]

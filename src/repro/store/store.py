@@ -1,0 +1,321 @@
+"""The content-addressed, disk-backed result store.
+
+Layout under the store root (``.repro-store/`` by default, overridable
+with the ``REPRO_STORE_DIR`` environment variable or the CLI ``--store``
+flag)::
+
+    .repro-store/
+      objects/<aa>/<fingerprint>.json    one self-describing record per
+                                         unit of work (scenario cell,
+                                         simulation cell, experiment)
+      index.jsonl                        append-only inventory, one JSON
+                                         line per write (rebuilt by gc)
+
+Every record carries its subsystem, the code-version token it was
+computed under, its kind and its payload, so the store can be audited,
+garbage-collected (``repro store gc`` drops records whose token no
+longer matches the current code) and summarised (``repro store stats``)
+without any external bookkeeping.  Writes are atomic — payloads land in
+a unique temporary file and are ``os.replace``d into place, and index
+lines are single appended writes — so ``--jobs N`` process fan-out can
+share one store: concurrent writers of the *same* fingerprint write
+identical bytes and the last rename wins.
+
+Reads never trust the disk blindly: a missing, truncated or corrupt
+record is a miss (the unit of work is recomputed and rewritten), never
+an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.store.fingerprint import fingerprint
+from repro.store.versions import all_code_versions, code_version
+
+__all__ = ["ResultStore", "StoreStats", "StoreEntry",
+           "STORE_DIR_ENV", "DEFAULT_STORE_DIR"]
+
+#: Environment variable naming the store root (CI points it at the cache).
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+#: Store root used when neither ``--store`` nor the env var is set.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_OBJECTS_DIR = "objects"
+_INDEX_NAME = "index.jsonl"
+
+#: A payload can legitimately be ``None``; misses are signalled with this.
+_MISS = object()
+
+_tmp_counter = 0
+_tmp_lock = threading.Lock()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters of one store handle (one run)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` lookups."""
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        """One human line, e.g. ``'11 hits, 0 misses, 0 writes'``."""
+        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One record found on disk (used by stats/gc, not the hot path)."""
+
+    fingerprint: str
+    subsystem: str
+    token: str
+    kind: str
+    path: Path
+    size_bytes: int
+
+
+class ResultStore:
+    """Content-addressed result store shared by every campaign runner.
+
+    Parameters
+    ----------
+    root:
+        The store directory.  ``None`` resolves ``$REPRO_STORE_DIR`` and
+        falls back to ``.repro-store`` in the current working directory.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the content-addressed records."""
+        return self.root / _OBJECTS_DIR
+
+    @property
+    def index_path(self) -> Path:
+        """The append-only inventory file."""
+        return self.root / _INDEX_NAME
+
+    def _blob_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    # -- fingerprints --------------------------------------------------------
+
+    def fingerprint_for(self, kind: str, key: Any, *, subsystem: str,
+                        token: str | None = None) -> str:
+        """The content address of one unit of work.
+
+        The fingerprint covers the work's ``kind`` (namespace), its
+        value-level ``key`` (spec), and the subsystem's current
+        code-version token — so editing the code behind a subsystem
+        moves every one of its fingerprints and old records simply stop
+        being found (until ``gc`` sweeps them).
+        """
+        if token is None:
+            token = code_version(subsystem)
+        # The key rides raw: fingerprint() canonicalises the whole
+        # envelope in one traversal.
+        return fingerprint({"kind": kind, "subsystem": subsystem,
+                            "token": token, "key": key})
+
+    # -- record I/O ----------------------------------------------------------
+
+    def get_payload(self, digest: str) -> Any:
+        """The stored payload, or the module-level miss sentinel.
+
+        Returns :data:`_MISS` (compare with :meth:`is_miss`) when the
+        record is absent or unreadable; a corrupt record is removed so
+        the next write replaces it.
+        """
+        path = self._blob_path(digest)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            payload = record["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return _MISS
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            try:  # corrupt record: drop it, the caller will recompute
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+            return _MISS
+        self.stats.hits += 1
+        return payload
+
+    @staticmethod
+    def is_miss(payload: Any) -> bool:
+        """True when :meth:`get_payload` found no usable record."""
+        return payload is _MISS
+
+    def put_payload(self, digest: str, payload: Any, *, subsystem: str,
+                    kind: str, token: str | None = None) -> None:
+        """Atomically write one record and append its index line."""
+        if token is None:
+            token = code_version(subsystem)
+        record = {"fingerprint": digest, "subsystem": subsystem,
+                  "token": token, "kind": kind, "payload": payload}
+        data = json.dumps(record, allow_nan=True, sort_keys=True)
+        path = self._blob_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
+        global _tmp_counter
+        with _tmp_lock:
+            _tmp_counter += 1
+            serial = _tmp_counter
+        tmp = path.parent / f".{digest[:16]}.{os.getpid()}.{serial}.tmp"
+        try:
+            tmp.write_text(data, encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        if not existed:
+            # Only new records earn an index line, so rewriting the same
+            # cell run after run does not grow the inventory unboundedly
+            # (gc rebuilds it exactly either way).
+            line = json.dumps(
+                {"fingerprint": digest, "subsystem": subsystem,
+                 "token": token, "kind": kind, "bytes": len(data)},
+                sort_keys=True)
+            with self.index_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        self.stats.writes += 1
+
+    def cached(self, kind: str, key: Any, compute: Callable[[], Any], *,
+               subsystem: str, encode: Callable[[Any], Any] | None = None,
+               decode: Callable[[Any], Any] | None = None,
+               token: str | None = None,
+               reuse: bool = True) -> tuple[Any, bool]:
+        """Fetch-or-compute one unit of work — the store's one protocol.
+
+        Returns ``(value, from_store)``.  ``encode``/``decode`` map the
+        computed value to/from its JSON payload (identity when omitted);
+        a ``decode`` that raises ``KeyError``/``TypeError``/``ValueError``
+        marks the record unreadable, which is a miss (recompute and
+        rewrite).  ``reuse=False`` skips the read entirely — the
+        write-only mode campaigns use when not ``--resume``-ing, so their
+        reported timings stay honest.
+        """
+        digest = self.fingerprint_for(kind, key, subsystem=subsystem,
+                                      token=token)
+        if reuse:
+            payload = self.get_payload(digest)
+            if not self.is_miss(payload):
+                try:
+                    return (decode(payload) if decode else payload), True
+                except (KeyError, TypeError, ValueError):
+                    self.stats.hits -= 1
+                    self.stats.misses += 1
+        value = compute()
+        self.put_payload(digest, encode(value) if encode else value,
+                         subsystem=subsystem, kind=kind, token=token)
+        return value, False
+
+    # -- maintenance (repro store stats / gc / clear) ------------------------
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """Every readable record on disk (unreadable files are skipped)."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                yield StoreEntry(
+                    fingerprint=str(record["fingerprint"]),
+                    subsystem=str(record["subsystem"]),
+                    token=str(record["token"]),
+                    kind=str(record["kind"]),
+                    path=path,
+                    size_bytes=path.stat().st_size)
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+
+    def size_bytes(self) -> int:
+        """Total bytes of every object record."""
+        if not self.objects_dir.is_dir():
+            return 0
+        return sum(path.stat().st_size
+                   for path in self.objects_dir.glob("*/*.json"))
+
+    def gc(self, tokens: dict[str, str] | None = None
+           ) -> tuple[int, int, int]:
+        """Drop records whose token no longer matches the current code.
+
+        Returns ``(kept, removed, freed_bytes)``.  ``tokens`` defaults to
+        the live subsystem tokens; records of *unknown* subsystems are
+        removed too (they can never be looked up again).  The index is
+        rebuilt to exactly the surviving records.
+        """
+        if tokens is None:
+            tokens = all_code_versions()
+        kept: list[StoreEntry] = []
+        removed = freed = 0
+        for entry in self.entries():
+            if tokens.get(entry.subsystem) == entry.token:
+                kept.append(entry)
+                continue
+            removed += 1
+            freed += entry.size_bytes
+            try:
+                entry.path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+        self._rewrite_index(kept)
+        self._prune_empty_dirs()
+        return len(kept), removed, freed
+
+    def clear(self) -> int:
+        """Remove every record (and the index); returns the count."""
+        removed = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+        if self.index_path.is_file():
+            self.index_path.unlink()
+        self._prune_empty_dirs()
+        return removed
+
+    def _rewrite_index(self, entries: list[StoreEntry]) -> None:
+        lines = [json.dumps(
+            {"fingerprint": entry.fingerprint, "subsystem": entry.subsystem,
+             "token": entry.token, "kind": entry.kind,
+             "bytes": entry.size_bytes}, sort_keys=True)
+            for entry in entries]
+        if not lines and not self.root.is_dir():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.index_path.write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8")
+
+    def _prune_empty_dirs(self) -> None:
+        if not self.objects_dir.is_dir():
+            return
+        for bucket in self.objects_dir.iterdir():
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        if not any(self.objects_dir.iterdir()):
+            self.objects_dir.rmdir()

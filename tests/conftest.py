@@ -12,10 +12,24 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+import os
+
 import pytest
 
 from repro import Message, MessageSet, units
+from repro.store import STORE_DIR_ENV
 from repro.workloads.realcase import RealCaseParameters, generate_real_case
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory) -> None:
+    """Point the result store at a session-private directory.
+
+    The CLI's heavy subcommands persist results under ``$REPRO_STORE_DIR``
+    (default ``.repro-store/`` in the working directory); the test suite
+    must never write into the checkout — nor reuse a developer's store.
+    """
+    os.environ[STORE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-store"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,163 @@
+"""Resumable campaigns: interrupted runs finish byte-identically."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignRunner, builtin_scenarios
+from repro.reports import ReportPipeline, select_experiments
+from repro.simulation.campaign import SimulationCampaign
+from repro.store import ResultStore
+
+
+def _campaign_csv(tmp_path: Path, name: str, runner: CampaignRunner) -> bytes:
+    result = runner.run(builtin_scenarios())
+    path = tmp_path / f"{name}.csv"
+    result.write_csv(path)
+    return path.read_bytes()
+
+
+class TestCampaignResume:
+    def test_interrupted_campaign_resumes_byte_identically(self, tmp_path):
+        """The acceptance gate: kill mid-campaign, resume, same CSV."""
+        reference = _campaign_csv(tmp_path, "reference", CampaignRunner())
+        store_root = tmp_path / "store"
+
+        # "Interrupted" run: the store keeps whatever cells finished
+        # before the kill — simulate one by dropping every record past
+        # the first four.
+        CampaignRunner(store=ResultStore(store_root)).run(
+            builtin_scenarios())
+        blobs = sorted((store_root / "objects").glob("*/*.json"))
+        assert len(blobs) == len(builtin_scenarios())
+        for blob in blobs[4:]:
+            blob.unlink()
+
+        resumed_store = ResultStore(store_root)
+        resumed = _campaign_csv(
+            tmp_path, "resumed",
+            CampaignRunner(store=resumed_store, resume=True))
+        assert resumed == reference
+        assert resumed_store.stats.hits == 4
+        assert resumed_store.stats.writes \
+            == len(builtin_scenarios()) - 4
+
+    def test_rows_identical_with_and_without_store(self, tmp_path):
+        plain = CampaignRunner().run(builtin_scenarios()).rows()
+        store = ResultStore(tmp_path / "store")
+        stored = CampaignRunner(store=store).run(builtin_scenarios()).rows()
+        resumed = CampaignRunner(store=ResultStore(tmp_path / "store"),
+                                 resume=True).run(builtin_scenarios())
+        assert stored == plain
+        assert resumed.rows() == plain
+        assert resumed.resumed == len(builtin_scenarios())
+
+    def test_without_resume_the_store_is_write_only(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(store=store).run(builtin_scenarios())
+        again = ResultStore(tmp_path / "store")
+        CampaignRunner(store=again).run(builtin_scenarios())
+        assert again.stats.hits == 0
+        assert again.stats.writes == len(builtin_scenarios())
+
+    def test_stale_token_is_not_resumed(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        CampaignRunner(store=store).run(builtin_scenarios())
+        monkeypatch.setattr("repro.store.store.code_version",
+                            lambda subsystem: "bumped")
+        fresh = ResultStore(tmp_path / "store")
+        result = CampaignRunner(store=fresh, resume=True).run(
+            builtin_scenarios())
+        assert result.resumed == 0
+        assert fresh.stats.misses == len(builtin_scenarios())
+
+
+@pytest.fixture()
+def small_grid(tmp_path):
+    def factory(**kwargs):
+        return SimulationCampaign(
+            station_count=6, workload_seed=3, seeds=(1, 2),
+            scenarios=("synchronized",), policies=("fcfs",
+                                                   "strict-priority"),
+            **kwargs)
+    return factory
+
+
+class TestSimulateResume:
+    def test_interrupted_grid_resumes_byte_identically(self, tmp_path,
+                                                       small_grid):
+        reference = tmp_path / "reference.csv"
+        small_grid().run().write_csv(reference)
+
+        store_root = tmp_path / "store"
+        small_grid(store=ResultStore(store_root)).run()
+        blobs = sorted((store_root / "objects").glob("*/*.json"))
+        assert len(blobs) == 4  # 2 seeds x 2 policies
+        blobs[0].unlink()
+        blobs[-1].unlink()
+
+        resumed_path = tmp_path / "resumed.csv"
+        campaign = small_grid(store=ResultStore(store_root), resume=True)
+        result = campaign.run()
+        result.write_csv(resumed_path)
+        assert result.resumed == 2
+        assert resumed_path.read_bytes() == reference.read_bytes()
+
+    def test_jobs_fanout_shares_the_store(self, tmp_path, small_grid):
+        store_root = tmp_path / "store"
+        small_grid(store=ResultStore(store_root), jobs=2).run()
+        result = small_grid(store=ResultStore(store_root), resume=True,
+                            jobs=2).run()
+        assert result.resumed == result.cells == 4
+
+
+class TestReportStoreRuns:
+    def test_warm_full_run_recomputes_nothing_and_matches(self, tmp_path):
+        store_root = tmp_path / "store"
+        selected = select_experiments("figure1,violations")
+        cold = ReportPipeline(tmp_path / "a", experiments=selected,
+                              store=ResultStore(store_root))
+        cold.run()
+        assert cold.last_computed == ["figure1", "violations"]
+        warm = ReportPipeline(tmp_path / "b", experiments=selected,
+                              store=ResultStore(store_root))
+        run = warm.run()
+        assert warm.last_computed == []
+        assert warm.last_cached == ["figure1", "violations"]
+        assert run.cached_experiments == ["figure1", "violations"]
+        for relative in run.files:
+            assert (tmp_path / "a" / relative).read_bytes() \
+                == (tmp_path / "b" / relative).read_bytes()
+
+    def test_check_uses_the_store_and_stays_correct(self, tmp_path):
+        store_root = tmp_path / "store"
+        selected = select_experiments("violations")
+        target = tmp_path / "artifacts"
+        pipeline = ReportPipeline(target, experiments=selected,
+                                  store=ResultStore(store_root))
+        pipeline.run()
+        checker = ReportPipeline(target, experiments=selected,
+                                 store=ResultStore(store_root))
+        assert checker.check() == []
+        assert checker.last_cached == ["violations"]
+        # A hand edit is still caught even though the result was cached.
+        table = target / "violations" / "violations.md"
+        table.write_text(table.read_text() + "tampered\n")
+        problems = ReportPipeline(target, experiments=selected,
+                                  store=ResultStore(store_root)).check()
+        assert any("stale artifact" in problem for problem in problems)
+
+    def test_corrupt_store_record_falls_back_to_building(self, tmp_path):
+        store_root = tmp_path / "store"
+        selected = select_experiments("violations")
+        store = ResultStore(store_root)
+        ReportPipeline(tmp_path / "a", experiments=selected,
+                       store=store).run()
+        for blob in (store_root / "objects").glob("*/*.json"):
+            blob.write_text('{"payload": {"bogus": 1}}', encoding="utf-8")
+        warm = ReportPipeline(tmp_path / "b", experiments=selected,
+                              store=ResultStore(store_root))
+        warm.run()
+        assert warm.last_computed == ["violations"]
+        assert (tmp_path / "a" / "violations" / "violations.md").read_bytes() \
+            == (tmp_path / "b" / "violations" / "violations.md").read_bytes()

@@ -1,0 +1,182 @@
+"""ResultStore: round-trips, corruption, gc/clear, concurrent writers."""
+
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.store import STORE_DIR_ENV, ResultStore
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, store):
+        value, from_store = store.cached(
+            "kind", {"k": 1}, lambda: {"answer": 42}, subsystem="campaigns")
+        assert value == {"answer": 42}
+        assert not from_store
+        value, from_store = store.cached(
+            "kind", {"k": 1}, lambda: pytest.fail("must not recompute"),
+            subsystem="campaigns")
+        assert value == {"answer": 42}
+        assert from_store
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.writes == 1
+
+    def test_different_keys_do_not_collide(self, store):
+        store.cached("kind", {"k": 1}, lambda: "one", subsystem="campaigns")
+        value, _ = store.cached("kind", {"k": 2}, lambda: "two",
+                                subsystem="campaigns")
+        assert value == "two"
+
+    def test_different_kinds_do_not_collide(self, store):
+        store.cached("a", {"k": 1}, lambda: "A", subsystem="campaigns")
+        value, _ = store.cached("b", {"k": 1}, lambda: "B",
+                                subsystem="campaigns")
+        assert value == "B"
+
+    def test_non_finite_floats_round_trip(self, store):
+        payload = {"bound": math.inf, "tightness": math.nan}
+        store.cached("kind", "key", lambda: payload, subsystem="campaigns")
+        value, from_store = store.cached("kind", "key", dict,
+                                         subsystem="campaigns")
+        assert from_store
+        assert value["bound"] == math.inf
+        assert math.isnan(value["tightness"])
+
+    def test_none_payload_is_a_valid_value(self, store):
+        store.cached("kind", "key", lambda: None, subsystem="campaigns")
+        value, from_store = store.cached(
+            "kind", "key", lambda: pytest.fail("must not recompute"),
+            subsystem="campaigns")
+        assert value is None
+        assert from_store
+
+    def test_float_payloads_round_trip_exactly(self, store):
+        payload = [0.1 + 0.2, 1e-300, 3.141592653589793, 2.0 ** 53 + 1.0]
+        store.put_payload("ab" * 32, payload, subsystem="campaigns",
+                          kind="kind")
+        assert store.get_payload("ab" * 32) == payload
+
+
+class TestInvalidation:
+    def test_code_version_bump_moves_the_fingerprint(self, store):
+        first = store.fingerprint_for("kind", "key", subsystem="campaigns",
+                                      token="token-1")
+        second = store.fingerprint_for("kind", "key", subsystem="campaigns",
+                                       token="token-2")
+        assert first != second
+
+    def test_bumped_token_recomputes_and_gc_sweeps(self, store):
+        store.cached("kind", "key", lambda: "old", subsystem="campaigns",
+                     token="token-1")
+        value, from_store = store.cached("kind", "key", lambda: "new",
+                                         subsystem="campaigns",
+                                         token="token-2")
+        assert value == "new"
+        assert not from_store
+        kept, removed, freed = store.gc({"campaigns": "token-2"})
+        assert (kept, removed) == (1, 1)
+        assert freed > 0
+        entries = list(store.entries())
+        assert len(entries) == 1
+        assert entries[0].token == "token-2"
+
+    def test_gc_drops_unknown_subsystems(self, store):
+        store.cached("kind", "key", lambda: 1, subsystem="campaigns",
+                     token="t")
+        kept, removed, _ = store.gc({})
+        assert (kept, removed) == (0, 1)
+
+    def test_clear_removes_everything(self, store):
+        for key in range(3):
+            store.cached("kind", key, lambda: key, subsystem="campaigns")
+        assert store.clear() == 3
+        assert list(store.entries()) == []
+        assert store.size_bytes() == 0
+        assert not store.index_path.exists()
+
+
+class TestRobustness:
+    def test_corrupt_record_is_a_miss_and_is_replaced(self, store):
+        digest = store.fingerprint_for("kind", "key", subsystem="campaigns")
+        store.put_payload(digest, {"v": 1}, subsystem="campaigns",
+                          kind="kind")
+        blob = store._blob_path(digest)
+        blob.write_text("{not json", encoding="utf-8")
+        assert store.is_miss(store.get_payload(digest))
+        assert not blob.exists()
+        value, from_store = store.cached("kind", "key", lambda: {"v": 2},
+                                         subsystem="campaigns")
+        assert value == {"v": 2}
+        assert not from_store
+
+    def test_truncated_record_is_a_miss(self, store):
+        digest = store.fingerprint_for("kind", "key", subsystem="campaigns")
+        store.put_payload(digest, list(range(100)), subsystem="campaigns",
+                          kind="kind")
+        blob = store._blob_path(digest)
+        blob.write_bytes(blob.read_bytes()[:20])
+        assert store.is_miss(store.get_payload(digest))
+
+    def test_no_temporary_files_survive_a_write(self, store):
+        store.cached("kind", "key", lambda: 1, subsystem="campaigns")
+        leftovers = [path for path in store.root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_env_var_names_the_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "via-env"))
+        assert ResultStore().root == tmp_path / "via-env"
+        assert ResultStore(tmp_path / "explicit").root \
+            == tmp_path / "explicit"
+
+    def test_index_lines_are_valid_json(self, store):
+        for key in range(5):
+            store.cached("kind", key, lambda: key, subsystem="campaigns")
+        lines = store.index_path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert record["subsystem"] == "campaigns"
+
+
+def _hammer(args: tuple[str, int]) -> int:
+    """Worker: write 25 records, re-reading half of them, into one store."""
+    root, worker = args
+    store = ResultStore(root)
+    for index in range(25):
+        key = {"worker": worker % 2, "index": index}  # 2 workers collide
+        store.cached("concurrent", key, lambda: {"payload": [index] * 50},
+                     subsystem="campaigns", token="shared")
+    return store.stats.writes
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_share_one_store_safely(self, tmp_path):
+        root = str(tmp_path / "store")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            writes = list(pool.map(_hammer, [(root, w) for w in range(4)]))
+        assert sum(writes) >= 50  # every distinct record written at least once
+        store = ResultStore(root)
+        entries = list(store.entries())
+        assert len(entries) == 50  # 2 worker-groups x 25 distinct records
+        # Every surviving blob parses and every index line is valid JSON.
+        for entry in entries:
+            payload = store.get_payload(entry.fingerprint)
+            assert not store.is_miss(payload)
+        for line in store.index_path.read_text().splitlines():
+            json.loads(line)
+        # And a warm pass over every key is all hits.
+        warm = ResultStore(root)
+        for worker in (0, 1):
+            for index in range(25):
+                _, from_store = warm.cached(
+                    "concurrent", {"worker": worker, "index": index},
+                    lambda: None, subsystem="campaigns", token="shared")
+                assert from_store

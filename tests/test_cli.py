@@ -9,22 +9,26 @@ from repro.cli import COMMANDS, build_parser, main
 WORKLOAD_ARGS = ["--stations", "6", "--seed", "3"]
 
 
+#: Extra arguments completing the commands whose subparser has required
+#: arguments of its own.
+_REQUIRED_EXTRAS = {"export": ["--output", "x.csv"], "store": ["stats"]}
+
+
 class TestParser:
     def test_every_command_is_registered(self):
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
-                        "campaign", "simulate", "report"):
+                        "campaign", "simulate", "report", "store"):
             args = parser.parse_args(
-                [command] if command != "export"
-                else [command, "--output", "x.csv"])
+                [command] + _REQUIRED_EXTRAS.get(command, []))
             assert args.command == command
 
     def test_the_dispatch_table_drives_the_parser(self):
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
             "jitter", "buffers", "export", "campaign", "simulate",
-            "report"]
+            "report", "store"]
 
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -43,6 +47,8 @@ class TestEveryCommandEndToEnd:
         elif command == "report":
             argv = ["report", "--experiment", "figure1",
                     "--output", str(tmp_path / "artifacts")]
+        elif command == "store":
+            argv = ["store", "stats", "--store", str(tmp_path / "store")]
         exit_code = main(argv)
         output = capsys.readouterr().out
         assert exit_code == 0
@@ -214,6 +220,122 @@ class TestCampaignJobs:
     def test_invalid_job_count_fails_cleanly(self, capsys):
         assert main(["campaign", "--run", "ladder", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Every subcommand fails with a one-line error, never a traceback."""
+
+    MISSING = "/no/such/workload.csv"
+
+    @pytest.mark.parametrize("command", [
+        spec.name for spec in COMMANDS if spec.needs_workload])
+    def test_missing_workload_is_a_one_line_error(self, command, capsys):
+        argv = ["--workload", self.MISSING, command]
+        if command == "export":
+            argv += ["--output", "x.csv"]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_invalid_station_count_is_a_one_line_error(self, capsys):
+        assert main(["--stations", "2", "figure1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "station" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["campaign", "--run", "no-such-scenario"],
+        ["campaign", "--run", "ladder", "--jobs", "0"],
+        ["simulate", "--scenarios", "warp"],
+        ["simulate", "--size-factors", "two"],
+        ["simulate", "--seeds", "0"],
+        ["report", "--experiment", "no-such"],
+        ["report", "--jobs", "0"],
+    ])
+    def test_bad_subcommand_arguments_fail_cleanly(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "Traceback" not in err
+
+    def test_bad_store_action_is_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_unwritable_export_path_is_a_one_line_error(self, capsys):
+        assert main(WORKLOAD_ARGS + [
+            "export", "--output", "/no/such/dir/set.csv"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestStoreCommand:
+    def test_stats_on_an_empty_store(self, tmp_path, capsys):
+        assert main(["store", "stats", "--store",
+                     str(tmp_path / "empty")]) == 0
+        output = capsys.readouterr().out
+        assert "Result store" in output
+        assert "0 records" in output
+
+    def test_key_prints_one_hex_token_line(self, capsys):
+        assert main(["store", "key"]) == 0
+        output = capsys.readouterr().out.strip()
+        assert len(output.splitlines()) == 1
+        assert len(output) == 64
+        assert all(char in "0123456789abcdef" for char in output)
+
+    def test_campaign_populates_then_gc_keeps_then_clear_empties(
+            self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "--run", "paper-real-case", "--store",
+                     store_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        assert "campaign-scenario" in capsys.readouterr().out
+        assert main(["store", "gc", "--store", store_dir]) == 0
+        assert "removed 0 stale" in capsys.readouterr().out
+        assert main(["store", "clear", "--store", store_dir]) == 0
+        assert "removed 1 records" in capsys.readouterr().out
+
+    def test_campaign_resume_reuses_the_previous_run(self, tmp_path,
+                                                     capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["campaign", "--run", "ladder", "--store",
+                     store_dir]) == 0
+        assert "resumed 0/4 scenarios" in capsys.readouterr().out
+        assert main(["campaign", "--run", "ladder", "--store", store_dir,
+                     "--resume"]) == 0
+        assert "resumed 4/4 scenarios" in capsys.readouterr().out
+
+    def test_no_store_disables_persistence(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["campaign", "--run", "paper-real-case", "--store",
+                     str(store_dir), "--no-store"]) == 0
+        assert "store:" not in capsys.readouterr().out
+        assert not store_dir.exists()
+
+    def test_report_warm_run_recomputes_nothing(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        args = ["report", "--experiment", "figure1", "--store", store_dir]
+        assert main(args + ["--output", str(tmp_path / "a")]) == 0
+        assert "resumed 0/1 experiments" in capsys.readouterr().out
+        assert main(args + ["--output", str(tmp_path / "b")]) == 0
+        assert "resumed 1/1 experiments" in capsys.readouterr().out
+        first = (tmp_path / "a" / "figure1" / "bounds.md").read_bytes()
+        second = (tmp_path / "b" / "figure1" / "bounds.md").read_bytes()
+        assert first == second
+
+    def test_simulate_resume_reports_resumed_cells(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        argv = ["--stations", "6", "--seed", "3", "simulate", "--seeds",
+                "1", "--scenarios", "synchronized", "--policies", "fcfs",
+                "--store", store_dir]
+        assert main(argv) == 0
+        assert "resumed 0/1 cells" in capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert "resumed 1/1 cells" in capsys.readouterr().out
 
 
 class TestSimulateCommand:

@@ -134,14 +134,21 @@ class TestDocstringCoverage:
 class TestExecutableDocs:
     def test_docgen_check_passes_on_the_committed_docs(self):
         values = docgen.load_values(REPO_ROOT / "artifacts" / "values.json")
+        # The benchmark-derived bench.* keys ride on top, as in docgen.main.
+        values.update(docgen.load_values(
+            REPO_ROOT / docgen.DEFAULT_BENCH_VALUES))
         for name in docgen.DEFAULT_DOCS:
             text = (REPO_ROOT / name).read_text()
             new_text, stale, unknown = docgen.substitute(text, values)
             assert unknown == [], f"{name}: unknown keys {unknown}"
+            # bench.* spans carry machine timings; a local benchmark run
+            # legitimately refreshes them, so only deterministic keys may
+            # fail the drift check (mirrors docgen --check).
+            stale = [key for key in stale
+                     if not key.startswith(docgen.VOLATILE_PREFIX)]
             assert stale == [], (
                 f"{name}: stale spans {stale} — run `repro report` then "
                 f"`python tools/docgen.py`")
-            assert new_text == text
 
     def test_stale_span_is_detected_and_rewritten(self):
         text = "Bound: <!-- repro:k -->old<!-- /repro --> end"

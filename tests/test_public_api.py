@@ -17,7 +17,7 @@ _PACKAGES = ["repro"] + [
     f"repro.{name}" for name in (
         "analysis", "campaigns", "core", "core.netcalc", "ethernet",
         "flows", "milstd1553", "reporting", "reports", "shaping",
-        "simulation", "topology", "workloads")]
+        "simulation", "store", "topology", "workloads")]
 
 
 def _walk_modules() -> list[str]:
@@ -67,5 +67,10 @@ class TestWholeTree:
     def test_top_level_all_is_not_missing_report_api(self):
         for name in ("ExperimentSpec", "ReportPipeline", "all_experiments",
                      "register_experiment"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_top_level_all_is_not_missing_store_api(self):
+        for name in ("ResultStore",):
             assert name in repro.__all__
             assert hasattr(repro, name)

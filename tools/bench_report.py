@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Machine-readable benchmark trajectory: write ``BENCH_report.json``.
+
+The benchmark harness persists every exhibit as human-oriented tables
+under ``benchmarks/results/``; CI wants one machine-readable summary it
+can upload as an artifact and plot across runs.  This script distils the
+key performance trajectory — simulation kernel events/second, analytic
+sweep wall time, campaign memoization speedup and result-store warm-run
+numbers — from those committed CSVs into a single JSON document.
+
+Run after the benchmarks (``pytest benchmarks -q``)::
+
+    python tools/bench_report.py [--output BENCH_report.json]
+
+Missing inputs are reported in the JSON (``"missing"``) rather than
+failing, so a partial benchmark run still produces a useful artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+DEFAULT_OUTPUT = "BENCH_report.json"
+
+
+def _number(text: str) -> float | str:
+    """Parse ``'809,379'`` / ``'1.08'`` / ``'141x'``-style cells."""
+    cleaned = text.strip().rstrip("x%").replace(",", "").strip()
+    try:
+        return float(cleaned)
+    except ValueError:
+        return text.strip()
+
+
+def _metric_rows(name: str) -> dict[str, str]:
+    """A two-column ``metric,value`` CSV as a dict (empty if absent)."""
+    path = RESULTS_DIR / f"{name}.csv"
+    if not path.is_file():
+        return {}
+    with path.open(newline="") as handle:
+        return {row["metric"]: row["value"]
+                for row in csv.DictReader(handle)}
+
+
+def _sim_throughput() -> dict:
+    path = RESULTS_DIR / "sim_throughput.csv"
+    if not path.is_file():
+        return {}
+    with path.open(newline="") as handle:
+        return {row["policy"]: {
+            "events_per_sec": _number(row["events_per_sec"]),
+            "speedup_over_pre_rewrite": _number(row["speedup"]),
+        } for row in csv.DictReader(handle)}
+
+
+def build_report() -> dict:
+    """The benchmark-trajectory document, section by section."""
+    report: dict = {"missing": []}
+
+    simulation = _sim_throughput()
+    if simulation:
+        report["simulation_kernel"] = simulation
+    else:
+        report["missing"].append("sim_throughput.csv")
+
+    scaling = _metric_rows("perf_scaling")
+    if scaling:
+        report["analytic_sweep"] = {
+            "wall_time_s": _number(scaling.get("wall_time_s", "")),
+            "speedup_over_seed": _number(scaling.get("speedup", "")),
+            "messages_at_64x": _number(scaling.get("messages_at_64x", "")),
+        }
+    else:
+        report["missing"].append("perf_scaling.csv")
+
+    campaign_path = RESULTS_DIR / "campaign.csv"
+    if campaign_path.is_file():
+        with campaign_path.open(newline="") as handle:
+            report["campaign_memoization"] = list(csv.DictReader(handle))
+    else:
+        report["missing"].append("campaign.csv")
+
+    store = _metric_rows("store_warm")
+    if store:
+        report["result_store"] = {
+            "cold_s": _number(store.get("cold_s", "")),
+            "warm_s": _number(store.get("warm_s", "")),
+            "warm_speedup": _number(store.get("speedup", "")),
+            "warm_recomputations": _number(
+                store.get("warm_recomputations", "")),
+            "warm_hit_rate_percent": _number(
+                store.get("warm_hit_rate", "")),
+        }
+    else:
+        report["missing"].append("store_warm.csv")
+
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON document "
+                             f"(default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    report = build_report()
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    sections = sorted(key for key in report if key != "missing")
+    print(f"bench-report: wrote {output} ({', '.join(sections)}"
+          f"{'; missing: ' + ', '.join(report['missing']) if report['missing'] else ''})")
+    return 0 if sections else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,20 @@ DEFAULT_DOCS = ("README.md", "DESIGN.md")
 #: Where ``repro report`` writes the value map.
 DEFAULT_VALUES = "artifacts/values.json"
 
+#: Benchmark-derived values (``bench.*`` keys), written by the committed
+#: benchmark harness (``benchmarks/test_bench_store.py``).  Machine
+#: timings are not byte-deterministic, so they live in their own file:
+#: the docs are checked against the *committed* numbers, which only move
+#: when a benchmark run is recommitted — exactly like the rest of
+#: ``benchmarks/results/``.
+DEFAULT_BENCH_VALUES = "benchmarks/results/BENCH_values.json"
+
+#: Keys with this prefix carry machine timings: the default mode still
+#: substitutes them, but ``--check`` only verifies they *exist* — a local
+#: benchmark run refreshes the value file with jittery numbers, and
+#: failing CI on timing jitter would make every benchmark run "dirty".
+VOLATILE_PREFIX = "bench."
+
 _SPAN = re.compile(
     r"<!--\s*repro:(?P<key>[A-Za-z0-9_.-]+)\s*-->"
     r"(?P<value>.*?)"
@@ -90,7 +104,7 @@ def process_doc(doc: Path, values: dict[str, str], *,
         problems.extend(
             f"{doc.name}: stale value for {key!r} "
             f"(run `python tools/docgen.py` after `repro report`)"
-            for key in stale)
+            for key in stale if not key.startswith(VOLATILE_PREFIX))
     elif new_text != text:
         doc.write_text(new_text, encoding="utf-8")
         print(f"docgen: {doc.name}: updated {len(stale)} span(s)")
@@ -103,6 +117,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="verify the docs are in sync; write nothing")
     parser.add_argument("--values", default=DEFAULT_VALUES,
                         help=f"value map path (default: {DEFAULT_VALUES})")
+    parser.add_argument("--bench-values", default=DEFAULT_BENCH_VALUES,
+                        help=f"benchmark value map merged on top "
+                             f"(default: {DEFAULT_BENCH_VALUES}; skipped "
+                             f"when absent)")
     parser.add_argument("docs", nargs="*", default=list(DEFAULT_DOCS),
                         help="documents to process (default: README.md "
                              "DESIGN.md)")
@@ -115,6 +133,9 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     values = load_values(values_path)
+    bench_path = REPO_ROOT / args.bench_values
+    if bench_path.is_file():
+        values.update(load_values(bench_path))
 
     problems: list[str] = []
     spans = 0
