@@ -47,6 +47,7 @@ from repro.core.endtoend import EndToEndAnalysis
 from repro.ethernet.network_sim import EthernetNetworkSimulator
 from repro.flows.flow import Flow
 from repro.flows.message_set import MessageSet
+from repro.fuzz import FuzzCampaign, FuzzResult, ScenarioGenerator
 from repro.flows.messages import Message, MessageKind
 from repro.flows.priorities import PriorityClass, assign_priority
 from repro.milstd1553.bus import Milstd1553BusSimulator
@@ -95,6 +96,9 @@ __all__ = [
     "CampaignRunner",
     "CampaignResult",
     "builtin_scenarios",
+    "ScenarioGenerator",
+    "FuzzCampaign",
+    "FuzzResult",
     "ExperimentSpec",
     "ReportPipeline",
     "all_experiments",

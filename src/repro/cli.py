@@ -14,6 +14,7 @@ without pytest::
     python -m repro campaign --list          # the scenario catalogue
     python -m repro campaign --run all       # batched scenario analysis
     python -m repro simulate --seeds 8       # Monte-Carlo bound validation
+    python -m repro fuzz --count 500         # randomized soundness fuzzing
     python -m repro report                   # regenerate artifacts/
     python -m repro report --check           # CI drift gate on artifacts/
     python -m repro store stats              # inspect the result store
@@ -61,6 +62,8 @@ from repro.errors import (
     UnknownExperimentError,
     UnknownScenarioError,
 )
+from repro.fuzz import FuzzCampaign, persist_interesting
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
 from repro.store import (
     DEFAULT_STORE_DIR,
     ResultStore,
@@ -441,6 +444,103 @@ def _command_simulate(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Fuzz subcommand (randomized soundness campaigns)
+# ---------------------------------------------------------------------------
+
+def _configure_fuzz(sub: argparse.ArgumentParser) -> None:
+    _configure_store_flags(sub)
+    sub.add_argument("--count", type=int, default=100, metavar="N",
+                     help="number of generated scenarios (default: 100)")
+    sub.add_argument("--seed", type=int, default=0, metavar="N",
+                     help="generator master seed (default: 0; same seed "
+                          "=> bit-identical scenario stream)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="evaluate cells in N worker processes "
+                          "(default: 1, in-process)")
+    sub.add_argument("--duration-ms", type=float, default=160.0,
+                     help="simulated horizon per cell in ms (default: 160)")
+    sub.add_argument("--tightness", type=float, default=0.9,
+                     metavar="RATIO",
+                     help="near-tight corpus threshold on simulated/bound "
+                          "(default: 0.9)")
+    sub.add_argument("--corpus", metavar="DIR", default=None,
+                     help="regression-corpus directory "
+                          f"(default: {DEFAULT_CORPUS_DIR})")
+    sub.add_argument("--no-corpus", action="store_true",
+                     help="do not minimize/persist interesting scenarios "
+                          "into the corpus")
+    sub.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the per-cell rows to a CSV file")
+    sub.add_argument("--markdown", action="store_true",
+                     help="render the result table as markdown")
+
+
+def _command_fuzz(ctx: CommandContext) -> int:
+    args = ctx.args
+    if args.count < 1:
+        sys.stderr.write(f"error: --count must be at least 1, "
+                         f"got {args.count}\n")
+        return 2
+    if args.seed < 0:
+        sys.stderr.write(f"error: --seed must be non-negative, "
+                         f"got {args.seed}\n")
+        return 2
+    if args.jobs < 1:
+        sys.stderr.write(f"error: --jobs must be at least 1, "
+                         f"got {args.jobs}\n")
+        return 2
+    store = _resolve_store(args)
+    try:
+        campaign = FuzzCampaign(
+            count=args.count,
+            seed=args.seed,
+            duration=units.ms(args.duration_ms),
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume,
+            tightness_threshold=args.tightness)
+    except ConfigurationError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    result = campaign.run()
+    _print(result.to_markdown() if args.markdown else result.to_table())
+    # As in `simulate`: resumed cells report their original event counts,
+    # so only freshly evaluated cells may enter the throughput figure.
+    fresh_events = sum(outcome.events_processed
+                      for outcome in result.outcomes
+                      if not outcome.resumed)
+    jobs_note = f", {args.jobs} jobs" if args.jobs > 1 else ""
+    if fresh_events and result.elapsed > 0:
+        rate_note = (f" ({fresh_events / result.elapsed:,.0f} events/s"
+                     f"{jobs_note})")
+    else:
+        rate_note = f" (all cells resumed{jobs_note})"
+    tightness_note = ("-" if result.max_tightness != result.max_tightness
+                      else f"{result.max_tightness:.3f}")
+    sys.stdout.write(
+        f"{result.cells} cells, {result.violation_count} violations, "
+        f"max tightness {tightness_note} in {result.elapsed:.2f} s"
+        f"{rate_note}; "
+        f"invariants hold: "
+        f"{'yes' if result.all_invariants_hold else 'NO'}\n")
+    if store is not None:
+        sys.stdout.write(_store_line(
+            store, resumed=result.resumed, total=result.cells,
+            unit="cells", show_stats=args.jobs == 1))
+    if not args.no_corpus:
+        update = persist_interesting(
+            result, generator_seed=args.seed,
+            directory=args.corpus)
+        sys.stdout.write(update.describe() + "\n")
+    if args.csv:
+        result.write_csv(args.csv)
+        row_count = sum(len(outcome.bound_rows)
+                        for outcome in result.outcomes)
+        sys.stdout.write(f"wrote {row_count} rows to {args.csv}\n")
+    return 0 if result.all_invariants_hold else 1
+
+
+# ---------------------------------------------------------------------------
 # Report subcommand
 # ---------------------------------------------------------------------------
 
@@ -599,6 +699,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("simulate", "Monte-Carlo simulation campaign: seeds x "
                             "scenarios x policies x scales vs the bounds",
                 _command_simulate, configure=_configure_simulate,
+                needs_workload=False),
+    CommandSpec("fuzz", "randomized soundness fuzzing: generated scenarios "
+                        "vs the analytic invariants",
+                _command_fuzz, configure=_configure_fuzz,
                 needs_workload=False),
     CommandSpec("report", "regenerate or drift-check the artifacts/ "
                           "reproduction report",

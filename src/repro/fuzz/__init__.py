@@ -1,0 +1,67 @@
+"""Randomized scenario fuzzing for the soundness invariants.
+
+The analysis claims the paper rests on — every analytic bound dominates the
+simulated worst case, stability flags agree with finite bounds, results are
+byte-deterministic and survive store round-trips — were historically checked
+on a handful of hand-written scenarios.  This package checks them on an
+arbitrarily large randomized slice of the input space:
+
+* :class:`ScenarioGenerator` / :class:`GeneratorConfig` — a fully seeded
+  stream of valid random :class:`~repro.campaigns.scenario.Scenario` specs
+  (same seed ⇒ bit-identical specs in any process),
+* :class:`FuzzCampaign` / :class:`FuzzResult` — push generated scenarios
+  through the existing analysis and simulation paths and check every
+  invariant per cell; store-backed and resumable (``repro fuzz``),
+* :func:`evaluate_scenario` / :func:`minimize_scenario` — one-shot
+  evaluation and greedy shrinking of interesting scenarios,
+* :mod:`repro.fuzz.corpus` — persist minimized violating or near-tight
+  scenarios as committed JSON specs under ``tests/fuzz/corpus/`` that
+  replay as ordinary tier-1 regression tests
+  (:func:`load_entries` / :func:`verify_entry` / :func:`persist_interesting`).
+"""
+
+from repro.fuzz.campaign import (
+    FuzzBoundRow,
+    FuzzCampaign,
+    FuzzCell,
+    FuzzOutcome,
+    FuzzResult,
+    evaluate_scenario,
+)
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS_DIR,
+    CorpusEntry,
+    CorpusUpdate,
+    load_entries,
+    persist_interesting,
+    scenario_from_spec,
+    scenario_to_spec,
+    verify_entry,
+)
+from repro.fuzz.generator import (
+    GeneratorConfig,
+    ScenarioGenerator,
+    derive_substream_seed,
+)
+from repro.fuzz.minimize import minimize_scenario
+
+__all__ = [
+    "GeneratorConfig",
+    "ScenarioGenerator",
+    "derive_substream_seed",
+    "FuzzCell",
+    "FuzzBoundRow",
+    "FuzzOutcome",
+    "FuzzResult",
+    "FuzzCampaign",
+    "evaluate_scenario",
+    "minimize_scenario",
+    "CorpusEntry",
+    "CorpusUpdate",
+    "DEFAULT_CORPUS_DIR",
+    "load_entries",
+    "persist_interesting",
+    "scenario_from_spec",
+    "scenario_to_spec",
+    "verify_entry",
+]

@@ -1,0 +1,321 @@
+"""The committed regression corpus of interesting fuzzed scenarios.
+
+Scenarios the fuzz campaign flags — an invariant violation (should never
+happen) or a near-tight bound (the most informative soundness witnesses) —
+are shrunk by :mod:`repro.fuzz.minimize` and persisted as JSON specs under
+``tests/fuzz/corpus/``.  Each entry records the *complete* deterministic
+measurement (campaign rows, wire-level bounds, simulated worsts, event
+counts) of the minimized scenario, so the corpus replay test re-runs
+analysis plus simulation from the spec alone and asserts the recorded
+values still hold byte-identically — no network, store or generator access
+required.
+
+Entries are content-addressed: the filename embeds a fingerprint of the
+minimized scenario's substance (workload, topology, link parameters,
+policies, simulation config — *not* its display name), so re-running
+``repro fuzz`` is idempotent and different generator indexes that shrink to
+the same minimal scenario deduplicate naturally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.campaigns.scenario import Scenario, TopologySpec, WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.fuzz.campaign import (
+    FuzzOutcome,
+    FuzzResult,
+    _outcome_to_payload,
+    evaluate_scenario,
+)
+from repro.fuzz.minimize import minimize_scenario
+from repro.store import canonical_json, fingerprint
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusUpdate",
+    "DEFAULT_CORPUS_DIR",
+    "content_digest",
+    "load_entries",
+    "persist_interesting",
+    "scenario_from_spec",
+    "scenario_to_spec",
+    "verify_entry",
+]
+
+#: Version stamp of the on-disk entry format.
+FORMAT_VERSION = 1
+
+#: The committed corpus location (``tests/fuzz/corpus/`` at the repo root).
+DEFAULT_CORPUS_DIR = (Path(__file__).resolve().parents[3]
+                      / "tests" / "fuzz" / "corpus")
+
+
+def scenario_to_spec(scenario: Scenario) -> dict:
+    """A scenario as a plain-JSON spec (inverse of :func:`scenario_from_spec`)."""
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "workload": {
+            "station_count": scenario.workload.station_count,
+            "seed": scenario.workload.seed,
+            "size_factor": scenario.workload.size_factor,
+            "replication": scenario.workload.replication,
+        },
+        "topology": {
+            "kind": scenario.topology.kind,
+            "leaf_count": scenario.topology.leaf_count,
+        },
+        "capacity": scenario.capacity,
+        "technology_delay": scenario.technology_delay,
+        "policies": list(scenario.policies),
+        "tags": list(scenario.tags),
+    }
+
+
+def scenario_from_spec(spec: dict) -> Scenario:
+    """Rebuild a scenario from its plain-JSON spec (validates on build)."""
+    return Scenario(
+        name=str(spec["name"]),
+        description=str(spec["description"]),
+        workload=WorkloadSpec(
+            station_count=int(spec["workload"]["station_count"]),
+            seed=int(spec["workload"]["seed"]),
+            size_factor=float(spec["workload"]["size_factor"]),
+            replication=int(spec["workload"]["replication"])),
+        topology=TopologySpec(
+            kind=str(spec["topology"]["kind"]),
+            leaf_count=int(spec["topology"]["leaf_count"])),
+        capacity=float(spec["capacity"]),
+        technology_delay=float(spec["technology_delay"]),
+        policies=tuple(spec["policies"]),
+        tags=tuple(spec["tags"]))
+
+
+def content_digest(scenario: Scenario, *, duration: float,
+                   sim_seed: int) -> str:
+    """Fingerprint of an entry's substance (display name excluded)."""
+    return fingerprint({
+        "workload": scenario.workload,
+        "topology": scenario.topology,
+        "capacity": scenario.capacity,
+        "technology_delay": scenario.technology_delay,
+        "policies": scenario.policies,
+        "duration": duration,
+        "sim_seed": sim_seed,
+    })
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One committed regression scenario plus its recorded measurement."""
+
+    #: ``"violation"`` or ``"near-tight"``.
+    reason: str
+    #: Generator provenance: master seed and stream index of the original
+    #: (pre-shrink) scenario.
+    generator_seed: int
+    generator_index: int
+    scenario: Scenario
+    #: Simulated horizon (seconds) and simulation seed of the replay.
+    duration: float
+    sim_seed: int
+    #: The recorded outcome payload: ``measurement`` (campaign rows,
+    #: bound-vs-sim rows, event counts), ``violations``, ``max_tightness``.
+    recorded: dict
+
+    @property
+    def digest(self) -> str:
+        """Content fingerprint used for the entry's filename."""
+        return content_digest(self.scenario, duration=self.duration,
+                              sim_seed=self.sim_seed)
+
+    @property
+    def filename(self) -> str:
+        """The canonical ``<reason>-<digest12>.json`` filename."""
+        return f"{self.reason}-{self.digest[:12]}.json"
+
+
+def _entry_to_payload(entry: CorpusEntry) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "reason": entry.reason,
+        "origin": {"generator_seed": entry.generator_seed,
+                   "index": entry.generator_index},
+        "scenario": scenario_to_spec(entry.scenario),
+        "simulation": {"duration": entry.duration,
+                       "sim_seed": entry.sim_seed},
+        "recorded": entry.recorded,
+    }
+
+
+def _entry_from_payload(payload: dict) -> CorpusEntry:
+    if payload.get("format") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported corpus entry format {payload.get('format')!r} "
+            f"(this build reads format {FORMAT_VERSION})")
+    return CorpusEntry(
+        reason=str(payload["reason"]),
+        generator_seed=int(payload["origin"]["generator_seed"]),
+        generator_index=int(payload["origin"]["index"]),
+        scenario=scenario_from_spec(payload["scenario"]),
+        duration=float(payload["simulation"]["duration"]),
+        sim_seed=int(payload["simulation"]["sim_seed"]),
+        recorded=payload["recorded"])
+
+
+def _entry_text(entry: CorpusEntry) -> str:
+    """The committed JSON text of an entry (stable key order, no jitter)."""
+    return json.dumps(_entry_to_payload(entry), sort_keys=True,
+                      indent=2) + "\n"
+
+
+def load_entries(directory: str | Path | None = None) -> list[CorpusEntry]:
+    """Every committed corpus entry, in filename order."""
+    directory = Path(directory) if directory is not None \
+        else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries.append(_entry_from_payload(payload))
+    return entries
+
+
+def verify_entry(entry: CorpusEntry) -> list[str]:
+    """Replay one entry and report every discrepancy (empty = still good).
+
+    The scenario is re-evaluated through the live analysis + simulation
+    paths and the fresh measurement is compared byte-for-byte (canonical
+    JSON) against the recorded one; the recorded invariant verdicts must
+    also be reproduced exactly.
+    """
+    outcome = evaluate_scenario(entry.scenario, duration=entry.duration,
+                                sim_seed=entry.sim_seed)
+    payload = _outcome_to_payload(outcome)
+    problems: list[str] = []
+    fresh = canonical_json(payload["measurement"])
+    recorded = canonical_json(entry.recorded["measurement"])
+    if fresh != recorded:
+        problems.append(
+            f"{entry.filename}: measurement drifted from the recorded one")
+    if list(outcome.violations) != list(entry.recorded["violations"]):
+        problems.append(
+            f"{entry.filename}: invariant verdicts changed "
+            f"(recorded {entry.recorded['violations']!r}, "
+            f"got {list(outcome.violations)!r})")
+    if canonical_json(outcome.max_tightness) != canonical_json(
+            float(entry.recorded["max_tightness"])):
+        problems.append(
+            f"{entry.filename}: max tightness drifted "
+            f"(recorded {entry.recorded['max_tightness']!r}, "
+            f"got {outcome.max_tightness!r})")
+    return problems
+
+
+@dataclass
+class CorpusUpdate:
+    """What one :func:`persist_interesting` call did to the corpus."""
+
+    directory: Path
+    added: list[str]
+    updated: list[str]
+    unchanged: list[str]
+
+    @property
+    def total(self) -> int:
+        """Number of entries touched or confirmed by the run."""
+        return len(self.added) + len(self.updated) + len(self.unchanged)
+
+    def describe(self) -> str:
+        """One status line for the CLI."""
+        return (f"corpus: {len(self.added)} added, {len(self.updated)} "
+                f"updated, {len(self.unchanged)} unchanged under "
+                f"{self.directory}")
+
+
+def _reason_and_predicate(outcome: FuzzOutcome, threshold: float
+                          ) -> tuple[str, Callable[[FuzzOutcome], bool]]:
+    """The corpus reason of an interesting outcome and its shrink predicate."""
+    if not outcome.holds:
+        return "violation", lambda candidate: not candidate.holds
+    return "near-tight", (
+        lambda candidate: candidate.holds
+        and math.isfinite(candidate.max_tightness)
+        and candidate.max_tightness >= threshold)
+
+
+def persist_interesting(result: FuzzResult, *, generator_seed: int,
+                        directory: str | Path | None = None,
+                        limit: int = 12) -> CorpusUpdate:
+    """Minimize and persist the campaign's interesting cells.
+
+    Violating cells are always persisted; near-tight cells fill the
+    remaining budget of ``limit`` entries in decreasing-tightness order.
+    Entries are deduplicated on their content digest, existing files are
+    only rewritten when their bytes changed, and nothing outside
+    ``directory`` is touched.
+    """
+    directory = Path(directory) if directory is not None \
+        else DEFAULT_CORPUS_DIR
+    interesting = result.interesting()
+    violating = [outcome for outcome in interesting if not outcome.holds]
+    near_tight = [outcome for outcome in interesting if outcome.holds]
+    selected = violating + near_tight[:max(0, limit - len(violating))]
+
+    update = CorpusUpdate(directory=directory, added=[], updated=[],
+                          unchanged=[])
+    seen: set[str] = set()
+    for outcome in selected:
+        reason, predicate = _reason_and_predicate(
+            outcome, result.tightness_threshold)
+        minimized, _ = minimize_scenario(
+            outcome.cell.scenario, predicate,
+            duration=outcome.cell.duration, sim_seed=outcome.cell.sim_seed)
+        digest = content_digest(minimized, duration=outcome.cell.duration,
+                                sim_seed=outcome.cell.sim_seed)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        # Rename to the content-addressed corpus identity, then record the
+        # measurement of the *renamed* scenario (row labels carry the
+        # name, so the recorded payload must be computed after renaming).
+        renamed = dataclasses.replace(
+            minimized,
+            name=f"corpus-{digest[:12]}",
+            description=(f"minimized {reason} scenario from fuzz seed "
+                         f"{generator_seed}, index "
+                         f"{outcome.cell.index}"),
+            tags=("fuzz", "corpus"))
+        final = evaluate_scenario(renamed, duration=outcome.cell.duration,
+                                  sim_seed=outcome.cell.sim_seed)
+        payload = _outcome_to_payload(final)
+        entry = CorpusEntry(
+            reason=reason,
+            generator_seed=generator_seed,
+            generator_index=outcome.cell.index,
+            scenario=renamed,
+            duration=outcome.cell.duration,
+            sim_seed=outcome.cell.sim_seed,
+            recorded={"measurement": payload["measurement"],
+                      "violations": payload["violations"],
+                      "max_tightness": final.max_tightness})
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / entry.filename
+        text = _entry_text(entry)
+        if not path.exists():
+            path.write_text(text, encoding="utf-8")
+            update.added.append(entry.filename)
+        elif path.read_text(encoding="utf-8") != text:
+            path.write_text(text, encoding="utf-8")
+            update.updated.append(entry.filename)
+        else:
+            update.unchanged.append(entry.filename)
+    return update

@@ -1,0 +1,149 @@
+"""Seeded random generation of campaign scenarios.
+
+:class:`ScenarioGenerator` turns a master seed into an unbounded stream of
+valid :class:`~repro.campaigns.scenario.Scenario` specs: random station
+counts, workload seeds, burst size factors, replication levels, topology
+kinds, link capacities, relaying delays and policy mixes.  Two properties
+make the stream usable as a fuzzing front end:
+
+* **bit-identical determinism** — scenario ``i`` of seed ``s`` is derived
+  from an independent ``random.Random`` sub-stream seeded with
+  ``SHA-256("repro-fuzz:s:i")``, so the same ``(seed, index)`` pair yields
+  the identical spec (same fields, same fingerprint) in any process on any
+  machine, regardless of ``PYTHONHASHSEED`` or generation order,
+* **validity by construction** — every field is drawn from a
+  :class:`GeneratorConfig` choice list that the scenario/workload/topology
+  validators accept, so generated specs never fail ``__post_init__``.
+
+The choice lists deliberately include overload configurations (low
+capacity, large size factors, heavy replication): the fuzz campaign must
+exercise the unstable/unbounded paths of the analysis, not only the
+feasible corner the paper's case study lives in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro import units
+from repro.campaigns.scenario import Scenario, TopologySpec, WorkloadSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["GeneratorConfig", "ScenarioGenerator", "derive_substream_seed"]
+
+
+def derive_substream_seed(seed: int, index: int) -> int:
+    """The sub-stream seed of scenario ``index`` under master ``seed``.
+
+    A SHA-256 digest (not Python's ``hash``) keys the sub-stream, so the
+    derivation is stable across processes, platforms and interpreter
+    versions — the property the cross-process determinism tests pin down.
+    """
+    digest = hashlib.sha256(f"repro-fuzz:{seed}:{index}".encode("ascii"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """The choice lists one random scenario is drawn from.
+
+    Repeating an entry weights it: e.g. ``replications`` favours the
+    un-replicated workload but still produces the scalability ladder's
+    heavy populations.  Every float is a short dyadic/decimal literal so
+    the drawn values survive JSON round-trips byte-identically.
+    """
+
+    #: Base station counts of the synthetic case study (≥ 4 required).
+    station_counts: tuple[int, ...] = (4, 5, 6, 8, 10, 12, 16, 20)
+    #: Workload-generator seeds to draw from.
+    workload_seeds: tuple[int, ...] = tuple(range(32))
+    #: Message-size (token-bucket depth) factors.
+    size_factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.0, 1.25, 1.5,
+                                       2.0, 3.0)
+    #: Station-replication factors (weighted toward 1).
+    replications: tuple[int, ...] = (1, 1, 1, 1, 2, 2, 3)
+    #: Topology kinds (weighted toward the paper's star).
+    topology_kinds: tuple[str, ...] = ("single-switch-star",
+                                       "single-switch-star",
+                                       "dual-switch", "tree")
+    #: Leaf-switch counts for ``tree`` topologies.
+    leaf_counts: tuple[int, ...] = (2, 3, 4)
+    #: Link capacities in Mbps; 5 Mbps overloads many workloads on
+    #: purpose (the unstable/unbounded invariant paths must be fuzzed).
+    capacities_mbps: tuple[float, ...] = (5.0, 10.0, 10.0, 10.0, 100.0)
+    #: Switch relaying-delay bounds in microseconds.
+    technology_delays_us: tuple[float, ...] = (0.0, 16.0, 16.0, 50.0)
+    #: Policy mixes (weighted toward evaluating both policies).
+    policy_mixes: tuple[tuple[str, ...], ...] = (
+        ("fcfs", "strict-priority"),
+        ("fcfs", "strict-priority"),
+        ("fcfs",),
+        ("strict-priority",))
+
+    def __post_init__(self) -> None:
+        for name in ("station_counts", "workload_seeds", "size_factors",
+                     "replications", "topology_kinds", "leaf_counts",
+                     "capacities_mbps", "technology_delays_us",
+                     "policy_mixes"):
+            if not getattr(self, name):
+                raise ConfigurationError(
+                    f"generator config needs at least one choice "
+                    f"for {name!r}")
+
+
+class ScenarioGenerator:
+    """Derive deterministic random scenarios from a master seed.
+
+    Parameters
+    ----------
+    seed:
+        Master seed of the stream (non-negative).
+    config:
+        The choice lists; defaults to :class:`GeneratorConfig`.
+    """
+
+    def __init__(self, seed: int = 0,
+                 config: GeneratorConfig | None = None) -> None:
+        if seed < 0:
+            raise ConfigurationError(
+                f"generator seed must be non-negative, got {seed!r}")
+        self.seed = int(seed)
+        self.config = config if config is not None else GeneratorConfig()
+
+    def scenario(self, index: int) -> Scenario:
+        """The ``index``-th scenario of the stream (index ≥ 0)."""
+        if index < 0:
+            raise ConfigurationError(
+                f"scenario index must be non-negative, got {index!r}")
+        rng = random.Random(derive_substream_seed(self.seed, index))
+        config = self.config
+        workload = WorkloadSpec(
+            station_count=rng.choice(config.station_counts),
+            seed=rng.choice(config.workload_seeds),
+            size_factor=rng.choice(config.size_factors),
+            replication=rng.choice(config.replications))
+        topology = TopologySpec(
+            kind=rng.choice(config.topology_kinds),
+            leaf_count=rng.choice(config.leaf_counts))
+        capacity_mbps = rng.choice(config.capacities_mbps)
+        technology_delay_us = rng.choice(config.technology_delays_us)
+        policies = rng.choice(config.policy_mixes)
+        scenario = Scenario(
+            name=f"fuzz-{self.seed}-{index:05d}",
+            description=(f"generated scenario {index} of seed {self.seed}"),
+            workload=workload,
+            topology=topology,
+            capacity=units.mbps(capacity_mbps),
+            technology_delay=units.us(technology_delay_us),
+            policies=policies,
+            tags=("fuzz", f"fuzz-seed-{self.seed}"))
+        return scenario
+
+    def generate(self, count: int) -> list[Scenario]:
+        """The first ``count`` scenarios of the stream."""
+        if count < 1:
+            raise ConfigurationError(
+                f"count must be at least 1, got {count!r}")
+        return [self.scenario(index) for index in range(count)]

@@ -1,0 +1,85 @@
+"""Greedy scenario shrinking for corpus entries.
+
+When the fuzz campaign flags a cell — an invariant violation, or a
+near-tight bound worth pinning as a regression test — the raw generated
+scenario is rarely the smallest one exhibiting the behaviour.
+:func:`minimize_scenario` applies the classic greedy shrink loop: propose
+structurally simpler variants (drop replication, reset the size factor,
+halve the station count, collapse the topology to the paper's star, keep a
+single policy), re-evaluate each through the same
+:func:`~repro.fuzz.campaign.evaluate_scenario` path, and accept a variant
+only while the caller's predicate still holds.  The loop is deterministic
+(candidates are tried in a fixed order) and bounded, so the corpus writer
+always produces the same minimized spec for the same input scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.campaigns.scenario import Scenario, TopologySpec
+from repro.fuzz.campaign import (
+    DEFAULT_DURATION,
+    DEFAULT_SIM_SEED,
+    FuzzOutcome,
+    evaluate_scenario,
+)
+
+__all__ = ["minimize_scenario"]
+
+#: Hard cap on accepted shrink steps (each step strictly simplifies one
+#: field, so real runs terminate long before the cap).
+_MAX_STEPS = 32
+
+
+def _simpler_variants(scenario: Scenario) -> Iterator[Scenario]:
+    """Structurally simpler variants of ``scenario``, most drastic first."""
+    workload = scenario.workload
+    if workload.replication > 1:
+        yield dataclasses.replace(
+            scenario, workload=dataclasses.replace(workload, replication=1))
+    if workload.size_factor != 1.0:
+        yield dataclasses.replace(
+            scenario, workload=dataclasses.replace(workload,
+                                                   size_factor=1.0))
+    if scenario.topology.kind != "single-switch-star":
+        yield dataclasses.replace(scenario, topology=TopologySpec())
+    if workload.station_count > 4:
+        halved = max(4, workload.station_count // 2)
+        yield dataclasses.replace(
+            scenario,
+            workload=dataclasses.replace(workload, station_count=halved))
+    if len(scenario.policies) > 1:
+        for policy in scenario.policies:
+            yield dataclasses.replace(scenario, policies=(policy,))
+
+
+def minimize_scenario(scenario: Scenario,
+                      predicate: Callable[[FuzzOutcome], bool],
+                      *, duration: float = DEFAULT_DURATION,
+                      sim_seed: int = DEFAULT_SIM_SEED
+                      ) -> tuple[Scenario, FuzzOutcome]:
+    """Greedily shrink ``scenario`` while ``predicate(outcome)`` holds.
+
+    Returns the smallest variant found together with its evaluation.  The
+    input scenario itself must satisfy the predicate — the function
+    evaluates it first and raises ``ValueError`` otherwise, which protects
+    the corpus from entries that do not reproduce their reason.
+    """
+    outcome = evaluate_scenario(scenario, duration=duration,
+                                sim_seed=sim_seed)
+    if not predicate(outcome):
+        raise ValueError(
+            f"scenario {scenario.name!r} does not satisfy the predicate "
+            f"being minimized for")
+    for _ in range(_MAX_STEPS):
+        for variant in _simpler_variants(scenario):
+            candidate = evaluate_scenario(variant, duration=duration,
+                                          sim_seed=sim_seed)
+            if predicate(candidate):
+                scenario, outcome = variant, candidate
+                break
+        else:
+            break  # no simpler variant keeps the behaviour: fixpoint
+    return scenario, outcome

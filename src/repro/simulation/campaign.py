@@ -69,6 +69,11 @@ POLICIES = ("fcfs", "strict-priority")
 _POLICY_LABELS = {"fcfs": "FCFS", "strict-priority": "priority"}
 
 
+def _format_tightness(ratio: float) -> str:
+    """A tightness cell: ``-`` for the ``nan`` sentinel, else 3 decimals."""
+    return "-" if math.isnan(ratio) else f"{ratio:.3f}"
+
+
 @dataclass(frozen=True)
 class SimulationCell:
     """One cell of the Monte-Carlo grid (a single simulation run)."""
@@ -130,8 +135,17 @@ class MonteCarloRow:
 
     @property
     def tightness(self) -> float:
-        """Worst observation divided by the bound (1.0 = tight)."""
-        if not self.analytic_bound > 0:
+        """Worst observation divided by the bound (1.0 = tight).
+
+        ``nan`` whenever the ratio is meaningless: a non-positive or
+        infinite bound (an unstable configuration has nothing to be tight
+        against) or a ``nan`` observation (no samples).  An infinite bound
+        must *not* yield ``0.0`` — that would read as "infinitely slack"
+        in aggregates that a ``nan`` correctly opts out of.
+        """
+        if not math.isfinite(self.analytic_bound) or self.analytic_bound <= 0:
+            return float("nan")
+        if math.isnan(self.worst_simulated):
             return float("nan")
         return self.worst_simulated / self.analytic_bound
 
@@ -174,9 +188,14 @@ class MonteCarloResult:
 
     @property
     def max_tightness(self) -> float:
-        """Largest worst-observed / bound ratio across the rows."""
+        """Largest finite worst-observed / bound ratio across the rows.
+
+        Returns the documented ``nan`` sentinel when no row has a finite
+        ratio (an all-unstable or sample-free grid) — callers must test
+        with ``math.isnan`` rather than compare against a magic number.
+        """
         ratios = [row.tightness for row in self.rows
-                  if not math.isnan(row.tightness)]
+                  if math.isfinite(row.tightness)]
         return max(ratios) if ratios else float("nan")
 
     def row_cells(self) -> list[tuple]:
@@ -185,7 +204,7 @@ class MonteCarloResult:
                  _POLICY_LABELS[row.policy], row.priority.label, row.seeds,
                  format_ms(row.analytic_bound),
                  format_ms(row.worst_simulated),
-                 f"{row.tightness:.3f}", yes_no(row.bound_holds))
+                 _format_tightness(row.tightness), yes_no(row.bound_holds))
                 for row in self.rows]
 
     def to_table(self) -> str:

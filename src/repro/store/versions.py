@@ -33,6 +33,7 @@ __all__ = ["ModuleGraph", "SUBSYSTEMS", "code_version", "all_code_versions",
 SUBSYSTEMS: dict[str, tuple[str, ...]] = {
     "campaigns": ("repro.campaigns.runner", "repro.campaigns.registry"),
     "simulation": ("repro.simulation.campaign",),
+    "fuzz": ("repro.fuzz.campaign", "repro.fuzz.generator"),
     "reports": ("repro.reports.pipeline", "repro.reports.experiments"),
 }
 

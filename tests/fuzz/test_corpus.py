@@ -1,0 +1,73 @@
+"""Replay of the committed regression corpus.
+
+Every JSON spec under ``tests/fuzz/corpus/`` is an edge case a fuzz
+campaign found interesting (a violation — should never exist — or a
+near-tight bound), minimized and recorded with its complete deterministic
+measurement.  Replaying an entry re-runs the live analysis + simulation
+paths from the spec alone and asserts the recorded values still hold
+byte-identically — no store, no network, no generator.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import load_entries, scenario_to_spec, verify_entry
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, _entry_from_payload
+
+ENTRIES = load_entries()
+
+
+def _entry_ids():
+    return [entry.filename for entry in ENTRIES]
+
+
+class TestCorpusShape:
+    def test_the_committed_corpus_has_at_least_five_entries(self):
+        assert DEFAULT_CORPUS_DIR.is_dir()
+        assert len(ENTRIES) >= 5
+
+    def test_filenames_are_content_addressed(self):
+        for path in sorted(DEFAULT_CORPUS_DIR.glob("*.json")):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entry = _entry_from_payload(payload)
+            assert path.name == entry.filename
+            assert entry.reason in ("violation", "near-tight")
+
+    def test_entries_carry_generator_provenance(self):
+        for entry in ENTRIES:
+            assert entry.generator_seed >= 0
+            assert entry.generator_index >= 0
+            assert entry.scenario.name == f"corpus-{entry.digest[:12]}"
+            assert "corpus" in entry.scenario.tags
+
+    def test_recorded_payload_is_complete(self):
+        for entry in ENTRIES:
+            assert set(entry.recorded) == {"measurement", "violations",
+                                           "max_tightness"}
+            measurement = entry.recorded["measurement"]
+            assert measurement["campaign"], entry.filename
+            assert measurement["rows"], entry.filename
+
+    def test_unknown_format_version_is_rejected(self):
+        sample = json.loads(
+            (DEFAULT_CORPUS_DIR / _entry_ids()[0]).read_text())
+        sample["format"] = 999
+        with pytest.raises(ConfigurationError):
+            _entry_from_payload(sample)
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("entry", ENTRIES, ids=_entry_ids())
+    def test_entry_replays_byte_identically(self, entry, monkeypatch):
+        # Replays must never read the result store; point the env at a
+        # poisoned path so any accidental store access fails loudly.
+        monkeypatch.setenv("REPRO_STORE_DIR", "/nonexistent/corpus-store")
+        assert verify_entry(entry) == []
+
+    def test_committed_specs_round_trip_through_the_writer(self):
+        for entry in ENTRIES:
+            committed = json.loads(
+                (DEFAULT_CORPUS_DIR / entry.filename).read_text())
+            assert committed["scenario"] == scenario_to_spec(entry.scenario)

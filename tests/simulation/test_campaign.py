@@ -1,13 +1,17 @@
 """Monte-Carlo simulation campaigns."""
 
+import math
+
 import pytest
 
 from repro import units
 from repro.errors import ConfigurationError
+from repro.flows.priorities import PriorityClass
 from repro.simulation.campaign import (
     POLICIES,
     SCENARIOS,
     MonteCarloResult,
+    MonteCarloRow,
     SimulationCampaign,
     SimulationCell,
 )
@@ -161,3 +165,86 @@ class TestSizeFactors:
         assert large[0].instances_sent > small[0].instances_sent
         factors = {row.size_factor for row in result.rows}
         assert factors == {1, 2}
+
+
+def _row(**overrides) -> MonteCarloRow:
+    """A hand-built aggregated row with sensible finite defaults."""
+    fields = dict(size_factor=1, scenario="synchronized", policy="fcfs",
+                  priority=PriorityClass.URGENT, seeds=2,
+                  analytic_bound=0.004, worst_simulated=0.002,
+                  mean_simulated=0.001, samples=10)
+    fields.update(overrides)
+    return MonteCarloRow(**fields)
+
+
+class TestNonFiniteTightness:
+    """NaN/inf handling of the tightness ratio and its aggregates.
+
+    An unstable configuration has an infinite bound and a sample-free one
+    has a NaN worst observation; neither may poison the grid aggregates
+    or render as a bogus number.
+    """
+
+    def test_finite_row_is_the_plain_ratio(self):
+        assert _row().tightness == pytest.approx(0.5)
+
+    def test_infinite_bound_is_nan_not_zero(self):
+        row = _row(analytic_bound=float("inf"))
+        assert math.isnan(row.tightness)
+        assert row.bound_holds  # inf still dominates every observation
+
+    def test_nonpositive_bound_is_nan(self):
+        assert math.isnan(_row(analytic_bound=0.0).tightness)
+        assert math.isnan(_row(analytic_bound=-1.0).tightness)
+
+    def test_nan_worst_observation_is_nan(self):
+        row = _row(worst_simulated=float("nan"),
+                   mean_simulated=float("nan"), samples=0)
+        assert math.isnan(row.tightness)
+
+    def test_max_tightness_skips_non_finite_rows(self):
+        result = MonteCarloResult(rows=[
+            _row(),
+            _row(priority=PriorityClass.PERIODIC,
+                 analytic_bound=float("inf")),
+            _row(priority=PriorityClass.SPORADIC,
+                 worst_simulated=float("nan"), samples=0),
+        ])
+        assert result.max_tightness == pytest.approx(0.5)
+
+    def test_max_tightness_sentinel_on_an_all_nan_grid(self):
+        result = MonteCarloResult(rows=[
+            _row(analytic_bound=float("inf")),
+            _row(priority=PriorityClass.PERIODIC, analytic_bound=0.0),
+        ])
+        assert math.isnan(result.max_tightness)
+        assert math.isnan(MonteCarloResult(rows=[]).max_tightness)
+
+    def test_table_renders_nan_tightness_as_a_dash(self):
+        result = MonteCarloResult(rows=[
+            _row(), _row(priority=PriorityClass.PERIODIC,
+                         analytic_bound=float("inf"))])
+        table = result.to_table()
+        lines = [line for line in table.splitlines() if "P1" in line]
+        assert lines and " - " in lines[0]
+        assert "nan" not in table
+        assert "0.500" in table
+
+    def test_markdown_renders_nan_tightness_as_a_dash(self):
+        result = MonteCarloResult(rows=[
+            _row(analytic_bound=float("inf"))])
+        markdown = result.to_markdown()
+        assert "nan" not in markdown
+        assert "| - |" in markdown.replace("  ", " ")
+
+    def test_csv_keeps_the_raw_nan_and_inf_values(self, tmp_path):
+        result = MonteCarloResult(rows=[
+            _row(analytic_bound=float("inf")),
+            _row(priority=PriorityClass.PERIODIC,
+                 worst_simulated=float("nan"), samples=0)])
+        path = tmp_path / "grid.csv"
+        result.write_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert "inf" in lines[1]
+        assert "nan" in lines[2]

@@ -19,7 +19,7 @@ class TestParser:
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
-                        "campaign", "simulate", "report", "store"):
+                        "campaign", "simulate", "fuzz", "report", "store"):
             args = parser.parse_args(
                 [command] + _REQUIRED_EXTRAS.get(command, []))
             assert args.command == command
@@ -27,7 +27,7 @@ class TestParser:
     def test_the_dispatch_table_drives_the_parser(self):
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
-            "jitter", "buffers", "export", "campaign", "simulate",
+            "jitter", "buffers", "export", "campaign", "simulate", "fuzz",
             "report", "store"]
 
     def test_missing_command_is_an_error(self):
@@ -47,6 +47,8 @@ class TestEveryCommandEndToEnd:
         elif command == "report":
             argv = ["report", "--experiment", "figure1",
                     "--output", str(tmp_path / "artifacts")]
+        elif command == "fuzz":
+            argv = ["fuzz", "--count", "2", "--no-store", "--no-corpus"]
         elif command == "store":
             argv = ["store", "stats", "--store", str(tmp_path / "store")]
         exit_code = main(argv)
@@ -251,6 +253,9 @@ class TestErrorPaths:
         ["simulate", "--scenarios", "warp"],
         ["simulate", "--size-factors", "two"],
         ["simulate", "--seeds", "0"],
+        ["fuzz", "--count", "0", "--no-store", "--no-corpus"],
+        ["fuzz", "--seed", "-1", "--no-store", "--no-corpus"],
+        ["fuzz", "--jobs", "0", "--no-store", "--no-corpus"],
         ["report", "--experiment", "no-such"],
         ["report", "--jobs", "0"],
     ])
@@ -336,6 +341,87 @@ class TestStoreCommand:
         assert "resumed 0/1 cells" in capsys.readouterr().out
         assert main(argv + ["--resume"]) == 0
         assert "resumed 1/1 cells" in capsys.readouterr().out
+
+
+class TestFuzzCommand:
+    #: The smallest useful campaign, isolated from the real store/corpus.
+    SMALL = ["fuzz", "--count", "2", "--no-store", "--no-corpus"]
+
+    def test_small_campaign_prints_table_and_exits_zero(self, capsys):
+        assert main(self.SMALL) == 0
+        output = capsys.readouterr().out
+        assert "Tightest fuzzed cells" in output
+        assert "invariants hold: yes" in output
+        assert "2 cells, 0 violations" in output
+
+    def test_help_documents_the_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for flag in ("--count", "--seed", "--jobs", "--resume", "--store",
+                     "--corpus", "--tightness"):
+            assert flag in help_text
+
+    def test_invalid_count_is_a_one_line_error(self, capsys):
+        assert main(["fuzz", "--count", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--count" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_negative_seed_is_a_one_line_error(self, capsys):
+        assert main(["fuzz", "--seed", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--seed" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["fuzz", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_store_resume_reports_hit_and_miss(self, tmp_path, capsys):
+        argv = ["fuzz", "--count", "2", "--no-corpus",
+                "--store", str(tmp_path / "store")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "resumed 0/2 cells" in first
+        assert "0 hits" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed 2/2 cells" in second
+        assert "2 hits" in second
+        assert "all cells resumed" in second
+
+    def test_same_seed_reruns_are_identical(self, capsys):
+        assert main(self.SMALL) == 0
+        first = capsys.readouterr().out
+        assert main(self.SMALL) == 0
+        second = capsys.readouterr().out
+        # Wall-clock timings differ; the tables and verdicts must not.
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_corpus_persistence_writes_under_the_given_dir(
+            self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        # Threshold 0 makes every holding cell near-tight, so the corpus
+        # receives entries even from a tiny campaign.
+        assert main(["fuzz", "--count", "1", "--no-store",
+                     "--tightness", "0.01",
+                     "--corpus", str(corpus)]) == 0
+        output = capsys.readouterr().out
+        assert "corpus: 1 added, 0 updated, 0 unchanged" in output
+        assert len(list(corpus.glob("near-tight-*.json"))) == 1
+
+    def test_markdown_and_csv_outputs(self, tmp_path, capsys):
+        path = tmp_path / "fuzz.csv"
+        assert main(self.SMALL + ["--markdown", "--csv", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "### Tightest fuzzed cells" in output
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert "tightness" in header and "violations" in header
 
 
 class TestSimulateCommand:

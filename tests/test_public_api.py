@@ -16,7 +16,7 @@ import repro
 _PACKAGES = ["repro"] + [
     f"repro.{name}" for name in (
         "analysis", "campaigns", "core", "core.netcalc", "ethernet",
-        "flows", "milstd1553", "reporting", "reports", "shaping",
+        "flows", "fuzz", "milstd1553", "reporting", "reports", "shaping",
         "simulation", "store", "topology", "workloads")]
 
 
@@ -72,5 +72,10 @@ class TestWholeTree:
 
     def test_top_level_all_is_not_missing_store_api(self):
         for name in ("ResultStore",):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_top_level_all_is_not_missing_fuzz_api(self):
+        for name in ("ScenarioGenerator", "FuzzCampaign", "FuzzResult"):
             assert name in repro.__all__
             assert hasattr(repro, name)
