@@ -57,6 +57,32 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
+def bench_values(results_dir):
+    """Return a helper merging ``bench.*`` keys into BENCH_values.json.
+
+    Several benchmarks contribute docs-facing numbers; each merges its
+    own keys so running one benchmark never drops another's values.
+    """
+    import json
+
+    path = results_dir / "BENCH_values.json"
+
+    def _merge(values: dict) -> None:
+        existing = {}
+        if path.is_file():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                existing = {}
+        existing.update(values)
+        path.write_text(
+            json.dumps(existing, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    return _merge
+
+
+@pytest.fixture(scope="session")
 def report(results_dir):
     """Return a helper that prints a table and persists it under results/."""
 

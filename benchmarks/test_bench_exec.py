@@ -1,0 +1,82 @@
+"""Executor acceptance: fault tolerance must be (almost) free.
+
+The fault-tolerant :class:`repro.exec.ParallelExecutor` replaced the
+bare ``ProcessPoolExecutor`` fan-out in every subsystem, so its
+bookkeeping (sliding dispatch window, watchdog arming, fault-plan
+threading, retry accounting) sits on the hot path of all ``--jobs N``
+runs.  This benchmark maps the same 64-cell CPU-bound sweep through a
+raw pool and through the executor with identical worker counts and
+asserts the executor stays within ``OVERHEAD_FLOOR`` of raw (plus a
+small absolute slack absorbing pool-startup jitter).  The perf-smoke CI
+job runs this file, so an accidental O(n) stall in the dispatch loop
+fails the build.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.exec import ParallelExecutor
+
+#: Relative overhead budget of the executor vs the raw pool.
+OVERHEAD_FLOOR = 1.05
+
+#: Absolute slack in seconds (pool startup / scheduler jitter).
+ABSOLUTE_SLACK = 0.25
+
+#: Cells in the sweep and worker processes driving them.
+CELLS = 64
+JOBS = 4
+
+
+def _spin(task: int) -> int:
+    """~5 ms of deterministic CPU-bound work per cell."""
+    total = task
+    for i in range(120_000):
+        total = (total * 1103515245 + 12345) % 2**31
+    return total
+
+
+def _run_raw() -> tuple[float, list[int]]:
+    started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=JOBS) as pool:
+        results = list(pool.map(_spin, range(CELLS)))
+    return time.perf_counter() - started, results
+
+
+def _run_executor() -> tuple[float, list[int]]:
+    started = time.perf_counter()
+    report = ParallelExecutor(jobs=JOBS).map(_spin, range(CELLS))
+    assert report.ok
+    return time.perf_counter() - started, report.ordered_results()
+
+
+def test_bench_exec_overhead(report, bench_values):
+    # Warm both paths once (imports, fork machinery), then measure.
+    _run_raw()
+    _run_executor()
+    raw, raw_results = _run_raw()
+    managed, managed_results = _run_executor()
+    assert managed_results == raw_results
+
+    overhead = managed / raw
+    report(
+        "exec_overhead", "Fault-tolerant executor vs raw process pool",
+        ["metric", "value"],
+        [("cells", CELLS),
+         ("jobs", JOBS),
+         ("raw_pool_s", f"{raw:.3f}"),
+         ("executor_s", f"{managed:.3f}"),
+         ("overhead", f"{(overhead - 1) * 100:+.1f} %"),
+         ("floor", f"{(OVERHEAD_FLOOR - 1) * 100:.0f} % + "
+                   f"{ABSOLUTE_SLACK:.2f} s slack")])
+    bench_values({
+        "bench.exec-overhead-pct": f"{(overhead - 1) * 100:.1f} %",
+        "bench.exec-cells": str(CELLS),
+    })
+
+    assert managed <= raw * OVERHEAD_FLOOR + ABSOLUTE_SLACK, (
+        f"executor took {managed:.3f}s vs raw pool {raw:.3f}s "
+        f"(> {OVERHEAD_FLOOR}x + {ABSOLUTE_SLACK}s) — the fault-tolerance "
+        f"bookkeeping has regressed onto the hot path")

@@ -14,7 +14,6 @@ cold ones fails the build.
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro.reports import ReportPipeline
@@ -24,7 +23,8 @@ from repro.store import ResultStore
 SPEEDUP_FLOOR = 10.0
 
 
-def test_bench_store_warm_report(report, results_dir, tmp_path):
+def test_bench_store_warm_report(report, results_dir, bench_values,
+                                 tmp_path):
     store_root = tmp_path / "store"
 
     started = time.perf_counter()
@@ -65,16 +65,13 @@ def test_bench_store_warm_report(report, results_dir, tmp_path):
          ("floor", f"{SPEEDUP_FLOOR:.0f}x")])
 
     # The docs-facing numbers (README spans reference these keys).
-    values = {
+    bench_values({
         "bench.store-cold-s": f"{cold:.2f} s",
         "bench.store-warm-ms": f"{warm * 1e3:.0f} ms",
         "bench.store-warm-speedup": f"{speedup:.0f}x",
         "bench.store-warm-recomputations": str(
             len(warm_pipeline.last_computed)),
-    }
-    (results_dir / "BENCH_values.json").write_text(
-        json.dumps(values, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    })
 
     assert speedup >= SPEEDUP_FLOOR, (
         f"warm report run only {speedup:.1f}x faster than cold "

@@ -27,8 +27,7 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable
 
@@ -42,6 +41,7 @@ from repro.campaigns.cache import (
 )
 from repro.campaigns.scenario import Scenario
 from repro.core.multiplexer import aggregate_flows
+from repro.exec import ExecPolicy, ExecutionReport, ParallelExecutor
 from repro.core.netcalc.arrival import TokenBucketArrivalCurve
 from repro.core.netcalc.bounds import backlog_bound
 from repro.core.netcalc.service import RateLatencyServiceCurve
@@ -127,6 +127,14 @@ class CampaignResult:
     #: Result-store counters of the run; ``None`` without a store or when
     #: the workers kept their own stores (``jobs > 1``).
     store_stats: StoreStats | None = None
+    #: What the fault-tolerant executor observed (retries, recoveries,
+    #: structured failures); ``None`` only for hand-built results.
+    exec_report: ExecutionReport | None = None
+
+    @property
+    def failures(self) -> list:
+        """Scenarios that exhausted their retries (empty when all ran)."""
+        return [] if self.exec_report is None else self.exec_report.failures
 
     @property
     def resumed(self) -> int:
@@ -228,12 +236,21 @@ class CampaignRunner:
         ``repro campaign --resume`` mode that skips everything a previous
         (possibly interrupted) run completed.  Rows are identical either
         way because scenario evaluation is deterministic.
+    exec_policy:
+        The failure policy of the run (retries, per-scenario timeout,
+        ``fail_fast`` / ``max_failures``); defaults to
+        :class:`~repro.exec.ExecPolicy`'s retry-twice-never-abort.
+    faults:
+        Fault-plan text for chaos runs (see :mod:`repro.exec.faults`);
+        defaults to ``$REPRO_FAULTS``.
     """
 
     def __init__(self, cache: AnalysisCache | None = None, *,
                  memoize: bool = True, jobs: int = 1,
                  store: ResultStore | None = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 exec_policy: ExecPolicy | None = None,
+                 faults: str | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs!r}")
         self.memoize = memoize
@@ -241,47 +258,50 @@ class CampaignRunner:
         self.cache = cache if cache is not None else AnalysisCache()
         self.store = store
         self.resume = bool(resume)
+        self.exec_policy = exec_policy
+        self.faults = faults
 
     # -- public API ----------------------------------------------------------
 
     def run(self, scenarios: Iterable[Scenario]) -> CampaignResult:
-        """Evaluate every scenario and return the combined result."""
+        """Evaluate every scenario and return the combined result.
+
+        Scenarios that exhaust their retries become structured
+        :class:`~repro.exec.CellFailure` records on
+        ``result.exec_report`` instead of aborting the run; scenarios are
+        value-level (frozen, picklable) specs, so with ``jobs > 1`` they
+        ship to worker processes as-is and each worker builds one runner
+        (and one cache) on initialization.
+        """
         started = time.perf_counter()
         scenarios = list(scenarios)
         result = CampaignResult()
-        if self.jobs > 1 and len(scenarios) > 1:
-            result.results = self._run_parallel(scenarios)
-            result.elapsed = time.perf_counter() - started
-            return result
-        for scenario in scenarios:
-            result.results.append(self._run_scenario(scenario))
+        executor = ParallelExecutor(jobs=self.jobs,
+                                    policy=self.exec_policy,
+                                    fault_spec=self.faults,
+                                    label="scenario")
+        store_root = None if self.store is None else str(self.store.root)
+        report = executor.map(
+            _evaluate_scenario, scenarios,
+            initializer=_init_worker,
+            initargs=(self.memoize, store_root, self.resume),
+            serial_fn=self._run_scenario,
+            serial_setup=_serial_noop,
+            labels=[scenario.name for scenario in scenarios])
+        result.results = report.ordered_results()
+        result.exec_report = report
         result.elapsed = time.perf_counter() - started
-        if self.memoize:
+        ran_in_process = (self.jobs == 1 or len(scenarios) <= 1
+                          or report.serial_fallback)
+        if ran_in_process and self.memoize:
             # Snapshot the counters: the cache keeps mutating across runs.
             result.stats = {level: CacheStats(stats.hits, stats.misses)
                             for level, stats in self.cache.stats.items()}
-        if self.store is not None:
-            result.store_stats = StoreStats(self.store.stats.hits,
-                                            self.store.stats.misses,
-                                            self.store.stats.writes)
+        if ran_in_process and self.store is not None:
+            result.store_stats = replace(self.store.stats)
         return result
 
     # -- internals -----------------------------------------------------------
-
-    def _run_parallel(self, scenarios: list[Scenario]
-                      ) -> list[ScenarioResult]:
-        """Evaluate the scenarios in worker processes, preserving order.
-
-        Scenarios are value-level (frozen, picklable) specs, so they ship to
-        the workers as-is; each worker builds one runner (and one cache)
-        lazily on first use and keeps it for the tasks it serves.
-        """
-        workers = min(self.jobs, len(scenarios))
-        store_root = None if self.store is None else str(self.store.root)
-        with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker,
-                initargs=(self.memoize, store_root, self.resume)) as pool:
-            return list(pool.map(_evaluate_scenario, scenarios))
 
     def _scenario_inputs(self, scenario: Scenario):
         """(aggregates, deadlines) — shared in memoized mode, fresh otherwise."""
@@ -414,6 +434,10 @@ def _scenario_result_from_payload(scenario: Scenario,
 
 #: The per-process runner of the fan-out mode, built by :func:`_init_worker`.
 _WORKER_RUNNER: CampaignRunner | None = None
+
+
+def _serial_noop() -> None:
+    """Serial-execution setup: the live runner already has cache/store."""
 
 
 def _init_worker(memoize: bool, store_root: str | None = None,

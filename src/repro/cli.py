@@ -32,14 +32,20 @@ every finished unit of work in the content-addressed result store
 ``$REPRO_STORE_DIR`` to relocate, ``--no-store`` to disable).  ``report``
 reuses stored experiments automatically (a warm re-run recomputes
 nothing); ``campaign``/``simulate`` reuse finished cells with
-``--resume`` — e.g. to pick an interrupted run back up.  Errors are
-reported as a single ``error: ...`` line with exit code 2, never a
-traceback.
+``--resume`` — e.g. to pick an interrupted run back up.  The same four
+commands run their cells through the fault-tolerant executor
+(:mod:`repro.exec`): ``--retries``/``--timeout`` bound how hard a cell
+is retried, ``--max-failures``/``--fail-fast`` bound how much failure a
+run tolerates, and ``--faults`` injects deterministic faults for chaos
+testing.  Failed cells are listed in a summary table before the final
+``error: ...`` line.  Errors are reported as a single ``error: ...``
+line with exit code 2, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -58,9 +64,17 @@ from repro import reports
 from repro.campaigns import CampaignRunner, builtin_scenarios, select
 from repro.errors import (
     ConfigurationError,
+    ExecutionFailedError,
     ReproError,
     UnknownExperimentError,
     UnknownScenarioError,
+)
+from repro.exec import (
+    FAULTS_ENV,
+    ExecPolicy,
+    ExecutionReport,
+    FaultPlan,
+    RunHalted,
 )
 from repro.fuzz import FuzzCampaign, persist_interesting
 from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
@@ -266,11 +280,85 @@ def _store_line(store: ResultStore | None, *, resumed: int | None = None,
 
 
 # ---------------------------------------------------------------------------
+# Fault-tolerant execution flags shared by campaign / simulate / fuzz / report
+# ---------------------------------------------------------------------------
+
+def _configure_exec_flags(sub: argparse.ArgumentParser) -> None:
+    """Add the executor policy flags (retries, timeout, failure budget)."""
+    sub.add_argument("--retries", type=int, default=2, metavar="N",
+                     help="re-run a failed cell up to N times before "
+                          "recording it as failed (default: 2)")
+    sub.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell watchdog: a cell running longer than "
+                          "this counts as a failed attempt (default: none)")
+    sub.add_argument("--max-failures", type=int, default=None, metavar="N",
+                     help="abort the run once more than N cells have "
+                          "failed for good (default: no budget)")
+    sub.add_argument("--fail-fast", action="store_true",
+                     help="abort the run at the first permanently "
+                          "failed cell")
+    sub.add_argument("--faults", metavar="SPEC", default=None,
+                     help="deterministic fault-injection plan, e.g. "
+                          "'crash@3,exc@5.1' (default: $"
+                          f"{FAULTS_ENV}; chaos testing only)")
+
+
+def _resolve_exec(args: argparse.Namespace) -> tuple[ExecPolicy, str | None]:
+    """``(policy, fault spec)`` from the exec flags, validated up front.
+
+    The fault plan is parsed here — including one inherited from
+    ``$REPRO_FAULTS`` — so a bad spec dies on the usual ``error:`` line
+    before any work starts, not inside a worker process.
+    """
+    try:
+        policy = ExecPolicy(retries=args.retries, timeout=args.timeout,
+                            fail_fast=args.fail_fast,
+                            max_failures=args.max_failures)
+        spec = (args.faults if args.faults is not None
+                else os.environ.get(FAULTS_ENV))
+        FaultPlan.parse(spec)
+    except ValueError as error:
+        raise ConfigurationError(str(error)) from None
+    return policy, args.faults
+
+
+def _write_failure_table(failures, *, unit: str = "cell") -> None:
+    """The one-line-per-cell failure summary, on stderr."""
+    rows = [(failure.index, failure.label, failure.attempts, failure.kind,
+             failure.error) for failure in sorted(failures,
+                                                  key=lambda f: f.index)]
+    sys.stderr.write(render_table(
+        ["cell", unit, "attempts", "kind", "last error"], rows,
+        title=f"Failed {unit}s") + "\n")
+
+
+def _report_exec_failures(report: ExecutionReport | None, *,
+                          unit: str = "cell") -> int | None:
+    """Render failed cells and the ``error:`` line; ``None`` when clean.
+
+    Partial results were already printed by the caller — this adds the
+    per-cell table and the single trailing error line the exit-code-2
+    contract promises, so scripts keep a one-line failure signal while
+    humans still get the details.
+    """
+    if report is None or report.ok:
+        return None
+    if report.failures:
+        _write_failure_table(report.failures, unit=unit)
+    sys.stderr.write(f"error: {report.describe()}"
+                     " (completed cells were kept in the store; re-run"
+                     " with --resume to retry the rest)\n")
+    return 2
+
+
+# ---------------------------------------------------------------------------
 # Campaign subcommand
 # ---------------------------------------------------------------------------
 
 def _configure_campaign(sub: argparse.ArgumentParser) -> None:
     _configure_store_flags(sub)
+    _configure_exec_flags(sub)
     sub.add_argument("--list", action="store_true", dest="list_scenarios",
                      help="list the registered scenarios and exit")
     sub.add_argument("--run", metavar="NAMES", default=None,
@@ -318,8 +406,10 @@ def _command_campaign(ctx: CommandContext) -> int:
         sys.stderr.write(f"error: {error}\n")
         return 2
     store = _resolve_store(args)
+    policy, fault_spec = _resolve_exec(args)
     runner = CampaignRunner(memoize=not args.naive, jobs=args.jobs,
-                            store=store, resume=args.resume)
+                            store=store, resume=args.resume,
+                            exec_policy=policy, faults=fault_spec)
     result = runner.run(scenarios)
     _print(result.to_markdown() if args.markdown else result.to_table())
     mode = "naive" if args.naive else "memoized"
@@ -335,7 +425,8 @@ def _command_campaign(ctx: CommandContext) -> int:
     if args.csv:
         result.write_csv(args.csv)
         sys.stdout.write(f"wrote {len(result.rows())} rows to {args.csv}\n")
-    return 0
+    failed = _report_exec_failures(result.exec_report, unit="scenario")
+    return failed if failed is not None else 0
 
 
 # ---------------------------------------------------------------------------
@@ -344,6 +435,7 @@ def _command_campaign(ctx: CommandContext) -> int:
 
 def _configure_simulate(sub: argparse.ArgumentParser) -> None:
     _configure_store_flags(sub)
+    _configure_exec_flags(sub)
     sub.add_argument("--seeds", type=int, default=5, metavar="N",
                      help="number of simulation seeds per cell "
                           "(seeds 1..N; default: 5)")
@@ -394,6 +486,7 @@ def _command_simulate(ctx: CommandContext) -> int:
                              "synthetic workload (drop --workload)\n")
             return 2
     store = _resolve_store(args)
+    policy, fault_spec = _resolve_exec(args)
     try:
         campaign = SimulationCampaign(
             station_count=args.stations,
@@ -410,7 +503,9 @@ def _command_simulate(ctx: CommandContext) -> int:
             technology_delay=ctx.technology_delay,
             jobs=args.jobs,
             store=store,
-            resume=args.resume)
+            resume=args.resume,
+            exec_policy=policy,
+            faults=fault_spec)
     except ConfigurationError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
@@ -440,6 +535,9 @@ def _command_simulate(ctx: CommandContext) -> int:
     if args.csv:
         result.write_csv(args.csv)
         sys.stdout.write(f"wrote {len(result.rows)} rows to {args.csv}\n")
+    failed = _report_exec_failures(result.exec_report)
+    if failed is not None:
+        return failed
     return 0 if result.all_bounds_hold else 1
 
 
@@ -449,6 +547,7 @@ def _command_simulate(ctx: CommandContext) -> int:
 
 def _configure_fuzz(sub: argparse.ArgumentParser) -> None:
     _configure_store_flags(sub)
+    _configure_exec_flags(sub)
     sub.add_argument("--count", type=int, default=100, metavar="N",
                      help="number of generated scenarios (default: 100)")
     sub.add_argument("--seed", type=int, default=0, metavar="N",
@@ -490,6 +589,7 @@ def _command_fuzz(ctx: CommandContext) -> int:
                          f"got {args.jobs}\n")
         return 2
     store = _resolve_store(args)
+    policy, fault_spec = _resolve_exec(args)
     try:
         campaign = FuzzCampaign(
             count=args.count,
@@ -498,7 +598,9 @@ def _command_fuzz(ctx: CommandContext) -> int:
             jobs=args.jobs,
             store=store,
             resume=args.resume,
-            tightness_threshold=args.tightness)
+            tightness_threshold=args.tightness,
+            exec_policy=policy,
+            faults=fault_spec)
     except ConfigurationError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
@@ -537,6 +639,9 @@ def _command_fuzz(ctx: CommandContext) -> int:
         row_count = sum(len(outcome.bound_rows)
                         for outcome in result.outcomes)
         sys.stdout.write(f"wrote {row_count} rows to {args.csv}\n")
+    failed = _report_exec_failures(result.exec_report)
+    if failed is not None:
+        return failed
     return 0 if result.all_invariants_hold else 1
 
 
@@ -549,6 +654,7 @@ def _configure_report(sub: argparse.ArgumentParser) -> None:
         sub, resume_help="accepted for symmetry with campaign/simulate: "
                          "report already reuses stored experiments by "
                          "default (--no-store forces a full rebuild)")
+    _configure_exec_flags(sub)
     sub.add_argument("--list", action="store_true", dest="list_experiments",
                      help="list the registered experiments and exit")
     sub.add_argument("--experiment", metavar="NAMES", default=None,
@@ -586,8 +692,23 @@ def _command_report(ctx: CommandContext) -> int:
         sys.stderr.write(f"error: {error}\n")
         return 2
     store = _resolve_store(args)
+    policy, fault_spec = _resolve_exec(args)
     pipeline = reports.ReportPipeline(args.output, experiments=selected,
-                                      store=store)
+                                      store=store, exec_policy=policy,
+                                      faults=fault_spec)
+    try:
+        return _run_report(pipeline, args, store, selected)
+    except ExecutionFailedError as error:
+        # The pipeline needs every experiment to stitch the artifact
+        # tree, so failed builds surface as an exception; render the same
+        # per-cell table the campaign commands print.
+        _write_failure_table(error.failures, unit="experiment")
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+
+
+def _run_report(pipeline, args: argparse.Namespace,
+                store: ResultStore | None, selected) -> int:
     if args.check:
         problems = pipeline.check(jobs=args.jobs)
         for problem in problems:
@@ -664,6 +785,13 @@ def _command_store(ctx: CommandContext) -> int:
     total = sum(len(entries) for entries in groups.values())
     sys.stdout.write(f"{total} records, {store.size_bytes()} bytes; "
                      f"cache key {combined_token()[:16]}\n")
+    health = store.audit()
+    sys.stdout.write(
+        f"integrity: {health['corrupt_records']} corrupt of "
+        f"{health['records']} record files, "
+        f"{health['corrupt_index_lines']} corrupt of "
+        f"{health['index_lines']} index lines (corrupt entries are "
+        f"skipped; `store gc` removes them)\n")
     return 0
 
 
@@ -774,6 +902,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
+    except RunHalted as error:
+        # An injected halt fault stopped the run mid-campaign (chaos
+        # testing); finished cells are already in the store.
+        sys.stderr.write(f"halted: {error}\n")
+        return 130
+    except KeyboardInterrupt:
+        # Ctrl-C or SIGTERM: the executor already tore its workers down;
+        # exit with the conventional 128+SIGINT code, no traceback.
+        sys.stderr.write("interrupted\n")
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

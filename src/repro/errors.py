@@ -135,3 +135,24 @@ class BufferOverflowError(SimulationError):
 
 class SimulationNotRunError(SimulationError):
     """Results were requested from a simulation that has not been run."""
+
+
+# ---------------------------------------------------------------------------
+# Execution problems
+# ---------------------------------------------------------------------------
+
+
+class ExecutionFailedError(ReproError):
+    """Cells failed in a context that cannot tolerate partial results.
+
+    The fault-tolerant executor normally reports failed cells as
+    structured records and lets the run complete; a consumer that needs
+    *every* cell (the report pipeline stitching the full artifact tree)
+    raises this instead, carrying the failure records for the CLI's
+    summary table.
+    """
+
+    def __init__(self, message: str, failures: list | None = None) -> None:
+        super().__init__(message)
+        #: The :class:`repro.exec.CellFailure` records behind the error.
+        self.failures = list(failures or [])

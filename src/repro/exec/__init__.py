@@ -1,0 +1,44 @@
+"""Fault-tolerant parallel execution and deterministic fault injection.
+
+The :class:`~repro.exec.executor.ParallelExecutor` is the single
+substrate behind every ``--jobs N`` fan-out in the repository (analytic
+campaigns, Monte-Carlo simulation, fuzzing, report building); the
+:class:`~repro.exec.faults.FaultPlan` harness injects worker crashes,
+task exceptions, slow tasks and store I/O faults at chosen cell indices
+so the chaos test-suite can prove the executor recovers to byte-identical
+artifacts.  See ``DESIGN.md`` §12.
+"""
+
+from repro.exec.executor import (
+    CellFailure,
+    ExecPolicy,
+    ExecutionReport,
+    ParallelExecutor,
+    backoff_delay,
+)
+from repro.exec.faults import (
+    FAULTS_ENV,
+    FaultInjectedError,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    RunHalted,
+    SimulatedCrashError,
+    plan_from_env,
+)
+
+__all__ = [
+    "CellFailure",
+    "ExecPolicy",
+    "ExecutionReport",
+    "ParallelExecutor",
+    "backoff_delay",
+    "FAULTS_ENV",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "RunHalted",
+    "SimulatedCrashError",
+    "plan_from_env",
+]

@@ -1,0 +1,660 @@
+"""The fault-tolerant parallel executor behind every ``--jobs N`` fan-out.
+
+Before this layer, the four fan-out subsystems (analytic campaigns,
+Monte-Carlo simulation, fuzzing, report building) each drove a bare
+``ProcessPoolExecutor`` where a single worker crash, hang or transient
+I/O error killed the whole run with a traceback.  :class:`ParallelExecutor`
+gives them one shared substrate with worst-case behaviour by design:
+
+* **per-task watchdog timeouts** — a hung cell is detected, charged a
+  retry, its (presumed stuck) pool replaced, and every other in-flight
+  cell re-dispatched;
+* **bounded retries with deterministic backoff** — a failed cell is
+  retried up to ``retries`` times; the backoff delay is a pure function
+  of ``(seed, cell, attempt)`` (:func:`backoff_delay`), never wall-clock
+  or ``random``, so two runs of the same campaign behave identically;
+* **broken-pool recovery** — a worker death (``kill -9``, segfault, an
+  injected ``crash`` fault) breaks the pool; the executor rebuilds it
+  and re-dispatches only the cells that had not completed;
+* **graceful degradation to serial execution** — when a pool cannot be
+  started at all (fork/spawn failure), the remaining cells run in-process
+  and the run still completes;
+* **structured failures instead of tracebacks** — a cell that exhausts
+  its retries becomes a :class:`CellFailure` in the
+  :class:`ExecutionReport`; the campaign completes, summarises the
+  failures, and the ``--fail-fast`` / ``--max-failures N`` policies
+  decide when to abort early;
+* **clean interruption** — ``KeyboardInterrupt`` / ``SIGTERM`` (and the
+  injected ``halt`` fault) terminate every worker process before the
+  exception propagates, so an interrupted ``--jobs N`` run leaves no
+  orphans and can be finished later with ``--resume``.
+
+Results are unchanged by any of this: cells are deterministic, completed
+cells are persisted by their subsystem's result store exactly as before,
+and the chaos test-suite asserts byte-identical final artifacts with and
+without injected faults.
+
+This module imports nothing from the rest of ``repro`` except its
+sibling :mod:`repro.exec.faults`, so every subsystem can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.exec import faults
+from repro.exec.faults import FaultPlan, RunHalted
+
+__all__ = [
+    "ExecPolicy",
+    "CellFailure",
+    "ExecutionReport",
+    "ParallelExecutor",
+    "backoff_delay",
+]
+
+#: Watchdog poll interval while a per-task timeout is armed (seconds).
+_WATCHDOG_TICK = 0.05
+
+#: How long to wait for a terminated worker before killing it (seconds).
+_TERMINATE_GRACE = 5.0
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """The failure policy of one run (immutable, value-level).
+
+    ``retries`` counts *additional* executions after the first: the
+    default 2 allows three attempts per cell before it becomes a
+    :class:`CellFailure`.  ``timeout`` arms the per-task watchdog (off by
+    default — campaigns have no natural per-cell deadline).  ``fail_fast``
+    aborts on the first cell failure; ``max_failures`` tolerates up to N
+    failed cells before aborting (``None`` = never abort, the default:
+    the run completes and reports every failure).
+    """
+
+    retries: int = 2
+    timeout: float | None = None
+    fail_fast: bool = False
+    max_failures: int | None = None
+    #: First-retry backoff in seconds; doubles per attempt, deterministic
+    #: jitter included (see :func:`backoff_delay`).
+    backoff_base: float = 0.05
+    #: Upper bound of any single backoff delay in seconds.
+    backoff_cap: float = 2.0
+    #: Seed of the deterministic backoff stream.
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries!r}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, "
+                             f"got {self.timeout!r}")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValueError(f"max_failures must be >= 0, "
+                             f"got {self.max_failures!r}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+
+
+def backoff_delay(seed: int, cell: int, attempt: int, *,
+                  base: float = 0.05, cap: float = 2.0) -> float:
+    """The deterministic backoff before retry ``attempt`` of ``cell``.
+
+    Exponential in the attempt number with a multiplicative jitter in
+    ``[0.5, 1.0)`` derived from ``sha256(seed:cell:attempt)`` — seeded
+    and reproducible, with no wall-clock or global-PRNG dependence, so a
+    re-run of the same failing campaign sleeps the same milliseconds.
+    """
+    if attempt < 1 or base <= 0:
+        return 0.0
+    digest = hashlib.sha256(
+        f"repro-backoff:{seed}:{cell}:{attempt}".encode("ascii")).digest()
+    jitter = 0.5 + (int.from_bytes(digest[:8], "big") / 2**64) * 0.5
+    return min(cap, base * (2.0 ** (attempt - 1)) * jitter)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its retries (or could never run)."""
+
+    #: Position of the cell in the campaign's deterministic task order.
+    index: int
+    #: Human label of the cell (scenario name, cell spec, ...).
+    label: str
+    #: Number of executions attempted before giving up.
+    attempts: int
+    #: The last error observed, as one line of text.
+    error: str
+    #: Failure category: ``exception`` / ``timeout`` / ``worker-crash``.
+    kind: str
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one :meth:`ParallelExecutor.map` run observed."""
+
+    #: Completed results by cell index (insertion order = completion
+    #: order; iterate ``sorted(results)`` for task order).
+    results: dict[int, Any] = field(default_factory=dict)
+    #: Cells that exhausted their retries.
+    failures: list[CellFailure] = field(default_factory=list)
+    #: Cells neither completed nor failed (the run aborted early).
+    incomplete: list[int] = field(default_factory=list)
+    #: Total task executions started (== tasks when nothing failed).
+    executions: int = 0
+    #: Number of retry re-dispatches.
+    retried: int = 0
+    #: Watchdog timeouts observed.
+    timeouts: int = 0
+    #: Broken-pool events survived (worker crashes).
+    worker_crashes: int = 0
+    #: Process pools built after the first (recovery rebuilds).
+    pool_rebuilds: int = 0
+    #: True when the pool could not start and the run went serial.
+    serial_fallback: bool = False
+    #: True when ``fail_fast``/``max_failures`` aborted the run early.
+    aborted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed."""
+        return not self.failures and not self.incomplete
+
+    def ordered_results(self) -> list[Any]:
+        """Completed results in task order (failed cells are absent)."""
+        return [self.results[index] for index in sorted(self.results)]
+
+    def failure_rows(self) -> list[tuple]:
+        """``(cell, label, attempts, kind, last error)`` rows for tables."""
+        return [(failure.index, failure.label, failure.attempts,
+                 failure.kind, failure.error)
+                for failure in sorted(self.failures,
+                                      key=lambda f: f.index)]
+
+    def describe(self) -> str:
+        """One status line, e.g. ``'2 failed cells, 1 retried, ...'``."""
+        parts = [f"{len(self.failures)} failed"]
+        if self.incomplete:
+            parts.append(f"{len(self.incomplete)} not run")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crashes")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuilds")
+        if self.serial_fallback:
+            parts.append("serial fallback")
+        return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side trampoline
+# ---------------------------------------------------------------------------
+
+#: Parsed plans by canonical text — workers parse each plan string once.
+_PLAN_CACHE: dict[str, FaultPlan] = {}
+
+
+def _cached_plan(text: str) -> FaultPlan:
+    plan = _PLAN_CACHE.get(text)
+    if plan is None:
+        plan = FaultPlan.parse(text)
+        _PLAN_CACHE[text] = plan
+    return plan
+
+
+def _invoke_in_worker(worker_fn: Callable[[Any], Any], plan_text: str,
+                      index: int, attempt: int, task: Any) -> Any:
+    """Run one task inside a pool worker, under its fault context."""
+    with faults.cell_context(_cached_plan(plan_text), index, attempt,
+                             in_worker=True):
+        return worker_fn(task)
+
+
+def _worker_init(initializer: Callable[..., None] | None,
+                 initargs: tuple) -> None:
+    """Pool-worker bootstrap: restore SIGTERM, then run the subsystem init.
+
+    Forked workers inherit the parent's SIGTERM→``KeyboardInterrupt``
+    handler; without resetting it, terminating the pool would make every
+    worker die with a traceback instead of exiting silently.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - no signal support
+        pass
+    if initializer is not None:
+        initializer(*initargs)
+
+
+#: Swappable pool factory (tests monkeypatch it to simulate fork failure).
+_POOL_FACTORY: Callable[..., ProcessPoolExecutor] = ProcessPoolExecutor
+
+
+def _terminate_pool(pool: ProcessPoolExecutor | None) -> None:
+    """Tear a pool down without waiting on hung or dead workers.
+
+    ``shutdown(cancel_futures=True)`` alone would block on a worker stuck
+    in a long task; terminating the processes first guarantees the
+    shutdown returns and no orphan survives the parent.
+    """
+    if pool is None:
+        return
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+    deadline = time.monotonic() + _TERMINATE_GRACE
+    for process in processes:
+        try:
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - refuses SIGTERM
+                process.kill()
+                process.join(_TERMINATE_GRACE)
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+
+
+class _sigterm_raises_interrupt:
+    """Scope converting SIGTERM into ``KeyboardInterrupt`` (parent only).
+
+    A plain SIGTERM would kill the parent without unwinding, leaving pool
+    workers orphaned; raising ``KeyboardInterrupt`` instead routes the
+    signal through the executor's ``finally`` teardown.  Installing a
+    handler is only legal in the main thread of the main interpreter —
+    anywhere else this scope is a no-op.
+    """
+
+    @staticmethod
+    def _handler(signum, frame) -> None:
+        raise KeyboardInterrupt()
+
+    def __enter__(self) -> "_sigterm_raises_interrupt":
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(signal.SIGTERM,
+                                               self._handler)
+            except (ValueError, OSError):  # pragma: no cover - no signals
+                self._previous = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._previous)
+            except (ValueError, OSError):  # pragma: no cover - no signals
+                pass
+
+
+class ParallelExecutor:
+    """Map tasks over worker processes with retries, recovery and policy.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 executes in-process (same retry/failure
+        policy, no pool).
+    policy:
+        The :class:`ExecPolicy`; defaults are retry-twice, no timeout,
+        never abort.
+    fault_spec:
+        Fault-plan text (see :mod:`repro.exec.faults`); defaults to
+        ``$REPRO_FAULTS`` so chaos runs need no code changes.  Parsed
+        eagerly — a malformed plan fails fast, before any work runs.
+    label:
+        Unit name used in failure records (``"scenario"``, ``"cell"``).
+    """
+
+    def __init__(self, *, jobs: int = 1, policy: ExecPolicy | None = None,
+                 fault_spec: str | None = None, label: str = "cell") -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs!r}")
+        self.jobs = int(jobs)
+        self.policy = policy if policy is not None else ExecPolicy()
+        if fault_spec is None:
+            fault_spec = os.environ.get(faults.FAULTS_ENV) or ""
+        self.plan = FaultPlan.parse(fault_spec)
+        self.label = label
+        #: Injectable sleep (tests replace it to observe backoff delays).
+        self.sleep: Callable[[float], None] = time.sleep
+
+    # -- public API ----------------------------------------------------------
+
+    def map(self, worker_fn: Callable[[Any], Any], tasks: Sequence[Any], *,
+            initializer: Callable[..., None] | None = None,
+            initargs: tuple = (),
+            serial_fn: Callable[[Any], Any] | None = None,
+            serial_setup: Callable[[], None] | None = None,
+            labels: Sequence[str] | None = None) -> ExecutionReport:
+        """Run ``worker_fn`` over ``tasks``; never raises for cell failures.
+
+        ``worker_fn`` must be picklable (module-level) for ``jobs > 1``;
+        ``initializer(*initargs)`` primes each worker process.  In serial
+        execution (``jobs == 1``, a single task, or pool-start fallback)
+        ``serial_setup`` runs once and ``serial_fn`` (default
+        ``worker_fn``) evaluates the cells in-process — call sites pass a
+        bound method here to keep their live caches and store handles.
+
+        Raises :class:`RunHalted` for an injected ``halt`` fault and lets
+        ``KeyboardInterrupt`` propagate — in both cases every worker
+        process is terminated first.
+        """
+        tasks = list(tasks)
+        report = ExecutionReport()
+        if labels is None:
+            labels = [str(task) for task in tasks]
+        labels = [str(text) for text in labels]
+        if len(labels) != len(tasks):
+            raise ValueError(f"{len(tasks)} tasks but {len(labels)} labels")
+        if not tasks:
+            return report
+        if serial_fn is None:
+            serial_fn = worker_fn
+        if self.jobs == 1 or len(tasks) == 1:
+            self._run_serial(report, tasks, labels,
+                             serial_fn=serial_fn, serial_setup=serial_setup,
+                             initializer=initializer, initargs=initargs)
+            return report
+        self._run_parallel(report, worker_fn, tasks, labels,
+                           initializer=initializer, initargs=initargs,
+                           serial_fn=serial_fn, serial_setup=serial_setup)
+        return report
+
+    # -- shared bookkeeping --------------------------------------------------
+
+    def _attempt_failed(self, report: ExecutionReport,
+                        attempts: dict[int, int], index: int, label: str,
+                        error: str, kind: str) -> bool:
+        """Charge one failed execution; True when the cell may retry."""
+        attempts[index] += 1
+        if attempts[index] > self.policy.retries:
+            report.failures.append(CellFailure(
+                index=index, label=label, attempts=attempts[index],
+                error=error, kind=kind))
+            return False
+        report.retried += 1
+        return True
+
+    def _should_abort(self, report: ExecutionReport) -> bool:
+        """True when the failure policy says to stop dispatching."""
+        if self.policy.fail_fast and report.failures:
+            return True
+        if (self.policy.max_failures is not None
+                and len(report.failures) > self.policy.max_failures):
+            return True
+        return False
+
+    def _backoff(self, index: int, attempt: int) -> float:
+        return backoff_delay(self.policy.backoff_seed, index, attempt,
+                             base=self.policy.backoff_base,
+                             cap=self.policy.backoff_cap)
+
+    # -- serial execution ----------------------------------------------------
+
+    def _run_serial(self, report: ExecutionReport, tasks: list[Any],
+                    labels: list[str], *,
+                    serial_fn: Callable[[Any], Any] | None,
+                    serial_setup: Callable[[], None] | None,
+                    initializer: Callable[..., None] | None,
+                    initargs: tuple,
+                    only: Sequence[int] | None = None) -> None:
+        """Evaluate cells in-process under the same retry/fault policy."""
+        if serial_setup is not None:
+            serial_setup()
+        elif initializer is not None:
+            initializer(*initargs)
+        if serial_fn is None:
+            raise ValueError("serial execution needs serial_fn")
+        indices = list(only) if only is not None else range(len(tasks))
+        attempts = {index: 0 for index in indices}
+        for index in indices:
+            if self._should_abort(report):
+                report.aborted = True
+                report.incomplete.append(index)
+                continue
+            while True:
+                if faults.halt_requested(self.plan, index, attempts[index]):
+                    raise RunHalted(
+                        f"injected halt before {self.label} {index}")
+                report.executions += 1
+                try:
+                    with faults.cell_context(self.plan, index,
+                                             attempts[index],
+                                             in_worker=False):
+                        report.results[index] = serial_fn(tasks[index])
+                    break
+                except Exception as error:
+                    if not self._attempt_failed(
+                            report, attempts, index, labels[index],
+                            f"{type(error).__name__}: {error}",
+                            "exception"):
+                        break
+                    self.sleep(self._backoff(index, attempts[index]))
+
+    # -- parallel execution --------------------------------------------------
+
+    def _run_parallel(self, report: ExecutionReport,
+                      worker_fn: Callable[[Any], Any], tasks: list[Any],
+                      labels: list[str], *,
+                      initializer: Callable[..., None] | None,
+                      initargs: tuple,
+                      serial_fn: Callable[[Any], Any] | None,
+                      serial_setup: Callable[[], None] | None) -> None:
+        """The dispatch loop: sliding window, watchdog, pool recovery."""
+        plan_text = str(self.plan)
+        workers = min(self.jobs, len(tasks))
+        attempts = {index: 0 for index in range(len(tasks))}
+        #: Cells awaiting (re-)dispatch, in task order.
+        queue: deque[int] = deque(range(len(tasks)))
+        #: Deterministic earliest re-dispatch times (monotonic seconds).
+        not_before: dict[int, float] = {}
+        pool: ProcessPoolExecutor | None = None
+        inflight: dict[Any, int] = {}
+        started: dict[Any, float] = {}
+
+        def build_pool() -> ProcessPoolExecutor | None:
+            """A fresh pool, or ``None`` when one cannot be started."""
+            try:
+                return _POOL_FACTORY(max_workers=workers,
+                                     initializer=_worker_init,
+                                     initargs=(initializer, initargs))
+            except (OSError, ValueError, RuntimeError):
+                return None
+
+        def requeue_inflight(*, charge: bool, error: str,
+                             kind: str) -> None:
+            """Return every in-flight cell to the queue after a pool loss."""
+            for future, index in list(inflight.items()):
+                if charge:
+                    if self._attempt_failed(report, attempts, index,
+                                            labels[index], error, kind):
+                        queue.append(index)
+                        not_before[index] = (
+                            time.monotonic()
+                            + self._backoff(index, attempts[index]))
+                else:
+                    queue.append(index)
+            inflight.clear()
+            started.clear()
+
+        with _sigterm_raises_interrupt():
+            try:
+                pool = build_pool()
+                if pool is None:
+                    report.serial_fallback = True
+                    self._run_serial(report, tasks, labels,
+                                     serial_fn=serial_fn,
+                                     serial_setup=serial_setup,
+                                     initializer=initializer,
+                                     initargs=initargs)
+                    return
+                while queue or inflight:
+                    if self._should_abort(report):
+                        report.aborted = True
+                        report.incomplete.extend(
+                            sorted(set(queue) | set(inflight.values())))
+                        return
+                    broke = self._fill_window(pool, worker_fn, plan_text,
+                                              tasks, attempts, queue,
+                                              not_before, inflight, started,
+                                              workers, report)
+                    if not broke and inflight:
+                        broke = self._collect(report, labels, attempts,
+                                              queue, not_before, inflight,
+                                              started)
+                    if broke:
+                        report.worker_crashes += 1
+                        requeue_inflight(
+                            charge=True,
+                            error="worker process died (broken pool)",
+                            kind="worker-crash")
+                        _terminate_pool(pool)
+                        pool = build_pool()
+                        if pool is None:
+                            report.serial_fallback = True
+                            remaining = sorted(set(queue))
+                            queue.clear()
+                            self._run_serial(report, tasks, labels,
+                                             serial_fn=serial_fn,
+                                             serial_setup=serial_setup,
+                                             initializer=initializer,
+                                             initargs=initargs,
+                                             only=remaining)
+                            return
+                        report.pool_rebuilds += 1
+                    elif self._timed_out(report, labels, attempts, queue,
+                                         not_before, inflight, started):
+                        # The hung worker owns a slot forever: replace
+                        # the pool, innocents re-dispatch uncharged.
+                        requeue_inflight(charge=False, error="", kind="")
+                        _terminate_pool(pool)
+                        pool = build_pool()
+                        if pool is None:  # pragma: no cover - rare double
+                            report.serial_fallback = True
+                            remaining = sorted(set(queue))
+                            queue.clear()
+                            self._run_serial(report, tasks, labels,
+                                             serial_fn=serial_fn,
+                                             serial_setup=serial_setup,
+                                             initializer=initializer,
+                                             initargs=initargs,
+                                             only=remaining)
+                            return
+                        report.pool_rebuilds += 1
+            finally:
+                _terminate_pool(pool)
+
+    def _fill_window(self, pool, worker_fn, plan_text: str,
+                     tasks: list[Any], attempts: dict[int, int],
+                     queue: deque, not_before: dict[int, float],
+                     inflight: dict, started: dict, workers: int,
+                     report: ExecutionReport) -> bool:
+        """Submit eligible cells up to the window; True when pool broke.
+
+        The window never exceeds the worker count, so a submitted cell
+        starts (almost) immediately and the watchdog can measure task
+        time from the submit timestamp.
+        """
+        now = time.monotonic()
+        deferred: list[int] = []
+        while queue and len(inflight) < workers:
+            index = queue.popleft()
+            if not_before.get(index, 0.0) > now:
+                deferred.append(index)
+                continue
+            if faults.halt_requested(self.plan, index, attempts[index]):
+                raise RunHalted(f"injected halt before {self.label} "
+                                f"{index}")
+            report.executions += 1
+            try:
+                future = pool.submit(_invoke_in_worker, worker_fn,
+                                     plan_text, index, attempts[index],
+                                     tasks[index])
+            except BrokenProcessPool:
+                queue.appendleft(index)
+                report.executions -= 1
+                queue.extend(deferred)
+                return True
+            inflight[future] = index
+            started[future] = time.monotonic()
+        queue.extend(deferred)
+        if not inflight and queue:
+            # Everything eligible is backing off: honour the earliest
+            # deterministic delay instead of busy-waiting.
+            earliest = min(not_before.get(index, 0.0) for index in queue)
+            self.sleep(max(0.0, earliest - time.monotonic()))
+        return False
+
+    def _collect(self, report: ExecutionReport, labels: list[str],
+                 attempts: dict[int, int], queue: deque,
+                 not_before: dict[int, float], inflight: dict,
+                 started: dict) -> bool:
+        """Harvest finished futures; True when the pool broke."""
+        tick = None if self.policy.timeout is None else _WATCHDOG_TICK
+        done, _ = wait(set(inflight), timeout=tick,
+                       return_when=FIRST_COMPLETED)
+        broke = False
+        for future in done:
+            index = inflight.pop(future)
+            started.pop(future, None)
+            try:
+                report.results[index] = future.result()
+            except BrokenProcessPool:
+                # Leave the cell in flight: the caller's requeue pass
+                # charges the attempt and re-dispatches it.
+                inflight[future] = index
+                broke = True
+            except Exception as error:
+                if self._attempt_failed(report, attempts, index,
+                                        labels[index],
+                                        f"{type(error).__name__}: {error}",
+                                        "exception"):
+                    queue.append(index)
+                    not_before[index] = (
+                        time.monotonic()
+                        + self._backoff(index, attempts[index]))
+        return broke
+
+    def _timed_out(self, report: ExecutionReport, labels: list[str],
+                   attempts: dict[int, int], queue: deque,
+                   not_before: dict[int, float], inflight: dict,
+                   started: dict) -> bool:
+        """Fail cells past the watchdog deadline; True when any tripped."""
+        if self.policy.timeout is None or not inflight:
+            return False
+        now = time.monotonic()
+        tripped = False
+        for future, index in list(inflight.items()):
+            if now - started[future] <= self.policy.timeout:
+                continue
+            tripped = True
+            report.timeouts += 1
+            inflight.pop(future)
+            started.pop(future)
+            if self._attempt_failed(
+                    report, attempts, index, labels[index],
+                    f"timed out after {self.policy.timeout:g}s",
+                    "timeout"):
+                queue.append(index)
+                not_before[index] = (
+                    time.monotonic()
+                    + self._backoff(index, attempts[index]))
+        return tripped

@@ -1,0 +1,325 @@
+"""Deterministic fault injection: the chaos half of the execution layer.
+
+A :class:`FaultPlan` is a value-level description of *exactly which*
+faults to inject *exactly where*: every entry names a fault ``kind``, the
+**cell index** it targets (the task's position in the campaign's
+deterministic cell order) and the **attempt** it fires on (default 0, the
+first execution).  Because activation is keyed on ``(kind, cell,
+attempt)`` and campaigns retry failed cells with an incremented attempt
+counter, a fault fires exactly once per run — which is what lets the
+chaos suite assert that a fault-injected campaign converges to artifacts
+**byte-identical** to a fault-free run.
+
+Grammar (entries separated by ``,`` or ``;``; whitespace ignored)::
+
+    kind@cell            fire on attempt 0 of cell
+    kind@cell.attempt    fire on that attempt only
+    kind@cell:param      kinds with a parameter (slow: seconds)
+
+Kinds:
+
+``crash``
+    Kill the executing worker process with ``os._exit`` (the moral
+    equivalent of ``kill -9`` on the worker) — the parent sees a
+    ``BrokenProcessPool``, rebuilds the pool and re-dispatches the
+    incomplete cells.  In serial execution the crash degrades to a
+    :class:`SimulatedCrashError` so the driving process survives.
+``exc``
+    Raise :class:`FaultInjectedError` from the task body (a transient
+    task failure; retried with deterministic backoff).
+``slow``
+    Sleep ``param`` seconds (default 0.25) before running the task —
+    long enough to trip a per-task watchdog timeout when one is set.
+``halt``
+    Parent-side: abort the whole run (:class:`RunHalted`) just before
+    the cell would be dispatched — a deterministic stand-in for an
+    operator ``kill``/power loss, used to exercise ``--resume``.
+``store-eio`` / ``store-enospc``
+    The result store's next record write for this cell raises
+    ``OSError(EIO/ENOSPC)`` — which the hardened store degrades to a
+    logged unpersisted write, never an exception.
+``store-replace``
+    The atomic ``os.replace`` publishing this cell's record fails.
+``store-corrupt``
+    This cell's record is truncated on disk after writing (a torn
+    write); the next reader treats it as a miss and recomputes.
+``store-index``
+    This cell's ``index.jsonl`` line is written truncated (torn append);
+    tolerant index readers skip and count it.
+
+Activation: the executor ships the plan into workers and wraps every
+task in :func:`cell_context`, so the store-side hooks
+(:func:`store_fault`, :func:`corrupt_record`, :func:`corrupt_index_line`)
+know the current cell without the store ever importing campaign code.
+Plans come from the CLI ``--faults`` flag or the ``REPRO_FAULTS``
+environment variable (:func:`plan_from_env`).
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the store can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjectedError",
+    "SimulatedCrashError",
+    "RunHalted",
+    "cell_context",
+    "plan_from_env",
+    "store_fault",
+    "corrupt_record",
+    "corrupt_index_line",
+    "halt_requested",
+]
+
+#: Environment variable holding the default fault plan (CLI ``--faults``
+#: overrides it for the run it configures).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every fault kind the parser accepts.
+KINDS = frozenset({
+    "crash", "exc", "slow", "halt",
+    "store-eio", "store-enospc", "store-replace", "store-corrupt",
+    "store-index",
+})
+
+#: Exit status of an injected worker crash (visible in worker logs).
+CRASH_EXIT_CODE = 113
+
+#: Default sleep of a ``slow`` fault without an explicit parameter.
+DEFAULT_SLOW_SECONDS = 0.25
+
+#: Bytes kept when truncating a record/index line (enough to be visibly
+#: a torn JSON prefix, never valid JSON).
+_TRUNCATE_AT = 20
+
+
+class FaultPlanError(ValueError):
+    """A fault plan string does not follow the grammar."""
+
+
+class FaultInjectedError(RuntimeError):
+    """The transient task failure raised by an ``exc`` fault."""
+
+
+class SimulatedCrashError(RuntimeError):
+    """A ``crash`` fault fired while executing serially (no worker to
+    kill, so the crash degrades to an ordinary retryable failure)."""
+
+
+class RunHalted(BaseException):
+    """A ``halt`` fault (or an equivalent interruption) stopped the run.
+
+    Derives from :class:`BaseException` like ``KeyboardInterrupt`` so it
+    cannot be swallowed by the retry machinery: a halted run must stop,
+    persist nothing further, and be finished later with ``--resume``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault entry: *kind* at *(cell, attempt)* with *param*."""
+
+    kind: str
+    cell: int
+    attempt: int = 0
+    param: float | None = None
+
+    def __str__(self) -> str:
+        text = f"{self.kind}@{self.cell}"
+        if self.attempt:
+            text += f".{self.attempt}"
+        if self.param is not None:
+            text += f":{self.param:g}"
+        return text
+
+
+def _parse_entry(entry: str) -> FaultSpec:
+    """One ``kind@cell[.attempt][:param]`` entry, validated."""
+    kind, sep, where = entry.partition("@")
+    kind = kind.strip()
+    if not sep or kind not in KINDS:
+        raise FaultPlanError(
+            f"bad fault entry {entry!r}: expected kind@cell[.attempt]"
+            f"[:param] with kind in {sorted(KINDS)}")
+    where, _, param_text = where.partition(":")
+    cell_text, _, attempt_text = where.partition(".")
+    try:
+        cell = int(cell_text)
+        attempt = int(attempt_text) if attempt_text else 0
+        param = float(param_text) if param_text else None
+    except ValueError:
+        raise FaultPlanError(f"bad fault entry {entry!r}: cell/attempt "
+                             f"must be integers, param a number") from None
+    if cell < 0 or attempt < 0:
+        raise FaultPlanError(
+            f"bad fault entry {entry!r}: cell and attempt must be >= 0")
+    return FaultSpec(kind=kind, cell=cell, attempt=attempt, param=param)
+
+
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec` entries, queryable per cell.
+
+    The canonical text form (:meth:`__str__`) round-trips through
+    :meth:`parse`, which is how the executor ships a plan into worker
+    processes (a short string instead of a pickled object).
+    """
+
+    def __init__(self, specs: Iterator[FaultSpec] | tuple | list = ()):
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan":
+        """Parse the grammar above; ``None``/blank parses to an empty plan."""
+        if not text or not text.strip():
+            return cls()
+        entries = [part.strip()
+                   for chunk in text.replace(";", ",").split(",")
+                   for part in (chunk,) if part.strip()]
+        return cls(_parse_entry(entry) for entry in entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __str__(self) -> str:
+        return ",".join(str(spec) for spec in self.specs)
+
+    def at(self, kind: str, cell: int, attempt: int) -> FaultSpec | None:
+        """The matching entry for ``(kind, cell, attempt)``, if any."""
+        for spec in self.specs:
+            if (spec.kind == kind and spec.cell == cell
+                    and spec.attempt == attempt):
+                return spec
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Process-global activation context
+# ---------------------------------------------------------------------------
+
+#: The active (plan, cell, attempt) of the thread's current task, if any.
+#: Thread-local so a multi-threaded parent never leaks a context across
+#: concurrently executing cells.
+_context = threading.local()
+
+
+def _active() -> tuple[FaultPlan, int, int] | None:
+    """The (plan, cell, attempt) triple of the executing task, if set."""
+    return getattr(_context, "triple", None)
+
+
+class cell_context:
+    """Context manager marking *this thread* as executing one cell.
+
+    On entry it fires the task-level faults (``slow``, ``exc``,
+    ``crash``) configured for the cell; for the duration of the body the
+    store-side hooks see the cell's store faults.  ``in_worker`` selects
+    whether a ``crash`` really kills the process (pool worker) or
+    degrades to :class:`SimulatedCrashError` (serial execution).
+    """
+
+    def __init__(self, plan: FaultPlan, cell: int, attempt: int, *,
+                 in_worker: bool) -> None:
+        self.plan = plan
+        self.cell = cell
+        self.attempt = attempt
+        self.in_worker = in_worker
+
+    def __enter__(self) -> "cell_context":
+        _context.triple = (self.plan, self.cell, self.attempt)
+        slow = self.plan.at("slow", self.cell, self.attempt)
+        if slow is not None:
+            time.sleep(slow.param if slow.param is not None
+                       else DEFAULT_SLOW_SECONDS)
+        if self.plan.at("crash", self.cell, self.attempt) is not None:
+            if self.in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            _context.triple = None
+            raise SimulatedCrashError(
+                f"injected crash at cell {self.cell} "
+                f"attempt {self.attempt} (serial execution)")
+        if self.plan.at("exc", self.cell, self.attempt) is not None:
+            _context.triple = None
+            raise FaultInjectedError(
+                f"injected task fault at cell {self.cell} "
+                f"attempt {self.attempt}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _context.triple = None
+
+
+def plan_from_env() -> FaultPlan:
+    """The plan configured via ``$REPRO_FAULTS`` (empty when unset)."""
+    return FaultPlan.parse(os.environ.get(FAULTS_ENV))
+
+
+# ---------------------------------------------------------------------------
+# Store-side hooks (called by repro.store with no knowledge of cells)
+# ---------------------------------------------------------------------------
+
+_STORE_ERRNOS = {"store-eio": errno.EIO, "store-enospc": errno.ENOSPC}
+
+
+def store_fault(operation: str) -> None:
+    """Raise the injected ``OSError`` for the active cell, if configured.
+
+    ``operation`` is ``"write"`` (serialising the record) or
+    ``"replace"`` (the atomic publish).  Outside an active cell context
+    this is a no-op, so the store behaves identically in normal runs.
+    """
+    active = _active()
+    if active is None:
+        return
+    plan, cell, attempt = active
+    if operation == "replace":
+        if plan.at("store-replace", cell, attempt) is not None:
+            raise OSError(errno.EIO, f"injected os.replace failure at "
+                                     f"cell {cell} attempt {attempt}")
+        return
+    for kind, code in _STORE_ERRNOS.items():
+        if plan.at(kind, cell, attempt) is not None:
+            raise OSError(code, f"injected {kind} at cell {cell} "
+                                f"attempt {attempt}")
+
+
+def corrupt_record(data: str) -> str:
+    """Truncate ``data`` when a ``store-corrupt`` fault targets the cell.
+
+    The store writes the returned bytes, simulating a torn record write;
+    tolerant readers treat the truncated JSON as a miss and recompute.
+    """
+    active = _active()
+    if active is None:
+        return data
+    plan, cell, attempt = active
+    if plan.at("store-corrupt", cell, attempt) is not None:
+        return data[:_TRUNCATE_AT]
+    return data
+
+
+def corrupt_index_line(line: str) -> str:
+    """Truncate one ``index.jsonl`` line under a ``store-index`` fault."""
+    active = _active()
+    if active is None:
+        return line
+    plan, cell, attempt = active
+    if plan.at("store-index", cell, attempt) is not None:
+        return line[:_TRUNCATE_AT]
+    return line
+
+
+def halt_requested(plan: FaultPlan, cell: int, attempt: int) -> bool:
+    """Parent-side check: should the run stop before dispatching ``cell``?"""
+    return plan.at("halt", cell, attempt) is not None

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -42,6 +41,7 @@ from repro.campaigns.scenario import Scenario
 from repro.core.endtoend import EndToEndAnalysis
 from repro.errors import ConfigurationError, UnstableSystemError
 from repro.ethernet.network_sim import EthernetNetworkSimulator
+from repro.exec import ExecPolicy, ExecutionReport, ParallelExecutor
 from repro.flows.priorities import PriorityClass
 from repro.fuzz.generator import GeneratorConfig, ScenarioGenerator
 from repro.reporting import (
@@ -156,9 +156,17 @@ class FuzzResult:
     #: Cells at or above this tightness ratio count as *interesting*.
     tightness_threshold: float = DEFAULT_TIGHTNESS_THRESHOLD
     elapsed: float = 0.0
+    #: What the fault-tolerant executor observed (retries, recoveries,
+    #: structured failures); ``None`` only for hand-built results.
+    exec_report: ExecutionReport | None = None
 
     ROW_HEADERS = ("scenario", "configuration", "policy", "class",
                    "bound", "worst sim", "tightness", "ok")
+
+    @property
+    def failures(self) -> list:
+        """Cells that exhausted their retries (empty when all ran)."""
+        return [] if self.exec_report is None else self.exec_report.failures
 
     @property
     def cells(self) -> int:
@@ -318,8 +326,9 @@ class FuzzCampaign:
                  jobs: int = 1,
                  store: ResultStore | None = None,
                  resume: bool = False,
-                 tightness_threshold: float = DEFAULT_TIGHTNESS_THRESHOLD
-                 ) -> None:
+                 tightness_threshold: float = DEFAULT_TIGHTNESS_THRESHOLD,
+                 exec_policy: ExecPolicy | None = None,
+                 faults: str | None = None) -> None:
         if count < 1:
             raise ConfigurationError(
                 f"count must be at least 1, got {count!r}")
@@ -341,6 +350,8 @@ class FuzzCampaign:
         self.store = store
         self.resume = bool(resume)
         self.tightness_threshold = float(tightness_threshold)
+        self.exec_policy = exec_policy
+        self.faults = faults
 
     @property
     def seed(self) -> int:
@@ -356,21 +367,29 @@ class FuzzCampaign:
                 for index in range(self.count)]
 
     def run(self) -> FuzzResult:
-        """Fuzz every cell and collect the invariant verdicts."""
+        """Fuzz every cell and collect the invariant verdicts.
+
+        Cells that exhaust their retries become structured
+        :class:`~repro.exec.CellFailure` records on
+        ``result.exec_report`` instead of killing the campaign; re-run
+        with ``--resume`` to fill the holes from the store.
+        """
         started = time.perf_counter()
         cells = self.cells()
         store_root = None if self.store is None else str(self.store.root)
-        if self.jobs > 1 and len(cells) > 1:
-            workers = min(self.jobs, len(cells))
-            with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_init_worker,
-                    initargs=(store_root, self.resume)) as pool:
-                outcomes = list(pool.map(_evaluate_cell, cells))
-        else:
-            _init_worker(store_root, self.resume, store=self.store)
-            outcomes = [_evaluate_cell(cell) for cell in cells]
-        result = FuzzResult(outcomes=outcomes,
+        executor = ParallelExecutor(jobs=self.jobs,
+                                    policy=self.exec_policy,
+                                    fault_spec=self.faults, label="cell")
+        report = executor.map(
+            _evaluate_cell, cells,
+            initializer=_init_worker,
+            initargs=(store_root, self.resume),
+            serial_setup=lambda: _init_worker(store_root, self.resume,
+                                              store=self.store),
+            labels=[cell.scenario.name for cell in cells])
+        result = FuzzResult(outcomes=report.ordered_results(),
                             tightness_threshold=self.tightness_threshold)
+        result.exec_report = report
         result.elapsed = time.perf_counter() - started
         return result
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -38,6 +37,7 @@ from repro.analysis.validation import star_for_message_set, wire_level_messages
 from repro.core.endtoend import EndToEndAnalysis
 from repro.errors import ConfigurationError
 from repro.ethernet.network_sim import EthernetNetworkSimulator
+from repro.exec import ExecPolicy, ExecutionReport, ParallelExecutor
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 from repro.reporting import (
@@ -157,9 +157,17 @@ class MonteCarloResult:
     outcomes: list[CellOutcome] = field(default_factory=list)
     rows: list[MonteCarloRow] = field(default_factory=list)
     elapsed: float = 0.0
+    #: What the fault-tolerant executor observed (retries, recoveries,
+    #: structured failures); ``None`` only for hand-built results.
+    exec_report: ExecutionReport | None = None
 
     ROW_HEADERS = ("scale", "scenario", "policy", "class", "seeds",
                    "bound", "worst sim", "tightness", "holds")
+
+    @property
+    def failures(self) -> list:
+        """Cells that exhausted their retries (empty when all ran)."""
+        return [] if self.exec_report is None else self.exec_report.failures
 
     @property
     def all_bounds_hold(self) -> bool:
@@ -281,7 +289,9 @@ class SimulationCampaign:
                  technology_delay: float = units.us(16),
                  jobs: int = 1,
                  store: ResultStore | None = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 exec_policy: ExecPolicy | None = None,
+                 faults: str | None = None) -> None:
         if not scenarios:
             raise ConfigurationError("at least one scenario is required")
         for scenario in scenarios:
@@ -321,6 +331,8 @@ class SimulationCampaign:
         self.jobs = int(jobs)
         self.store = store
         self.resume = bool(resume)
+        self.exec_policy = exec_policy
+        self.faults = faults
 
     # -- grid ----------------------------------------------------------------
 
@@ -349,23 +361,30 @@ class SimulationCampaign:
     # -- execution -----------------------------------------------------------
 
     def run(self) -> MonteCarloResult:
-        """Simulate every cell, then aggregate against the analytic bounds."""
+        """Simulate every cell, then aggregate against the analytic bounds.
+
+        Cells that exhaust their retries become structured
+        :class:`~repro.exec.CellFailure` records on
+        ``result.exec_report``; the aggregation simply spans the cells
+        that completed (a partial grid still aggregates — re-run with
+        ``--resume`` to fill the holes from the store).
+        """
         started = time.perf_counter()
         cells = self.cells()
         store_root = None if self.store is None else str(self.store.root)
-        if self.jobs > 1 and len(cells) > 1:
-            workers = min(self.jobs, len(cells))
-            with ProcessPoolExecutor(
-                    max_workers=workers, initializer=_init_worker,
-                    initargs=(self._context(), store_root,
-                              self.resume)) as pool:
-                outcomes = list(pool.map(_evaluate_cell, cells))
-        else:
-            _init_worker(self._context(), store_root, self.resume,
-                         store=self.store)
-            outcomes = [_evaluate_cell(cell) for cell in cells]
-        result = MonteCarloResult(outcomes=outcomes)
-        result.rows = self._aggregate(outcomes)
+        executor = ParallelExecutor(jobs=self.jobs,
+                                    policy=self.exec_policy,
+                                    fault_spec=self.faults, label="cell")
+        report = executor.map(
+            _evaluate_cell, cells,
+            initializer=_init_worker,
+            initargs=(self._context(), store_root, self.resume),
+            serial_setup=lambda: _init_worker(
+                self._context(), store_root, self.resume, store=self.store),
+            labels=[_cell_label(cell) for cell in cells])
+        result = MonteCarloResult(outcomes=report.ordered_results())
+        result.exec_report = report
+        result.rows = self._aggregate(result.outcomes)
         result.elapsed = time.perf_counter() - started
         return result
 
@@ -442,6 +461,12 @@ _WORKER_WORKLOADS: dict[int, tuple] = {}
 _WORKER_STORE: ResultStore | None = None
 #: Whether stored cells may be reused (the ``--resume`` mode).
 _WORKER_RESUME: bool = False
+
+
+def _cell_label(cell: SimulationCell) -> str:
+    """Compact human label of one grid cell for failure tables."""
+    return (f"x{cell.size_factor}/{cell.scenario}/{cell.policy}"
+            f"/seed{cell.seed}")
 
 
 def _workload(context: dict, factor: int) -> MessageSet:

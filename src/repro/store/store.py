@@ -21,30 +21,42 @@ lines are single appended writes — so ``--jobs N`` process fan-out can
 share one store: concurrent writers of the *same* fingerprint write
 identical bytes and the last rename wins.
 
-Reads never trust the disk blindly: a missing, truncated or corrupt
-record is a miss (the unit of work is recomputed and rewritten), never
-an error.
+Neither reads nor writes ever trust the disk blindly: a missing,
+truncated or corrupt record is a miss (the unit of work is recomputed
+and rewritten), a corrupt ``index.jsonl`` line is skipped and counted,
+and a write that fails with ``OSError`` (EIO, ENOSPC, a failed
+``os.replace``) degrades to a logged unpersisted result — the campaign
+keeps its in-memory value and continues; only the cache entry is lost.
+Durability-sensitive deployments can opt into ``fsync`` mode
+(constructor flag or ``REPRO_STORE_FSYNC=1``), which fsyncs every record
+and index append before reporting the write done.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.exec import faults
 from repro.store.fingerprint import fingerprint
 from repro.store.versions import all_code_versions, code_version
 
 __all__ = ["ResultStore", "StoreStats", "StoreEntry",
-           "STORE_DIR_ENV", "DEFAULT_STORE_DIR"]
+           "STORE_DIR_ENV", "DEFAULT_STORE_DIR", "STORE_FSYNC_ENV"]
 
 #: Environment variable naming the store root (CI points it at the cache).
 STORE_DIR_ENV = "REPRO_STORE_DIR"
 #: Store root used when neither ``--store`` nor the env var is set.
 DEFAULT_STORE_DIR = ".repro-store"
+#: Environment variable switching on fsync durability (``1``/``true``).
+STORE_FSYNC_ENV = "REPRO_STORE_FSYNC"
+
+_LOG = logging.getLogger("repro.store")
 
 _OBJECTS_DIR = "objects"
 _INDEX_NAME = "index.jsonl"
@@ -63,6 +75,12 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Writes that failed with ``OSError`` and were degraded to a logged
+    #: unpersisted result (the run continued with its in-memory value).
+    write_errors: int = 0
+    #: Unreadable records encountered by lookups (each was dropped and
+    #: counted as a miss).
+    corrupt_records: int = 0
 
     @property
     def lookups(self) -> int:
@@ -70,8 +88,18 @@ class StoreStats:
         return self.hits + self.misses
 
     def describe(self) -> str:
-        """One human line, e.g. ``'11 hits, 0 misses, 0 writes'``."""
-        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+        """One human line, e.g. ``'11 hits, 0 misses, 0 writes'``.
+
+        The degradation counters only appear when nonzero, so the healthy
+        path reads exactly as before.
+        """
+        text = (f"{self.hits} hits, {self.misses} misses, "
+                f"{self.writes} writes")
+        if self.write_errors:
+            text += f", {self.write_errors} write errors"
+        if self.corrupt_records:
+            text += f", {self.corrupt_records} corrupt records"
+        return text
 
 
 @dataclass(frozen=True)
@@ -94,12 +122,24 @@ class ResultStore:
     root:
         The store directory.  ``None`` resolves ``$REPRO_STORE_DIR`` and
         falls back to ``.repro-store`` in the current working directory.
+    fsync:
+        Opt-in durability: fsync every record (and index append) before
+        reporting the write done, so a power loss cannot leave a record
+        the rename published but the disk never persisted.  ``None``
+        (default) resolves ``$REPRO_STORE_FSYNC``; the store is crash
+        *consistent* either way — fsync only upgrades how much of the
+        recent history survives.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(self, root: str | Path | None = None, *,
+                 fsync: bool | None = None) -> None:
         if root is None:
             root = os.environ.get(STORE_DIR_ENV) or DEFAULT_STORE_DIR
+        if fsync is None:
+            fsync = os.environ.get(STORE_FSYNC_ENV, "").lower() in (
+                "1", "true", "yes", "on")
         self.root = Path(root)
+        self.fsync = bool(fsync)
         self.stats = StoreStats()
 
     # -- paths ---------------------------------------------------------------
@@ -152,8 +192,11 @@ class ResultStore:
         except FileNotFoundError:
             self.stats.misses += 1
             return _MISS
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as error:
             self.stats.misses += 1
+            self.stats.corrupt_records += 1
+            _LOG.warning("store: corrupt record %s (%s: %s); treating as "
+                         "a miss", path.name, type(error).__name__, error)
             try:  # corrupt record: drop it, the caller will recompute
                 path.unlink()
             except OSError:  # pragma: no cover - racing unlink
@@ -169,37 +212,80 @@ class ResultStore:
 
     def put_payload(self, digest: str, payload: Any, *, subsystem: str,
                     kind: str, token: str | None = None) -> None:
-        """Atomically write one record and append its index line."""
+        """Atomically write one record and append its index line.
+
+        A write that fails with ``OSError`` (EIO, ENOSPC, a failed
+        ``os.replace``) is degraded to a logged unpersisted result and
+        counted on ``stats.write_errors`` — the caller keeps its
+        in-memory value and the run continues; only the cache entry is
+        lost.  The :mod:`repro.exec.faults` hooks sit on every disk
+        operation so the chaos suite can inject each failure mode at a
+        chosen cell.
+        """
         if token is None:
             token = code_version(subsystem)
         record = {"fingerprint": digest, "subsystem": subsystem,
                   "token": token, "kind": kind, "payload": payload}
         data = json.dumps(record, allow_nan=True, sort_keys=True)
         path = self._blob_path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        existed = path.exists()
         global _tmp_counter
         with _tmp_lock:
             _tmp_counter += 1
             serial = _tmp_counter
         tmp = path.parent / f".{digest[:16]}.{os.getpid()}.{serial}.tmp"
         try:
-            tmp.write_text(data, encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on write failure
-                tmp.unlink()
+            faults.store_fault("write")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            existed = path.exists()
+            try:
+                tmp.write_text(faults.corrupt_record(data),
+                               encoding="utf-8")
+                if self.fsync:
+                    self._fsync_path(tmp)
+                faults.store_fault("replace")
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
+            if self.fsync:
+                self._fsync_path(path.parent)
+        except OSError as error:
+            self.stats.write_errors += 1
+            _LOG.warning("store: write of %s failed (%s); result not "
+                         "persisted, run continues", path.name, error)
+            return
         if not existed:
             # Only new records earn an index line, so rewriting the same
             # cell run after run does not grow the inventory unboundedly
             # (gc rebuilds it exactly either way).
-            line = json.dumps(
+            line = faults.corrupt_index_line(json.dumps(
                 {"fingerprint": digest, "subsystem": subsystem,
                  "token": token, "kind": kind, "bytes": len(data)},
-                sort_keys=True)
-            with self.index_path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                sort_keys=True))
+            try:
+                with self.index_path.open("a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+            except OSError as error:
+                # The record itself is safely in place; only its
+                # inventory line is lost, and gc rebuilds the index from
+                # the records anyway.
+                self.stats.write_errors += 1
+                _LOG.warning("store: index append for %s failed (%s); "
+                             "record kept, inventory line lost",
+                             digest[:16], error)
         self.stats.writes += 1
+
+    @staticmethod
+    def _fsync_path(path: Path) -> None:
+        """fsync one file or directory (the opt-in durability mode)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def cached(self, kind: str, key: Any, compute: Callable[[], Any], *,
                subsystem: str, encode: Callable[[Any], Any] | None = None,
@@ -235,6 +321,16 @@ class ResultStore:
 
     def entries(self) -> Iterator[StoreEntry]:
         """Every readable record on disk (unreadable files are skipped)."""
+        for entry, _ in self._scan():
+            if entry is not None:
+                yield entry
+
+    def _scan(self) -> Iterator[tuple[StoreEntry | None, Path]]:
+        """Every record file as ``(entry-or-None, path)``.
+
+        ``None`` flags an unreadable (torn/corrupt) record — the callers
+        decide whether to skip (stats), count (audit) or remove (gc) it.
+        """
         if not self.objects_dir.is_dir():
             return
         for path in sorted(self.objects_dir.glob("*/*.json")):
@@ -246,9 +342,59 @@ class ResultStore:
                     token=str(record["token"]),
                     kind=str(record["kind"]),
                     path=path,
-                    size_bytes=path.stat().st_size)
+                    size_bytes=path.stat().st_size), path
             except (OSError, ValueError, KeyError, TypeError):
+                yield None, path
+
+    def index_entries(self) -> tuple[list[dict], int]:
+        """``(parsed index lines, corrupt lines skipped)``.
+
+        A truncated or otherwise unparseable line (a torn append) is
+        never an error: it is skipped and counted, exactly like a corrupt
+        record is a miss.  The index is advisory — gc rebuilds it from
+        the records themselves.
+        """
+        if not self.index_path.is_file():
+            return [], 0
+        try:
+            text = self.index_path.read_text(encoding="utf-8")
+        except OSError:  # pragma: no cover - unreadable index file
+            return [], 0
+        parsed: list[dict] = []
+        corrupt = 0
+        for line in text.splitlines():
+            if not line.strip():
                 continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "fingerprint" not in record:
+                    raise ValueError("not an index record")
+            except (ValueError, TypeError):
+                corrupt += 1
+                continue
+            parsed.append(record)
+        if corrupt:
+            _LOG.warning("store: skipped %d corrupt index line(s) in %s",
+                         corrupt, self.index_path)
+        return parsed, corrupt
+
+    def audit(self) -> dict[str, int]:
+        """Disk-level health counters for ``repro store stats``.
+
+        Scans every record file and index line, reporting what a reader
+        would silently skip: ``corrupt_records`` unreadable record files
+        and ``corrupt_index_lines`` unparseable inventory lines.
+        """
+        records = corrupt_records = 0
+        for entry, _ in self._scan():
+            records += 1
+            if entry is None:
+                corrupt_records += 1
+        index_lines, corrupt_lines = self.index_entries()
+        return {"records": records,
+                "corrupt_records": corrupt_records,
+                "index_lines": len(index_lines) + corrupt_lines,
+                "corrupt_index_lines": corrupt_lines}
 
     def size_bytes(self) -> int:
         """Total bytes of every object record."""
@@ -263,21 +409,24 @@ class ResultStore:
 
         Returns ``(kept, removed, freed_bytes)``.  ``tokens`` defaults to
         the live subsystem tokens; records of *unknown* subsystems are
-        removed too (they can never be looked up again).  The index is
-        rebuilt to exactly the surviving records.
+        removed too (they can never be looked up again), as are
+        unreadable (torn/corrupt) record files — a reader would only ever
+        skip them.  The index is rebuilt to exactly the surviving
+        records.
         """
         if tokens is None:
             tokens = all_code_versions()
         kept: list[StoreEntry] = []
         removed = freed = 0
-        for entry in self.entries():
-            if tokens.get(entry.subsystem) == entry.token:
+        for entry, path in self._scan():
+            if entry is not None and tokens.get(entry.subsystem) == \
+                    entry.token:
                 kept.append(entry)
                 continue
             removed += 1
-            freed += entry.size_bytes
             try:
-                entry.path.unlink()
+                freed += path.stat().st_size
+                path.unlink()
             except OSError:  # pragma: no cover - racing unlink
                 pass
         self._rewrite_index(kept)

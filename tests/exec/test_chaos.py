@@ -1,0 +1,178 @@
+"""Chaos suite: fault-injected runs produce byte-identical artifacts.
+
+The contract of the whole execution layer: injected worker crashes,
+transient task exceptions and store I/O faults may change *how* a
+campaign runs (retries, pool rebuilds, unpersisted cells) but never
+*what* it produces.  Every test here runs a subsystem once cleanly and
+once under a deterministic fault plan, then compares final artifacts
+byte for byte.  The ``halt`` tests additionally exercise the
+crash-resume path: a run stopped mid-campaign is finished with
+``resume=True`` and must converge to the same bytes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import units
+from repro.campaigns import CampaignRunner, builtin_scenarios
+from repro.errors import ExecutionFailedError
+from repro.exec import ExecPolicy, RunHalted
+from repro.fuzz import FuzzCampaign
+from repro.reports import ReportPipeline, select_experiments
+from repro.simulation.campaign import SimulationCampaign
+from repro.store import ResultStore
+
+#: No real sleeping between retries in tests.
+FAST = ExecPolicy(backoff_base=0.0)
+
+#: Worker crash + transient exception + every store fault, spread over
+#: different cells so each recovery path runs in one campaign.
+CHAOS = ("crash@1,exc@2,store-eio@0,store-corrupt@3,"
+         "store-index@4,store-replace@5")
+
+
+def _campaign_csv(tmp_path: Path, name: str, **kwargs) -> bytes:
+    runner = CampaignRunner(exec_policy=FAST, **kwargs)
+    result = runner.run(builtin_scenarios())
+    path = tmp_path / f"{name}.csv"
+    result.write_csv(path)
+    return path.read_bytes()
+
+
+class TestCampaignChaos:
+    def test_serial_fault_injection_is_invisible_in_the_output(
+            self, tmp_path):
+        reference = _campaign_csv(tmp_path, "clean")
+        chaotic = _campaign_csv(
+            tmp_path, "chaos", faults="crash@1,exc@2,exc@3.1",
+            store=ResultStore(tmp_path / "store"))
+        assert chaotic == reference
+
+    def test_parallel_fault_injection_is_invisible_in_the_output(
+            self, tmp_path):
+        reference = _campaign_csv(tmp_path, "clean")
+        chaotic = _campaign_csv(
+            tmp_path, "chaos", jobs=2, faults=CHAOS,
+            store=ResultStore(tmp_path / "store"))
+        assert chaotic == reference
+
+    def test_store_faults_degrade_writes_but_not_results(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        reference = _campaign_csv(tmp_path, "clean")
+        chaotic = _campaign_csv(
+            tmp_path, "chaos", store=store,
+            faults="store-eio@0,store-enospc@1,store-replace@2")
+        assert chaotic == reference
+        # The three injected write failures were degraded, not raised.
+        assert store.stats.write_errors == 3
+        assert store.stats.writes == len(builtin_scenarios()) - 3
+
+    def test_halt_then_resume_is_byte_identical(self, tmp_path):
+        reference = _campaign_csv(tmp_path, "clean")
+        store_root = tmp_path / "store"
+        with pytest.raises(RunHalted):
+            _campaign_csv(tmp_path, "halted", faults="halt@4",
+                          store=ResultStore(store_root))
+        # Cells before the halt were persisted; finish with --resume.
+        resumed_store = ResultStore(store_root)
+        resumed = _campaign_csv(tmp_path, "resumed", store=resumed_store,
+                                resume=True)
+        assert resumed == reference
+        assert resumed_store.stats.hits == 4
+
+    def test_failed_cells_drop_rows_but_keep_the_rest(self, tmp_path):
+        runner = CampaignRunner(
+            exec_policy=ExecPolicy(retries=0, backoff_base=0.0),
+            faults="exc@1")
+        result = runner.run(builtin_scenarios())
+        assert len(result.results) == len(builtin_scenarios()) - 1
+        [failure] = result.failures
+        assert failure.index == 1
+        assert result.exec_report is not None
+        assert not result.exec_report.ok
+
+
+def _grid(**kwargs) -> SimulationCampaign:
+    return SimulationCampaign(
+        station_count=6, workload_seed=3, seeds=(1, 2),
+        scenarios=("synchronized",),
+        policies=("fcfs", "strict-priority"),
+        duration=units.ms(40), exec_policy=FAST, **kwargs)
+
+
+class TestSimulateChaos:
+    def test_fault_injected_grid_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "clean.csv"
+        _grid().run().write_csv(reference)
+        chaotic = tmp_path / "chaos.csv"
+        _grid(jobs=2, faults="crash@0,exc@2,store-corrupt@1",
+              store=ResultStore(tmp_path / "store")).run().write_csv(chaotic)
+        assert chaotic.read_bytes() == reference.read_bytes()
+
+    def test_halt_then_resume_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "clean.csv"
+        _grid().run().write_csv(reference)
+        store_root = tmp_path / "store"
+        with pytest.raises(RunHalted):
+            _grid(faults="halt@2", store=ResultStore(store_root)).run()
+        result = _grid(store=ResultStore(store_root), resume=True).run()
+        resumed = tmp_path / "resumed.csv"
+        result.write_csv(resumed)
+        assert result.resumed == 2
+        assert resumed.read_bytes() == reference.read_bytes()
+
+
+def _fuzz(**kwargs) -> FuzzCampaign:
+    return FuzzCampaign(count=4, seed=11, duration=units.ms(20),
+                        exec_policy=FAST, **kwargs)
+
+
+class TestFuzzChaos:
+    def test_fault_injected_fuzz_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "clean.csv"
+        _fuzz().run().write_csv(reference)
+        chaotic = tmp_path / "chaos.csv"
+        _fuzz(jobs=2, faults="crash@1,exc@0,store-eio@2",
+              store=ResultStore(tmp_path / "store")).run().write_csv(chaotic)
+        assert chaotic.read_bytes() == reference.read_bytes()
+
+    def test_halt_then_resume_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "clean.csv"
+        _fuzz().run().write_csv(reference)
+        store_root = tmp_path / "store"
+        with pytest.raises(RunHalted):
+            _fuzz(faults="halt@2", store=ResultStore(store_root)).run()
+        result = _fuzz(store=ResultStore(store_root), resume=True).run()
+        resumed = tmp_path / "resumed.csv"
+        result.write_csv(resumed)
+        assert result.resumed == 2
+        assert resumed.read_bytes() == reference.read_bytes()
+
+
+class TestReportChaos:
+    def test_fault_injected_build_is_byte_identical(self, tmp_path):
+        selected = select_experiments("figure1,violations")
+        clean = ReportPipeline(tmp_path / "a", experiments=selected,
+                               exec_policy=FAST)
+        run = clean.run()
+        chaotic = ReportPipeline(
+            tmp_path / "b", experiments=selected, exec_policy=FAST,
+            faults="exc@0,store-corrupt@1",
+            store=ResultStore(tmp_path / "store"))
+        chaotic.run()
+        for relative in run.files:
+            assert (tmp_path / "a" / relative).read_bytes() \
+                == (tmp_path / "b" / relative).read_bytes()
+
+    def test_permanent_build_failure_raises_with_failures(self, tmp_path):
+        selected = select_experiments("figure1,violations")
+        pipeline = ReportPipeline(
+            tmp_path / "out", experiments=selected,
+            exec_policy=ExecPolicy(retries=0, backoff_base=0.0),
+            faults="exc@1")
+        with pytest.raises(ExecutionFailedError) as info:
+            pipeline.run()
+        [failure] = info.value.failures
+        assert failure.index == 1
+        assert failure.kind == "exception"

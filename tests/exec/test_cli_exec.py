@@ -1,0 +1,112 @@
+"""CLI surface of the execution layer: flags, tables, exit codes."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["campaign", "--run", "paper-real-case", "--retries", "-1"],
+        ["campaign", "--run", "paper-real-case", "--timeout", "0"],
+        ["campaign", "--run", "paper-real-case", "--max-failures", "-1"],
+        ["campaign", "--run", "paper-real-case", "--faults", "bogus@1"],
+        ["simulate", "--seeds", "1", "--faults", "crash@-2"],
+    ])
+    def test_bad_exec_flags_exit_2_with_an_error_line(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_bad_env_fault_plan_is_caught_up_front(self, capsys,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "nope@1")
+        assert main(["campaign", "--run", "paper-real-case"]) == 2
+        assert "error: bad fault entry" in capsys.readouterr().err
+
+    def test_explicit_faults_flag_overrides_the_environment(
+            self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", "exc@0,exc@0.1,exc@0.2")
+        assert main(["campaign", "--run", "paper-real-case",
+                     "--store", str(tmp_path / "s"), "--faults", ""]) == 0
+
+
+class TestFailureRendering:
+    def test_failed_cells_render_a_table_before_the_error_line(
+            self, capsys, tmp_path):
+        code = main(["campaign", "--run", "all", "--retries", "0",
+                     "--store", str(tmp_path / "s"),
+                     "--faults", "exc@1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Failed scenarios" in captured.err
+        assert "FaultInjectedError" in captured.err
+        # The error: line comes last, after the table.
+        assert captured.err.rstrip().splitlines()[-1].startswith("error: ")
+        assert "--resume" in captured.err
+        # Partial results were still printed.
+        assert "scenarios," in captured.out
+
+    def test_transient_fault_is_retried_to_exit_zero(self, capsys,
+                                                     tmp_path):
+        code = main(["campaign", "--run", "paper-real-case",
+                     "--store", str(tmp_path / "s"), "--jobs", "2",
+                     "--faults", "exc@0"])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_fuzz_failures_exit_2(self, capsys, tmp_path):
+        code = main(["fuzz", "--count", "3", "--no-corpus", "--no-store",
+                     "--retries", "0", "--faults", "exc@1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Failed cells" in captured.err
+
+    def test_report_failures_render_the_experiment_table(self, capsys,
+                                                         tmp_path):
+        code = main(["report", "--experiment", "figure1,violations",
+                     "--output", str(tmp_path / "artifacts"),
+                     "--no-store", "--retries", "0", "--faults", "exc@1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Failed experiments" in captured.err
+        assert captured.err.rstrip().splitlines()[-1].startswith("error: ")
+
+
+class TestHaltAndResume:
+    def test_halt_exits_130_then_resume_completes(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        code = main(["campaign", "--run", "all", "--store", store,
+                     "--faults", "halt@4"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "halted:" in captured.err
+        code = main(["campaign", "--run", "all", "--store", store,
+                     "--resume"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "resumed 4/" in captured.out
+
+
+class TestStoreStatsIntegrity:
+    def test_reports_corrupt_record_and_index_counts(self, capsys,
+                                                     tmp_path):
+        store = str(tmp_path / "s")
+        assert main(["campaign",
+                     "--run", "paper-real-case,figure1-fast-ethernet",
+                     "--store", store,
+                     "--faults", "store-corrupt@0,store-index@1"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "integrity: 1 corrupt of 2 record files" in out
+        assert "1 corrupt of 2 index lines" in out
+
+    def test_clean_store_reports_zero(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        assert main(["campaign", "--run", "paper-real-case",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store]) == 0
+        assert "integrity: 0 corrupt" in capsys.readouterr().out

@@ -1,0 +1,288 @@
+"""The fault-tolerant executor: policy, retries, recovery, watchdog."""
+
+import time
+
+import pytest
+
+from repro.exec import (
+    ExecPolicy,
+    FaultInjectedError,
+    ParallelExecutor,
+    RunHalted,
+    backoff_delay,
+)
+from repro.exec import executor as executor_module
+
+# Module-level so the functions pickle into pool workers.
+
+
+def _double(task):
+    return task * 2
+
+
+def _boom(task):
+    raise RuntimeError(f"boom on {task!r}")
+
+
+def _slow_double(task):
+    time.sleep(0.25)
+    return task * 2
+
+
+_WORKER_STATE = {}
+
+
+def _remember(value):
+    _WORKER_STATE["value"] = value
+
+
+def _with_state(task):
+    return (task, _WORKER_STATE.get("value"))
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = ExecPolicy()
+        assert policy.retries == 2
+        assert policy.timeout is None
+        assert not policy.fail_fast
+        assert policy.max_failures is None
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(retries=-1),
+        dict(timeout=0.0),
+        dict(timeout=-1.0),
+        dict(max_failures=-1),
+        dict(backoff_base=-0.1),
+        dict(backoff_cap=-1.0),
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecPolicy(**kwargs)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_bad_fault_spec_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=1, fault_spec="nope@1")
+
+    def test_fault_spec_defaults_to_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "exc@7")
+        assert ParallelExecutor(jobs=1).plan.at("exc", 7, 0) is not None
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        assert backoff_delay(0, 3, 1) == backoff_delay(0, 3, 1)
+
+    def test_zero_before_the_first_retry(self):
+        assert backoff_delay(0, 3, 0) == 0.0
+        assert backoff_delay(0, 3, 1) > 0.0
+
+    def test_grows_roughly_exponentially_until_the_cap(self):
+        # Jitter is in [0.5, 1.0): attempt n+2 always beats attempt n.
+        delays = [backoff_delay(5, 0, attempt, base=0.1, cap=100.0)
+                  for attempt in range(1, 8)]
+        assert all(b > a for a, b in zip(delays, delays[2:]))
+        assert backoff_delay(5, 0, 50, base=0.1, cap=1.5) == 1.5
+
+    def test_varies_with_seed_cell_and_attempt(self):
+        baseline = backoff_delay(0, 0, 1)
+        assert backoff_delay(1, 0, 1) != baseline or \
+            backoff_delay(2, 0, 1) != baseline
+
+    def test_zero_base_disables_backoff(self):
+        assert backoff_delay(0, 0, 3, base=0.0) == 0.0
+
+
+class TestSerial:
+    def test_happy_path(self):
+        report = ParallelExecutor(jobs=1).map(_double, [1, 2, 3])
+        assert report.ok
+        assert report.ordered_results() == [2, 4, 6]
+        assert report.executions == 3
+        assert report.retried == 0
+
+    def test_empty_tasks(self):
+        report = ParallelExecutor(jobs=1).map(_double, [])
+        assert report.ok
+        assert report.ordered_results() == []
+
+    def test_label_count_must_match(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=1).map(_double, [1, 2], labels=["a"])
+
+    def test_transient_fault_is_retried(self):
+        ex = ParallelExecutor(jobs=1, fault_spec="exc@1")
+        ex.sleep = lambda _seconds: None
+        report = ex.map(_double, [1, 2, 3])
+        assert report.ok
+        assert report.ordered_results() == [2, 4, 6]
+        assert report.retried == 1
+        assert report.executions == 4
+
+    def test_exhausted_retries_become_a_structured_failure(self):
+        ex = ParallelExecutor(jobs=1, policy=ExecPolicy(retries=1),
+                              fault_spec="exc@1,exc@1.1")
+        ex.sleep = lambda _seconds: None
+        report = ex.map(_double, [1, 2, 3], labels=["a", "b", "c"])
+        assert not report.ok
+        assert report.ordered_results() == [2, 6]
+        [failure] = report.failures
+        assert (failure.index, failure.label) == (1, "b")
+        assert failure.attempts == 2
+        assert failure.kind == "exception"
+        assert "FaultInjectedError" in failure.error
+        assert report.failure_rows()[0][0] == 1
+        assert "1 failed" in report.describe()
+
+    def test_serial_crash_fault_is_retryable(self):
+        ex = ParallelExecutor(jobs=1, fault_spec="crash@0")
+        ex.sleep = lambda _seconds: None
+        report = ex.map(_double, [5])
+        assert report.ok
+        assert report.retried == 1
+
+    def test_backoff_delays_are_the_deterministic_stream(self):
+        policy = ExecPolicy(retries=2, backoff_base=0.01, backoff_seed=9)
+        ex = ParallelExecutor(jobs=1, policy=policy,
+                              fault_spec="exc@0,exc@0.1")
+        slept = []
+        ex.sleep = slept.append
+        assert ex.map(_double, [1]).ok
+        assert slept == [
+            backoff_delay(9, 0, 1, base=0.01, cap=policy.backoff_cap),
+            backoff_delay(9, 0, 2, base=0.01, cap=policy.backoff_cap)]
+
+    def test_fail_fast_aborts_after_the_first_failure(self):
+        ex = ParallelExecutor(
+            jobs=1, policy=ExecPolicy(retries=0, fail_fast=True),
+            fault_spec="exc@1")
+        report = ex.map(_double, [1, 2, 3, 4])
+        assert report.aborted
+        assert report.incomplete == [2, 3]
+        assert report.ordered_results() == [2]
+
+    def test_max_failures_budget(self):
+        ex = ParallelExecutor(
+            jobs=1, policy=ExecPolicy(retries=0, max_failures=1),
+            fault_spec="exc@0,exc@1")
+        report = ex.map(_double, [1, 2, 3, 4])
+        assert report.aborted
+        assert len(report.failures) == 2
+        assert report.incomplete == [2, 3]
+
+    def test_halt_fault_raises_run_halted(self):
+        ex = ParallelExecutor(jobs=1, fault_spec="halt@1")
+        with pytest.raises(RunHalted):
+            ex.map(_double, [1, 2, 3])
+
+    def test_serial_setup_and_serial_fn_are_used(self):
+        calls = []
+        ex = ParallelExecutor(jobs=1)
+        report = ex.map(_boom, [1, 2],
+                        serial_fn=lambda task: task + 10,
+                        serial_setup=lambda: calls.append("setup"))
+        assert report.ordered_results() == [11, 12]
+        assert calls == ["setup"]
+
+
+class TestParallel:
+    def test_happy_path(self):
+        report = ParallelExecutor(jobs=2).map(_double, list(range(6)))
+        assert report.ok
+        assert report.ordered_results() == [0, 2, 4, 6, 8, 10]
+        assert report.executions == 6
+        assert report.pool_rebuilds == 0
+
+    def test_initializer_primes_every_worker(self):
+        report = ParallelExecutor(jobs=2).map(
+            _with_state, list(range(4)),
+            initializer=_remember, initargs=("primed",))
+        assert report.ok
+        assert all(state == "primed"
+                   for _, state in report.ordered_results())
+
+    def test_worker_crash_rebuilds_the_pool_and_recovers(self):
+        ex = ParallelExecutor(jobs=2, fault_spec="crash@2")
+        ex.sleep = lambda _seconds: None
+        report = ex.map(_double, list(range(6)))
+        assert report.ok
+        assert report.ordered_results() == [0, 2, 4, 6, 8, 10]
+        assert report.worker_crashes >= 1
+        assert report.pool_rebuilds >= 1
+        assert report.retried >= 1
+
+    def test_transient_exception_is_retried_in_the_pool(self):
+        ex = ParallelExecutor(jobs=2, fault_spec="exc@1")
+        ex.sleep = lambda _seconds: None
+        report = ex.map(_double, list(range(4)))
+        assert report.ok
+        assert report.retried == 1
+
+    def test_permanent_failure_does_not_sink_the_run(self):
+        ex = ParallelExecutor(jobs=2, policy=ExecPolicy(retries=0))
+        report = ex.map(_boom, [1, 2])
+        assert not report.ok
+        assert len(report.failures) == 2
+        assert all(failure.kind == "exception"
+                   for failure in report.failures)
+
+    def test_watchdog_times_out_the_culprit_only(self):
+        ex = ParallelExecutor(
+            jobs=2, policy=ExecPolicy(retries=0, timeout=0.5),
+            fault_spec="slow@1:30")
+        report = ex.map(_double, list(range(4)))
+        assert not report.ok
+        [failure] = report.failures
+        assert failure.index == 1
+        assert failure.kind == "timeout"
+        assert report.timeouts == 1
+        assert sorted(report.results) == [0, 2, 3]
+
+    def test_pool_start_failure_degrades_to_serial(self, monkeypatch):
+        def _refuse(**_kwargs):
+            raise OSError("fork refused")
+        monkeypatch.setattr(executor_module, "_POOL_FACTORY", _refuse)
+        seen = []
+        report = ParallelExecutor(jobs=4).map(
+            _boom, [1, 2, 3], serial_fn=lambda task: task * 3,
+            serial_setup=lambda: seen.append(True))
+        assert report.serial_fallback
+        assert report.ok
+        assert report.ordered_results() == [3, 6, 9]
+        assert seen == [True]
+
+    def test_halt_fault_raises_run_halted(self):
+        ex = ParallelExecutor(jobs=2, fault_spec="halt@3")
+        with pytest.raises(RunHalted):
+            ex.map(_double, list(range(8)))
+
+    def test_fail_fast_reports_the_rest_incomplete(self):
+        # The healthy cells take 0.25 s each, so cell 0's immediate
+        # failure is always collected before any of them completes and
+        # the abort is deterministic (in general, cells already in
+        # flight when a failure lands may still finish: best-effort).
+        ex = ParallelExecutor(
+            jobs=2, policy=ExecPolicy(retries=0, fail_fast=True),
+            fault_spec="exc@0")
+        report = ex.map(_slow_double, list(range(8)))
+        assert report.aborted
+        assert not report.ok
+        assert [f.index for f in report.failures] == [0]
+        assert set(report.incomplete) | set(report.results) \
+            | {f.index for f in report.failures} == set(range(8))
+        assert len(report.incomplete) >= 5
+
+
+def test_faulted_and_clean_runs_return_identical_results():
+    """The executor's whole contract: faults change *how*, never *what*."""
+    tasks = list(range(8))
+    clean = ParallelExecutor(jobs=2).map(_double, tasks)
+    ex = ParallelExecutor(jobs=2, fault_spec="crash@1,exc@3,slow@5:0.01")
+    ex.sleep = lambda _seconds: None
+    chaotic = ex.map(_double, tasks)
+    assert chaotic.ok
+    assert chaotic.ordered_results() == clean.ordered_results()

@@ -1,0 +1,168 @@
+"""Fault grammar, activation context and store-side hooks."""
+
+import errno
+import time
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import (
+    FAULTS_ENV,
+    FaultInjectedError,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    SimulatedCrashError,
+    cell_context,
+    corrupt_index_line,
+    corrupt_record,
+    halt_requested,
+    plan_from_env,
+    store_fault,
+)
+
+
+class TestGrammar:
+    def test_single_entry(self):
+        plan = FaultPlan.parse("crash@3")
+        assert plan.specs == (FaultSpec("crash", 3),)
+
+    def test_attempt_and_param(self):
+        plan = FaultPlan.parse("exc@1.2, slow@0:0.5")
+        assert plan.specs == (FaultSpec("exc", 1, 2),
+                              FaultSpec("slow", 0, 0, 0.5))
+
+    def test_semicolon_separator_and_whitespace(self):
+        plan = FaultPlan.parse("  crash@0 ; exc@1 ,, halt@2  ")
+        assert [spec.kind for spec in plan.specs] == ["crash", "exc", "halt"]
+
+    def test_round_trips_through_str(self):
+        text = "crash@3,exc@1.2,slow@0:0.5,store-eio@4,halt@7"
+        assert str(FaultPlan.parse(str(FaultPlan.parse(text)))) == text
+
+    def test_blank_and_none_parse_to_the_empty_plan(self):
+        assert not FaultPlan.parse(None)
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("  ,  ; ")
+        assert str(FaultPlan.parse(None)) == ""
+
+    @pytest.mark.parametrize("text", [
+        "crash",              # no @cell
+        "frobnicate@1",       # unknown kind
+        "crash@x",            # non-integer cell
+        "crash@1.y",          # non-integer attempt
+        "slow@1:abc",         # non-numeric param
+        "crash@-1",           # negative cell
+    ])
+    def test_bad_entries_rejected(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_fault_plan_error_is_a_value_error(self):
+        assert issubclass(FaultPlanError, ValueError)
+
+    def test_at_matches_kind_cell_attempt_exactly(self):
+        plan = FaultPlan.parse("exc@1.2")
+        assert plan.at("exc", 1, 2) is not None
+        assert plan.at("exc", 1, 0) is None
+        assert plan.at("exc", 2, 2) is None
+        assert plan.at("crash", 1, 2) is None
+
+    def test_plan_from_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "crash@5")
+        assert plan_from_env().at("crash", 5, 0) is not None
+        monkeypatch.delenv(FAULTS_ENV)
+        assert not plan_from_env()
+
+
+class TestCellContext:
+    def test_exc_fault_raises_on_entry(self):
+        plan = FaultPlan.parse("exc@2")
+        with pytest.raises(FaultInjectedError):
+            with cell_context(plan, 2, 0, in_worker=False):
+                pytest.fail("the body must not run")
+
+    def test_exc_fault_only_fires_at_its_attempt(self):
+        plan = FaultPlan.parse("exc@2.1")
+        with cell_context(plan, 2, 0, in_worker=False):
+            pass
+        with pytest.raises(FaultInjectedError):
+            with cell_context(plan, 2, 1, in_worker=False):
+                pass
+
+    def test_serial_crash_degrades_to_an_exception(self):
+        plan = FaultPlan.parse("crash@0")
+        with pytest.raises(SimulatedCrashError):
+            with cell_context(plan, 0, 0, in_worker=False):
+                pass
+
+    def test_slow_fault_sleeps_its_parameter(self):
+        plan = FaultPlan.parse("slow@0:0.05")
+        started = time.monotonic()
+        with cell_context(plan, 0, 0, in_worker=False):
+            pass
+        assert time.monotonic() - started >= 0.05
+
+    def test_context_cleared_after_exit_and_after_fault(self):
+        plan = FaultPlan.parse("store-eio@0,exc@1")
+        with cell_context(plan, 0, 0, in_worker=False):
+            pass
+        store_fault("write")  # no active context: must be a no-op
+        with pytest.raises(FaultInjectedError):
+            with cell_context(plan, 1, 0, in_worker=False):
+                pass
+        store_fault("write")
+
+
+class TestStoreHooks:
+    def test_hooks_are_no_ops_outside_a_cell(self):
+        store_fault("write")
+        store_fault("replace")
+        assert corrupt_record("payload") == "payload"
+        assert corrupt_index_line("line") == "line"
+
+    @pytest.mark.parametrize("kind,code", [
+        ("store-eio", errno.EIO),
+        ("store-enospc", errno.ENOSPC),
+    ])
+    def test_write_faults_raise_their_errno(self, kind, code):
+        plan = FaultPlan.parse(f"{kind}@3")
+        with cell_context(plan, 3, 0, in_worker=False):
+            with pytest.raises(OSError) as info:
+                store_fault("write")
+            assert info.value.errno == code
+            store_fault("replace")  # the write fault leaves replace alone
+
+    def test_replace_fault_targets_only_the_replace(self):
+        plan = FaultPlan.parse("store-replace@3")
+        with cell_context(plan, 3, 0, in_worker=False):
+            store_fault("write")
+            with pytest.raises(OSError):
+                store_fault("replace")
+
+    def test_corrupt_record_truncates_for_the_active_cell_only(self):
+        plan = FaultPlan.parse("store-corrupt@1")
+        data = "x" * 100
+        with cell_context(plan, 1, 0, in_worker=False):
+            assert len(corrupt_record(data)) < len(data)
+        with cell_context(plan, 2, 0, in_worker=False):
+            assert corrupt_record(data) == data
+
+    def test_corrupt_index_line_truncates_for_the_active_cell_only(self):
+        plan = FaultPlan.parse("store-index@1")
+        line = "y" * 100
+        with cell_context(plan, 1, 0, in_worker=False):
+            assert len(corrupt_index_line(line)) < len(line)
+        with cell_context(plan, 2, 0, in_worker=False):
+            assert corrupt_index_line(line) == line
+
+
+class TestHalt:
+    def test_halt_requested_matches_cell_and_attempt(self):
+        plan = FaultPlan.parse("halt@4")
+        assert halt_requested(plan, 4, 0)
+        assert not halt_requested(plan, 4, 1)
+        assert not halt_requested(plan, 3, 0)
+
+    def test_run_halted_cannot_be_caught_as_exception(self):
+        assert not issubclass(faults.RunHalted, Exception)

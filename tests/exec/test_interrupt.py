@@ -1,0 +1,142 @@
+"""Interrupted ``--jobs N`` runs: no orphan workers, clean resume.
+
+These tests drive the real CLI in a subprocess (its own session, so the
+whole process tree is observable via the process group) and interrupt it
+the two ways operators do: SIGTERM to the parent, and ``kill -9``.  The
+first must terminate every pool worker before exiting; the second leaves
+orphans by definition — but the store must let ``--resume`` finish the
+campaign byte-identically.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignRunner, builtin_scenarios
+from repro.store import ResultStore
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    not Path("/proc").is_dir(), reason="needs /proc to observe orphans")
+
+
+def _spawn_campaign(tmp_path: Path, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "--run", "all",
+         "--jobs", "2", *extra],
+        cwd=tmp_path, env=env, start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _group_members(pgid: int) -> list[int]:
+    """Live (non-zombie) PIDs in the process group, via /proc."""
+    members = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:  # pid exited while scanning
+            continue
+        fields = stat.rsplit(")", 1)[1].split()
+        state, group = fields[0], int(fields[2])
+        if group == pgid and state != "Z":
+            members.append(int(entry.name))
+    return members
+
+
+def _children_of(pid: int, pgid: int) -> list[int]:
+    children = []
+    for member in _group_members(pgid):
+        try:
+            stat = (Path("/proc") / str(member) / "stat").read_text()
+        except OSError:
+            continue
+        if int(stat.rsplit(")", 1)[1].split()[1]) == pid:
+            children.append(member)
+    return children
+
+
+def _wait_until(predicate, *, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(message)
+
+
+def _reap_group(pgid: int) -> None:
+    try:
+        os.killpg(pgid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+
+
+class TestSigterm:
+    def test_sigterm_exits_130_and_leaves_no_orphan_workers(self, tmp_path):
+        # Two workers hang in 60 s injected sleeps; the rest of the
+        # queue keeps the run busy until we interrupt it.
+        proc = _spawn_campaign(tmp_path, "--no-store",
+                               "--faults", "slow@0:60,slow@1:60")
+        pgid = proc.pid
+        try:
+            _wait_until(lambda: len(_children_of(proc.pid, pgid)) >= 2,
+                        timeout=30.0,
+                        message="pool workers never appeared")
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30.0) == 130
+            assert b"interrupted" in proc.stderr.read()
+            # Workers must die with the parent — poll out the teardown.
+            _wait_until(lambda: not _group_members(pgid), timeout=10.0,
+                        message=f"orphans survived: "
+                                f"{_group_members(pgid)}")
+        finally:
+            _reap_group(pgid)
+            proc.stdout.close()
+            proc.stderr.close()
+
+
+class TestSigkillResume:
+    def test_kill_9_then_resume_is_byte_identical(self, tmp_path):
+        reference = tmp_path / "reference.csv"
+        CampaignRunner().run(builtin_scenarios()).write_csv(reference)
+
+        # Cells 6 and 7 hang in injected sleeps, so the first six cells
+        # persist to the store and the parent is mid-campaign for sure
+        # when the SIGKILL lands (kill -9 cannot be trapped: workers ARE
+        # orphaned; the store is what makes the interruption safe).
+        store_root = tmp_path / "store"
+        proc = _spawn_campaign(tmp_path, "--store", str(store_root),
+                               "--faults", "slow@6:60,slow@7:60")
+        pgid = proc.pid
+        try:
+            _wait_until(
+                lambda: len(list(store_root.glob("objects/*/*.json"))) >= 3,
+                timeout=60.0,
+                message="no cells were persisted before the kill")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30.0)
+        finally:
+            _reap_group(pgid)
+            proc.stdout.close()
+            proc.stderr.close()
+
+        persisted = len(list(store_root.glob("objects/*/*.json")))
+        assert persisted >= 3
+        store = ResultStore(store_root)
+        result = CampaignRunner(store=store, resume=True).run(
+            builtin_scenarios())
+        resumed = tmp_path / "resumed.csv"
+        result.write_csv(resumed)
+        assert result.resumed >= 3
+        assert resumed.read_bytes() == reference.read_bytes()

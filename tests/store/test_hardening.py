@@ -1,0 +1,165 @@
+"""Store hardening: injected I/O faults degrade, never raise."""
+
+import json
+import logging
+
+import pytest
+
+from repro.exec.faults import FaultPlan, cell_context
+from repro.store import ResultStore
+from repro.store.store import STORE_FSYNC_ENV
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+def _put(store: ResultStore, key, value, *, faults: str = "", cell: int = 0):
+    """One ``cached`` write under an (optional) active fault context."""
+    with cell_context(FaultPlan.parse(faults), cell, 0, in_worker=False):
+        return store.cached("kind", key, lambda: value,
+                            subsystem="campaigns")
+
+
+def _get(store: ResultStore, key):
+    return store.cached("kind", key, lambda: "recomputed",
+                        subsystem="campaigns")
+
+
+class TestDegradedWrites:
+    @pytest.mark.parametrize("fault", ["store-eio@0", "store-enospc@0",
+                                       "store-replace@0"])
+    def test_failed_write_keeps_the_computed_value(self, store, fault,
+                                                   caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            value, from_store = _put(store, "k", {"n": 1}, faults=fault)
+        assert value == {"n": 1}
+        assert not from_store
+        assert store.stats.write_errors == 1
+        assert "write errors" in store.stats.describe()
+        assert any("not persisted" in message
+                   for message in caplog.messages)
+        # Nothing was persisted: the next lookup recomputes.
+        fresh = ResultStore(store.root)
+        assert _get(fresh, "k")[0] == "recomputed"
+
+    def test_failed_replace_leaves_no_temp_file_behind(self, store):
+        _put(store, "k", {"n": 1}, faults="store-replace@0")
+        leftovers = [path for path in store.root.rglob("*")
+                     if path.is_file() and path.suffix != ".json"
+                     and path.name != "index.jsonl"]
+        assert leftovers == []
+
+    def test_unwritable_root_never_raises(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the store dir should be")
+        store = ResultStore(blocked)
+        value, from_store = store.cached(
+            "kind", "k", lambda: 42, subsystem="campaigns")
+        assert value == 42
+        assert not from_store
+        assert store.stats.write_errors == 1
+
+
+class TestCorruptRecords:
+    def test_torn_record_write_reads_back_as_a_miss(self, store):
+        value, _ = _put(store, "k", {"n": 7}, faults="store-corrupt@0")
+        assert value == {"n": 7}
+        fresh = ResultStore(store.root)
+        assert _get(fresh, "k")[0] == "recomputed"
+        assert fresh.stats.corrupt_records == 1
+        assert "corrupt records" in fresh.stats.describe()
+
+    def test_hand_corrupted_record_is_a_logged_miss(self, store, caplog):
+        _put(store, "k", {"n": 7})
+        [blob] = store.root.glob("objects/*/*.json")
+        blob.write_text("{definitely not json", encoding="utf-8")
+        fresh = ResultStore(store.root)
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            value, from_store = _get(fresh, "k")
+        assert value == "recomputed"
+        assert fresh.stats.corrupt_records == 1
+        assert any("corrupt" in message for message in caplog.messages)
+
+    def test_gc_removes_unreadable_records(self, store):
+        _put(store, "keep", 1)
+        _put(store, "drop", 2)
+        blobs = sorted(store.root.glob("objects/*/*.json"))
+        blobs[0].write_text("torn", encoding="utf-8")
+        kept, removed, _freed = store.gc()
+        assert (kept, removed) == (1, 1)
+        assert len(list(store.root.glob("objects/*/*.json"))) == 1
+
+
+class TestTornIndex:
+    def test_torn_index_line_is_skipped_and_counted(self, store):
+        _put(store, "a", 1)
+        _put(store, "b", 2, faults="store-index@0")
+        _put(store, "c", 3)
+        entries, corrupt = store.index_entries()
+        assert corrupt == 1
+        assert len(entries) == 2
+        # The record itself survived — only its inventory line tore.
+        fresh = ResultStore(store.root)
+        value, from_store = fresh.cached(
+            "kind", "b", lambda: "recomputed", subsystem="campaigns")
+        assert value == 2
+        assert from_store
+
+    def test_hand_torn_index_is_tolerated(self, store):
+        _put(store, "a", 1)
+        with store.index_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "tru\n')
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"no_fingerprint": True}) + "\n")
+        entries, corrupt = store.index_entries()
+        assert len(entries) == 1
+        assert corrupt == 3
+
+    def test_gc_rebuilds_a_clean_index(self, store):
+        _put(store, "a", 1, faults="store-index@0")
+        store.gc()
+        entries, corrupt = store.index_entries()
+        assert corrupt == 0
+        assert len(entries) == 1
+
+
+class TestAudit:
+    def test_counts_records_and_index_lines(self, store):
+        _put(store, "a", 1)
+        _put(store, "b", 2, faults="store-corrupt@0")
+        _put(store, "c", 3, faults="store-index@0")
+        audit = store.audit()
+        assert audit == {"records": 3, "corrupt_records": 1,
+                         "index_lines": 3, "corrupt_index_lines": 1}
+
+    def test_empty_store(self, store):
+        assert store.audit() == {"records": 0, "corrupt_records": 0,
+                                 "index_lines": 0,
+                                 "corrupt_index_lines": 0}
+
+
+class TestFsync:
+    def test_constructor_flag_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path / "store", fsync=True)
+        assert store.fsync
+        store.cached("kind", "k", lambda: {"n": 1}, subsystem="campaigns")
+        value, from_store = ResultStore(tmp_path / "store").cached(
+            "kind", "k", lambda: pytest.fail("must not recompute"),
+            subsystem="campaigns")
+        assert value == {"n": 1}
+        assert from_store
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1", True), ("true", True), ("ON", True),
+        ("0", False), ("", False), ("off", False),
+    ])
+    def test_environment_opt_in(self, tmp_path, monkeypatch, text,
+                                expected):
+        monkeypatch.setenv(STORE_FSYNC_ENV, text)
+        assert ResultStore(tmp_path / "store").fsync is expected
+
+    def test_default_is_off(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_FSYNC_ENV, raising=False)
+        assert not ResultStore(tmp_path / "store").fsync
