@@ -1,0 +1,109 @@
+"""Routing engine throughput and multi-hop fuzz cell evaluation rate.
+
+Two measurements land in ``benchmarks/results/routing_throughput.{csv,txt}``:
+
+* ``routes/s`` — deterministic shortest-path routes computed over every
+  ordered end-system pair of a 200-node random switch fabric (the
+  destination-keyed Dijkstra cache makes this the same work the
+  simulator's forwarding tables and the end-to-end bound path do),
+* ``multi-hop cells/s`` — full fuzz-campaign cells per second on a
+  graph-only generator stream, each cell routing its flows, running the
+  concatenated per-hop analysis and double-checking the simulation
+  against the bound and the per-port backlog ceilings.
+
+The floors are deliberately loose — they catch a routing engine that
+stopped caching per-destination distances (quadratic Dijkstra blow-up)
+or a multi-hop cell evaluation that rebuilds the network per flow, not
+scheduler jitter on a busy CI machine.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import permutations
+
+from repro import units
+from repro.fuzz import FuzzCampaign, GeneratorConfig
+from repro.topology import RoutingEngine, random_graph_spec
+
+#: 40 switches + 160 stations = 200 nodes; ~25k ordered station pairs.
+SWITCH_COUNT = 40
+STATION_COUNT = 160
+
+#: Extra fabric links beyond the spanning tree, for route diversity.
+EXTRA_LINKS = 30
+
+#: One backward Dijkstra per destination (cached) plus a greedy forward
+#: walk per pair; the development container manages ~60k routes/s.
+MIN_ROUTES_PER_SEC = 2_000.0
+
+#: Each multi-hop cell routes, analyzes and simulates a 3-4 switch
+#: fabric twice (memoized + fresh); measured ~4 cells/s at the 160 ms
+#: horizon on the development container.
+MIN_CELLS_PER_SEC = 0.25
+
+#: Multi-hop campaign sample: small, but past the per-process warm-up.
+FUZZ_COUNT = 6
+
+#: Graph-only generator stream for the cell-rate measurement.
+GRAPH_CONFIG = GeneratorConfig(
+    station_counts=(4, 5),
+    replications=(1,),
+    topology_kinds=("graph",),
+    capacities_mbps=(10.0,),
+    size_factors=(0.5, 1.0),
+    graph_families=("diamond", "ring", "random"),
+    graph_switch_counts=(3, 4),
+    graph_seeds=(0, 1),
+    graph_extra_links=(0, 1),
+)
+
+
+def test_bench_routing_throughput(report, bench_values):
+    spec = random_graph_spec(STATION_COUNT, switch_count=SWITCH_COUNT,
+                             extra_links=EXTRA_LINKS, seed=0)
+    engine = RoutingEngine(spec)
+    pairs = list(permutations(spec.end_systems, 2))
+
+    started = time.perf_counter()
+    routes = [engine.shortest_path(source, destination)
+              for source, destination in pairs]
+    routing_elapsed = time.perf_counter() - started
+    route_rate = len(routes) / routing_elapsed
+    longest = max(len(route) for route in routes)
+
+    campaign = FuzzCampaign(count=FUZZ_COUNT, seed=0, config=GRAPH_CONFIG,
+                            duration=units.ms(160))
+    started = time.perf_counter()
+    result = campaign.run()
+    fuzz_elapsed = time.perf_counter() - started
+    cell_rate = result.cells / fuzz_elapsed
+
+    report("routing_throughput",
+           "Routing throughput: 200-node fabric and multi-hop fuzz cells",
+           ["metric", "value"],
+           [("nodes", len(spec.end_systems) + len(spec.switches)),
+            ("fabric_links", len(spec.links)),
+            ("routes", len(routes)),
+            ("routes_per_sec", f"{route_rate:,.0f}"),
+            ("longest_route_hops", longest - 1),
+            ("multihop_cells", result.cells),
+            ("cells_per_sec", f"{cell_rate:.2f}"),
+            ("violations", result.violation_count),
+            ("max_tightness", f"{result.max_tightness:.3f}"),
+            ("min_routes_per_sec", f"{MIN_ROUTES_PER_SEC:,.0f}"),
+            ("min_cells_per_sec", f"{MIN_CELLS_PER_SEC:.2f}")])
+    bench_values({"bench.routing.routes-per-sec": f"{route_rate:,.0f}",
+                  "bench.routing.nodes":
+                      str(len(spec.end_systems) + len(spec.switches))})
+
+    assert result.all_invariants_hold, "multi-hop fuzz invariants violated"
+    assert len(routes) == len(pairs)
+    assert route_rate >= MIN_ROUTES_PER_SEC, (
+        f"routing at {route_rate:,.0f} routes/s "
+        f"(floor {MIN_ROUTES_PER_SEC:,.0f}/s) — the engine has stopped "
+        f"caching per-destination distances")
+    assert cell_rate >= MIN_CELLS_PER_SEC, (
+        f"multi-hop fuzz evaluation at {cell_rate:.2f} cells/s "
+        f"(floor {MIN_CELLS_PER_SEC:.2f}/s) — graph cells no longer "
+        f"amortise the routed network build")

@@ -1,0 +1,453 @@
+"""End-to-end bounds on arbitrary multi-hop graph topologies.
+
+The paper's single-multiplexer bound composes along a flow's route by
+**left-over service curves**: every directed output port offers the full
+link ``beta(t) = C (t - T0)+`` (``T0`` = the relaying latency of the
+upstream node), and what a flow actually receives there is the link
+minus the cross traffic sharing the port.  For token-bucket cross
+traffic ``(b_c, r_c)`` the left-over is again rate-latency::
+
+    R = C - r_c        T = (C*T0 + L_low + b_c) / (C - r_c)
+
+where ``L_low`` is the non-preemptive blocking term of strict priority
+(the largest lower-priority burst in transmission; zero under FCFS,
+whose left-over treats every other flow at the port as cross traffic).
+Left-over curves concatenate by (min-plus) convolution — ``R = min R_i``,
+``T = sum T_i`` — and the end-to-end delay bound *pays the burst only
+once*.  Switches are store-and-forward: a frame is not available
+downstream until it is fully received, which the fluid concatenation
+misses, so every hop but the last also pays one **packetisation** term
+``l / R_i`` (Le Boudec & Thiran's packetizer result, with ``l`` the
+frame length bounded by the flow's burst)::
+
+    D = sum(T_i) + sum_{i<n}(l / R_i) + b / min(R_i) + sum(propagation_i)
+
+Cross-traffic bursts at an inner port are the *output* bursts of their
+upstream hops, ``b + r * D_upstream``; those depend on delays which
+depend on bursts, so the analysis iterates to a fixed point (Cruz's
+time-stopping argument: a converged finite fixed point is a valid
+bound).  Cyclic topologies — the ring family — can diverge even below
+nominal capacity; when the iteration does not settle, the flows still
+moving are conservatively reported unstable (infinite bound, which then
+propagates to everything sharing a port with them) rather than with an
+unsound finite number.
+
+The per-port **backlog bounds** (aggregate burst at convergence plus
+rate times port latency) double as buffer-dimensioning output and as
+the per-hop soundness invariant the fuzz harness compares against the
+simulator's observed queue maxima.  Routes are the deterministic
+lexicographic shortest paths of :class:`RoutingEngine`, which are
+exactly what the simulator's destination-keyed forwarding tables
+realise — bound and simulation always talk about the same ports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.multiplexer import priority_of
+from repro.errors import ConfigurationError, EmptyAggregateError
+from repro.flows.flow import Flow
+from repro.flows.messages import Message
+from repro.flows.priorities import PriorityClass
+from repro.topology.graph import GraphTopologySpec
+from repro.topology.routing import RoutingEngine
+
+__all__ = ["GraphPathAnalysis", "MultiHopAnalysisResult", "PathFlowBound",
+           "HopServiceBound", "PortBacklogBound"]
+
+#: Default cap on the burst-propagation fixed-point iteration.
+DEFAULT_MAX_ITERATIONS = 16
+
+
+@dataclass(frozen=True)
+class HopServiceBound:
+    """The left-over service one flow receives at one directed port."""
+
+    #: Upstream node owning the egress queue.
+    node: str
+    #: Downstream neighbour the port leads to.
+    toward: str
+    #: Left-over service rate in bits per second.
+    rate: float
+    #: Left-over service latency in seconds (``inf`` when overloaded).
+    latency: float
+    #: Delay bound of the flow at this hop (with its inflated burst).
+    delay: float
+    #: One-way propagation latency of the link.
+    propagation: float
+
+
+@dataclass(frozen=True)
+class PathFlowBound:
+    """End-to-end result for one routed flow."""
+
+    #: Flow (message) name.
+    name: str
+    #: 802.1p class of the flow.
+    priority: PriorityClass
+    #: The route, as a node-name sequence.
+    path: tuple[str, ...]
+    #: Number of switches on the route (the "multiplexing points").
+    switches: int
+    #: End-to-end delay bound in seconds (``inf`` when unstable).
+    delay: float
+    #: Per-hop left-over services, in route order.
+    hops: tuple[HopServiceBound, ...]
+
+    @property
+    def stable(self) -> bool:
+        """True when the end-to-end bound is finite."""
+        return math.isfinite(self.delay)
+
+
+@dataclass(frozen=True)
+class PortBacklogBound:
+    """Aggregate backlog bound of one directed egress port.
+
+    Bounds the *total* occupancy of the egress queue (all classes), so
+    it is directly comparable with the simulator's per-port
+    ``max_queue_bits`` observation under any scheduling policy.
+    """
+
+    #: Upstream node owning the egress queue.
+    node: str
+    #: Downstream neighbour the port leads to.
+    toward: str
+    #: Number of flows sharing the port.
+    flow_count: int
+    #: Backlog bound in bits (``inf`` when the port is overloaded).
+    backlog_bits: float
+
+
+@dataclass(frozen=True)
+class MultiHopAnalysisResult:
+    """Everything :meth:`GraphPathAnalysis.analyze` computes."""
+
+    #: Per-flow end-to-end bounds, sorted by flow name.
+    flows: tuple[PathFlowBound, ...]
+    #: Per-port aggregate backlog bounds, sorted by (node, toward).
+    ports: tuple[PortBacklogBound, ...]
+    #: True when the burst-propagation fixed point settled; when False
+    #: the flows it could not settle were reported unstable.
+    converged: bool
+    #: Worst per-port queue bound of every class present (bits).
+    class_backlogs: dict = field(default_factory=dict)
+
+    def worst_per_class(self) -> dict[PriorityClass, PathFlowBound]:
+        """The worst (largest-delay) flow bound of every class present.
+
+        Flows are scanned in name order and strict ``>`` keeps the
+        first maximiser, so the pick is deterministic.
+        """
+        worst: dict[PriorityClass, PathFlowBound] = {}
+        for bound in self.flows:
+            current = worst.get(bound.priority)
+            if current is None or bound.delay > current.delay:
+                worst[bound.priority] = bound
+        return worst
+
+    def class_delay(self, priority: PriorityClass) -> float:
+        """Worst end-to-end delay bound of one class."""
+        delays = [b.delay for b in self.flows if b.priority is priority]
+        if not delays:
+            raise EmptyAggregateError(
+                f"no flow of class {priority.name} was analysed")
+        return max(delays)
+
+    def class_backlog(self, priority: PriorityClass) -> float:
+        """Worst per-port queue bound of one class."""
+        try:
+            return self.class_backlogs[priority]
+        except KeyError:
+            raise EmptyAggregateError(
+                f"no flow of class {priority.name} was analysed") from None
+
+
+@dataclass
+class _RoutedFlow:
+    """Mutable per-flow working state of the fixed-point iteration."""
+
+    flow: Flow
+    priority: PriorityClass
+    hops: list[tuple[str, str]]
+    #: Cumulative delay bound *before* each hop (inflates the burst).
+    upstream: list[float]
+    #: Last computed per-hop delay bounds.
+    delays: list[float]
+    #: Per-hop (rate, latency) of the left-over service.
+    services: list[tuple[float, float]]
+    #: Set when the fixed point could not settle this flow.
+    diverged: bool = False
+
+    def burst_at(self, hop_index: int) -> float:
+        """The flow's burst bound entering hop ``hop_index``."""
+        if self.diverged:
+            return math.inf
+        upstream = self.upstream[hop_index]
+        if math.isinf(upstream):
+            return math.inf
+        return self.flow.burst + self.flow.rate * upstream
+
+
+class GraphPathAnalysis:
+    """Left-over-service end-to-end analysis over a graph topology.
+
+    Parameters
+    ----------
+    spec:
+        The (structurally valid, connected) topology.
+    policy:
+        ``"fcfs"`` or ``"strict-priority"`` — must match the simulator
+        cell being validated against.
+    max_iterations:
+        Cap on the burst-propagation fixed point.
+    """
+
+    def __init__(self, spec: GraphTopologySpec,
+                 policy: str = "strict-priority",
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS) -> None:
+        if policy not in ("fcfs", "strict-priority"):
+            raise ConfigurationError(
+                f"policy must be 'fcfs' or 'strict-priority', "
+                f"got {policy!r}")
+        self.spec = spec.validated()
+        self.policy = policy
+        self.max_iterations = int(max_iterations)
+        self.engine = RoutingEngine(spec, weight="hops")
+
+    # -- public entry ------------------------------------------------------
+
+    def analyze(self, flows: Iterable[Flow | Message]
+                ) -> MultiHopAnalysisResult:
+        """Bound every flow end to end and every port's backlog."""
+        routed = self._routed(flows)
+        if not routed:
+            raise EmptyAggregateError("no flow to analyse")
+        ports = self._port_membership(routed)
+        converged = self._fixed_point(routed, ports)
+
+        flow_bounds = []
+        for state in routed:
+            hops = []
+            for index, (node, toward) in enumerate(state.hops):
+                rate, latency = state.services[index]
+                hops.append(HopServiceBound(
+                    node=node, toward=toward, rate=rate, latency=latency,
+                    delay=state.delays[index],
+                    propagation=self.spec.edge(node, toward).latency))
+            flow_bounds.append(PathFlowBound(
+                name=state.flow.name, priority=state.priority,
+                path=tuple(state.flow.path),
+                switches=sum(1 for node in state.flow.path
+                             if self.spec.is_switch(node)),
+                delay=self._end_to_end(state, hops),
+                hops=tuple(hops)))
+
+        port_bounds, class_backlogs = self._backlogs(routed, ports)
+        return MultiHopAnalysisResult(
+            flows=tuple(flow_bounds), ports=tuple(port_bounds),
+            converged=converged, class_backlogs=class_backlogs)
+
+    # -- construction ------------------------------------------------------
+
+    def _routed(self, flows: Iterable[Flow | Message]) -> list[_RoutedFlow]:
+        routed = []
+        for item in flows:
+            flow = self.engine.route_flow(item)
+            hops = flow.hops()
+            routed.append(_RoutedFlow(
+                flow=flow, priority=priority_of(flow), hops=hops,
+                upstream=[0.0] * len(hops), delays=[0.0] * len(hops),
+                services=[(math.inf, 0.0)] * len(hops)))
+        routed.sort(key=lambda state: state.flow.name)
+        return routed
+
+    def _port_membership(self, routed: list[_RoutedFlow]
+                         ) -> dict[tuple[str, str],
+                                   list[tuple[_RoutedFlow, int]]]:
+        ports: dict[tuple[str, str], list[tuple[_RoutedFlow, int]]] = {}
+        for state in routed:
+            for index, hop in enumerate(state.hops):
+                ports.setdefault(hop, []).append((state, index))
+        return ports
+
+    # -- the fixed point ---------------------------------------------------
+
+    def _fixed_point(self, routed: list[_RoutedFlow],
+                     ports: dict[tuple[str, str],
+                                 list[tuple[_RoutedFlow, int]]]) -> bool:
+        for _iteration in range(self.max_iterations):
+            self._single_pass(ports)
+            if not self._accumulate(routed):
+                return True
+        # The iteration did not settle (a cyclic dependency feeding its
+        # own growth).  Everything still moving is conservatively
+        # unstable; re-iterate so the infinite bursts propagate to every
+        # flow sharing a port with a diverged one (inf is absorbing, so
+        # this terminates within one pass per flow).
+        self._single_pass(ports)
+        moving = self._accumulate(routed)
+        if not moving:
+            return True
+        for state in routed:
+            if state.flow.name in moving:
+                state.diverged = True
+        for _iteration in range(len(routed) + 1):
+            self._single_pass(ports)
+            if not self._accumulate(routed):
+                break
+        return False
+
+    def _single_pass(self, ports: dict[tuple[str, str],
+                                       list[tuple[_RoutedFlow, int]]]
+                     ) -> None:
+        for (node, toward) in sorted(ports):
+            members = ports[(node, toward)]
+            link = self.spec.edge(node, toward)
+            latency0 = self.spec.technology_delay(node)
+            for state, hop_index in members:
+                rate, latency = self._leftover(
+                    state, hop_index, members, link.rate, latency0)
+                state.services[hop_index] = (rate, latency)
+                burst = state.burst_at(hop_index)
+                if rate <= 0.0 or math.isinf(latency) or \
+                        math.isinf(burst) or state.flow.rate > rate:
+                    state.delays[hop_index] = math.inf
+                else:
+                    state.delays[hop_index] = latency + burst / rate
+
+    def _leftover(self, state: _RoutedFlow, hop_index: int,
+                  members: list[tuple[_RoutedFlow, int]],
+                  capacity: float, latency0: float
+                  ) -> tuple[float, float]:
+        """Left-over (rate, latency) of one flow at one port."""
+        own = state.priority.value
+        cross_burst = 0.0
+        cross_rate = 0.0
+        blocking = 0.0
+        for other, other_index in members:
+            if other is state:
+                continue
+            if self.policy == "strict-priority" and \
+                    other.priority.value > own:
+                # Lower priority: one frame can block non-preemptively.
+                blocking = max(blocking, other.burst_at(other_index))
+                continue
+            cross_burst += other.burst_at(other_index)
+            cross_rate += other.flow.rate
+        rate = capacity - cross_rate
+        if rate <= 0.0 or math.isinf(cross_burst) or math.isinf(blocking):
+            return rate, math.inf
+        return rate, (capacity * latency0 + blocking + cross_burst) / rate
+
+    def _accumulate(self, routed: list[_RoutedFlow]) -> set[str]:
+        """Refresh upstream delay vectors; return the names that moved."""
+        changed = set()
+        for state in routed:
+            cumulative = 0.0
+            upstream = []
+            for index, (node, toward) in enumerate(state.hops):
+                upstream.append(cumulative)
+                cumulative += state.delays[index]
+                cumulative += self.spec.edge(node, toward).latency
+            if upstream != state.upstream:
+                changed.add(state.flow.name)
+                state.upstream = upstream
+        return changed
+
+    # -- results -----------------------------------------------------------
+
+    def _end_to_end(self, state: _RoutedFlow,
+                    hops: list[HopServiceBound]) -> float:
+        """Concatenated (pay-bursts-only-once) end-to-end delay bound.
+
+        Every hop but the last adds a packetisation term ``l / R_i``:
+        store-and-forward relays only see a frame once it is fully
+        transmitted upstream, a delay the fluid concatenation does not
+        charge.  The frame length ``l`` is bounded by the flow's burst
+        (exact for single-frame messages, conservative for fragmented
+        ones).
+        """
+        if any(math.isinf(hop.delay) for hop in hops):
+            return math.inf
+        min_rate = min(hop.rate for hop in hops)
+        if min_rate <= 0.0 or state.flow.rate > min_rate:
+            return math.inf
+        packetisation = sum(state.flow.burst / hop.rate
+                            for hop in hops[:-1])
+        return sum(hop.latency for hop in hops) + packetisation \
+            + state.flow.burst / min_rate \
+            + sum(hop.propagation for hop in hops)
+
+    def _backlogs(self, routed: list[_RoutedFlow],
+                  ports: dict[tuple[str, str],
+                              list[tuple[_RoutedFlow, int]]]
+                  ) -> tuple[list[PortBacklogBound],
+                             dict[PriorityClass, float]]:
+        port_bounds = []
+        class_backlogs: dict[PriorityClass, float] = {}
+        # Every directed port of the topology gets a bound: the simulator
+        # reports an (empty) queue maximum even for ports no flow crosses,
+        # and the fuzz invariant compares port by port.
+        all_ports = {(node, successor)
+                     for node, successors in self.spec.successors().items()
+                     for successor in successors}
+        for (node, toward) in sorted(all_ports):
+            members = ports.get((node, toward), [])
+            link = self.spec.edge(node, toward)
+            latency0 = self.spec.technology_delay(node)
+            total_rate = sum(member.flow.rate for member, _ in members)
+            total_burst = sum(member.burst_at(index)
+                              for member, index in members)
+            if total_rate > link.rate or math.isinf(total_burst):
+                aggregate = math.inf
+            else:
+                aggregate = total_burst + total_rate * latency0
+            port_bounds.append(PortBacklogBound(
+                node=node, toward=toward, flow_count=len(members),
+                backlog_bits=aggregate))
+            for priority, backlog in self._class_port_backlogs(
+                    members, link.rate, latency0).items():
+                previous = class_backlogs.get(priority, 0.0)
+                class_backlogs[priority] = max(previous, backlog)
+        return port_bounds, class_backlogs
+
+    def _class_port_backlogs(self,
+                             members: list[tuple[_RoutedFlow, int]],
+                             capacity: float, latency0: float
+                             ) -> dict[PriorityClass, float]:
+        """Per-class queue bounds at one port.
+
+        The class-``p`` queue holds class-``p`` traffic served by the
+        link's residual after the strictly higher classes (plus the
+        blocking term); under FCFS every class shares the single queue,
+        so each gets the aggregate bound.
+        """
+        present = sorted({member.priority for member, _ in members},
+                         key=lambda priority: priority.value)
+        backlogs: dict[PriorityClass, float] = {}
+        for priority in present:
+            own_burst = own_rate = 0.0
+            cross_burst = cross_rate = 0.0
+            blocking = 0.0
+            for member, index in members:
+                if self.policy == "fcfs" or member.priority is priority:
+                    own_burst += member.burst_at(index)
+                    own_rate += member.flow.rate
+                elif member.priority.value < priority.value:
+                    cross_burst += member.burst_at(index)
+                    cross_rate += member.flow.rate
+                else:
+                    blocking = max(blocking, member.burst_at(index))
+            rate = capacity - cross_rate
+            if rate <= 0.0 or own_rate > rate or \
+                    math.isinf(cross_burst) or math.isinf(own_burst) or \
+                    math.isinf(blocking):
+                backlogs[priority] = math.inf
+                continue
+            latency = (capacity * latency0 + blocking + cross_burst) / rate
+            backlogs[priority] = own_burst + own_rate * latency
+        return backlogs

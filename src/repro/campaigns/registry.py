@@ -142,6 +142,41 @@ register(Scenario(
     technology_delay=0.0,
     tags=("migration",)))
 
+register(Scenario(
+    name="graph-diamond",
+    description="Diamond multi-hop graph: two equal-cost two-switch "
+                "branches between entry and exit, deterministic ECMP "
+                "tie-break.",
+    workload=WorkloadSpec(station_count=8),
+    topology=TopologySpec(kind="graph", graph_family="diamond"),
+    tags=("graph", "multi-hop")))
+
+register(Scenario(
+    name="graph-ring",
+    description="Four-switch ring: cyclic backbone stressing the "
+                "burst-propagation fixed point of the multi-hop analysis.",
+    workload=WorkloadSpec(station_count=8),
+    topology=TopologySpec(kind="graph", graph_family="ring",
+                          graph_switches=4),
+    tags=("graph", "multi-hop")))
+
+register(Scenario(
+    name="graph-star",
+    description="The paper's star expressed as a graph spec — must "
+                "reproduce the legacy single-switch results.",
+    workload=WorkloadSpec(station_count=8),
+    topology=TopologySpec(kind="graph", graph_family="star"),
+    tags=("graph",)))
+
+register(Scenario(
+    name="graph-random",
+    description="Seeded random multi-hop graph: spanning tree over four "
+                "switches plus redundant links, routed lexicographically.",
+    workload=WorkloadSpec(station_count=8),
+    topology=TopologySpec(kind="graph", graph_family="random",
+                          graph_switches=4, graph_seed=11),
+    tags=("graph", "multi-hop")))
+
 for _scale in (2, 4, 6, 8):
     register(Scenario(
         name=f"scalability-x{_scale}",

@@ -107,14 +107,31 @@ class TopologySpec:
     egress multiplexer and the first switch's relaying delay are folded into
     a single analysis point (that is what ``t_techno`` covers), and every
     additional switch on the worst-case route adds one multiplexing point.
+
+    The ``"graph"`` kind selects one of the arbitrary multi-hop families
+    of :mod:`repro.topology.graph` (``graph_family`` = ``"diamond"``,
+    ``"ring"``, ``"star"`` or ``"random"``); those scenarios are analysed
+    per flow along their routed paths by
+    :class:`repro.analysis.multihop.GraphPathAnalysis` instead of the
+    single-multiplexer composition.
     """
 
-    #: ``"single-switch-star"``, ``"dual-switch"`` or ``"tree"``.
+    #: ``"single-switch-star"``, ``"dual-switch"``, ``"tree"`` or
+    #: ``"graph"``.
     kind: str = "single-switch-star"
     #: Number of leaf switches (``"tree"`` only).
     leaf_count: int = 2
+    #: Multi-hop family (``"graph"`` only).
+    graph_family: str = "diamond"
+    #: Switch count of the ring/random families (``"graph"`` only).
+    graph_switches: int = 4
+    #: Seed of the random family (``"graph"`` only).
+    graph_seed: int = 0
+    #: Redundant links added to the random family's spanning tree.
+    graph_extra_links: int = 2
 
-    _KINDS = ("single-switch-star", "dual-switch", "tree")
+    _KINDS = ("single-switch-star", "dual-switch", "tree", "graph")
+    _FAMILIES = ("diamond", "ring", "star", "random")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -124,6 +141,19 @@ class TopologySpec:
         if self.leaf_count < 1:
             raise InvalidTopologyError(
                 f"need at least one leaf switch, got {self.leaf_count}")
+        if self.graph_family not in self._FAMILIES:
+            raise InvalidTopologyError(
+                f"unknown graph family {self.graph_family!r}; "
+                f"known families: {list(self._FAMILIES)}")
+        minimum = 3 if self.graph_family == "ring" else 1
+        if self.graph_switches < minimum:
+            raise InvalidTopologyError(
+                f"the {self.graph_family} family needs at least {minimum} "
+                f"switches, got {self.graph_switches}")
+        if self.graph_extra_links < 0:
+            raise InvalidTopologyError(
+                f"extra links must be non-negative, "
+                f"got {self.graph_extra_links}")
 
     @property
     def multiplexing_points(self) -> int:
@@ -132,12 +162,60 @@ class TopologySpec:
             return 1
         if self.kind == "dual-switch":
             return 2
-        return 3  # tree: leaf uplink, core, leaf downlink
+        if self.kind == "tree":
+            return 3  # leaf uplink, core, leaf downlink
+        if self.graph_family == "star":
+            return 1
+        if self.graph_family == "diamond":
+            return 3  # entry switch, one branch switch, exit switch
+        if self.graph_family == "ring":
+            # Longest shortest route: half-way around, plus the entry.
+            return self.graph_switches // 2 + 1
+        return self.graph_switches  # random: conservative ceiling
+
+    def build_graph(self, station_count: int,
+                    capacity: float = units.mbps(10),
+                    technology_delay: float = units.us(16)):
+        """The :class:`~repro.topology.graph.GraphTopologySpec` of a
+        ``"graph"`` topology (the declarative form the multi-hop analysis,
+        the simulator and the result store all fingerprint)."""
+        from repro.topology.graph import (
+            diamond_graph_spec,
+            random_graph_spec,
+            ring_graph_spec,
+            star_graph_spec,
+        )
+
+        if self.kind != "graph":
+            raise InvalidTopologyError(
+                f"topology kind {self.kind!r} has no graph spec; "
+                f"use build()")
+        if self.graph_family == "star":
+            return star_graph_spec(station_count, capacity=capacity,
+                                   technology_delay=technology_delay)
+        if self.graph_family == "diamond":
+            return diamond_graph_spec(station_count, capacity=capacity,
+                                      technology_delay=technology_delay)
+        if self.graph_family == "ring":
+            return ring_graph_spec(station_count,
+                                   switch_count=self.graph_switches,
+                                   capacity=capacity,
+                                   technology_delay=technology_delay)
+        return random_graph_spec(station_count,
+                                 switch_count=self.graph_switches,
+                                 extra_links=self.graph_extra_links,
+                                 seed=self.graph_seed,
+                                 capacity=capacity,
+                                 technology_delay=technology_delay)
 
     def build(self, station_count: int,
               capacity: float = units.mbps(10),
               technology_delay: float = units.us(16)) -> Network:
         """Instantiate the topology for ``station_count`` stations."""
+        if self.kind == "graph":
+            return self.build_graph(
+                station_count, capacity=capacity,
+                technology_delay=technology_delay).to_network()
         if self.kind == "single-switch-star":
             return single_switch_star(station_count, capacity=capacity,
                                       technology_delay=technology_delay)
@@ -152,6 +230,9 @@ class TopologySpec:
 
     def describe(self) -> str:
         """Compact human-readable summary, e.g. ``tree (3 hops)``."""
+        if self.kind == "graph":
+            return (f"graph/{self.graph_family} "
+                    f"({self.multiplexing_points} pt)")
         return f"{self.kind} ({self.multiplexing_points} pt)"
 
 
@@ -195,6 +276,14 @@ class Scenario:
             raise InvalidWorkloadError(
                 f"policies must be a non-empty subset of {POLICIES}, "
                 f"got {self.policies!r}")
+        if self.topology.kind == "graph" and self.workload.replication != 1:
+            # Replicated aggregates are an arithmetic shortcut of the
+            # single-multiplexer composition; graph scenarios route every
+            # flow individually, so the stations must really exist.
+            raise InvalidWorkloadError(
+                f"graph topologies route per flow and do not support "
+                f"workload replication (got replication="
+                f"{self.workload.replication})")
 
     @property
     def hops(self) -> int:

@@ -62,6 +62,7 @@ from repro.analysis.buffers import validate_buffer_requirements
 from repro.analysis.paper_model import PaperCaseStudy
 from repro import reports
 from repro.campaigns import CampaignRunner, builtin_scenarios, select
+from repro.campaigns.scenario import TopologySpec
 from repro.errors import (
     ConfigurationError,
     ExecutionFailedError,
@@ -78,15 +79,19 @@ from repro.exec import (
 )
 from repro.fuzz import FuzzCampaign, persist_interesting
 from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
+from repro.fuzz.generator import GeneratorConfig
 from repro.store import (
     DEFAULT_STORE_DIR,
     ResultStore,
     all_code_versions,
     combined_token,
+    fingerprint,
 )
 from repro.simulation.campaign import POLICIES, SCENARIOS, SimulationCampaign
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
+from repro.topology.graph import load_topology_file
+from repro.topology.routing import RoutingEngine
 from repro.reporting import format_ms, render_table, yes_no
 from repro.workloads import (
     RealCaseParameters,
@@ -452,6 +457,12 @@ def _configure_simulate(sub: argparse.ArgumentParser) -> None:
                           "(default: 1)")
     sub.add_argument("--duration-ms", type=float, default=320.0,
                      help="simulated horizon per cell in ms (default: 320)")
+    sub.add_argument("--topology", metavar="FAMILY|FILE", default=None,
+                     help="simulate on a multi-hop graph topology instead "
+                          "of the shared star: a family name (diamond, "
+                          "ring, star, random) or a .json/.csv topology "
+                          "file whose end systems are named like the "
+                          "workload's stations")
     sub.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="simulate cells in N worker processes "
                           "(default: 1, in-process)")
@@ -459,6 +470,33 @@ def _configure_simulate(sub: argparse.ArgumentParser) -> None:
                      help="also write the aggregated rows to a CSV file")
     sub.add_argument("--markdown", action="store_true",
                      help="render the result table as markdown")
+
+
+def _resolve_simulate_topology(args: argparse.Namespace):
+    """The ``--topology`` value as a spec the campaign accepts.
+
+    A family name becomes a scalable :class:`TopologySpec` (it follows
+    ``--stations`` and ``--size-factors``); a path is loaded, validated
+    and checked against the synthetic workload's station names.
+    """
+    if args.topology is None:
+        return None
+    if args.topology in TopologySpec._FAMILIES:
+        return TopologySpec(kind="graph", graph_family=args.topology)
+    spec = load_topology_file(args.topology).validated()
+    expected = {f"station-{index:02d}"
+                for index in range(len(spec.end_systems))}
+    if set(spec.end_systems) != expected:
+        raise ConfigurationError(
+            f"{args.topology}: end systems must be named station-00.."
+            f"station-{len(spec.end_systems) - 1:02d} to carry the "
+            f"synthetic workload; got {sorted(spec.end_systems)}")
+    if args.stations != len(spec.end_systems):
+        raise ConfigurationError(
+            f"{args.topology}: the file defines "
+            f"{len(spec.end_systems)} end systems; pass --stations "
+            f"{len(spec.end_systems)} to match")
+    return spec
 
 
 def _command_simulate(ctx: CommandContext) -> int:
@@ -485,9 +523,14 @@ def _command_simulate(ctx: CommandContext) -> int:
             sys.stderr.write("error: --size-factors other than 1 need the "
                              "synthetic workload (drop --workload)\n")
             return 2
+        if args.topology is not None:
+            sys.stderr.write("error: --topology needs the synthetic "
+                             "workload (drop --workload)\n")
+            return 2
     store = _resolve_store(args)
     policy, fault_spec = _resolve_exec(args)
     try:
+        topology = _resolve_simulate_topology(args)
         campaign = SimulationCampaign(
             station_count=args.stations,
             workload_seed=args.seed,
@@ -504,6 +547,7 @@ def _command_simulate(ctx: CommandContext) -> int:
             jobs=args.jobs,
             store=store,
             resume=args.resume,
+            topology=topology,
             exec_policy=policy,
             faults=fault_spec)
     except ConfigurationError as error:
@@ -558,6 +602,10 @@ def _configure_fuzz(sub: argparse.ArgumentParser) -> None:
                           "(default: 1, in-process)")
     sub.add_argument("--duration-ms", type=float, default=160.0,
                      help="simulated horizon per cell in ms (default: 160)")
+    sub.add_argument("--multi-hop", action="store_true", dest="multi_hop",
+                     help="draw only multi-hop graph topologies (diamond/"
+                          "ring/star/random families) instead of the "
+                          "default star-weighted kind mix")
     sub.add_argument("--tightness", type=float, default=0.9,
                      metavar="RATIO",
                      help="near-tight corpus threshold on simulated/bound "
@@ -594,6 +642,8 @@ def _command_fuzz(ctx: CommandContext) -> int:
         campaign = FuzzCampaign(
             count=args.count,
             seed=args.seed,
+            config=(GeneratorConfig.multi_hop() if args.multi_hop
+                    else None),
             duration=units.ms(args.duration_ms),
             jobs=args.jobs,
             store=store,
@@ -796,6 +846,50 @@ def _command_store(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Topology subcommand (multi-hop graph file tooling)
+# ---------------------------------------------------------------------------
+
+def _configure_topology(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("action", choices=("validate",),
+                     help="validate: load a topology file, check its "
+                          "structure and routability, print a summary")
+    sub.add_argument("file", help="topology file (.json or .csv)")
+
+
+def _command_topology(ctx: CommandContext) -> int:
+    args = ctx.args
+    # Any structural problem (malformed document, duplicate node, port
+    # clash, end-system-to-end-system link, disconnected pair) raises a
+    # ReproError that main() turns into one `error: ...` line, exit 2.
+    spec = load_topology_file(args.file).validated()
+    engine = RoutingEngine(spec)
+    problems = engine.diagnostics()
+    if problems:
+        suffix = "" if len(problems) == 1 \
+            else f" (and {len(problems) - 1} more problems)"
+        sys.stderr.write(f"error: {args.file}: {problems[0]}{suffix}\n")
+        return 2
+    end_systems = spec.end_systems
+    longest: tuple[str, ...] = ()
+    for source in end_systems:
+        for destination in end_systems:
+            if source == destination:
+                continue
+            path = engine.shortest_path(source, destination)
+            if len(path) > len(longest):
+                longest = path
+    sys.stdout.write(
+        f"topology {spec.name}: {len(end_systems)} end systems, "
+        f"{len(spec.switches)} switches, {len(spec.links)} links; "
+        f"fingerprint {fingerprint(spec)[:16]}\n")
+    if longest:
+        sys.stdout.write(
+            f"longest route: {len(longest) - 2} switch hops "
+            f"({' -> '.join(longest)})\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Dispatch table, parser, entry point
 # ---------------------------------------------------------------------------
 
@@ -831,6 +925,10 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("fuzz", "randomized soundness fuzzing: generated scenarios "
                         "vs the analytic invariants",
                 _command_fuzz, configure=_configure_fuzz,
+                needs_workload=False),
+    CommandSpec("topology", "validate a multi-hop topology file "
+                            "(.json or .csv)",
+                _command_topology, configure=_configure_topology,
                 needs_workload=False),
     CommandSpec("report", "regenerate or drift-check the artifacts/ "
                           "reproduction report",

@@ -25,6 +25,7 @@ from repro.fuzz.campaign import (
     FuzzCampaign,
     FuzzCell,
     FuzzOutcome,
+    FuzzPortRow,
     FuzzResult,
     evaluate_scenario,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "FuzzCell",
     "FuzzBoundRow",
     "FuzzOutcome",
+    "FuzzPortRow",
     "FuzzResult",
     "FuzzCampaign",
     "evaluate_scenario",

@@ -10,7 +10,11 @@ soundness claim rests on:
 1. **soundness** — the wire-level analytic bound of every (policy, class)
    dominates the simulated worst case on the shared star (the multi-hop
    campaign bound dominates the single-point bound by construction, so the
-   star is a valid floor for every topology kind),
+   star is a valid floor for every legacy topology kind); ``"graph"``
+   scenarios are simulated on their actual routed topology instead and
+   checked against the per-path bounds of
+   :class:`~repro.analysis.multihop.GraphPathAnalysis`, including the
+   per-port backlog bounds vs the simulator's observed queue peaks,
 2. **stability consistency** — a campaign row is ``stable`` iff its delay
    and backlog bounds are finite (and a stable delay bound is
    non-negative),
@@ -35,6 +39,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro import units
+from repro.analysis.multihop import GraphPathAnalysis
 from repro.analysis.validation import wire_level_messages
 from repro.campaigns.runner import CampaignRow, CampaignRunner
 from repro.campaigns.scenario import Scenario
@@ -57,6 +62,7 @@ from repro.topology.network import Network
 __all__ = [
     "FuzzCell",
     "FuzzBoundRow",
+    "FuzzPortRow",
     "FuzzOutcome",
     "FuzzResult",
     "FuzzCampaign",
@@ -119,6 +125,31 @@ class FuzzBoundRow:
 
 
 @dataclass(frozen=True)
+class FuzzPortRow:
+    """Analytic per-port backlog bound vs observed queue peak (graph cells).
+
+    One row per ``(policy, directed port)`` of a ``"graph"`` scenario: the
+    multi-hop analysis bounds the worst backlog of every transmitter, and
+    the simulator reports the largest queue it actually built there.
+    """
+
+    policy: str
+    #: Transmitting node of the directed port.
+    node: str
+    #: Neighbour the port transmits toward.
+    toward: str
+    #: Analytic backlog bound in bits (``inf`` when the port is unstable).
+    backlog_bound: float
+    #: Largest queue the simulator observed on the port, in bits.
+    observed_bits: float
+
+    @property
+    def bound_holds(self) -> bool:
+        """True when the backlog bound dominates the observed peak."""
+        return self.observed_bits <= self.backlog_bound + 1e-9
+
+
+@dataclass(frozen=True)
 class FuzzOutcome:
     """Everything one fuzzed cell contributes to the campaign."""
 
@@ -134,6 +165,8 @@ class FuzzOutcome:
     elapsed: float
     #: True when served from the result store (``--resume``).
     resumed: bool = False
+    #: Per-port backlog bound vs observation rows (``"graph"`` cells only).
+    port_rows: tuple[FuzzPortRow, ...] = ()
 
     @property
     def max_tightness(self) -> float:
@@ -469,34 +502,57 @@ def _star_for_stations(stations: Sequence[str], capacity: float,
 
 def _measure(cell: FuzzCell, runner: CampaignRunner
              ) -> tuple[tuple[CampaignRow, ...], tuple[FuzzBoundRow, ...],
-                        int, int]:
+                        tuple[FuzzPortRow, ...], int, int]:
     """One full evaluation of a cell through the given campaign runner.
 
-    Returns ``(campaign_rows, bound_rows, events_processed,
+    Returns ``(campaign_rows, bound_rows, port_rows, events_processed,
     frames_dropped)``; everything is deterministic given the cell spec.
+    Legacy cells simulate on the shared star and compare against the
+    single-point wire-level bound; ``"graph"`` cells simulate on their
+    routed topology and compare against the per-path and per-port bounds
+    of :class:`GraphPathAnalysis`.
     """
     scenario = cell.scenario
     campaign_rows = tuple(runner.run([scenario]).results[0].rows)
 
     message_set = scenario.workload.build()
     messages = message_set.messages  # materialises replicas if any
-    network = _star_for_stations(message_set.stations(), scenario.capacity,
-                                 scenario.technology_delay)
+    graph_spec = None
+    if scenario.topology.kind == "graph":
+        graph_spec = scenario.topology.build_graph(
+            scenario.workload.total_stations, scenario.capacity,
+            scenario.technology_delay)
+        network = graph_spec.to_network()
+    else:
+        network = _star_for_stations(message_set.stations(),
+                                     scenario.capacity,
+                                     scenario.technology_delay)
     wire_messages = wire_level_messages(message_set)
 
     bound_rows: list[FuzzBoundRow] = []
+    port_rows: list[FuzzPortRow] = []
     events = dropped = 0
     for policy in scenario.policies:
-        try:
-            analytic = EndToEndAnalysis(network, policy=policy).analyze(
+        port_bounds: dict[tuple[str, str], float] = {}
+        if graph_spec is not None:
+            outcome = GraphPathAnalysis(graph_spec, policy=policy).analyze(
                 wire_messages)
-            bounds = {cls: bound.total_delay
-                      for cls, bound in analytic.worst_per_class().items()}
-        except UnstableSystemError:
-            # Overloaded on-wire aggregate: every bound is infinite and the
-            # soundness invariant holds trivially; the simulation still
-            # runs so the cell exercises the saturated data path.
-            bounds = {}
+            bounds = {cls: bound.delay
+                      for cls, bound in outcome.worst_per_class().items()}
+            port_bounds = {(port.node, port.toward): port.backlog_bits
+                           for port in outcome.ports}
+        else:
+            try:
+                analytic = EndToEndAnalysis(network, policy=policy).analyze(
+                    wire_messages)
+                bounds = {
+                    cls: bound.total_delay
+                    for cls, bound in analytic.worst_per_class().items()}
+            except UnstableSystemError:
+                # Overloaded on-wire aggregate: every bound is infinite and
+                # the soundness invariant holds trivially; the simulation
+                # still runs so the cell exercises the saturated data path.
+                bounds = {}
         simulator = EthernetNetworkSimulator(
             network, messages, policy=policy,
             scenario="synchronized", seed=cell.sim_seed)
@@ -514,11 +570,17 @@ def _measure(cell: FuzzCell, runner: CampaignRunner
                 worst_simulated=summary.maximum,
                 mean_simulated=summary.mean,
                 samples=summary.count))
-    return campaign_rows, tuple(bound_rows), events, dropped
+        for (node, toward), bound_bits in sorted(port_bounds.items()):
+            observed = results.max_queue_bits.get(f"{node}->{toward}", 0.0)
+            port_rows.append(FuzzPortRow(
+                policy=policy, node=node, toward=toward,
+                backlog_bound=bound_bits, observed_bits=observed))
+    return campaign_rows, tuple(bound_rows), tuple(port_rows), events, dropped
 
 
 def _invariant_violations(campaign_rows: Iterable[CampaignRow],
-                          bound_rows: Iterable[FuzzBoundRow]) -> list[str]:
+                          bound_rows: Iterable[FuzzBoundRow],
+                          port_rows: Iterable[FuzzPortRow] = ()) -> list[str]:
     """The static invariant violations of one measurement (usually none)."""
     violations: list[str] = []
     for row in campaign_rows:
@@ -541,6 +603,12 @@ def _invariant_violations(campaign_rows: Iterable[CampaignRow],
                 f"soundness: {row.policy}/{row.priority.name} simulated "
                 f"worst {row.worst_simulated!r} exceeds analytic bound "
                 f"{row.analytic_bound!r}")
+    for port in port_rows:
+        if not port.bound_holds:
+            violations.append(
+                f"backlog: {port.policy} port {port.node}->{port.toward} "
+                f"observed {port.observed_bits!r} bits exceeds bound "
+                f"{port.backlog_bound!r}")
     return violations
 
 
@@ -553,18 +621,19 @@ def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
     # Byte-equality of the two measurements checks determinism *and* the
     # memoized-equals-naive contract in one comparison.
     second = _measure(cell, CampaignRunner(memoize=False))
-    violations = _invariant_violations(first[0], first[1])
+    violations = _invariant_violations(first[0], first[1], first[2])
     first_json = canonical_json(_measurement_payload(*first))
     second_json = canonical_json(_measurement_payload(*second))
     if first_json != second_json:
         violations.append(
             "determinism: memoized and fresh naive evaluations disagree "
             "(measurement payloads are not byte-identical)")
-    campaign_rows, bound_rows, events, dropped = first
+    campaign_rows, bound_rows, port_rows, events, dropped = first
     outcome = FuzzOutcome(
         cell=cell,
         campaign_rows=campaign_rows,
         bound_rows=bound_rows,
+        port_rows=port_rows,
         violations=tuple(violations),
         events_processed=events,
         frames_dropped=dropped,
@@ -576,6 +645,7 @@ def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
             cell=cell,
             campaign_rows=campaign_rows,
             bound_rows=bound_rows,
+            port_rows=port_rows,
             violations=tuple(violations) + (
                 "round-trip: store payload is not identical after "
                 "encode/decode",),
@@ -631,8 +701,25 @@ def _bound_row_from_payload(payload: dict) -> FuzzBoundRow:
                         samples=int(payload["samples"]))
 
 
+def _port_row_payload(row: FuzzPortRow) -> dict:
+    return {"policy": row.policy,
+            "node": row.node,
+            "toward": row.toward,
+            "bound_bits": row.backlog_bound,
+            "observed_bits": row.observed_bits}
+
+
+def _port_row_from_payload(payload: dict) -> FuzzPortRow:
+    return FuzzPortRow(policy=payload["policy"],
+                       node=payload["node"],
+                       toward=payload["toward"],
+                       backlog_bound=float(payload["bound_bits"]),
+                       observed_bits=float(payload["observed_bits"]))
+
+
 def _measurement_payload(campaign_rows: Iterable[CampaignRow],
                          bound_rows: Iterable[FuzzBoundRow],
+                         port_rows: Iterable[FuzzPortRow],
                          events: int, dropped: int) -> dict:
     """The deterministic part of a cell's outcome as a JSON payload.
 
@@ -641,6 +728,7 @@ def _measurement_payload(campaign_rows: Iterable[CampaignRow],
     """
     return {"campaign": [_campaign_row_payload(row) for row in campaign_rows],
             "rows": [_bound_row_payload(row) for row in bound_rows],
+            "ports": [_port_row_payload(row) for row in port_rows],
             "events": int(events),
             "frames_dropped": int(dropped)}
 
@@ -649,6 +737,7 @@ def _outcome_to_payload(outcome: FuzzOutcome) -> dict:
     """One cell outcome as a JSON payload for the result store."""
     return {"measurement": _measurement_payload(
                 outcome.campaign_rows, outcome.bound_rows,
+                outcome.port_rows,
                 outcome.events_processed, outcome.frames_dropped),
             "violations": list(outcome.violations),
             "elapsed": outcome.elapsed}
@@ -663,6 +752,8 @@ def _outcome_from_payload(cell: FuzzCell, payload: dict) -> FuzzOutcome:
                             for row in measurement["campaign"]),
         bound_rows=tuple(_bound_row_from_payload(row)
                          for row in measurement["rows"]),
+        port_rows=tuple(_port_row_from_payload(row)
+                        for row in measurement.get("ports", [])),
         violations=tuple(payload["violations"]),
         events_processed=int(measurement["events"]),
         frames_dropped=int(measurement["frames_dropped"]),

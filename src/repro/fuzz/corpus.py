@@ -71,6 +71,10 @@ def scenario_to_spec(scenario: Scenario) -> dict:
         "topology": {
             "kind": scenario.topology.kind,
             "leaf_count": scenario.topology.leaf_count,
+            "graph_family": scenario.topology.graph_family,
+            "graph_switches": scenario.topology.graph_switches,
+            "graph_seed": scenario.topology.graph_seed,
+            "graph_extra_links": scenario.topology.graph_extra_links,
         },
         "capacity": scenario.capacity,
         "technology_delay": scenario.technology_delay,
@@ -91,7 +95,13 @@ def scenario_from_spec(spec: dict) -> Scenario:
             replication=int(spec["workload"]["replication"])),
         topology=TopologySpec(
             kind=str(spec["topology"]["kind"]),
-            leaf_count=int(spec["topology"]["leaf_count"])),
+            leaf_count=int(spec["topology"]["leaf_count"]),
+            graph_family=str(spec["topology"].get("graph_family",
+                                                  "diamond")),
+            graph_switches=int(spec["topology"].get("graph_switches", 4)),
+            graph_seed=int(spec["topology"].get("graph_seed", 0)),
+            graph_extra_links=int(spec["topology"].get("graph_extra_links",
+                                                       2))),
         capacity=float(spec["capacity"]),
         technology_delay=float(spec["technology_delay"]),
         policies=tuple(spec["policies"]),
@@ -243,11 +253,27 @@ class CorpusUpdate:
 
 def _reason_and_predicate(outcome: FuzzOutcome, threshold: float
                           ) -> tuple[str, Callable[[FuzzOutcome], bool]]:
-    """The corpus reason of an interesting outcome and its shrink predicate."""
+    """The corpus reason of an interesting outcome and its shrink predicate.
+
+    A multi-hop witness must stay multi-hop: collapsing a ``"graph"``
+    scenario to the star would re-record an edge case of the single-point
+    analysis instead of the routed-path one the cell actually exercised,
+    so the predicate pins the topology kind while the shrinker simplifies
+    the graph's family, seed and redundancy.
+    """
+    multi_hop = outcome.cell.scenario.topology.kind == "graph"
+
+    def keeps_shape(candidate: FuzzOutcome) -> bool:
+        return (not multi_hop
+                or candidate.cell.scenario.topology.kind == "graph")
+
     if not outcome.holds:
-        return "violation", lambda candidate: not candidate.holds
+        return "violation", (
+            lambda candidate: keeps_shape(candidate)
+            and not candidate.holds)
     return "near-tight", (
-        lambda candidate: candidate.holds
+        lambda candidate: keeps_shape(candidate)
+        and candidate.holds
         and math.isfinite(candidate.max_tightness)
         and candidate.max_tightness >= threshold)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro import units
 from repro.campaigns.scenario import Scenario, TopologySpec, WorkloadSpec
@@ -64,12 +64,22 @@ class GeneratorConfig:
                                        2.0, 3.0)
     #: Station-replication factors (weighted toward 1).
     replications: tuple[int, ...] = (1, 1, 1, 1, 2, 2, 3)
-    #: Topology kinds (weighted toward the paper's star).
+    #: Topology kinds (weighted toward the paper's star).  Adding
+    #: ``"graph"`` draws multi-hop topologies from the graph choice lists
+    #: below; the default excludes it so legacy streams stay byte-stable.
     topology_kinds: tuple[str, ...] = ("single-switch-star",
                                        "single-switch-star",
                                        "dual-switch", "tree")
     #: Leaf-switch counts for ``tree`` topologies.
     leaf_counts: tuple[int, ...] = (2, 3, 4)
+    #: Multi-hop families drawn for ``"graph"`` topologies.
+    graph_families: tuple[str, ...] = ("diamond", "ring", "star", "random")
+    #: Switch counts of the ring/random families (ring needs >= 3).
+    graph_switch_counts: tuple[int, ...] = (3, 4, 5, 6)
+    #: Seeds of the random family's link generator.
+    graph_seeds: tuple[int, ...] = tuple(range(16))
+    #: Redundant links added to the random family's spanning tree.
+    graph_extra_links: tuple[int, ...] = (0, 1, 2, 3)
     #: Link capacities in Mbps; 5 Mbps overloads many workloads on
     #: purpose (the unstable/unbounded invariant paths must be fuzzed).
     capacities_mbps: tuple[float, ...] = (5.0, 10.0, 10.0, 10.0, 100.0)
@@ -85,12 +95,23 @@ class GeneratorConfig:
     def __post_init__(self) -> None:
         for name in ("station_counts", "workload_seeds", "size_factors",
                      "replications", "topology_kinds", "leaf_counts",
-                     "capacities_mbps", "technology_delays_us",
-                     "policy_mixes"):
+                     "graph_families", "graph_switch_counts", "graph_seeds",
+                     "graph_extra_links", "capacities_mbps",
+                     "technology_delays_us", "policy_mixes"):
             if not getattr(self, name):
                 raise ConfigurationError(
                     f"generator config needs at least one choice "
                     f"for {name!r}")
+
+    @classmethod
+    def multi_hop(cls) -> GeneratorConfig:
+        """A config whose every draw is a multi-hop ``"graph"`` topology.
+
+        Replication is pinned to 1 because graph scenarios route every
+        station individually (see :class:`~repro.campaigns.scenario.
+        Scenario`); everything else keeps the default choice lists.
+        """
+        return cls(topology_kinds=("graph",), replications=(1,))
 
 
 class ScenarioGenerator:
@@ -124,9 +145,24 @@ class ScenarioGenerator:
             seed=rng.choice(config.workload_seeds),
             size_factor=rng.choice(config.size_factors),
             replication=rng.choice(config.replications))
-        topology = TopologySpec(
-            kind=rng.choice(config.topology_kinds),
-            leaf_count=rng.choice(config.leaf_counts))
+        kind = rng.choice(config.topology_kinds)
+        if kind == "graph":
+            # Graph draws replace the tree's leaf-count draw; the graph
+            # choice lists are consumed only on this branch, so streams
+            # over graph-free kind lists are unchanged byte for byte.
+            topology = TopologySpec(
+                kind="graph",
+                graph_family=rng.choice(config.graph_families),
+                graph_switches=rng.choice(config.graph_switch_counts),
+                graph_seed=rng.choice(config.graph_seeds),
+                graph_extra_links=rng.choice(config.graph_extra_links))
+            if workload.replication != 1:
+                # Graph scenarios route each station individually.
+                workload = replace(workload, replication=1)
+        else:
+            topology = TopologySpec(
+                kind=kind,
+                leaf_count=rng.choice(config.leaf_counts))
         capacity_mbps = rng.choice(config.capacities_mbps)
         technology_delay_us = rng.choice(config.technology_delays_us)
         policies = rng.choice(config.policy_mixes)

@@ -45,6 +45,27 @@ def _simpler_variants(scenario: Scenario) -> Iterator[Scenario]:
                                                    size_factor=1.0))
     if scenario.topology.kind != "single-switch-star":
         yield dataclasses.replace(scenario, topology=TopologySpec())
+    topology = scenario.topology
+    if topology.kind == "graph":
+        # Graph-specific shrinks, tried only when the full collapse to the
+        # star fails (i.e. the behaviour genuinely needs the graph).
+        if topology.graph_family != "diamond":
+            yield dataclasses.replace(
+                scenario,
+                topology=dataclasses.replace(topology,
+                                             graph_family="diamond"))
+        if topology.graph_extra_links > 0:
+            yield dataclasses.replace(
+                scenario,
+                topology=dataclasses.replace(topology, graph_extra_links=0))
+        if topology.graph_switches > 3:
+            yield dataclasses.replace(
+                scenario,
+                topology=dataclasses.replace(topology, graph_switches=3))
+        if topology.graph_seed != 0:
+            yield dataclasses.replace(
+                scenario,
+                topology=dataclasses.replace(topology, graph_seed=0))
     if workload.station_count > 4:
         halved = max(4, workload.station_count // 2)
         yield dataclasses.replace(

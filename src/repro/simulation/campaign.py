@@ -33,7 +33,9 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro import units
+from repro.analysis.multihop import GraphPathAnalysis
 from repro.analysis.validation import star_for_message_set, wire_level_messages
+from repro.campaigns.scenario import TopologySpec
 from repro.core.endtoend import EndToEndAnalysis
 from repro.errors import ConfigurationError
 from repro.ethernet.network_sim import EthernetNetworkSimulator
@@ -48,6 +50,7 @@ from repro.reporting import (
     yes_no,
 )
 from repro.store import ResultStore
+from repro.topology.graph import GraphTopologySpec, graph_spec_from_network
 from repro.workloads import RealCaseParameters, generate_real_case
 
 __all__ = [
@@ -276,6 +279,17 @@ class SimulationCampaign:
         --resume``: after an interruption only the unfinished cells are
         simulated, and the aggregated rows (and CSV) are byte-identical
         to an uninterrupted run because every cell is deterministic.
+    topology:
+        ``None`` (default) keeps the legacy single-switch star derived
+        from the message set — cell fingerprints are unchanged, so old
+        stores stay valid.  A campaign
+        :class:`~repro.campaigns.scenario.TopologySpec` (any kind) or an
+        explicit :class:`~repro.topology.graph.GraphTopologySpec` runs
+        the grid on that multi-hop network instead, with the analytic
+        side switched to
+        :class:`~repro.analysis.multihop.GraphPathAnalysis` on the same
+        spec.  An explicit graph spec fixes the station names, so it
+        only supports ``size_factors=(1,)``.
     """
 
     def __init__(self, *, station_count: int = 16, workload_seed: int = 7,
@@ -291,7 +305,9 @@ class SimulationCampaign:
                  store: ResultStore | None = None,
                  resume: bool = False,
                  exec_policy: ExecPolicy | None = None,
-                 faults: str | None = None) -> None:
+                 faults: str | None = None,
+                 topology: TopologySpec | GraphTopologySpec | None = None
+                 ) -> None:
         if not scenarios:
             raise ConfigurationError("at least one scenario is required")
         for scenario in scenarios:
@@ -313,6 +329,10 @@ class SimulationCampaign:
         if message_set is not None and tuple(size_factors) != (1,):
             raise ConfigurationError(
                 "an explicit message set only supports size_factors=(1,)")
+        if isinstance(topology, GraphTopologySpec) and \
+                tuple(size_factors) != (1,):
+            raise ConfigurationError(
+                "an explicit graph topology only supports size_factors=(1,)")
         if duration <= 0:
             raise ConfigurationError(
                 f"duration must be positive, got {duration!r}")
@@ -333,6 +353,7 @@ class SimulationCampaign:
         self.resume = bool(resume)
         self.exec_policy = exec_policy
         self.faults = faults
+        self.topology = topology
 
     # -- grid ----------------------------------------------------------------
 
@@ -348,7 +369,7 @@ class SimulationCampaign:
 
     def _context(self) -> dict:
         """The picklable workload/topology context shipped to workers."""
-        return {
+        context = {
             "station_count": self.station_count,
             "workload_seed": self.workload_seed,
             "messages": (None if self.message_set is None
@@ -357,6 +378,11 @@ class SimulationCampaign:
             "capacity": self.capacity,
             "technology_delay": self.technology_delay,
         }
+        if self.topology is not None:
+            # Only present for multi-hop runs, so the fingerprints (and
+            # stored results) of legacy star campaigns are untouched.
+            context["topology"] = self.topology
+        return context
 
     # -- execution -----------------------------------------------------------
 
@@ -392,11 +418,21 @@ class SimulationCampaign:
 
     def _bounds_for(self, factor: int) -> dict[str, dict[PriorityClass, float]]:
         """Analytic per-class bounds for one size factor, per policy."""
-        message_set = _workload(self._context(), factor)
-        network = star_for_message_set(message_set, capacity=self.capacity,
-                                       technology_delay=self.technology_delay)
+        context = self._context()
+        message_set = _workload(context, factor)
         analysis_messages = wire_level_messages(message_set)
         bounds: dict[str, dict[PriorityClass, float]] = {}
+        graph_spec = _graph_spec(context, factor)
+        if graph_spec is not None:
+            for policy in self.policies:
+                analytic = GraphPathAnalysis(
+                    graph_spec, policy=policy).analyze(analysis_messages)
+                bounds[policy] = {
+                    cls: bound.delay
+                    for cls, bound in analytic.worst_per_class().items()}
+            return bounds
+        network = star_for_message_set(message_set, capacity=self.capacity,
+                                       technology_delay=self.technology_delay)
         for policy in self.policies:
             analysis = EndToEndAnalysis(network, policy=policy)
             analytic = analysis.analyze(analysis_messages)
@@ -469,6 +505,23 @@ def _cell_label(cell: SimulationCell) -> str:
             f"/seed{cell.seed}")
 
 
+def _graph_spec(context: dict, factor: int) -> GraphTopologySpec | None:
+    """The multi-hop topology of a cell, or ``None`` for the legacy star."""
+    topology = context.get("topology")
+    if topology is None:
+        return None
+    if isinstance(topology, GraphTopologySpec):
+        return topology
+    stations = context["station_count"] * factor
+    if topology.kind == "graph":
+        return topology.build_graph(
+            stations, capacity=context["capacity"],
+            technology_delay=context["technology_delay"])
+    return graph_spec_from_network(topology.build(
+        stations, capacity=context["capacity"],
+        technology_delay=context["technology_delay"]))
+
+
 def _workload(context: dict, factor: int) -> MessageSet:
     """The (possibly scaled) message set of one size factor."""
     if context["messages"] is not None:
@@ -502,13 +555,17 @@ def _init_worker(context: dict, store_root: str | None = None,
 
 def _cell_key(context: dict, cell: SimulationCell) -> dict:
     """The value-level spec fingerprinted for one simulation cell."""
-    return {"cell": cell,
-            "station_count": context["station_count"],
-            "workload_seed": context["workload_seed"],
-            "messages": context["messages"],
-            "duration": context["duration"],
-            "capacity": context["capacity"],
-            "technology_delay": context["technology_delay"]}
+    key = {"cell": cell,
+           "station_count": context["station_count"],
+           "workload_seed": context["workload_seed"],
+           "messages": context["messages"],
+           "duration": context["duration"],
+           "capacity": context["capacity"],
+           "technology_delay": context["technology_delay"]}
+    if "topology" in context:
+        # Absent for star runs, keeping their legacy fingerprints stable.
+        key["topology"] = context["topology"]
+    return key
 
 
 def _outcome_to_payload(outcome: CellOutcome) -> dict:
@@ -568,9 +625,13 @@ def _simulate_cell(context: dict, cell: SimulationCell) -> CellOutcome:
     cached = _WORKER_WORKLOADS.get(cell.size_factor)
     if cached is None:
         message_set = _workload(context, cell.size_factor)
-        network = star_for_message_set(
-            message_set, capacity=context["capacity"],
-            technology_delay=context["technology_delay"])
+        graph_spec = _graph_spec(context, cell.size_factor)
+        if graph_spec is not None:
+            network = graph_spec.to_network()
+        else:
+            network = star_for_message_set(
+                message_set, capacity=context["capacity"],
+                technology_delay=context["technology_delay"])
         cached = (message_set, network)
         _WORKER_WORKLOADS[cell.size_factor] = cached
     message_set, network = cached

@@ -31,10 +31,16 @@ __all__ = ["ModuleGraph", "SUBSYSTEMS", "code_version", "all_code_versions",
 #: The closures are intentionally overlapping: a report experiment runs
 #: campaigns and simulations, so its token must cover both.
 SUBSYSTEMS: dict[str, tuple[str, ...]] = {
-    "campaigns": ("repro.campaigns.runner", "repro.campaigns.registry"),
+    # repro.analysis.multihop is an explicit campaigns root because the
+    # runner imports it lazily (cycle break) and lazy imports are outside
+    # the closure walk — without it, editing the multi-hop analysis would
+    # not invalidate stored graph-scenario campaign cells.
+    "campaigns": ("repro.campaigns.runner", "repro.campaigns.registry",
+                  "repro.analysis.multihop"),
     "simulation": ("repro.simulation.campaign",),
     "fuzz": ("repro.fuzz.campaign", "repro.fuzz.generator"),
     "reports": ("repro.reports.pipeline", "repro.reports.experiments"),
+    "topology": ("repro.topology.graph", "repro.topology.routing"),
 }
 
 

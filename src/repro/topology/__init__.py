@@ -11,7 +11,14 @@ routes flows take through it.
   (capacity, propagation delay), plus shortest-path routing,
 * :mod:`~repro.topology.builders` — canonical layouts used by the
   experiments: single-switch star (the paper's implicit architecture),
-  dual-switch and tree layouts for the scalability extensions.
+  dual-switch and tree layouts for the scalability extensions,
+* :mod:`~repro.topology.graph` — declarative, fingerprintable
+  :class:`~repro.topology.graph.GraphTopologySpec` for arbitrary
+  multi-hop graphs (diamond/ring/star/random families, JSON/CSV
+  loaders), convertible to a :class:`Network`,
+* :mod:`~repro.topology.routing` — the deterministic
+  :class:`~repro.topology.routing.RoutingEngine` (lexicographic
+  shortest paths, ECMP enumeration, reachability diagnostics).
 """
 
 from repro.topology.network import Link, Network, NodeKind
@@ -20,6 +27,18 @@ from repro.topology.builders import (
     single_switch_star,
     tree_topology,
 )
+from repro.topology.graph import (
+    GraphLink,
+    GraphNode,
+    GraphTopologySpec,
+    diamond_graph_spec,
+    graph_spec_from_network,
+    load_topology_file,
+    random_graph_spec,
+    ring_graph_spec,
+    star_graph_spec,
+)
+from repro.topology.routing import RoutingEngine, lexicographic_shortest_path
 
 __all__ = [
     "Network",
@@ -28,4 +47,15 @@ __all__ = [
     "single_switch_star",
     "dual_switch_topology",
     "tree_topology",
+    "GraphNode",
+    "GraphLink",
+    "GraphTopologySpec",
+    "diamond_graph_spec",
+    "ring_graph_spec",
+    "star_graph_spec",
+    "random_graph_spec",
+    "graph_spec_from_network",
+    "load_topology_file",
+    "RoutingEngine",
+    "lexicographic_shortest_path",
 ]

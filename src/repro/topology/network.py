@@ -7,9 +7,11 @@ propagation delay (seconds).  Because links are full duplex, each direction
 of a link is an independent resource: the analysis and the simulator both
 reason about *directed* hops ``(upstream, downstream)``.
 
-Routing uses networkx shortest paths (hop count by default); for the
-single-switch star used by the paper the route is trivially
-``station → switch → station``.
+Routing picks the lexicographically smallest shortest path (hop count),
+so route choice is deterministic by value even on cyclic graph
+topologies where several shortest paths tie; for the single-switch star
+used by the paper the route is trivially ``station → switch → station``.
+Intermediate hops are always switches — stations never relay.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import networkx as nx
 from repro.errors import InvalidTopologyError, RoutingError
 from repro.flows.flow import Flow
 from repro.flows.messages import Message
+from repro.topology.routing import lexicographic_shortest_path
 
 __all__ = ["NodeKind", "Link", "Network"]
 
@@ -193,6 +196,10 @@ class Network:
     def route(self, source: str, destination: str) -> list[str]:
         """Shortest path (by hop count) from ``source`` to ``destination``.
 
+        Among equal-length paths the lexicographically smallest node
+        sequence wins, so the choice is reproducible in every process.
+        Intermediate nodes are always switches (stations never relay).
+
         Raises
         ------
         RoutingError
@@ -201,11 +208,10 @@ class Network:
         for node in (source, destination):
             if node not in self._kinds:
                 raise RoutingError(f"unknown node {node!r}")
-        try:
-            return nx.shortest_path(self._graph, source, destination)
-        except nx.NetworkXNoPath:
-            raise RoutingError(
-                f"no path between {source!r} and {destination!r}") from None
+        successors = {name: self.neighbors(name) for name in self._kinds}
+        return list(lexicographic_shortest_path(
+            sorted(self._kinds), successors, source, destination,
+            via=self.is_switch))
 
     def route_flow(self, flow: Flow | Message) -> Flow:
         """Attach a route to a flow (or wrap a message into a routed flow)."""

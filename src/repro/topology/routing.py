@@ -1,0 +1,297 @@
+"""Deterministic routing over arbitrary graph topologies.
+
+The legacy topologies (star, dual switch, tree) are trees, so shortest
+paths are unique and any traversal order yields the same routes.  On an
+arbitrary graph (rings, diamonds, meshes) several shortest paths can tie,
+and the route choice then has to be *deterministic by value*: the same
+spec must produce the same routes in every process, under every
+``PYTHONHASHSEED``, on every platform — otherwise the simulator, the
+analysis and the content-addressed result store disagree about which
+ports a flow crosses.
+
+The tie-break rule used everywhere is **lexicographic**: among all
+minimal-cost paths, pick the one whose node-name sequence is smallest.
+:func:`lexicographic_shortest_path` implements it with a backward
+Dijkstra (exact distances to the destination) followed by a greedy
+forward walk that always takes the smallest next hop still on a shortest
+path; :class:`RoutingEngine` wraps it for :class:`GraphTopologySpec`
+objects and adds ECMP enumeration plus reachability diagnostics.
+
+Two structural rules are enforced during the search:
+
+* paths are **simple** (Dijkstra never revisits a node), and
+* **end systems never relay** — every intermediate node of a route must
+  be a switch, as in AFDX / the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import RoutingError
+from repro.flows.flow import Flow
+from repro.flows.messages import Message
+from repro.topology.graph import GraphLink, GraphTopologySpec
+
+__all__ = ["RoutingEngine", "lexicographic_shortest_path",
+           "shortest_path_dag_costs"]
+
+#: Default cap on the number of equal-cost paths ECMP enumeration returns.
+DEFAULT_ECMP_LIMIT = 64
+
+
+def shortest_path_dag_costs(nodes: Iterable[str],
+                            successors: Mapping[str, Iterable[str]],
+                            destination: str,
+                            cost: Callable[[str, str], float] | None = None,
+                            via: Callable[[str], bool] | None = None,
+                            ) -> dict[str, float]:
+    """Exact minimal cost from every node to ``destination``.
+
+    Runs Dijkstra backward over the reversed graph.  ``via`` restricts
+    which nodes may appear as *intermediate* hops (the destination itself
+    is always allowed); nodes that cannot reach the destination are
+    absent from the returned mapping.  Costs are combined with plain
+    float addition in a fixed order, so equal inputs give bit-equal
+    distances everywhere.
+    """
+    if cost is None:
+        cost = _unit_cost
+    predecessors: dict[str, list[str]] = defaultdict(list)
+    for node in sorted(nodes):
+        for successor in successors.get(node, ()):
+            predecessors[successor].append(node)
+
+    distances: dict[str, float] = {}
+    queue: list[tuple[float, str]] = [(0.0, destination)]
+    while queue:
+        distance, node = heapq.heappop(queue)
+        if node in distances:
+            continue
+        distances[node] = distance
+        # Relaying through ``node`` is only legal when ``via`` allows it
+        # (or when the edge ends the path at the destination itself).
+        if node != destination and via is not None and not via(node):
+            continue
+        for predecessor in predecessors.get(node, ()):
+            if predecessor not in distances:
+                heapq.heappush(
+                    queue, (cost(predecessor, node) + distance, predecessor))
+    return distances
+
+
+def lexicographic_shortest_path(nodes: Iterable[str],
+                                successors: Mapping[str, Iterable[str]],
+                                source: str, destination: str,
+                                cost: Callable[[str, str], float] | None = None,
+                                via: Callable[[str], bool] | None = None,
+                                distances: Mapping[str, float] | None = None,
+                                ) -> tuple[str, ...]:
+    """The lexicographically smallest minimal-cost path.
+
+    ``distances`` may carry a precomputed
+    :func:`shortest_path_dag_costs` mapping for ``destination``; callers
+    routing many pairs (the engine, forwarding tables) pass their cached
+    copy so each route costs one greedy walk, not a fresh Dijkstra.
+
+    Raises
+    ------
+    RoutingError
+        If no path exists from ``source`` to ``destination``.
+    """
+    if source == destination:
+        return (source,)
+    if cost is None:
+        cost = _unit_cost
+    if distances is None:
+        distances = shortest_path_dag_costs(nodes, successors, destination,
+                                            cost=cost, via=via)
+    if source not in distances:
+        raise RoutingError(
+            f"no path between {source!r} and {destination!r}")
+    path = [source]
+    node = source
+    while node != destination:
+        remaining = distances[node]
+        candidates = [
+            successor for successor in successors.get(node, ())
+            if (successor == destination or via is None or via(successor))
+            and successor in distances
+            and cost(node, successor) + distances[successor] == remaining]
+        # Dijkstra computed ``remaining`` as the minimum of exactly these
+        # sums, so at least one candidate matches bit-for-bit.
+        node = min(candidates)
+        path.append(node)
+    return tuple(path)
+
+
+def _unit_cost(_source: str, _target: str) -> float:
+    return 1.0
+
+
+class RoutingEngine:
+    """Deterministic shortest-path and ECMP routing over a graph spec.
+
+    Parameters
+    ----------
+    spec:
+        The topology.  Structural problems (unknown endpoints, duplicate
+        links...) are rejected up front via :meth:`GraphTopologySpec.validated`;
+        disconnected specs are accepted so the engine can *diagnose* them.
+    weight:
+        ``"hops"`` (every link costs 1, the default — and what the
+        discrete-event simulator uses) or ``"latency"`` (links cost their
+        propagation latency, ties still broken lexicographically).
+    """
+
+    WEIGHTS = ("hops", "latency")
+
+    def __init__(self, spec: GraphTopologySpec, weight: str = "hops") -> None:
+        if weight not in self.WEIGHTS:
+            raise RoutingError(
+                f"unknown routing weight {weight!r}; expected one of "
+                f"{self.WEIGHTS}")
+        spec.validated(connected=False)
+        self.spec = spec
+        self.weight = weight
+        self._successors = spec.successors()
+        self._nodes = tuple(sorted(self._successors))
+        self._distance_cache: dict[str, dict[str, float]] = {}
+
+    # -- cost model --------------------------------------------------------
+
+    def cost(self, source: str, target: str) -> float:
+        """The cost of the directed edge ``source -> target``."""
+        if self.weight == "hops":
+            return 1.0
+        return self.spec.edge(source, target).latency
+
+    def path_cost(self, path: Iterable[str]) -> float:
+        """Total cost of a node sequence (left-to-right float sum)."""
+        path = tuple(path)
+        total = 0.0
+        for source, target in zip(path, path[1:]):
+            total += self.cost(source, target)
+        return total
+
+    # -- routing -----------------------------------------------------------
+
+    def _relay_allowed(self, node: str) -> bool:
+        return self.spec.is_switch(node)
+
+    def _distances_to(self, destination: str) -> dict[str, float]:
+        if destination not in self._distance_cache:
+            self._distance_cache[destination] = shortest_path_dag_costs(
+                self._nodes, self._successors, destination,
+                cost=self.cost, via=self._relay_allowed)
+        return self._distance_cache[destination]
+
+    def has_route(self, source: str, destination: str) -> bool:
+        """True when at least one route exists."""
+        self.spec.node(source), self.spec.node(destination)
+        return source == destination \
+            or source in self._distances_to(destination)
+
+    def shortest_path(self, source: str, destination: str) -> tuple[str, ...]:
+        """The lexicographically smallest minimal-cost route.
+
+        The choice of next hop from a node toward a destination depends
+        only on the (node, destination) pair, so routes computed flow by
+        flow are automatically consistent with the destination-keyed
+        forwarding tables the simulator builds.
+        """
+        self.spec.node(source), self.spec.node(destination)
+        return lexicographic_shortest_path(
+            self._nodes, self._successors, source, destination,
+            cost=self.cost, via=self._relay_allowed,
+            distances=self._distances_to(destination))
+
+    def ecmp_paths(self, source: str, destination: str,
+                   limit: int | None = DEFAULT_ECMP_LIMIT
+                   ) -> tuple[tuple[str, ...], ...]:
+        """Every minimal-cost route, in lexicographic order.
+
+        Enumerates the shortest-path DAG depth first with sorted
+        successor order, so the result (and any truncation at ``limit``)
+        is deterministic.  The first entry always equals
+        :meth:`shortest_path`.
+        """
+        self.spec.node(source), self.spec.node(destination)
+        if source == destination:
+            return ((source,),)
+        distances = self._distances_to(destination)
+        if source not in distances:
+            raise RoutingError(
+                f"no path between {source!r} and {destination!r}")
+        paths: list[tuple[str, ...]] = []
+
+        def _walk(node: str, prefix: list[str]) -> None:
+            if limit is not None and len(paths) >= limit:
+                return
+            if node == destination:
+                paths.append(tuple(prefix))
+                return
+            remaining = distances[node]
+            for successor in self._successors.get(node, ()):
+                if successor != destination and not self._relay_allowed(
+                        successor):
+                    continue
+                if successor in distances and \
+                        self.cost(node, successor) + distances[successor] \
+                        == remaining:
+                    prefix.append(successor)
+                    _walk(successor, prefix)
+                    prefix.pop()
+
+        _walk(source, [source])
+        return tuple(paths)
+
+    def select_path(self, source: str, destination: str,
+                    key: str) -> tuple[str, ...]:
+        """Deterministic ECMP selection: hash ``key`` over the tied routes.
+
+        ``key`` is typically a flow name; the SHA-256-based index is the
+        same in every process (no ``hash()`` involved).
+        """
+        import hashlib
+
+        paths = self.ecmp_paths(source, destination)
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return paths[int.from_bytes(digest[:8], "big") % len(paths)]
+
+    def route_flow(self, flow: Flow | Message) -> Flow:
+        """Attach the deterministic shortest route to a flow/message."""
+        if isinstance(flow, Message):
+            flow = Flow(message=flow)
+        if flow.path:
+            return flow
+        return flow.with_path(self.shortest_path(flow.source,
+                                                 flow.destination))
+
+    def route_flows(self, flows: Iterable[Flow | Message]) -> list[Flow]:
+        """Route every flow of an iterable."""
+        return [self.route_flow(flow) for flow in flows]
+
+    # -- diagnostics -------------------------------------------------------
+
+    def diagnostics(self) -> list[str]:
+        """Human-readable routing problems (empty when all pairs route).
+
+        Lists every ordered end-system pair without a route, in sorted
+        order — the ``repro topology validate`` command prints these.
+        """
+        problems = []
+        end_systems = self.spec.end_systems
+        for source in end_systems:
+            distances = self._distances_to(source)
+            for other in end_systems:
+                if other != source and other not in distances:
+                    problems.append(
+                        f"no route from {other!r} to {source!r}")
+        return sorted(problems)
+
+    def edge(self, source: str, target: str) -> GraphLink:
+        """The directed link attributes used for ``source -> target``."""
+        return self.spec.edge(source, target)

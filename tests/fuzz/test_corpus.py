@@ -50,6 +50,22 @@ class TestCorpusShape:
             assert measurement["campaign"], entry.filename
             assert measurement["rows"], entry.filename
 
+    def test_the_corpus_covers_multi_hop_graph_topologies(self):
+        """At least four minimized multi-hop witnesses are committed.
+
+        Graph cells exercise the concatenated per-hop bound path, so the
+        regression corpus must pin it the same way it pins the legacy
+        single-switch cells.
+        """
+        graph_entries = [entry for entry in ENTRIES
+                         if entry.scenario.topology.kind == "graph"]
+        assert len(graph_entries) >= 4
+        families = {entry.scenario.topology.graph_family
+                    for entry in graph_entries}
+        assert len(families) >= 2, "multiple graph families expected"
+        for entry in graph_entries:
+            assert entry.recorded["measurement"]["ports"], entry.filename
+
     def test_unknown_format_version_is_rejected(self):
         sample = json.loads(
             (DEFAULT_CORPUS_DIR / _entry_ids()[0]).read_text())

@@ -11,6 +11,7 @@ from repro.flows.priorities import PriorityClass
 from repro.fuzz import (
     FuzzBoundRow,
     FuzzCampaign,
+    FuzzPortRow,
     FuzzResult,
     GeneratorConfig,
     ScenarioGenerator,
@@ -21,6 +22,7 @@ from repro.fuzz import (
 from repro.fuzz.campaign import (
     FuzzCell,
     FuzzOutcome,
+    _invariant_violations,
     _outcome_from_payload,
     _outcome_to_payload,
 )
@@ -270,3 +272,84 @@ class TestEvaluateScenario:
         assert outcome.holds
         assert outcome.bound_rows
         assert math.isfinite(outcome.max_tightness)
+
+
+#: A fast multi-hop slice: small graph fabrics only.
+FAST_GRAPH = GeneratorConfig(
+    station_counts=(4, 5), replications=(1,),
+    topology_kinds=("graph",), capacities_mbps=(10.0,),
+    size_factors=(0.5, 1.0),
+    graph_families=("diamond", "ring", "random"),
+    graph_switch_counts=(3, 4), graph_seeds=(0, 1),
+    graph_extra_links=(0, 1))
+
+
+class TestMultiHopCells:
+    def _graph_campaign(self, **overrides) -> FuzzCampaign:
+        options = dict(count=3, seed=2, config=FAST_GRAPH,
+                       duration=HORIZON)
+        options.update(overrides)
+        return FuzzCampaign(**options)
+
+    def test_graph_cells_generate_and_hold(self):
+        result = self._graph_campaign().run()
+        assert result.cells == 3
+        assert result.all_invariants_hold
+        for outcome in result.outcomes:
+            assert outcome.cell.scenario.topology.kind == "graph"
+            assert outcome.bound_rows, "per-class end-to-end rows expected"
+
+    def test_graph_cells_carry_per_port_backlog_rows(self):
+        result = self._graph_campaign(count=2).run()
+        for outcome in result.outcomes:
+            assert outcome.port_rows, "graph cells must check every port"
+            policies = {row.policy for row in outcome.port_rows}
+            assert policies == set(outcome.cell.scenario.policies)
+            for row in outcome.port_rows:
+                assert isinstance(row, FuzzPortRow)
+                assert row.bound_holds
+
+    def test_legacy_cells_have_no_port_rows(self):
+        result = _campaign(count=1).run()
+        assert result.outcomes[0].port_rows == ()
+
+    def test_port_payload_round_trip(self):
+        outcome = self._graph_campaign(count=1).run().outcomes[0]
+        payload = _outcome_to_payload(outcome)
+        assert payload["measurement"]["ports"], "ports must be serialized"
+        rebuilt = _outcome_from_payload(outcome.cell, payload)
+        assert rebuilt.port_rows == outcome.port_rows
+        assert canonical_json(_outcome_to_payload(rebuilt)) \
+            == canonical_json(payload)
+
+    def test_graph_store_resume_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cold = self._graph_campaign(store=store).run()
+        warm = self._graph_campaign(store=ResultStore(tmp_path / "store"),
+                                    resume=True).run()
+        assert warm.resumed == warm.cells == cold.cells
+        assert _result_payloads(warm) == _result_payloads(cold)
+
+    def test_backlog_violation_is_reported(self):
+        bad = FuzzPortRow(policy="fcfs", node="sw-a", toward="sw-b",
+                          backlog_bound=1_000.0, observed_bits=2_000.0)
+        assert not bad.bound_holds
+        violations = _invariant_violations([], [], [bad])
+        assert len(violations) == 1
+        assert "backlog" in violations[0]
+        assert "sw-a->sw-b" in violations[0]
+        good = dataclasses.replace(bad, observed_bits=500.0)
+        assert _invariant_violations([], [], [good]) == []
+
+    def test_minimized_graph_witness_keeps_its_shape(self):
+        scenario = ScenarioGenerator(2, FAST_GRAPH).scenario(0)
+        assert scenario.topology.kind == "graph"
+        keeps_kind = (lambda outcome:
+                      outcome.cell.scenario.topology.kind == "graph")
+        minimized, _ = minimize_scenario(scenario, keeps_kind,
+                                         duration=HORIZON)
+        assert minimized.topology.kind == "graph"
+        # The graph-specific shrinks still fire: the witness collapses
+        # toward the canonical diamond with no extra links.
+        assert minimized.topology.graph_family == "diamond"
+        assert minimized.topology.graph_extra_links == 0

@@ -123,6 +123,55 @@ class TestGeneratedSpecsAreValid:
             assert scenario_from_spec(spec) == scenario
 
 
+class TestMultiHopStream:
+    def test_multi_hop_config_draws_only_graph_scenarios(self):
+        config = GeneratorConfig.multi_hop()
+        for scenario in ScenarioGenerator(3, config).generate(SAMPLE):
+            topology = scenario.topology
+            assert topology.kind == "graph"
+            assert topology.graph_family in config.graph_families
+            assert topology.graph_switches in config.graph_switch_counts
+            assert topology.graph_seed in config.graph_seeds
+            assert topology.graph_extra_links in config.graph_extra_links
+            # Graph scenarios never replicate the workload.
+            assert scenario.workload.replication == 1
+
+    def test_graph_scenarios_build_valid_topologies(self):
+        config = GeneratorConfig.multi_hop()
+        for scenario in ScenarioGenerator(5, config).generate(8):
+            spec = scenario.topology.build_graph(
+                scenario.workload.total_stations, scenario.capacity,
+                scenario.technology_delay)
+            assert spec.problems() == ()
+
+    def test_graph_scenarios_survive_a_json_round_trip(self):
+        from repro.fuzz import scenario_from_spec
+        config = GeneratorConfig.multi_hop()
+        for scenario in ScenarioGenerator(8, config).generate(8):
+            spec = json.loads(json.dumps(scenario_to_spec(scenario)))
+            assert scenario_from_spec(spec) == scenario
+
+    def test_adding_graph_choices_keeps_the_legacy_stream_stable(self):
+        """New graph draw lists must not perturb legacy scenarios.
+
+        The graph substream is only consumed on the ``graph`` branch, so
+        a default (legacy-kinds) generator yields the same scenarios it
+        did before the graph fields existed — committed corpus entries
+        and store keys stay valid.
+        """
+        default = ScenarioGenerator(7).generate(SAMPLE)
+        widened = ScenarioGenerator(7, dataclasses.replace(
+            GeneratorConfig(),
+            graph_families=("ring",), graph_seeds=(99,))).generate(SAMPLE)
+        assert default == widened
+
+    def test_empty_graph_choice_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(graph_families=())
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(graph_switch_counts=())
+
+
 class TestValidation:
     def test_negative_seed_rejected(self):
         with pytest.raises(ConfigurationError):

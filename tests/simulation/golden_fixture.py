@@ -22,9 +22,16 @@ from pathlib import Path
 from repro import units
 from repro.analysis.validation import star_for_message_set
 from repro.ethernet.network_sim import EthernetNetworkSimulator
+from repro.topology.graph import (
+    diamond_graph_spec,
+    random_graph_spec,
+    ring_graph_spec,
+    star_graph_spec,
+)
 from repro.workloads import RealCaseParameters, generate_real_case
 
-__all__ = ["GOLDEN_DIR", "GOLDEN_CELLS", "capture_cell", "cell_path"]
+__all__ = ["GOLDEN_DIR", "GOLDEN_CELLS", "GRAPH_GOLDEN_CELLS",
+           "capture_cell", "capture_graph_cell", "cell_path", "graph_spec"]
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -47,6 +54,30 @@ GOLDEN_CELLS = (
     # Unshaped traffic into tiny buffers: exercises the drop accounting.
     ("small-fcfs-drops", 8, 3, "fcfs", "synchronized", 1, 2_000.0, False),
 )
+
+#: Multi-hop graph fixture grid: (name, family, station_count,
+#: workload_seed, policy, scenario, simulation_seed).  The ``star`` family
+#: is deliberately absent — its network is *identical* to the legacy star,
+#: which ``test_golden_equivalence.py`` asserts against the legacy files.
+GRAPH_GOLDEN_CELLS = (
+    ("graph-diamond-fcfs", "diamond", 8, 3, "fcfs", "synchronized", 1),
+    ("graph-diamond-priority", "diamond", 8, 3, "strict-priority",
+     "synchronized", 1),
+    ("graph-ring-fcfs", "ring", 8, 3, "fcfs", "synchronized", 1),
+    ("graph-random-priority", "random", 8, 3, "strict-priority",
+     "synchronized", 1),
+)
+
+
+def graph_spec(family: str, station_count: int):
+    """The deterministic graph spec of one golden family."""
+    if family == "star":
+        return star_graph_spec(station_count)
+    if family == "diamond":
+        return diamond_graph_spec(station_count)
+    if family == "ring":
+        return ring_graph_spec(station_count, switch_count=4)
+    return random_graph_spec(station_count, switch_count=4, seed=11)
 
 
 def cell_path(name: str) -> Path:
@@ -74,6 +105,22 @@ def capture_cell(station_count: int, workload_seed: int, policy: str,
     message_set = generate_real_case(
         RealCaseParameters(station_count=station_count), seed=workload_seed)
     network = star_for_message_set(message_set)
+    return _capture_network(network, message_set, policy, scenario, seed,
+                            queue_capacity, shaping_enabled)
+
+
+def capture_graph_cell(family: str, station_count: int, workload_seed: int,
+                       policy: str, scenario: str, seed: int) -> dict:
+    """Run one golden cell on a multi-hop graph family's routed network."""
+    message_set = generate_real_case(
+        RealCaseParameters(station_count=station_count), seed=workload_seed)
+    network = graph_spec(family, station_count).to_network()
+    return _capture_network(network, message_set, policy, scenario, seed,
+                            None, True)
+
+
+def _capture_network(network, message_set, policy, scenario, seed,
+                     queue_capacity, shaping_enabled) -> dict:
     simulator = EthernetNetworkSimulator(
         network, message_set.messages, policy=policy, scenario=scenario,
         seed=seed, queue_capacity=queue_capacity,
@@ -110,6 +157,14 @@ def regenerate() -> None:
          capacity, shaping) in GOLDEN_CELLS:
         digest = capture_cell(stations, workload_seed, policy, scenario,
                               seed, capacity, shaping)
+        cell_path(name).write_text(
+            json.dumps(digest, indent=1, sort_keys=True) + "\n")
+        print(f"captured {name}: {digest['events_processed']} events, "
+              f"{digest['frames_dropped']} drops")
+    for (name, family, stations, workload_seed, policy, scenario,
+         seed) in GRAPH_GOLDEN_CELLS:
+        digest = capture_graph_cell(family, stations, workload_seed,
+                                    policy, scenario, seed)
         cell_path(name).write_text(
             json.dumps(digest, indent=1, sort_keys=True) + "\n")
         print(f"captured {name}: {digest['events_processed']} events, "

@@ -17,7 +17,9 @@ import pytest
 
 from tests.simulation.golden_fixture import (
     GOLDEN_CELLS,
+    GRAPH_GOLDEN_CELLS,
     capture_cell,
+    capture_graph_cell,
     cell_path,
 )
 
@@ -47,3 +49,42 @@ def test_drop_cell_actually_drops():
     """The fixture grid must keep exercising the drop-accounting path."""
     expected = json.loads(cell_path("small-fcfs-drops").read_text())
     assert expected["frames_dropped"] > 0
+
+
+@pytest.mark.parametrize(
+    "name,family,stations,workload_seed,policy,scenario,seed",
+    GRAPH_GOLDEN_CELLS, ids=[cell[0] for cell in GRAPH_GOLDEN_CELLS])
+def test_graph_golden_cell_matches_reference(name, family, stations,
+                                             workload_seed, policy,
+                                             scenario, seed):
+    """Multi-hop graph topologies replay their committed digests exactly."""
+    expected = json.loads(cell_path(name).read_text())
+    actual = capture_graph_cell(family, stations, workload_seed, policy,
+                                scenario, seed)
+    assert actual["events_processed"] == expected["events_processed"]
+    assert actual["max_queue_bits"] == expected["max_queue_bits"]
+    for flow, digest in expected["flows"].items():
+        assert actual["flows"][flow] == digest, f"flow {flow} diverged"
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "legacy_name,stations,workload_seed,policy,scenario,seed",
+    [("small-fcfs-synchronized", 8, 3, "fcfs", "synchronized", 1),
+     ("small-priority-random", 8, 3, "strict-priority", "random", 1),
+     ("paper-fcfs-synchronized", 16, 7, "fcfs", "synchronized", 1)],
+    ids=["small-fcfs", "small-priority", "paper-fcfs"])
+def test_star_as_graph_is_bit_identical_to_legacy(legacy_name, stations,
+                                                  workload_seed, policy,
+                                                  scenario, seed):
+    """The graph ``star`` family reproduces the *legacy* golden files.
+
+    The star expressed as a :class:`GraphTopologySpec` converts to the
+    very network the legacy builder produces, so its simulation digest
+    must match the committed legacy fixture bit for bit — same latency
+    sample hashes, same queue maxima, same event count.
+    """
+    expected = json.loads(cell_path(legacy_name).read_text())
+    actual = capture_graph_cell("star", stations, workload_seed, policy,
+                                scenario, seed)
+    assert actual == expected

@@ -1,8 +1,14 @@
 """Command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import COMMANDS, build_parser, main
+
+EXAMPLE_TOPOLOGY = Path(__file__).resolve().parents[1] / \
+    "examples" / "topologies" / "diamond.json"
 
 #: Arguments completing each command for an end-to-end run on a small
 #: workload; ``None`` marks commands needing per-test extras (export).
@@ -11,7 +17,8 @@ WORKLOAD_ARGS = ["--stations", "6", "--seed", "3"]
 
 #: Extra arguments completing the commands whose subparser has required
 #: arguments of its own.
-_REQUIRED_EXTRAS = {"export": ["--output", "x.csv"], "store": ["stats"]}
+_REQUIRED_EXTRAS = {"export": ["--output", "x.csv"], "store": ["stats"],
+                    "topology": ["validate", "t.json"]}
 
 
 class TestParser:
@@ -19,7 +26,8 @@ class TestParser:
         parser = build_parser()
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
-                        "campaign", "simulate", "fuzz", "report", "store"):
+                        "campaign", "simulate", "fuzz", "topology",
+                        "report", "store"):
             args = parser.parse_args(
                 [command] + _REQUIRED_EXTRAS.get(command, []))
             assert args.command == command
@@ -28,7 +36,7 @@ class TestParser:
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
             "jitter", "buffers", "export", "campaign", "simulate", "fuzz",
-            "report", "store"]
+            "topology", "report", "store"]
 
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -51,6 +59,8 @@ class TestEveryCommandEndToEnd:
             argv = ["fuzz", "--count", "2", "--no-store", "--no-corpus"]
         elif command == "store":
             argv = ["store", "stats", "--store", str(tmp_path / "store")]
+        elif command == "topology":
+            argv = ["topology", "validate", str(EXAMPLE_TOPOLOGY)]
         exit_code = main(argv)
         output = capsys.readouterr().out
         assert exit_code == 0
@@ -159,6 +169,120 @@ class TestCommands:
         main(["--stations", "8", "--seed", "3", "figure1"])
         slow_output = capsys.readouterr().out
         assert fast_output != slow_output
+
+
+class TestTopologyCommand:
+    """``repro topology validate``: the lint path and its negatives."""
+
+    def test_valid_file_prints_the_summary(self, capsys):
+        assert main(["topology", "validate", str(EXAMPLE_TOPOLOGY)]) == 0
+        output = capsys.readouterr().out
+        assert "example-diamond" in output
+        assert "fingerprint" in output
+        assert "longest route" in output
+
+    def test_csv_topology_validates_too(self, tmp_path, capsys):
+        path = tmp_path / "net.csv"
+        path.write_text("ES,station-00\nES,station-01\nSW,sw-1\n"
+                        "LINK,l0,station-00,0,sw-1,1\n"
+                        "LINK,l1,station-01,0,sw-1,2\n")
+        assert main(["topology", "validate", str(path)]) == 0
+        assert "2 end systems" in capsys.readouterr().out
+
+    def _expect_error(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:"), err
+        assert "\n" not in err, f"expected a one-line error, got: {err!r}"
+        return err
+
+    def test_malformed_json_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        err = self._expect_error(
+            ["topology", "validate", str(path)], capsys)
+        assert "not a valid JSON document" in err
+
+    def test_unknown_keys_are_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps(
+            {"name": "odd", "nodes": [], "links": [], "routing": "ospf"}))
+        err = self._expect_error(
+            ["topology", "validate", str(path)], capsys)
+        assert "unknown keys" in err
+
+    def test_cyclic_link_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "loop.json"
+        path.write_text(json.dumps(
+            {"name": "loop",
+             "nodes": [{"name": "es-a", "kind": "end-system"},
+                       {"name": "sw", "kind": "switch"}],
+             "links": [{"source": "es-a", "target": "sw"},
+                       {"source": "sw", "target": "sw"}]}))
+        err = self._expect_error(
+            ["topology", "validate", str(path)], capsys)
+        assert "cyclic link: 'sw' connects to itself" in err
+
+    def test_disconnected_topology_is_a_one_line_error(
+            self, tmp_path, capsys):
+        path = tmp_path / "islands.json"
+        path.write_text(json.dumps(
+            {"name": "islands",
+             "nodes": [{"name": "es-a", "kind": "end-system"},
+                       {"name": "es-b", "kind": "end-system"},
+                       {"name": "sw-1", "kind": "switch"},
+                       {"name": "sw-2", "kind": "switch"}],
+             "links": [{"source": "es-a", "target": "sw-1"},
+                       {"source": "es-b", "target": "sw-2"}]}))
+        err = self._expect_error(
+            ["topology", "validate", str(path)], capsys)
+        assert "disconnected" in err
+
+    def test_missing_file_is_a_one_line_error(self, tmp_path, capsys):
+        err = self._expect_error(
+            ["topology", "validate", str(tmp_path / "absent.json")],
+            capsys)
+        assert "absent.json" in err
+
+    def test_unknown_extension_is_a_one_line_error(self, tmp_path, capsys):
+        path = tmp_path / "net.yaml"
+        path.write_text("nodes: []\n")
+        err = self._expect_error(
+            ["topology", "validate", str(path)], capsys)
+        assert "unknown topology format" in err
+
+
+class TestSimulateGraphTopologies:
+    """``repro simulate --topology``: families, files, and mismatches."""
+
+    def test_family_name_runs_the_graph_scenario(self, capsys):
+        assert main(["--stations", "6", "--seed", "3", "simulate",
+                     "--topology", "diamond", "--no-store"]) == 0
+        output = capsys.readouterr().out
+        assert output.strip()
+
+    def test_topology_file_runs_when_stations_match(self, capsys):
+        assert main(["--stations", "8", "--seed", "3", "simulate",
+                     "--topology", str(EXAMPLE_TOPOLOGY),
+                     "--no-store"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_station_count_mismatch_is_a_clean_error(self, capsys):
+        assert main(["--stations", "6", "--seed", "3", "simulate",
+                     "--topology", str(EXAMPLE_TOPOLOGY),
+                     "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "8 end systems" in err
+
+    def test_topology_conflicts_with_workload_file(self, tmp_path, capsys):
+        workload = tmp_path / "set.csv"
+        assert main(WORKLOAD_ARGS + ["export", "--output",
+                                     str(workload)]) == 0
+        capsys.readouterr()
+        assert main(["--workload", str(workload), "simulate",
+                     "--topology", "diamond", "--no-store"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestReportCommand:
