@@ -18,13 +18,18 @@ without pytest::
     python -m repro report                   # regenerate artifacts/
     python -m repro report --check           # CI drift gate on artifacts/
     python -m repro store stats              # inspect the result store
+    python -m repro serve --port 8787        # admission-control service
+    python -m repro --version                # version + store cache key
 
 Every workload-based command accepts ``--seed``, ``--stations`` and
 ``--capacity-mbps`` to vary the workload and the link rate, and
 ``--workload path.csv`` to run on a user-provided message set instead of
 the synthetic one.  Commands are registered in the :data:`COMMANDS` table;
 adding one means adding a handler and one table entry, not another copy of
-the parser/dispatch plumbing.
+the parser/dispatch plumbing.  Shared flag groups (the store trio, the
+executor flags) live in argparse *parent parsers*, so a new command picks
+them up by listing the parent, never by copy-pasting ``add_argument``
+blocks.
 
 The heavy subcommands (``campaign``, ``simulate``, ``report``) persist
 every finished unit of work in the content-addressed result store
@@ -37,16 +42,20 @@ commands run their cells through the fault-tolerant executor
 (:mod:`repro.exec`): ``--retries``/``--timeout`` bound how hard a cell
 is retried, ``--max-failures``/``--fail-fast`` bound how much failure a
 run tolerates, and ``--faults`` injects deterministic faults for chaos
-testing.  Failed cells are listed in a summary table before the final
-``error: ...`` line.  Errors are reported as a single ``error: ...``
-line with exit code 2, never a traceback.
+testing.  ``serve`` reuses the same flags with service semantics:
+``--timeout`` is the per-request deadline budget and ``--faults`` drives
+the request/journal chaos kinds.  Failed cells are listed in a summary
+table before the final ``error: ...`` line.  Errors are reported as a
+single ``error: ...`` line with exit code 2, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -80,6 +89,12 @@ from repro.exec import (
 from repro.fuzz import FuzzCampaign, persist_interesting
 from repro.fuzz.corpus import DEFAULT_CORPUS_DIR
 from repro.fuzz.generator import GeneratorConfig
+from repro.serve import (
+    AdmissionEngine,
+    AdmissionJournal,
+    AdmissionServer,
+    ServeConfig,
+)
 from repro.store import (
     DEFAULT_STORE_DIR,
     ResultStore,
@@ -126,6 +141,9 @@ class CommandSpec:
     configure: Callable[[argparse.ArgumentParser], None] | None = None
     #: False for commands that do not analyse the shared workload.
     needs_workload: bool = True
+    #: Shared flag groups (parent parsers) the subcommand inherits —
+    #: the store trio and/or the executor flags.
+    parents: tuple[argparse.ArgumentParser, ...] = ()
 
 
 def _print(table: str) -> None:
@@ -241,21 +259,38 @@ def _command_export(ctx: CommandContext) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Result-store plumbing shared by campaign / simulate / report
+# Result-store plumbing shared by campaign / simulate / report / serve
 # ---------------------------------------------------------------------------
 
-def _configure_store_flags(sub: argparse.ArgumentParser, *,
-                           resume_help: str | None = None) -> None:
-    """Add the ``--store`` / ``--no-store`` / ``--resume`` trio."""
-    sub.add_argument("--store", metavar="DIR", default=None,
-                     help="result-store directory (default: "
-                          f"$REPRO_STORE_DIR or {DEFAULT_STORE_DIR})")
-    sub.add_argument("--no-store", action="store_true",
-                     help="do not read or write the result store")
-    sub.add_argument("--resume", action="store_true",
-                     help=resume_help
-                     or "reuse units of work already in the store "
-                        "(e.g. cells finished before an interruption)")
+def _store_parent(resume_help: str | None = None
+                  ) -> argparse.ArgumentParser:
+    """A parent parser carrying the ``--store``/``--no-store``/``--resume``
+    trio.
+
+    Commands opt in by listing the shared instance in their
+    :attr:`CommandSpec.parents` — one definition, not one copy per
+    subcommand.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store directory (default: "
+                             f"$REPRO_STORE_DIR or {DEFAULT_STORE_DIR})")
+    parent.add_argument("--no-store", action="store_true",
+                        help="do not read or write the result store")
+    parent.add_argument("--resume", action="store_true",
+                        help=resume_help
+                        or "reuse units of work already in the store "
+                           "(e.g. cells finished before an interruption)")
+    return parent
+
+
+#: The store trio shared by campaign / simulate / fuzz / serve.
+_STORE_FLAGS = _store_parent()
+#: Report's variant differs only in the ``--resume`` help text.
+_REPORT_STORE_FLAGS = _store_parent(
+    "accepted for symmetry with campaign/simulate: report already "
+    "reuses stored experiments by default (--no-store forces a full "
+    "rebuild)")
 
 
 def _resolve_store(args: argparse.Namespace) -> ResultStore | None:
@@ -285,28 +320,44 @@ def _store_line(store: ResultStore | None, *, resumed: int | None = None,
 
 
 # ---------------------------------------------------------------------------
-# Fault-tolerant execution flags shared by campaign / simulate / fuzz / report
+# Fault-tolerant execution flags shared by campaign / simulate / fuzz /
+# report / serve
 # ---------------------------------------------------------------------------
 
-def _configure_exec_flags(sub: argparse.ArgumentParser) -> None:
-    """Add the executor policy flags (retries, timeout, failure budget)."""
-    sub.add_argument("--retries", type=int, default=2, metavar="N",
-                     help="re-run a failed cell up to N times before "
-                          "recording it as failed (default: 2)")
-    sub.add_argument("--timeout", type=float, default=None,
-                     metavar="SECONDS",
-                     help="per-cell watchdog: a cell running longer than "
-                          "this counts as a failed attempt (default: none)")
-    sub.add_argument("--max-failures", type=int, default=None, metavar="N",
-                     help="abort the run once more than N cells have "
-                          "failed for good (default: no budget)")
-    sub.add_argument("--fail-fast", action="store_true",
-                     help="abort the run at the first permanently "
-                          "failed cell")
-    sub.add_argument("--faults", metavar="SPEC", default=None,
-                     help="deterministic fault-injection plan, e.g. "
-                          "'crash@3,exc@5.1' (default: $"
-                          f"{FAULTS_ENV}; chaos testing only)")
+def _exec_parent() -> argparse.ArgumentParser:
+    """A parent parser carrying the executor policy flags.
+
+    For the batch commands these bound retries and the failure budget;
+    ``serve`` reuses the same surface with service semantics
+    (``--timeout`` = per-request deadline budget, ``--faults`` = the
+    request/journal chaos plan).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="re-run a failed cell up to N times before "
+                             "recording it as failed (default: 2)")
+    parent.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell watchdog: a cell running longer "
+                             "than this counts as a failed attempt "
+                             "(default: none); for serve, the "
+                             "per-request deadline budget")
+    parent.add_argument("--max-failures", type=int, default=None,
+                        metavar="N",
+                        help="abort the run once more than N cells have "
+                             "failed for good (default: no budget)")
+    parent.add_argument("--fail-fast", action="store_true",
+                        help="abort the run at the first permanently "
+                             "failed cell")
+    parent.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault-injection plan, e.g. "
+                             "'crash@3,exc@5.1' (default: $"
+                             f"{FAULTS_ENV}; chaos testing only)")
+    return parent
+
+
+#: The executor flags shared by campaign / simulate / fuzz / report / serve.
+_EXEC_FLAGS = _exec_parent()
 
 
 def _resolve_exec(args: argparse.Namespace) -> tuple[ExecPolicy, str | None]:
@@ -362,8 +413,6 @@ def _report_exec_failures(report: ExecutionReport | None, *,
 # ---------------------------------------------------------------------------
 
 def _configure_campaign(sub: argparse.ArgumentParser) -> None:
-    _configure_store_flags(sub)
-    _configure_exec_flags(sub)
     sub.add_argument("--list", action="store_true", dest="list_scenarios",
                      help="list the registered scenarios and exit")
     sub.add_argument("--run", metavar="NAMES", default=None,
@@ -439,8 +488,6 @@ def _command_campaign(ctx: CommandContext) -> int:
 # ---------------------------------------------------------------------------
 
 def _configure_simulate(sub: argparse.ArgumentParser) -> None:
-    _configure_store_flags(sub)
-    _configure_exec_flags(sub)
     sub.add_argument("--seeds", type=int, default=5, metavar="N",
                      help="number of simulation seeds per cell "
                           "(seeds 1..N; default: 5)")
@@ -590,8 +637,6 @@ def _command_simulate(ctx: CommandContext) -> int:
 # ---------------------------------------------------------------------------
 
 def _configure_fuzz(sub: argparse.ArgumentParser) -> None:
-    _configure_store_flags(sub)
-    _configure_exec_flags(sub)
     sub.add_argument("--count", type=int, default=100, metavar="N",
                      help="number of generated scenarios (default: 100)")
     sub.add_argument("--seed", type=int, default=0, metavar="N",
@@ -700,11 +745,6 @@ def _command_fuzz(ctx: CommandContext) -> int:
 # ---------------------------------------------------------------------------
 
 def _configure_report(sub: argparse.ArgumentParser) -> None:
-    _configure_store_flags(
-        sub, resume_help="accepted for symmetry with campaign/simulate: "
-                         "report already reuses stored experiments by "
-                         "default (--no-store forces a full rebuild)")
-    _configure_exec_flags(sub)
     sub.add_argument("--list", action="store_true", dest="list_experiments",
                      help="list the registered experiments and exit")
     sub.add_argument("--experiment", metavar="NAMES", default=None,
@@ -835,14 +875,129 @@ def _command_store(ctx: CommandContext) -> int:
     total = sum(len(entries) for entries in groups.values())
     sys.stdout.write(f"{total} records, {store.size_bytes()} bytes; "
                      f"cache key {combined_token()[:16]}\n")
-    health = store.audit()
+    # Same counter shape the serve health endpoint reports, so the CLI
+    # and the service can never disagree about store integrity.
+    health = store.health(audit=True)
     sys.stdout.write(
-        f"integrity: {health['corrupt_records']} corrupt of "
-        f"{health['records']} record files, "
-        f"{health['corrupt_index_lines']} corrupt of "
-        f"{health['index_lines']} index lines (corrupt entries are "
-        f"skipped; `store gc` removes them)\n")
+        f"integrity: {health['corrupt_records']} corrupt records, "
+        f"{health['corrupt_index_lines']} corrupt index lines, "
+        f"{health['write_errors']} write errors — "
+        f"{'DEGRADED' if health['degraded'] else 'healthy'} "
+        f"(corrupt entries are skipped; `store gc` removes them)\n")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Serve subcommand (the long-lived admission-control service)
+# ---------------------------------------------------------------------------
+
+#: Deadline budget applied when ``--timeout`` is not given (seconds).
+DEFAULT_SERVE_DEADLINE = 0.25
+
+
+def _configure_serve(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--scenario", metavar="NAME",
+                     default="paper-real-case",
+                     help="campaign scenario whose workload and topology "
+                          "the service answers against "
+                          "(default: paper-real-case)")
+    sub.add_argument("--policy", metavar="NAME", default=None,
+                     help="multiplexing policy admission is decided "
+                          "under (default: the scenario's first policy)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8787,
+                     help="bind port; 0 picks a free port and reports "
+                          "it on the startup line (default: 8787)")
+    sub.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                     help="bounded admission-queue depth; beyond it "
+                          "requests are shed with 503 (default: 64)")
+    sub.add_argument("--shed-p99-ms", type=float, default=None,
+                     metavar="MS",
+                     help="shed new requests once the rolling p99 "
+                          "latency crosses this (default: twice the "
+                          "deadline budget)")
+    sub.add_argument("--journal", metavar="DIR", default=None,
+                     help="journal directory for crash-safe admission "
+                          "state (default: no persistence)")
+    sub.add_argument("--checkpoint-every", type=int, default=256,
+                     metavar="N",
+                     help="fold the journal into a checkpoint every N "
+                          "appends (default: 256)")
+
+
+def _command_serve(ctx: CommandContext) -> int:
+    args = ctx.args
+    try:
+        scenarios = select(args.scenario)
+    except UnknownScenarioError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
+    if len(scenarios) != 1:
+        sys.stderr.write(
+            f"error: --scenario must select exactly one scenario; "
+            f"{args.scenario!r} selects {len(scenarios)}\n")
+        return 2
+    scenario = scenarios[0]
+    store = _resolve_store(args)
+    _, fault_spec = _resolve_exec(args)
+    plan = FaultPlan.parse(fault_spec if fault_spec is not None
+                           else os.environ.get(FAULTS_ENV))
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        deadline=(args.timeout if args.timeout is not None
+                  else DEFAULT_SERVE_DEADLINE),
+        queue_depth=args.queue_depth,
+        shed_p99=(units.ms(args.shed_p99_ms)
+                  if args.shed_p99_ms is not None else None),
+        checkpoint_every=args.checkpoint_every)
+    journal = None
+    engine = None
+    if args.journal:
+        journal = AdmissionJournal(args.journal,
+                                   checkpoint_every=args.checkpoint_every)
+        state = journal.recover()
+        if not state.empty or state.checkpoint_seq:
+            engine = AdmissionEngine(scenario, policy=args.policy,
+                                     store=store, preload=False)
+            engine.replay([{"op": "admit", "flow": flow}
+                           for flow in state.flows]
+                          + list(state.operations))
+            note = (f"recovered {len(state.flows)} flows + "
+                    f"{len(state.operations)} journaled ops")
+            if state.corrupt_lines:
+                note += f", skipped {state.corrupt_lines} torn lines"
+    if engine is None:
+        engine = AdmissionEngine(scenario, policy=args.policy, store=store)
+        note = (f"loaded {len(engine.flow_names())} flows from the "
+                f"scenario workload")
+        if journal is not None:
+            # Seed the checkpoint so a crash before the first periodic
+            # checkpoint still recovers the preloaded base table.
+            journal.checkpoint(engine.flow_payloads())
+    server = AdmissionServer(engine, config, journal=journal,
+                             faults=plan if plan else None)
+    server.start()
+    sys.stdout.write(
+        f"serving {scenario.name} ({engine.policy}) on "
+        f"http://{args.host}:{server.port} — {note}\n")
+    sys.stdout.flush()
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        server.draining = True
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    while not stop.is_set():
+        stop.wait(0.5)
+    clean = server.drain()
+    stats = server.stats_payload()
+    sys.stdout.write(
+        f"drained: {stats['served']} served, {stats['degraded']} "
+        f"degraded, {stats['shed']} shed, {stats['errors']} errors\n")
+    return 0 if clean else 1
 
 
 # ---------------------------------------------------------------------------
@@ -917,15 +1072,18 @@ COMMANDS: tuple[CommandSpec, ...] = (
                 _command_export, configure=_configure_export),
     CommandSpec("campaign", "list or batch-run the scenario catalogue",
                 _command_campaign, configure=_configure_campaign,
-                needs_workload=False),
+                needs_workload=False,
+                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
     CommandSpec("simulate", "Monte-Carlo simulation campaign: seeds x "
                             "scenarios x policies x scales vs the bounds",
                 _command_simulate, configure=_configure_simulate,
-                needs_workload=False),
+                needs_workload=False,
+                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
     CommandSpec("fuzz", "randomized soundness fuzzing: generated scenarios "
                         "vs the analytic invariants",
                 _command_fuzz, configure=_configure_fuzz,
-                needs_workload=False),
+                needs_workload=False,
+                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
     CommandSpec("topology", "validate a multi-hop topology file "
                             "(.json or .csv)",
                 _command_topology, configure=_configure_topology,
@@ -933,14 +1091,38 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("report", "regenerate or drift-check the artifacts/ "
                           "reproduction report",
                 _command_report, configure=_configure_report,
-                needs_workload=False),
+                needs_workload=False,
+                parents=(_REPORT_STORE_FLAGS, _EXEC_FLAGS)),
     CommandSpec("store", "inspect or manage the result store "
                          "(stats, gc, clear, key)",
                 _command_store, configure=_configure_store,
                 needs_workload=False),
+    CommandSpec("serve", "serve admit/remove/check admission queries "
+                         "over HTTP against a loaded scenario",
+                _command_serve, configure=_configure_serve,
+                needs_workload=False,
+                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
 )
 
 _COMMAND_INDEX = {spec.name: spec for spec in COMMANDS}
+
+
+class _VersionAction(argparse.Action):
+    """``repro --version``: package version plus the store cache key.
+
+    The cache key is ``repro store key`` (the combined code-version
+    token), so one line tells both which release is installed and
+    whether two checkouts would share warm store results.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro import __version__
+        sys.stdout.write(f"repro {__version__}\n")
+        sys.stdout.write(f"store key {combined_token()}\n")
+        parser.exit(0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -949,6 +1131,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Real-time switched Ethernet for military applications: "
                     "reproduce the paper's experiments.")
+    parser.add_argument("--version", action=_VersionAction,
+                        help="print the package version and the store "
+                             "cache key, then exit")
     parser.add_argument("--seed", type=int, default=7,
                         help="workload seed (default: 7)")
     parser.add_argument("--stations", type=int, default=16,
@@ -962,7 +1147,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "synthetic case study")
     subparsers = parser.add_subparsers(dest="command", required=True)
     for spec in COMMANDS:
-        sub = subparsers.add_parser(spec.name, help=spec.help)
+        sub = subparsers.add_parser(spec.name, help=spec.help,
+                                    parents=list(spec.parents))
         if spec.configure is not None:
             spec.configure(sub)
     return parser

@@ -25,6 +25,7 @@ from repro.exec.faults import (
     RunHalted,
     SimulatedCrashError,
     plan_from_env,
+    request_context,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "RunHalted",
     "SimulatedCrashError",
     "plan_from_env",
+    "request_context",
 ]

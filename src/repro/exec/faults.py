@@ -46,11 +46,30 @@ Kinds:
 ``store-index``
     This cell's ``index.jsonl`` line is written truncated (torn append);
     tolerant index readers skip and count it.
+``req-slow`` / ``req-exc``
+    Server-side (``repro serve``): the targeted *request* — the cell
+    index is the request sequence number — is delayed ``param`` seconds
+    (long enough to exhaust its deadline budget and exercise the
+    degraded-answer path) or fails with an injected handler exception
+    (a deterministic 500, never a hang).
+``journal-eio``
+    The admission journal's append for this request raises
+    ``OSError(EIO)``; the server rolls the engine mutation back and
+    answers 500, keeping acknowledged and journaled state in lock step.
+``journal-torn``
+    This request's journal line is written truncated (a torn append,
+    the moral equivalent of power loss mid-write); recovery skips and
+    counts it.
 
 Activation: the executor ships the plan into workers and wraps every
 task in :func:`cell_context`, so the store-side hooks
 (:func:`store_fault`, :func:`corrupt_record`, :func:`corrupt_index_line`)
 know the current cell without the store ever importing campaign code.
+The admission server wraps every request in :func:`request_context`
+(request sequence number as the cell), which fires the ``req-*`` kinds
+and scopes the journal hooks (:func:`journal_fault`,
+:func:`corrupt_journal_line`) — and, because the context is the same
+thread-local triple, the ``store-*`` kinds target serve requests too.
 Plans come from the CLI ``--faults`` flag or the ``REPRO_FAULTS``
 environment variable (:func:`plan_from_env`).
 
@@ -76,10 +95,13 @@ __all__ = [
     "SimulatedCrashError",
     "RunHalted",
     "cell_context",
+    "request_context",
     "plan_from_env",
     "store_fault",
     "corrupt_record",
     "corrupt_index_line",
+    "journal_fault",
+    "corrupt_journal_line",
     "halt_requested",
 ]
 
@@ -92,6 +114,7 @@ KINDS = frozenset({
     "crash", "exc", "slow", "halt",
     "store-eio", "store-enospc", "store-replace", "store-corrupt",
     "store-index",
+    "req-slow", "req-exc", "journal-eio", "journal-torn",
 })
 
 #: Exit status of an injected worker crash (visible in worker logs).
@@ -260,6 +283,41 @@ class cell_context:
         _context.triple = None
 
 
+class request_context:
+    """Context manager marking *this thread* as serving one request.
+
+    The admission server's counterpart of :class:`cell_context`: the
+    cell index is the request's sequence number.  On entry it fires the
+    request-level faults — ``req-slow`` sleeps ``param`` seconds
+    (default :data:`DEFAULT_SLOW_SECONDS`) so the request exhausts its
+    deadline budget, ``req-exc`` raises :class:`FaultInjectedError`
+    which the server answers with a deterministic 500 — and for the
+    duration of the body the journal and store hooks see the request's
+    faults.
+    """
+
+    def __init__(self, plan: FaultPlan, sequence: int,
+                 attempt: int = 0) -> None:
+        self.plan = plan
+        self.sequence = sequence
+        self.attempt = attempt
+
+    def __enter__(self) -> "request_context":
+        _context.triple = (self.plan, self.sequence, self.attempt)
+        slow = self.plan.at("req-slow", self.sequence, self.attempt)
+        if slow is not None:
+            time.sleep(slow.param if slow.param is not None
+                       else DEFAULT_SLOW_SECONDS)
+        if self.plan.at("req-exc", self.sequence, self.attempt) is not None:
+            _context.triple = None
+            raise FaultInjectedError(
+                f"injected request fault at request {self.sequence}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _context.triple = None
+
+
 def plan_from_env() -> FaultPlan:
     """The plan configured via ``$REPRO_FAULTS`` (empty when unset)."""
     return FaultPlan.parse(os.environ.get(FAULTS_ENV))
@@ -316,6 +374,39 @@ def corrupt_index_line(line: str) -> str:
         return line
     plan, cell, attempt = active
     if plan.at("store-index", cell, attempt) is not None:
+        return line[:_TRUNCATE_AT]
+    return line
+
+
+def journal_fault() -> None:
+    """Raise the injected ``OSError(EIO)`` for the active request's
+    journal append, if configured.
+
+    Outside an active request context this is a no-op, so the journal
+    behaves identically in normal runs.  The server rolls the engine
+    mutation back and answers 500, keeping acknowledged state and
+    journaled state in lock step.
+    """
+    active = _active()
+    if active is None:
+        return
+    plan, cell, attempt = active
+    if plan.at("journal-eio", cell, attempt) is not None:
+        raise OSError(errno.EIO, f"injected journal append failure at "
+                                 f"request {cell}")
+
+
+def corrupt_journal_line(line: str) -> str:
+    """Truncate one journal line under a ``journal-torn`` fault.
+
+    The journal writes the returned bytes, simulating a torn append
+    (power loss mid-write); recovery skips and counts the line.
+    """
+    active = _active()
+    if active is None:
+        return line
+    plan, cell, attempt = active
+    if plan.at("journal-torn", cell, attempt) is not None:
         return line[:_TRUNCATE_AT]
     return line
 

@@ -85,8 +85,8 @@ class FigureArtifact:
 class ClaimCheck:
     """One falsifiable claim re-checked by an experiment.
 
-    ``headline`` marks the paper's three banner results; the top of
-    ``REPORT.md`` badges exactly those.
+    ``headline`` marks the paper's banner results (and their beyond-paper
+    restatements); the top of ``REPORT.md`` badges exactly those.
     """
 
     claim: str

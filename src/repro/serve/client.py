@@ -1,0 +1,109 @@
+"""A stdlib HTTP client for the admission-control service.
+
+Used by the test-suite, the benchmarks and the CI smoke storm; thin on
+purpose — one keep-alive-friendly request helper plus one method per
+endpoint, each returning ``(status, payload, headers)`` so callers can
+assert on shed responses (503 + ``Retry-After``) as easily as on
+successes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Client for one :class:`~repro.serve.server.AdmissionServer`.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8787"`` (no trailing slash needed).
+    timeout:
+        Socket timeout in seconds — a client-side backstop strictly
+        above the server's deadline budget, so the server's watchdog
+        (not the socket) is what bounds a slow request.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload: dict | None = None
+                ) -> tuple[int, dict, dict]:
+        """One round-trip; returns ``(status, payload, headers)``.
+
+        Non-2xx responses are returned, not raised — the service speaks
+        JSON on every status code it emits.
+        """
+        body = None if payload is None else \
+            json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return (response.status,
+                        json.loads(response.read().decode("utf-8")),
+                        dict(response.headers))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8")
+            try:
+                decoded = json.loads(raw)
+            except json.JSONDecodeError:
+                decoded = {"error": raw}
+            return error.code, decoded, dict(error.headers or {})
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> tuple[int, dict, dict]:
+        """``GET /health``."""
+        return self.request("GET", "/health")
+
+    def stats(self) -> tuple[int, dict, dict]:
+        """``GET /stats``."""
+        return self.request("GET", "/stats")
+
+    def check(self, flow: dict | None = None) -> tuple[int, dict, dict]:
+        """``POST /check`` — committed bounds, or a what-if with a flow."""
+        return self.request("POST", "/check",
+                            {} if flow is None else {"flow": flow})
+
+    def admit(self, flow: dict, *, force: bool = False
+              ) -> tuple[int, dict, dict]:
+        """``POST /admit``."""
+        return self.request("POST", "/admit",
+                            {"flow": flow, "force": force})
+
+    def remove(self, name: str) -> tuple[int, dict, dict]:
+        """``POST /remove``."""
+        return self.request("POST", "/remove", {"name": name})
+
+    # -- readiness ---------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/health`` until the server answers; returns the body.
+
+        Raises ``TimeoutError`` when the server never comes up — the
+        smoke tests use this as the readiness gate after (re)start.
+        """
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                status, payload, _ = self.health()
+                if status == 200:
+                    return payload
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError) as error:
+                last_error = error
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.base_url} not ready after {timeout:g}s "
+            f"(last error: {last_error})")

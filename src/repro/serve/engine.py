@@ -1,0 +1,674 @@
+"""The incremental admission-control analysis core.
+
+An :class:`AdmissionEngine` holds a *flow table* — an insertion-ordered
+population of :class:`~repro.flows.messages.Message` streams — over one
+campaign :class:`~repro.campaigns.scenario.Scenario`, and answers the
+admission-control question: *can this flow be added without breaking
+any deadline?*
+
+**Incrementality.**  For the single-multiplexer topologies (star,
+dual-switch, tree) the closed-form bounds only depend on the per-class
+:class:`~repro.core.multiplexer.ClassAggregate` sufficient statistics.
+Admitting a flow appends it to its class and derives the class's new
+aggregate in O(1) — ``burst + b``, ``rate + r``, ``max(max_burst, b)``,
+``count + 1`` — which is **bit-identical** to re-aggregating the member
+list left-to-right, because floating-point addition at the end of the
+sequence is exactly what the from-scratch ``aggregate_flows`` loop
+would do.  Removing a flow re-aggregates *only the touched class* (a
+mid-sequence subtraction would not be bit-identical, so the engine
+never subtracts).  Every other class keeps its committed aggregate
+untouched, and the per-class closed forms are re-evaluated in
+O(classes).
+
+**Fallback.**  Multi-hop ``"graph"`` scenarios couple every flow
+sharing a port through the burst-propagation fixed point, so the
+per-class-aggregate invariant cannot be preserved across a mutation;
+the engine falls back to a full
+:class:`~repro.analysis.multihop.GraphPathAnalysis` recompute (reusing
+the scenario's routing engine, whose per-destination Dijkstra caches
+persist across mutations).  Incremental and fallback paths are
+indistinguishable to callers — both commit a snapshot that equals the
+from-scratch answer byte for byte.
+
+**Caching.**  With a result store attached, every committed snapshot is
+content-addressed by the (scenario, policy, flow-table) fingerprint, so
+a restarted server — or another worker sharing the store — warm-hits
+bounds it has seen before instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaigns.scenario import Scenario
+from repro.core.multiplexer import (
+    ClassAggregate,
+    aggregate_flows,
+    compute_arrival_curve,
+    compute_class_bounds,
+    compute_service_curve,
+)
+from repro.core.netcalc.bounds import backlog_bound
+from repro.errors import ConfigurationError, UnstableSystemError
+from repro.flows.messages import Message, MessageKind
+from repro.flows.priorities import PriorityClass, assign_priority
+from repro.store.fingerprint import fingerprint
+
+__all__ = ["AdmissionEngine", "AdmissionDecision", "EngineSnapshot",
+           "ClassBound", "message_to_payload", "message_from_payload"]
+
+
+# ---------------------------------------------------------------------------
+# Message <-> JSON payloads (the wire and journal format of one flow)
+# ---------------------------------------------------------------------------
+
+def message_to_payload(message: Message) -> dict:
+    """One flow as the JSON object used on the wire and in the journal.
+
+    Numeric fields are canonicalised to ``float`` so a payload that
+    round-tripped through JSON fingerprints identically to one taken
+    from a freshly built workload (whose sizes may be ``int``).
+    """
+    return {"name": message.name,
+            "kind": message.kind.value,
+            "period": float(message.period),
+            "size": float(message.size),
+            "source": message.source,
+            "destination": message.destination,
+            "deadline": (None if message.deadline is None
+                         else float(message.deadline))}
+
+
+def message_from_payload(payload: dict) -> Message:
+    """Parse one flow payload, validating field names and values.
+
+    Raises :class:`~repro.errors.ConfigurationError` on unknown or
+    missing fields so the server can answer a 400 instead of crashing a
+    worker; value-level validation is the :class:`Message` contract.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"a flow must be a JSON object, got {type(payload).__name__}")
+    allowed = {"name", "kind", "period", "size", "source", "destination",
+               "deadline"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown flow field(s) {unknown}; allowed: {sorted(allowed)}")
+    missing = sorted({"name", "period", "size", "source", "destination"}
+                     - set(payload))
+    if missing:
+        raise ConfigurationError(f"flow is missing field(s) {missing}")
+    try:
+        kind = MessageKind(payload.get("kind", "sporadic"))
+    except ValueError:
+        raise ConfigurationError(
+            f"flow kind must be 'periodic' or 'sporadic', "
+            f"got {payload.get('kind')!r}") from None
+    try:
+        return Message(name=str(payload["name"]), kind=kind,
+                       period=float(payload["period"]),
+                       size=float(payload["size"]),
+                       source=str(payload["source"]),
+                       destination=str(payload["destination"]),
+                       deadline=(None if payload.get("deadline") is None
+                                 else float(payload["deadline"])))
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"bad flow payload: {error}") from None
+
+
+# ---------------------------------------------------------------------------
+# Snapshots and decisions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClassBound:
+    """One class's committed bound inside an :class:`EngineSnapshot`."""
+
+    priority: PriorityClass
+    #: Flows of the class currently in the table.
+    count: int
+    #: Binding (smallest) deadline of the class, or ``None``.
+    deadline: float | None
+    #: End-to-end worst-case delay bound (seconds, ``inf`` if unstable).
+    bound: float
+    #: Aggregate backlog bound at the analysis point (bits).
+    backlog_bits: float
+    #: False when the bound is not a valid worst case (overload).
+    stable: bool
+
+    @property
+    def ok(self) -> bool:
+        """Stable and within the class deadline (if it has one)."""
+        return self.stable and (self.deadline is None
+                                or self.bound <= self.deadline)
+
+    def to_payload(self) -> dict:
+        """The JSON object served to clients."""
+        return {"class": self.priority.name, "count": self.count,
+                "deadline": self.deadline, "bound": self.bound,
+                "backlog_bits": self.backlog_bits, "stable": self.stable,
+                "ok": self.ok}
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """The committed answer after one mutation (or the initial load)."""
+
+    #: Per-class bounds, most-urgent first.
+    classes: tuple[ClassBound, ...]
+    #: Number of flows in the table.
+    flow_count: int
+    #: The policy the bounds were computed under.
+    policy: str
+    #: ``True`` when every class with a deadline is stable and meets it.
+    feasible: bool
+    #: Content fingerprint of the flow table (order-sensitive).
+    state_fingerprint: str
+    #: ``"incremental"`` or ``"recompute"`` — which path produced it.
+    mode: str
+
+    def to_payload(self) -> dict:
+        """The JSON object served to clients (and fingerprinted)."""
+        return {"classes": [bound.to_payload() for bound in self.classes],
+                "flow_count": self.flow_count,
+                "policy": self.policy,
+                "feasible": self.feasible,
+                "state_fingerprint": self.state_fingerprint,
+                "mode": self.mode}
+
+    def bounds_fingerprint(self) -> str:
+        """Content fingerprint of the bounds themselves."""
+        payload = self.to_payload()
+        payload.pop("mode")  # identical bounds, whichever path derived them
+        return fingerprint(payload)
+
+    def violations(self) -> list[str]:
+        """One human line per class missing its deadline (or unstable)."""
+        problems = []
+        for bound in self.classes:
+            if bound.ok:
+                continue
+            if not bound.stable:
+                problems.append(f"class {bound.priority.name} is unstable "
+                                f"(no finite bound)")
+            else:
+                problems.append(
+                    f"class {bound.priority.name} bound "
+                    f"{bound.bound * 1e3:.3f} ms exceeds its deadline "
+                    f"{bound.deadline * 1e3:.3f} ms")
+        return problems
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The engine's answer to one ``admit``/``remove``/``check`` query."""
+
+    #: ``"admit"``, ``"remove"`` or ``"check"``.
+    operation: str
+    #: True when the mutation was applied (always True for ``check``).
+    applied: bool
+    #: Name of the flow the query was about (``None`` for bare checks).
+    flow: str | None
+    #: The bounds the decision rests on: the committed snapshot after an
+    #: applied mutation, the hypothetical snapshot for a rejected admit
+    #: or a what-if check.
+    snapshot: EngineSnapshot
+    #: Why a mutation was rejected (deadline misses, duplicate name...).
+    reasons: tuple[str, ...] = ()
+
+    def to_payload(self) -> dict:
+        """The JSON object served to clients."""
+        return {"operation": self.operation, "applied": self.applied,
+                "flow": self.flow, "reasons": list(self.reasons),
+                "snapshot": self.snapshot.to_payload()}
+
+
+# ---------------------------------------------------------------------------
+# Per-class committed state
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ClassState:
+    """Committed sufficient statistics of one priority class."""
+
+    aggregate: ClassAggregate
+    #: Binding (smallest) deadline among the members, or ``None``.
+    deadline: float | None
+    #: Member flow names, in table insertion order.
+    members: tuple[str, ...] = ()
+
+
+def _tighter(current: float | None, candidate: float | None) -> float | None:
+    """The binding deadline after adding one more member."""
+    if candidate is None:
+        return current
+    if current is None:
+        return candidate
+    return min(current, candidate)
+
+
+def _class_state_of(messages: list[Message]) -> _ClassState:
+    """Re-aggregate one class from its member list (the reference loop)."""
+    burst = rate = max_burst = 0.0
+    deadline: float | None = None
+    names = []
+    for message in messages:
+        value = float(message.burst)
+        burst += value
+        rate += float(message.rate)
+        max_burst = max(max_burst, value)
+        deadline = _tighter(deadline, message.deadline)
+        names.append(message.name)
+    return _ClassState(
+        aggregate=ClassAggregate(burst=burst, rate=rate,
+                                 max_burst=max_burst, count=len(messages)),
+        deadline=deadline, members=tuple(names))
+
+
+class AdmissionEngine:
+    """The long-lived admission-control analysis over one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The loaded scenario: its workload is the initial flow table, its
+        topology/capacity/technology delay parameterise the bounds.
+    policy:
+        The multiplexing policy admission is decided under; defaults to
+        the scenario's first policy.
+    store:
+        Optional :class:`~repro.store.ResultStore` used as a warm
+        cross-worker bound cache.
+    preload:
+        ``False`` starts with an empty flow table (the journal-recovery
+        path re-admits the journaled flows instead).
+    """
+
+    def __init__(self, scenario: Scenario, policy: str | None = None,
+                 store=None, *, preload: bool = True) -> None:
+        policy = policy if policy is not None else scenario.policies[0]
+        if policy not in scenario.policies:
+            raise ConfigurationError(
+                f"policy {policy!r} is not one of the scenario's "
+                f"policies {scenario.policies}")
+        if scenario.workload.replication != 1 and preload:
+            raise ConfigurationError(
+                "the admission engine mutates individual flows and does "
+                "not support lazily replicated workloads; use "
+                "replication=1")
+        self.scenario = scenario
+        self.policy = policy
+        self.store = store
+        self._flows: dict[str, Message] = {}
+        self._classes: dict[PriorityClass, _ClassState] = {}
+        self._graph_spec = None
+        self._graph_analysis = None
+        #: Mutations served by the incremental path since construction.
+        self.incremental_hits = 0
+        #: Mutations that fell back to a full recompute.
+        self.full_recomputes = 0
+        if scenario.topology.kind == "graph":
+            from repro.analysis.multihop import GraphPathAnalysis
+            self._graph_spec = scenario.topology.build_graph(
+                scenario.workload.total_stations, scenario.capacity,
+                scenario.technology_delay)
+            # One analysis instance for the engine's lifetime: its
+            # routing engine's per-destination Dijkstra caches persist
+            # across mutations, which is the incremental piece the
+            # fixed-point fallback still reuses.
+            self._graph_analysis = GraphPathAnalysis(self._graph_spec,
+                                                     policy=self.policy)
+        if preload:
+            for message in scenario.workload.build().messages:
+                self._apply_admit(message)
+        self._snapshot = self._compute_snapshot(self._classes,
+                                                mode="recompute")
+
+    # -- introspection -----------------------------------------------------
+
+    def flow_names(self) -> tuple[str, ...]:
+        """The flow table's names, in insertion order."""
+        return tuple(self._flows)
+
+    def flow_payloads(self) -> list[dict]:
+        """The flow table as JSON payloads, in insertion order."""
+        return [message_to_payload(message)
+                for message in self._flows.values()]
+
+    def flow_payload(self, name: str) -> dict:
+        """One admitted flow as its JSON payload (KeyError if absent)."""
+        return message_to_payload(self._flows[name])
+
+    def state_fingerprint(self) -> str:
+        """Content fingerprint of (scenario, policy, flow table)."""
+        return self._state_fingerprint(list(self._flows.values()))
+
+    def _state_fingerprint(self, messages: list[Message]) -> str:
+        return fingerprint({
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "flows": [message_to_payload(message) for message in messages]})
+
+    def snapshot(self) -> EngineSnapshot:
+        """The committed snapshot (the last committed cached bound)."""
+        return self._snapshot
+
+    # -- queries -----------------------------------------------------------
+
+    def check(self, payload: dict | None = None) -> AdmissionDecision:
+        """The committed bounds; with a flow payload, the what-if bounds.
+
+        A what-if check runs the same tentative derivation as
+        :meth:`admit` but never commits, whatever the outcome.
+        """
+        if payload is None:
+            return AdmissionDecision(operation="check", applied=True,
+                                     flow=None, snapshot=self._snapshot)
+        message = message_from_payload(payload)
+        if message.name in self._flows:
+            return AdmissionDecision(
+                operation="check", applied=True, flow=message.name,
+                snapshot=self._snapshot,
+                reasons=(f"flow {message.name!r} is already admitted",))
+        tentative, snapshot = self._tentative_admit(message)
+        del tentative
+        return AdmissionDecision(
+            operation="check", applied=True, flow=message.name,
+            snapshot=snapshot, reasons=tuple(snapshot.violations()))
+
+    def admit(self, payload: dict, *, force: bool = False
+              ) -> AdmissionDecision:
+        """Admit one flow iff every deadline still holds afterwards.
+
+        The tentative bounds are derived incrementally (or via the graph
+        fallback), compared against every class deadline, and committed
+        only on success — a rejected admit leaves the committed state
+        untouched.  ``force=True`` commits regardless (operator
+        override); the decision still reports the violations.
+        """
+        message = message_from_payload(payload)
+        if message.name in self._flows:
+            return AdmissionDecision(
+                operation="admit", applied=False, flow=message.name,
+                snapshot=self._snapshot,
+                reasons=(f"flow {message.name!r} is already admitted",))
+        tentative, snapshot = self._tentative_admit(message)
+        reasons = tuple(snapshot.violations())
+        if reasons and not force:
+            return AdmissionDecision(operation="admit", applied=False,
+                                     flow=message.name, snapshot=snapshot,
+                                     reasons=reasons)
+        self._flows[message.name] = message
+        self._classes = tentative
+        self._snapshot = snapshot
+        return AdmissionDecision(operation="admit", applied=True,
+                                 flow=message.name, snapshot=snapshot,
+                                 reasons=reasons)
+
+    def remove(self, name: str) -> AdmissionDecision:
+        """Remove one flow by name (always succeeds when present).
+
+        Removing a flow can only shrink every other bound (burst sums
+        and blocking terms shrink, residual rates grow), so removal
+        needs no feasibility gate — but the touched class is
+        re-aggregated from its remaining members, never derived by
+        subtraction, to keep the committed aggregates bit-identical to
+        a from-scratch pass.
+        """
+        message = self._flows.get(name)
+        if message is None:
+            return AdmissionDecision(
+                operation="remove", applied=False, flow=name,
+                snapshot=self._snapshot,
+                reasons=(f"flow {name!r} is not admitted",))
+        del self._flows[name]
+        cls = assign_priority(message)
+        classes = dict(self._classes)
+        remaining = [self._flows[member]
+                     for member in self._classes[cls].members
+                     if member != name]
+        if remaining:
+            classes[cls] = _class_state_of(remaining)
+        else:
+            del classes[cls]
+        self._classes = classes
+        self._snapshot = self._compute_snapshot(
+            classes, mode=self._mode())
+        return AdmissionDecision(operation="remove", applied=True,
+                                 flow=name, snapshot=self._snapshot)
+
+    # -- the incremental derivation ---------------------------------------
+
+    def _mode(self) -> str:
+        return "recompute" if self._graph_analysis is not None \
+            else "incremental"
+
+    def _tentative_admit(self, message: Message
+                         ) -> tuple[dict[PriorityClass, _ClassState],
+                                    EngineSnapshot]:
+        """The would-be class states and snapshot after admitting."""
+        cls = assign_priority(message)
+        classes = dict(self._classes)
+        current = classes.get(cls)
+        burst = float(message.burst)
+        if current is None:
+            classes[cls] = _ClassState(
+                aggregate=ClassAggregate(burst=burst,
+                                         rate=float(message.rate),
+                                         max_burst=burst, count=1),
+                deadline=message.deadline, members=(message.name,))
+        else:
+            # Appending at the end of the member sequence: the new sums
+            # are exactly what the from-scratch left-to-right loop would
+            # produce, so the aggregate stays bit-identical.
+            aggregate = current.aggregate
+            classes[cls] = _ClassState(
+                aggregate=ClassAggregate(
+                    burst=aggregate.burst + burst,
+                    rate=aggregate.rate + float(message.rate),
+                    max_burst=max(aggregate.max_burst, burst),
+                    count=aggregate.count + 1),
+                deadline=_tighter(current.deadline, message.deadline),
+                members=current.members + (message.name,))
+        snapshot = self._compute_snapshot(classes, mode=self._mode(),
+                                          extra=message)
+        return classes, snapshot
+
+    # -- snapshot computation ----------------------------------------------
+
+    def _compute_snapshot(self, classes: dict[PriorityClass, _ClassState],
+                          *, mode: str,
+                          extra: Message | None = None) -> EngineSnapshot:
+        """Bounds for a (possibly tentative) class-state mapping.
+
+        ``extra`` is the not-yet-committed flow of a tentative admit —
+        the graph fallback needs the actual member list, the aggregate
+        path only the statistics.
+        """
+        messages = list(self._flows.values())
+        if extra is not None:
+            messages.append(extra)
+        state_digest = self._state_fingerprint(messages)
+        if mode == "incremental":
+            self.incremental_hits += 1
+        else:
+            self.full_recomputes += 1
+        if self.store is None:
+            return self._derive_snapshot(classes, messages, mode,
+                                         state_digest)
+        payload, _from_store = self.store.cached(
+            "serve-snapshot", {"state": state_digest},
+            lambda: self._derive_snapshot(classes, messages, mode,
+                                          state_digest).to_payload(),
+            subsystem="serve")
+        return _snapshot_from_payload(payload, mode=mode)
+
+    def _derive_snapshot(self, classes: dict[PriorityClass, _ClassState],
+                         messages: list[Message], mode: str,
+                         state_digest: str) -> EngineSnapshot:
+        if self._graph_analysis is not None:
+            bounds = self._graph_bounds(classes, messages)
+        else:
+            bounds = self._aggregate_bounds(classes)
+        feasible = all(bound.ok for bound in bounds
+                       if bound.deadline is not None) and \
+            all(bound.stable for bound in bounds)
+        return EngineSnapshot(classes=tuple(bounds),
+                              flow_count=len(messages),
+                              policy=self.policy,
+                              feasible=feasible,
+                              state_fingerprint=state_digest,
+                              mode=mode)
+
+    def _aggregate_bounds(self, classes: dict[PriorityClass, _ClassState]
+                          ) -> list[ClassBound]:
+        """The campaign runner's per-class row, from the aggregates."""
+        scenario = self.scenario
+        aggregates = {cls: state.aggregate
+                      for cls, state in sorted(classes.items())}
+        if not aggregates:
+            return []
+        bounds = compute_class_bounds(aggregates, scenario.capacity,
+                                      scenario.technology_delay,
+                                      self.policy)
+        rows: list[ClassBound] = []
+        for cls in sorted(bounds):
+            mux_bound = bounds[cls]
+            stable = (mux_bound is not None
+                      and not mux_bound.details.get("unstable"))
+            if not stable:
+                bound = backlog = math.inf
+            else:
+                up_to = None if self.policy == "fcfs" else cls
+                arrival = compute_arrival_curve(aggregates, up_to)
+                service = compute_service_curve(
+                    aggregates, scenario.capacity,
+                    scenario.technology_delay, self.policy, up_to)
+                bound = mux_bound.delay \
+                    + (scenario.hops - 1) * service.latency
+                try:
+                    backlog = backlog_bound(arrival, service, strict=False)
+                except UnstableSystemError:  # pragma: no cover
+                    backlog = math.inf
+            state = classes[cls]
+            rows.append(ClassBound(
+                priority=cls, count=state.aggregate.count,
+                deadline=state.deadline, bound=bound,
+                backlog_bits=backlog, stable=stable))
+        return rows
+
+    def _graph_bounds(self, classes: dict[PriorityClass, _ClassState],
+                      messages: list[Message]) -> list[ClassBound]:
+        """The multi-hop fallback: route and bound the full population."""
+        from repro.errors import EmptyAggregateError
+
+        if not messages:
+            return []
+        outcome = self._graph_analysis.analyze(messages)
+        rows: list[ClassBound] = []
+        for cls in sorted(classes):
+            state = classes[cls]
+            try:
+                bound = outcome.class_delay(cls)
+                backlog = outcome.class_backlog(cls)
+            except EmptyAggregateError:  # pragma: no cover - defensive
+                continue
+            rows.append(ClassBound(
+                priority=cls, count=state.aggregate.count,
+                deadline=state.deadline, bound=bound,
+                backlog_bits=backlog, stable=math.isfinite(bound)))
+        return rows
+
+    # -- journal-recovery entry points -------------------------------------
+
+    def _apply_admit(self, message: Message) -> None:
+        """Append one flow without recomputing bounds (bulk load)."""
+        if message.name in self._flows:
+            raise ConfigurationError(
+                f"duplicate flow name {message.name!r} in the workload")
+        cls = assign_priority(message)
+        current = self._classes.get(cls)
+        members = [] if current is None else \
+            [self._flows[name] for name in current.members]
+        members.append(message)
+        self._flows[message.name] = message
+        self._classes[cls] = _class_state_of(members)
+
+    def replay(self, operations: list[dict]) -> None:
+        """Re-apply journaled operations, then recompute the snapshot.
+
+        Used by journal recovery: operations are applied without
+        per-step bound derivations (the journal only ever records
+        *committed* mutations, so re-deriving per step would repeat
+        decisions already taken), and one snapshot recompute at the end
+        restores the committed bounds byte-identically.
+        """
+        for operation in operations:
+            if operation.get("op") == "admit":
+                self._apply_admit(message_from_payload(operation["flow"]))
+            elif operation.get("op") == "remove":
+                name = operation.get("name")
+                message = self._flows.pop(name, None)
+                if message is None:
+                    continue
+                cls = assign_priority(message)
+                remaining = [self._flows[member]
+                             for member in self._classes[cls].members
+                             if member != name]
+                if remaining:
+                    self._classes[cls] = _class_state_of(remaining)
+                else:
+                    del self._classes[cls]
+            else:
+                raise ConfigurationError(
+                    f"unknown journal operation {operation.get('op')!r}")
+        self._snapshot = self._compute_snapshot(self._classes,
+                                                mode="recompute")
+
+    # -- self-verification --------------------------------------------------
+
+    def verify(self) -> bool:
+        """Assert the committed state equals a from-scratch recompute.
+
+        Re-aggregates the whole flow table with the reference
+        :func:`~repro.core.multiplexer.aggregate_flows` loop and
+        re-derives the snapshot; every committed aggregate and the
+        committed bounds fingerprint must match **exactly** (bit
+        identity, not tolerance).  Returns ``True`` on success and
+        raises ``AssertionError`` otherwise — callers treat any failure
+        as a bug, never a rounding artefact.
+        """
+        messages = list(self._flows.values())
+        reference = aggregate_flows(messages) if messages else {}
+        committed = {cls: state.aggregate
+                     for cls, state in self._classes.items()}
+        assert committed == reference, (
+            f"incremental aggregates diverged from the reference: "
+            f"{committed} != {reference}")
+        fresh = self._derive_snapshot(self._classes, messages,
+                                      "recompute",
+                                      self._state_fingerprint(messages))
+        assert fresh.bounds_fingerprint() == \
+            self._snapshot.bounds_fingerprint(), (
+            "incremental bounds diverged from the from-scratch recompute")
+        return True
+
+
+def _snapshot_from_payload(payload: dict, *, mode: str) -> EngineSnapshot:
+    """Rebuild a snapshot from its stored JSON payload."""
+    classes = tuple(ClassBound(
+        priority=PriorityClass[row["class"]],
+        count=int(row["count"]),
+        deadline=row["deadline"],
+        bound=float(row["bound"]),
+        backlog_bits=float(row["backlog_bits"]),
+        stable=bool(row["stable"])) for row in payload["classes"])
+    return EngineSnapshot(classes=classes,
+                          flow_count=int(payload["flow_count"]),
+                          policy=str(payload["policy"]),
+                          feasible=bool(payload["feasible"]),
+                          state_fingerprint=str(
+                              payload["state_fingerprint"]),
+                          mode=mode)

@@ -396,6 +396,33 @@ class ResultStore:
                 "index_lines": len(index_lines) + corrupt_lines,
                 "corrupt_index_lines": corrupt_lines}
 
+    def health(self, *, audit: bool = False) -> dict:
+        """The store's integrity counters, one shape for every surface.
+
+        ``repro store stats`` and the ``repro serve`` health endpoint
+        both report this dict, so the keys (``write_errors``,
+        ``corrupt_records``, ``degraded``) can never drift between the
+        CLI and the service.  The default is the live handle's counters
+        — O(1), safe on a hot path; ``audit=True`` additionally scans
+        the disk and folds in record files *any* reader would find
+        corrupt (the handle may simply not have touched them yet), so
+        ``corrupt_records`` becomes the larger of the two views.
+        """
+        stats = self.stats
+        counters = {"hits": stats.hits,
+                    "misses": stats.misses,
+                    "writes": stats.writes,
+                    "write_errors": stats.write_errors,
+                    "corrupt_records": stats.corrupt_records}
+        if audit:
+            disk = self.audit()
+            counters["corrupt_records"] = max(counters["corrupt_records"],
+                                              disk["corrupt_records"])
+            counters["corrupt_index_lines"] = disk["corrupt_index_lines"]
+        counters["degraded"] = bool(counters["write_errors"]
+                                    or counters["corrupt_records"])
+        return counters
+
     def size_bytes(self) -> int:
         """Total bytes of every object record."""
         if not self.objects_dir.is_dir():

@@ -41,6 +41,9 @@ SUBSYSTEMS: dict[str, tuple[str, ...]] = {
     "fuzz": ("repro.fuzz.campaign", "repro.fuzz.generator"),
     "reports": ("repro.reports.pipeline", "repro.reports.experiments"),
     "topology": ("repro.topology.graph", "repro.topology.routing"),
+    # The serve engine's cached snapshots embed the campaign closed forms
+    # and the multi-hop fallback, so its roots cover both.
+    "serve": ("repro.serve.engine", "repro.analysis.multihop"),
 }
 
 

@@ -100,8 +100,9 @@ class TestStoreStatsIntegrity:
         capsys.readouterr()
         assert main(["store", "stats", "--store", store]) == 0
         out = capsys.readouterr().out
-        assert "integrity: 1 corrupt of 2 record files" in out
-        assert "1 corrupt of 2 index lines" in out
+        assert "integrity: 1 corrupt records" in out
+        assert "1 corrupt index lines" in out
+        assert "DEGRADED" in out
 
     def test_clean_store_reports_zero(self, capsys, tmp_path):
         store = str(tmp_path / "s")
@@ -109,4 +110,6 @@ class TestStoreStatsIntegrity:
                      "--store", store]) == 0
         capsys.readouterr()
         assert main(["store", "stats", "--store", store]) == 0
-        assert "integrity: 0 corrupt" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "integrity: 0 corrupt records" in out
+        assert "healthy" in out

@@ -58,7 +58,7 @@ class TestFullRun:
         assert "## Headline claims" in report
         assert report.count("✅ reproduced") >= len(run.claims)
         assert "❌" not in report
-        assert len(run.headline_claims) == 3
+        assert len(run.headline_claims) == 4
 
     def test_report_section_anchors_match_the_index_links(self, full_run):
         _, _, root = full_run
@@ -85,7 +85,7 @@ class TestFullRun:
     def test_summary_counts_experiments_and_claims(self, full_run):
         _, run, _ = full_run
         assert f"{len(run.experiments)} experiments" in run.summary()
-        assert "3/3 headline" in run.summary()
+        assert "4/4 headline" in run.summary()
 
 
 class TestDriftGate:

@@ -1,0 +1,104 @@
+"""Metamorphic property: admit-then-remove is the identity.
+
+For every generated scenario — the PR 6 fuzz stream plus its multi-hop
+graph variant — admitting one probe flow and removing it again must
+restore the engine's state fingerprint AND the committed bounds
+fingerprint **byte-identically**.  This is the invariant the server's
+journal-failure rollback rests on (a rolled-back admit must leave no
+trace in the aggregates), so it is pinned across the whole generated
+scenario space, not just hand-picked cases.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz.generator import GeneratorConfig, ScenarioGenerator
+from repro.serve import AdmissionEngine
+
+#: Scenarios drawn from the default (star/dual-switch/tree) stream.
+SINGLE_MUX_COUNT = 170
+#: Scenarios drawn from the all-graph multi-hop stream.
+GRAPH_COUNT = 40
+#: Every N-th scenario additionally runs the full self-verification
+#: (committed aggregates vs the reference loop) — O(flows) per call.
+VERIFY_EVERY = 10
+
+
+def probe(index):
+    """A deterministic probe flow; station-00/01 exist in every drawn
+    topology (station counts start at 4, graph replication is 1)."""
+    return {"name": f"metamorphic-probe-{index}", "kind": "sporadic",
+            "period": 0.5, "size": 400.0, "source": "station-00",
+            "destination": "station-01", "deadline": None}
+
+
+def assert_admit_remove_is_identity(scenario, index):
+    engine = AdmissionEngine(scenario)
+    state_before = engine.state_fingerprint()
+    bounds_before = engine.snapshot().bounds_fingerprint()
+    flow = probe(index)
+
+    decision = engine.admit(flow, force=True)
+    assert decision.applied, \
+        f"{scenario.name}: forced admit must always apply"
+    assert engine.state_fingerprint() != state_before, \
+        f"{scenario.name}: admit must change the state fingerprint"
+
+    removal = engine.remove(flow["name"])
+    assert removal.applied
+    assert engine.state_fingerprint() == state_before, \
+        f"{scenario.name}: state fingerprint not restored byte-identically"
+    assert engine.snapshot().bounds_fingerprint() == bounds_before, \
+        f"{scenario.name}: bounds fingerprint not restored byte-identically"
+    if index % VERIFY_EVERY == 0:
+        assert engine.verify()
+
+
+class TestAdmitRemoveIdentity:
+    def test_across_the_generated_single_mux_stream(self):
+        generator = ScenarioGenerator(seed=2026)
+        for index in range(SINGLE_MUX_COUNT):
+            scenario = generator.scenario(index)
+            # The engine mutates individual flows, so replicated
+            # workloads are drawn down to replication 1.
+            if scenario.workload.replication != 1:
+                scenario = replace(
+                    scenario,
+                    workload=replace(scenario.workload, replication=1))
+            assert_admit_remove_is_identity(scenario, index)
+
+    def test_across_the_generated_multi_hop_stream(self):
+        generator = ScenarioGenerator(seed=2027,
+                                      config=GeneratorConfig.multi_hop())
+        for index in range(GRAPH_COUNT):
+            assert_admit_remove_is_identity(generator.scenario(index),
+                                            index)
+
+    def test_the_campaign_covers_at_least_200_scenarios(self):
+        """The acceptance floor of the metamorphic campaign."""
+        assert SINGLE_MUX_COUNT + GRAPH_COUNT >= 200
+
+
+class TestRepeatedMutationIdentity:
+    """A longer admit/remove round trip on a few scenarios: admitting K
+    probes and removing them in reverse order is also the identity
+    (reverse order keeps every prefix identical to a fresh build)."""
+
+    @pytest.mark.parametrize("index", [0, 7, 23])
+    def test_k_probe_round_trip(self, index):
+        scenario = ScenarioGenerator(seed=2028).scenario(index)
+        if scenario.workload.replication != 1:
+            scenario = replace(
+                scenario,
+                workload=replace(scenario.workload, replication=1))
+        engine = AdmissionEngine(scenario)
+        state = engine.state_fingerprint()
+        bounds = engine.snapshot().bounds_fingerprint()
+        for k in range(5):
+            assert engine.admit(probe(1000 + k), force=True).applied
+        for k in reversed(range(5)):
+            assert engine.remove(f"metamorphic-probe-{1000 + k}").applied
+        assert engine.state_fingerprint() == state
+        assert engine.snapshot().bounds_fingerprint() == bounds
+        assert engine.verify()

@@ -27,7 +27,7 @@ class TestParser:
         for command in ("figure1", "violations", "baseline-1553", "compare",
                         "validate", "jitter", "buffers", "export",
                         "campaign", "simulate", "fuzz", "topology",
-                        "report", "store"):
+                        "report", "store", "serve"):
             args = parser.parse_args(
                 [command] + _REQUIRED_EXTRAS.get(command, []))
             assert args.command == command
@@ -36,18 +36,45 @@ class TestParser:
         assert [spec.name for spec in COMMANDS] == [
             "figure1", "violations", "baseline-1553", "compare", "validate",
             "jitter", "buffers", "export", "campaign", "simulate", "fuzz",
-            "topology", "report", "store"]
+            "topology", "report", "store", "serve"]
 
     def test_missing_command_is_an_error(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_shared_exec_flags_reach_every_batch_command(self):
+        """The parent parsers give campaign/simulate/fuzz/report/serve
+        identical execution flags without copy-pasted blocks."""
+        parser = build_parser()
+        for command, extras in (("campaign", []), ("simulate", []),
+                                ("fuzz", []), ("report", []), ("serve", [])):
+            args = parser.parse_args(
+                [command, *extras, "--retries", "5", "--timeout", "1.5",
+                 "--faults", "exc@3", "--no-store"])
+            assert args.retries == 5
+            assert args.timeout == 1.5
+            assert args.faults == "exc@3"
+            assert args.no_store is True
+
+    def test_version_prints_package_version_and_store_key(self, capsys):
+        from repro import __version__
+        from repro.store import combined_token
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert f"repro {__version__}" in output
+        assert f"store key {combined_token()}" in output
 
 
 class TestEveryCommandEndToEnd:
     """Each subcommand runs on the synthetic case study and prints a table."""
 
     @pytest.mark.parametrize("command", [
-        spec.name for spec in COMMANDS if spec.name != "export"])
+        spec.name for spec in COMMANDS
+        # export needs --output; serve is a long-lived server and has its
+        # own end-to-end suite in tests/test_serve_server.py.
+        if spec.name not in ("export", "serve")])
     def test_command_exits_zero_with_output(self, command, capsys, tmp_path):
         argv = WORKLOAD_ARGS + [command]
         if command == "campaign":
