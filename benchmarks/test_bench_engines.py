@@ -1,0 +1,95 @@
+"""Bound engines — cross-engine throughput and default-path overhead.
+
+Two regressions this PR must never introduce:
+
+1. running **every** engine (``--engine all``) over a campaign must stay
+   batch-friendly — a cells/s floor over the cross-engine rows,
+2. the default (``calculus``-only) campaign path must stay at pre-engine
+   throughput — the engine hook is a single tuple comparison per
+   scenario, pinned to within 5% of a runner with the hook disabled.
+"""
+
+import time
+
+from repro.analysis.engines import engine_names
+from repro.campaigns import CampaignRunner, get, select
+
+#: Timing loops; the runs are sub-second so best-of keeps noise out.
+ROUNDS = 5
+
+#: Cross-engine throughput floor, in engine-verdict rows per second.
+#: Every row is one (scenario, engine, policy, class) bound; a cold
+#: container measures ~40 rows/s (the x8 ladder rung dominates — 512
+#: routed flows under the iterative engines), so the floor sits ~5x
+#: below that to absorb CI noise.
+ENGINE_ROWS_PER_S_FLOOR = 8.0
+
+
+def _scenarios():
+    """The benchmark's campaign: the ladder plus two routed fabrics."""
+    return list(select("ladder")) + [get("graph-diamond"),
+                                     get("graph-ring")]
+
+
+def _time_run(make_runner, scenarios) -> tuple[float, object]:
+    """Best-of-ROUNDS wall-clock seconds for one campaign run."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        runner = make_runner()
+        started = time.perf_counter()
+        result = runner.run(scenarios)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_engines(benchmark, report, monkeypatch):
+    scenarios = _scenarios()
+    all_engines = tuple(engine_names())
+
+    # 1. every engine over every cell.
+    all_time, all_result = _time_run(
+        lambda: CampaignRunner(engines=all_engines), scenarios)
+    engine_rows = all_result.engine_rows()
+    engine_rate = len(engine_rows) / all_time
+
+    # 2. the default path, engines machinery live (the shipped code) ...
+    default_time, default_result = _time_run(CampaignRunner, scenarios)
+    # ... vs the pre-engine baseline: the identical runner with the
+    # engine hook compiled out, so the delta is exactly the hook's cost.
+    monkeypatch.setattr(CampaignRunner, "_engine_rows",
+                        lambda self, scenario: [])
+    baseline_time, baseline_result = _time_run(CampaignRunner, scenarios)
+    monkeypatch.undo()
+    overhead = default_time / baseline_time - 1.0
+
+    benchmark.pedantic(
+        lambda: CampaignRunner(engines=all_engines).run(scenarios),
+        rounds=3, iterations=1)
+
+    report(
+        "engines", "Bound engines: cross-engine campaign throughput",
+        ["mode", "scenarios", "engine rows", "best run", "rows/s"],
+        [("--engine all", len(scenarios), len(engine_rows),
+          f"{all_time * 1e3:.2f} ms", f"{engine_rate:,.0f}"),
+         ("default (calculus)", len(scenarios), 0,
+          f"{default_time * 1e3:.2f} ms", "-"),
+         ("engine hook disabled", len(scenarios), 0,
+          f"{baseline_time * 1e3:.2f} ms",
+          f"overhead {overhead * 100:+.1f}%")])
+
+    # The cross-engine run covers every engine on every scenario ...
+    assert {row.engine for row in engine_rows} == set(all_engines)
+    # ... at batch-friendly throughput.
+    assert engine_rate >= ENGINE_ROWS_PER_S_FLOOR, (
+        f"cross-engine throughput {engine_rate:,.0f} rows/s fell below "
+        f"the {ENGINE_ROWS_PER_S_FLOOR:,.0f} rows/s floor")
+    # The default path computes no engine rows and stays bit-identical
+    # to the pre-engine runner's output ...
+    assert default_result.engine_rows() == []
+    assert [str(row) for row in default_result.rows()] == \
+        [str(row) for row in baseline_result.rows()]
+    # ... within 5% of its throughput (the hook is one tuple compare).
+    assert overhead <= 0.05, (
+        f"default-engine campaign is {overhead * 100:.1f}% slower than "
+        f"the pre-engine path (allowed: 5%)")

@@ -23,12 +23,33 @@ with :mod:`repro.reporting`.
 * :mod:`~repro.analysis.scalability` — **E8**: feasibility of each
   approach as the case-study traffic is replicated.
 
+The per-experiment entry points above all bound delays with the paper's
+network calculus.  The competing WCRT backends live behind the
+bound-engine registry (:mod:`~repro.analysis.engines`), re-exported
+here: :class:`BoundEngine` is the protocol, :func:`get_engine` /
+:func:`resolve_engines` / :func:`engine_names` query the registry
+(``calculus``, ``holistic``, ``trajectory``), :func:`register_engine`
+adds a backend, and :class:`EngineResult` / :class:`EngineSpec` are the
+value types engine verdicts and selections travel as.
+
 To evaluate whole families of configurations (capacities, topologies,
 replication ladders) in one batch with shared-intermediate memoization, use
 the campaign layer (:mod:`repro.campaigns`) or ``repro campaign`` instead
 of looping over these entry points by hand.
 """
 
+from repro.analysis.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_CHOICES,
+    BoundEngine,
+    EngineResult,
+    EngineSpec,
+    all_engines,
+    engine_names,
+    get_engine,
+    register_engine,
+    resolve_engines,
+)
 from repro.analysis.paper_model import (
     ClassBoundRow,
     PaperCaseStudy,
@@ -57,6 +78,16 @@ __all__ = [
     "PaperCaseStudy",
     "ClassBoundRow",
     "figure1_rows",
+    "BoundEngine",
+    "EngineResult",
+    "EngineSpec",
+    "DEFAULT_ENGINE",
+    "ENGINE_CHOICES",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "all_engines",
+    "resolve_engines",
     "ViolationRow",
     "fcfs_violation_table",
     "Baseline1553Report",

@@ -76,8 +76,8 @@ def technology_comparison(message_set: MessageSet,
     bus_analysis = Milstd1553Analysis(schedule)
     study = PaperCaseStudy(message_set, capacity=capacity,
                            technology_delay=technology_delay)
-    fcfs_bounds = study.fcfs_class_bounds()
-    priority_bounds = study.priority_class_bounds()
+    fcfs_bounds = study.class_bounds("fcfs")
+    priority_bounds = study.class_bounds("strict-priority")
     deadlines = study.class_deadlines()
     grouped = message_set.by_priority()
 

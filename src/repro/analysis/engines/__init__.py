@@ -1,0 +1,145 @@
+"""Competing WCRT bound engines behind one ``BoundEngine`` API.
+
+The reproduction's network-calculus bound is one of several classical
+ways to bound worst-case response times on the paper's architecture.
+This package puts the alternatives behind a single registry so every
+campaign, simulation, fuzz and report layer can cross-validate them:
+
+* ``calculus`` — the paper's network-calculus bounds (the pre-engine
+  analysis paths, wrapped bit-identically), the soundness reference,
+* ``holistic`` — iterative busy-period response-time analysis with
+  interference inherited along the path,
+* ``trajectory`` — per-flow trajectory bounds paying same-class bursts
+  once per shared segment.
+
+``resolve_engines`` maps CLI-style selections (``"all"``, comma lists,
+``None``) to engine names; :class:`~repro.analysis.engines.base.
+EngineSpec` carries a selection as a value (fingerprintable, so stored
+cells keyed per engine never collide across backends).  The store's
+``engines`` subsystem token hashes this package's import closure, so
+editing any backend invalidates exactly the engine-derived results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.engines.base import (BoundEngine, EngineClassBound,
+                                         EngineResult, EngineSpec,
+                                         ScenarioBoundEngine,
+                                         present_classes, scenario_inputs)
+from repro.analysis.engines.calculus import CalculusEngine
+from repro.analysis.engines.holistic import HolisticEngine
+from repro.analysis.engines.trajectory import TrajectoryEngine
+from repro.errors import DuplicateEngineError, UnknownEngineError
+
+__all__ = [
+    "BoundEngine",
+    "EngineClassBound",
+    "EngineResult",
+    "EngineSpec",
+    "ScenarioBoundEngine",
+    "CalculusEngine",
+    "HolisticEngine",
+    "TrajectoryEngine",
+    "DEFAULT_ENGINE",
+    "DEFAULT_ENGINES",
+    "ENGINE_CHOICES",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "all_engines",
+    "resolve_engines",
+    "scenario_inputs",
+    "present_classes",
+]
+
+#: The engine every layer uses unless told otherwise — the paper's own.
+DEFAULT_ENGINE = "calculus"
+
+#: Default engine tuple of every multi-engine call site.
+DEFAULT_ENGINES = (DEFAULT_ENGINE,)
+
+_REGISTRY: dict[str, BoundEngine] = {}
+
+
+def register_engine(engine: BoundEngine, *,
+                    replace: bool = False) -> BoundEngine:
+    """Add an engine to the registry; rejects duplicates by default."""
+    if not engine.name:
+        raise UnknownEngineError("an engine needs a non-empty name")
+    if not replace and engine.name in _REGISTRY:
+        raise DuplicateEngineError(
+            f"engine {engine.name!r} is already registered "
+            f"(pass replace=True to overwrite)")
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def get_engine(name: str) -> BoundEngine:
+    """Look up an engine by name.
+
+    Raises
+    ------
+    UnknownEngineError
+        If no engine of that name is registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; known engines: "
+            f"{engine_names()}") from None
+
+
+def engine_names() -> list[str]:
+    """Registered engine names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_engines() -> list[BoundEngine]:
+    """Every registered engine, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def resolve_engines(selection: "str | Sequence[str] | None"
+                    ) -> tuple[str, ...]:
+    """Resolve a CLI selection to a tuple of registered engine names.
+
+    ``None`` and ``""`` mean the default engine; ``"all"`` (alone or in
+    a list) selects every registered engine; otherwise the selection is
+    a name, a comma list, or a sequence of names — each validated
+    against the registry.
+
+    Raises
+    ------
+    UnknownEngineError
+        If any selected name is not registered.
+    """
+    if selection is None:
+        return DEFAULT_ENGINES
+    if isinstance(selection, str):
+        selection = [part.strip() for part in selection.split(",")]
+    names = [name for name in selection if name]
+    if not names:
+        return DEFAULT_ENGINES
+    if "all" in names:
+        if len(names) > 1:
+            raise UnknownEngineError(
+                "engine selection 'all' cannot be combined with "
+                "explicit engine names")
+        return tuple(engine_names())
+    resolved = []
+    for name in names:
+        get_engine(name)
+        if name not in resolved:
+            resolved.append(name)
+    return tuple(resolved)
+
+
+register_engine(CalculusEngine())
+register_engine(HolisticEngine())
+register_engine(TrajectoryEngine())
+
+#: The CLI's ``--engine`` vocabulary (registered engines plus ``all``).
+ENGINE_CHOICES = tuple(engine_names()) + ("all",)

@@ -1,0 +1,232 @@
+"""The ``BoundEngine`` protocol and its shared value types.
+
+A bound engine is one self-contained way of bounding worst-case
+response times on the reproduced architecture.  Every engine exposes
+the same three-method surface:
+
+* ``name`` — the registry key (``"calculus"``, ``"holistic"``,
+  ``"trajectory"``),
+* ``supports(scenario)`` — whether the engine can bound a campaign
+  :class:`~repro.campaigns.scenario.Scenario`,
+* ``class_bounds(scenario, policy)`` — per-priority-class worst-case
+  delay bounds as an :class:`EngineResult`.
+
+Engines additionally expose ``network_class_bounds(messages, policy,
+network=..., graph_spec=...)`` for callers that already hold a concrete
+routed network (the fuzz and simulation layers), so the engine's math is
+applied to *exactly* the network the simulator runs on.
+
+Results carry per-class bounds with stability flags and a canonical-JSON
+fingerprint (:func:`repro.store.fingerprint`), so two processes agree on
+the identity of an engine verdict byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.flows.priorities import PriorityClass
+from repro.store import fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.campaigns.scenario import Scenario
+    from repro.flows.messages import Message
+    from repro.topology.graph import GraphTopologySpec
+    from repro.topology.network import Network
+
+__all__ = [
+    "EngineClassBound",
+    "EngineResult",
+    "EngineSpec",
+    "BoundEngine",
+    "ScenarioBoundEngine",
+    "scenario_inputs",
+    "present_classes",
+]
+
+
+@dataclass(frozen=True)
+class EngineClassBound:
+    """One priority class' verdict from one engine run."""
+
+    priority: PriorityClass
+    #: Worst-case delay bound in seconds; ``inf`` when the engine could
+    #: not bound the class (overload, diverged fixed point).
+    bound: float
+    #: ``False`` exactly when ``bound`` is not finite.
+    stable: bool
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Per-class bounds of one ``(engine, scenario, policy)`` evaluation."""
+
+    engine: str
+    policy: str
+    bounds: tuple[EngineClassBound, ...]
+
+    def by_class(self) -> dict[PriorityClass, float]:
+        """``{priority: bound}`` over every class the engine saw."""
+        return {row.priority: row.bound for row in self.bounds}
+
+    def stable_by_class(self) -> dict[PriorityClass, bool]:
+        """``{priority: stable}`` over every class the engine saw."""
+        return {row.priority: row.stable for row in self.bounds}
+
+    def bound_for(self, priority: PriorityClass,
+                  default: float = math.inf) -> float:
+        """The bound of one class (``default`` when the class is absent)."""
+        for row in self.bounds:
+            if row.priority is priority:
+                return row.bound
+        return default
+
+    @property
+    def stable(self) -> bool:
+        """True when every class the engine saw has a finite bound."""
+        return all(row.stable for row in self.bounds)
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (priority by enum name, sorted)."""
+        return {
+            "engine": self.engine,
+            "policy": self.policy,
+            "bounds": [{
+                "priority": row.priority.name,
+                "bound": row.bound,
+                "stable": row.stable,
+            } for row in self.bounds],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "EngineResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(
+            engine=payload["engine"],
+            policy=payload["policy"],
+            bounds=tuple(EngineClassBound(
+                priority=PriorityClass[row["priority"]],
+                bound=float(row["bound"]),
+                stable=bool(row["stable"]),
+            ) for row in payload["bounds"]))
+
+    def fingerprint(self) -> str:
+        """Canonical-JSON SHA-256 of the result (machine-independent)."""
+        return fingerprint(self.to_payload())
+
+    @classmethod
+    def from_mapping(cls, engine: str, policy: str,
+                     mapping: Mapping[PriorityClass, float]
+                     ) -> "EngineResult":
+        """Build a result from ``{priority: bound}``, sorted by class."""
+        return cls(
+            engine=engine,
+            policy=policy,
+            bounds=tuple(EngineClassBound(
+                priority=priority,
+                bound=float(mapping[priority]),
+                stable=math.isfinite(mapping[priority]),
+            ) for priority in sorted(mapping)))
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Value-level engine selection, attachable to campaign/fuzz cells.
+
+    Being a frozen dataclass it canonicalises (and therefore
+    fingerprints) cleanly, so a cell keyed on an ``EngineSpec`` gets a
+    distinct store identity per engine.
+    """
+
+    name: str = "calculus"
+
+    def resolve(self) -> "BoundEngine":
+        """The registered engine this spec names.
+
+        Raises
+        ------
+        UnknownEngineError
+            If no engine of that name is registered.
+        """
+        from repro.analysis.engines import get_engine
+        return get_engine(self.name)
+
+
+@runtime_checkable
+class BoundEngine(Protocol):
+    """Protocol every registered WCRT bound engine implements."""
+
+    name: str
+
+    def supports(self, scenario: "Scenario") -> bool:
+        """Whether the engine can bound ``scenario``."""
+        ...  # pragma: no cover - protocol stub
+
+    def class_bounds(self, scenario: "Scenario",
+                     policy: str) -> EngineResult:
+        """Per-class worst-case delay bounds for one scenario/policy."""
+        ...  # pragma: no cover - protocol stub
+
+
+def present_classes(messages: Iterable) -> list[PriorityClass]:
+    """The sorted priority classes that actually carry traffic."""
+    from repro.core.multiplexer import priority_of
+    return sorted({priority_of(message) for message in messages})
+
+
+def scenario_inputs(scenario: "Scenario"
+                    ) -> "tuple[list[Message], Network, GraphTopologySpec | None]":
+    """``(wire messages, network, graph spec)`` behind one scenario.
+
+    This is the shared scenario-to-network lowering of every engine:
+    the workload is built, sized at wire level (the simulators transmit
+    whole Ethernet frames), and attached to either the scenario's graph
+    topology or the same single-switch star the fuzz harness simulates
+    — so engine bounds and simulated floors always describe the same
+    physical network.
+    """
+    from repro.analysis.validation import (star_for_stations,
+                                           wire_level_messages)
+
+    message_set = scenario.workload.build()
+    wire_messages = wire_level_messages(message_set)
+    if scenario.topology.kind == "graph":
+        graph_spec = scenario.topology.build_graph(
+            scenario.workload.total_stations, scenario.capacity,
+            scenario.technology_delay)
+        return wire_messages, graph_spec.to_network(), graph_spec
+    network = star_for_stations(message_set.stations(), scenario.capacity,
+                                scenario.technology_delay)
+    return wire_messages, network, None
+
+
+class ScenarioBoundEngine:
+    """Shared scenario plumbing of the concrete engines.
+
+    Subclasses implement :meth:`network_class_bounds`; this base class
+    lowers a :class:`~repro.campaigns.scenario.Scenario` to wire-level
+    messages plus a concrete network and wraps the result.
+    """
+
+    name = "abstract"
+
+    def supports(self, scenario: "Scenario") -> bool:
+        """Every shipped engine handles every registered topology kind."""
+        return True
+
+    def class_bounds(self, scenario: "Scenario",
+                     policy: str) -> EngineResult:
+        """Per-class bounds of one scenario/policy cell."""
+        wire_messages, network, graph_spec = scenario_inputs(scenario)
+        mapping = self.network_class_bounds(
+            wire_messages, policy, network=network, graph_spec=graph_spec)
+        return EngineResult.from_mapping(self.name, policy, mapping)
+
+    def network_class_bounds(self, messages: "Iterable[Message]",
+                             policy: str, *, network: "Network",
+                             graph_spec: "GraphTopologySpec | None" = None
+                             ) -> dict[PriorityClass, float]:
+        """Per-class bounds on a concrete routed network (abstract)."""
+        raise NotImplementedError  # pragma: no cover - abstract

@@ -1,0 +1,176 @@
+"""Shared routed-network fixed-point scaffolding of the iterative engines.
+
+The holistic and trajectory engines both follow the structure of
+:class:`repro.analysis.multihop.GraphPathAnalysis`: route every message
+along its deterministic shortest path, group the routed flows by
+directed output port, iterate per-hop delay bounds to a fixed point
+(each flow's burst at hop *k* is inflated by its upstream delay — the
+classic time-stopping argument), and declare flows *diverged* when the
+iteration fails to settle.  This module factors that scaffolding out so
+each engine only supplies its per-port delay rule.
+
+Everything here operates on a concrete :class:`repro.topology.network.
+Network`, so the same code serves the paper's star, the dual-switch and
+tree ladders, and the arbitrary multi-hop graph topologies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.multiplexer import priority_of
+from repro.flows.flow import Flow
+from repro.flows.priorities import PriorityClass
+from repro.topology.network import Network
+
+__all__ = ["RoutedFlowState", "PortContext", "route_states", "build_ports",
+           "run_fixed_point", "DEFAULT_MAX_ITERATIONS"]
+
+#: Outer burst-inflation passes before a flow is declared diverged.
+DEFAULT_MAX_ITERATIONS = 16
+
+#: Relative tolerance under which an upstream-delay update counts as
+#: settled (absolute for sub-nanosecond values).
+_TOLERANCE = 1e-12
+
+
+@dataclass
+class RoutedFlowState:
+    """One routed flow plus the per-hop state of the iteration."""
+
+    flow: Flow
+    priority: PriorityClass
+    hops: tuple[tuple[str, str], ...]
+    #: Sum of bound delays (and propagation) accumulated before each hop.
+    upstream: list[float] = field(default_factory=list)
+    #: Current per-hop delay bound (queuing + relaying, no propagation).
+    delays: list[float] = field(default_factory=list)
+    #: Propagation delay of each hop's link.
+    propagation: tuple[float, ...] = ()
+    #: Set when the fixed point failed to settle for this flow; its
+    #: bursts (and therefore every bound involving it) become infinite.
+    diverged: bool = False
+
+    def burst_at(self, index: int) -> float:
+        """Token-bucket burst at hop ``index``, inflated by upstream delay."""
+        if self.diverged:
+            return math.inf
+        upstream = self.upstream[index]
+        if not math.isfinite(upstream):
+            return math.inf
+        return self.flow.burst + self.flow.rate * upstream
+
+    @property
+    def name(self) -> str:
+        """The routed flow's (message's) unique name."""
+        return self.flow.name
+
+
+@dataclass(frozen=True)
+class PortContext:
+    """One directed output port and the routed flows crossing it."""
+
+    node: str
+    toward: str
+    capacity: float
+    #: ``t_techno`` of the relaying switch (0 at source stations).
+    technology_delay: float
+    propagation_delay: float
+    #: ``(state, hop index)`` of every flow using this port, in flow-name
+    #: order — deterministic by construction.
+    members: tuple[tuple[RoutedFlowState, int], ...]
+
+
+def route_states(network: Network,
+                 messages: Iterable) -> list[RoutedFlowState]:
+    """Route every message and seed the per-hop iteration state."""
+    states: list[RoutedFlowState] = []
+    for item in sorted(messages, key=lambda message: message.name):
+        flow = network.route_flow(item)
+        hops = tuple(flow.hops())
+        states.append(RoutedFlowState(
+            flow=flow,
+            priority=priority_of(flow),
+            hops=hops,
+            upstream=[0.0] * len(hops),
+            delays=[0.0] * len(hops),
+            propagation=tuple(
+                network.link(node, toward).propagation_delay
+                for node, toward in hops)))
+    return states
+
+
+def build_ports(network: Network,
+                states: Iterable[RoutedFlowState]) -> list[PortContext]:
+    """Group routed flows by directed port, in sorted port order."""
+    membership: dict[tuple[str, str], list[tuple[RoutedFlowState, int]]] = {}
+    for state in states:
+        for index, hop in enumerate(state.hops):
+            membership.setdefault(hop, []).append((state, index))
+    ports: list[PortContext] = []
+    for node, toward in sorted(membership):
+        link = network.link(node, toward)
+        technology_delay = (network.technology_delay(node)
+                            if network.is_switch(node) else 0.0)
+        ports.append(PortContext(
+            node=node,
+            toward=toward,
+            capacity=link.capacity,
+            technology_delay=technology_delay,
+            propagation_delay=link.propagation_delay,
+            members=tuple(membership[(node, toward)])))
+    return ports
+
+
+def _accumulate(states: Iterable[RoutedFlowState]) -> set[str]:
+    """Refresh upstream prefix sums; names whose upstream state moved."""
+    changed: set[str] = set()
+    for state in states:
+        cumulative = 0.0
+        for index in range(len(state.hops)):
+            previous = state.upstream[index]
+            if not _settled(previous, cumulative):
+                state.upstream[index] = cumulative
+                changed.add(state.name)
+            cumulative += state.delays[index] + state.propagation[index]
+    return changed
+
+
+def _settled(previous: float, current: float) -> bool:
+    if previous == current:
+        return True
+    if math.isinf(previous) and math.isinf(current):
+        return True
+    return abs(current - previous) <= _TOLERANCE * max(
+        1e-9, abs(previous), abs(current))
+
+
+def run_fixed_point(states: list[RoutedFlowState],
+                    ports: list[PortContext],
+                    single_pass: Callable[[list[PortContext]], None],
+                    max_iterations: int = DEFAULT_MAX_ITERATIONS) -> bool:
+    """Iterate ``single_pass`` + accumulation until the bounds settle.
+
+    Returns ``True`` when every flow settled.  Flows still moving after
+    ``max_iterations`` passes are marked diverged (their bursts become
+    infinite) and a bounded number of absorb passes propagates the
+    infinities through every port they share — mirroring
+    ``GraphPathAnalysis``'s divergence handling, so an unstable corner
+    yields ``inf`` bounds instead of looping forever.
+    """
+    moving: set[str] = set()
+    for _ in range(max_iterations):
+        single_pass(ports)
+        moving = _accumulate(states)
+        if not moving:
+            return True
+    for state in states:
+        if state.name in moving:
+            state.diverged = True
+    for _ in range(len(states) + 1):
+        single_pass(ports)
+        if not _accumulate(states):
+            break
+    return False

@@ -23,6 +23,7 @@ those bounds; its qualitative findings are:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 from repro import units
@@ -33,7 +34,7 @@ from repro.core.multiplexer import (
     aggregate_flows,
     compute_class_bounds,
 )
-from repro.errors import EmptyAggregateError
+from repro.errors import ConfigurationError, EmptyAggregateError
 from repro.flows.message_set import MessageSet
 from repro.flows.priorities import PriorityClass
 
@@ -144,17 +145,59 @@ class PaperCaseStudy:
         """The single FCFS bound ``D`` applying to every packet (seconds)."""
         return self._fcfs.bound_from_aggregates(self.aggregates()).delay
 
-    def fcfs_class_bounds(self) -> dict[PriorityClass, float]:
-        """The FCFS bound reported for every class present in the set."""
+    def class_bounds(self, policy: str) -> dict[PriorityClass, float]:
+        """Per-class worst-case delay bound under one scheduling policy.
+
+        This is the policy-parametric surface the bound-engine registry
+        uses (``repro.analysis.engines``): ``'fcfs'`` reports the single
+        FCFS bound for every class present, ``'strict-priority'`` the
+        per-class bound ``D_p``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``policy`` names neither multiplexer.
+        """
+        if policy == "fcfs":
+            analysis = self._fcfs
+        elif policy == "strict-priority":
+            analysis = self._priority
+        else:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; known policies: 'fcfs', "
+                f"'strict-priority'")
         return {cls: bound.delay for cls, bound in
-                self._fcfs.class_bounds_from_aggregates(
+                analysis.class_bounds_from_aggregates(
                     self.aggregates()).items()}
 
+    def fcfs_class_bounds(self) -> dict[PriorityClass, float]:
+        """Deprecated spelling of :meth:`class_bounds` (``'fcfs'``).
+
+        .. deprecated::
+            Use ``class_bounds('fcfs')``, or the engine registry
+            (``repro.analysis.engines.get_engine('calculus')``) when the
+            bound should be comparable across competing engines.
+        """
+        warnings.warn(
+            "PaperCaseStudy.fcfs_class_bounds() is deprecated; use "
+            "PaperCaseStudy.class_bounds('fcfs') or the bound-engine "
+            "registry (repro.analysis.engines)",
+            DeprecationWarning, stacklevel=2)
+        return self.class_bounds("fcfs")
+
     def priority_class_bounds(self) -> dict[PriorityClass, float]:
-        """The strict-priority bound ``D_p`` of every class present."""
-        return {cls: bound.delay for cls, bound in
-                self._priority.class_bounds_from_aggregates(
-                    self.aggregates()).items()}
+        """Deprecated spelling of :meth:`class_bounds` (strict priority).
+
+        .. deprecated::
+            Use ``class_bounds('strict-priority')``, or the engine
+            registry (``repro.analysis.engines.get_engine('calculus')``).
+        """
+        warnings.warn(
+            "PaperCaseStudy.priority_class_bounds() is deprecated; use "
+            "PaperCaseStudy.class_bounds('strict-priority') or the "
+            "bound-engine registry (repro.analysis.engines)",
+            DeprecationWarning, stacklevel=2)
+        return self.class_bounds("strict-priority")
 
     def class_deadlines(self) -> dict[PriorityClass, float | None]:
         """The binding (smallest) deadline of every class present in the set."""
@@ -237,6 +280,18 @@ def figure1_rows(message_set: MessageSet,
                  capacity: float = DEFAULT_CAPACITY,
                  technology_delay: float = DEFAULT_TECHNOLOGY_DELAY
                  ) -> list[ClassBoundRow]:
-    """Convenience wrapper returning Figure 1's rows for a message set."""
+    """Deprecated wrapper around :meth:`PaperCaseStudy.figure1_rows`.
+
+    .. deprecated::
+        Construct a :class:`PaperCaseStudy` and call its
+        ``figure1_rows()`` method, or go through the bound-engine
+        registry (``repro.analysis.engines``) for policy-parametric,
+        cross-engine-comparable bounds.
+    """
+    warnings.warn(
+        "repro.analysis.figure1_rows() is deprecated; use "
+        "PaperCaseStudy(message_set).figure1_rows() or the bound-engine "
+        "registry (repro.analysis.engines)",
+        DeprecationWarning, stacklevel=2)
     return PaperCaseStudy(message_set, capacity=capacity,
                           technology_delay=technology_delay).figure1_rows()

@@ -85,7 +85,7 @@ def technology_delay_sweep(
     for delay in delays:
         study = PaperCaseStudy(message_set, capacity=capacity,
                                technology_delay=delay)
-        priority_bounds = study.priority_class_bounds()
+        priority_bounds = study.class_bounds("strict-priority")
         urgent = priority_bounds.get(PriorityClass.URGENT, float("nan"))
         rows.append(TechnologyDelayRow(
             technology_delay=delay,
@@ -110,7 +110,7 @@ def burst_scaling_sweep(message_set: MessageSet,
         rows.append(BurstScalingRow(
             factor=factor,
             fcfs_bound=study.fcfs_bound(),
-            priority_bounds=study.priority_class_bounds(),
+            priority_bounds=study.class_bounds("strict-priority"),
             all_constraints_met=all(r.priority_meets_deadline
                                     for r in figure_rows)))
     return rows

@@ -37,6 +37,7 @@ __all__ = [
     "BoundValidationRow",
     "validate_bounds",
     "star_for_message_set",
+    "star_for_stations",
     "wire_level_messages",
 ]
 
@@ -93,6 +94,27 @@ def star_for_message_set(message_set: MessageSet,
         raise ValueError(
             f"message-set stations {sorted(missing)} are not covered by the "
             f"star topology; build the topology explicitly for custom names")
+    return network
+
+
+def star_for_stations(stations: "list[str] | tuple[str, ...]",
+                      capacity: float,
+                      technology_delay: float) -> Network:
+    """A single-switch star over arbitrary station names.
+
+    Unlike :func:`star_for_message_set` this accepts any station-name
+    scheme (the fuzz generator's replicated workloads use ``-rk``
+    suffixes the canonical builders do not know about), so it is the
+    network behind every fuzz cell and the star path of the bound
+    engines.
+    """
+    network = Network(name=f"fuzz-star-{len(stations)}")
+    network.add_switch("switch-0", technology_delay=technology_delay)
+    for station in stations:
+        network.add_station(station)
+        network.add_link(station, "switch-0", capacity=capacity,
+                         propagation_delay=0.0)
+    network.validate()
     return network
 
 

@@ -66,8 +66,8 @@ def fcfs_violation_table(message_set: MessageSet,
     for capacity in capacities:
         study = PaperCaseStudy(message_set, capacity=capacity,
                                technology_delay=technology_delay)
-        fcfs_bounds = study.fcfs_class_bounds()
-        priority_bounds = study.priority_class_bounds()
+        fcfs_bounds = study.class_bounds("fcfs")
+        priority_bounds = study.class_bounds("strict-priority")
         deadlines = study.class_deadlines()
         for cls in PriorityClass:
             if cls not in priority_bounds:

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.engines import (DEFAULT_ENGINES, EngineSpec, get_engine,
+                                    resolve_engines)
 from repro.campaigns.cache import (
     AnalysisCache,
     CacheStats,
@@ -58,8 +60,8 @@ from repro.reporting import (
 )
 from repro.store import ResultStore, StoreStats
 
-__all__ = ["CampaignRow", "ScenarioResult", "CampaignResult",
-           "CampaignRunner"]
+__all__ = ["CampaignRow", "CampaignEngineRow", "ScenarioResult",
+           "CampaignResult", "CampaignRunner"]
 
 #: Short policy labels used in the result tables.
 POLICY_LABELS = {"fcfs": "FCFS", "strict-priority": "priority"}
@@ -93,6 +95,25 @@ class CampaignRow:
         return self.deadline is None or self.bound <= self.deadline
 
 
+@dataclass(frozen=True)
+class CampaignEngineRow:
+    """One bound engine's verdict on one (scenario, policy, class) cell.
+
+    Produced only when the runner is asked for a non-default engine
+    selection (``repro campaign --engine ...``); the canonical
+    :class:`CampaignRow` bounds stay the calculus results either way.
+    """
+
+    scenario: str
+    engine: str
+    policy: str
+    priority: PriorityClass
+    #: The engine's end-to-end delay bound in seconds (``inf`` when the
+    #: engine flags the class unstable under this scenario).
+    bound: float
+    stable: bool
+
+
 @dataclass
 class ScenarioResult:
     """Every row produced by one scenario, plus its wall-clock cost."""
@@ -104,6 +125,9 @@ class ScenarioResult:
     #: instead of being recomputed; ``elapsed`` is then the *original*
     #: computation's cost, as stored.
     resumed: bool = False
+    #: Cross-engine bounds of the scenario; empty under the default
+    #: (calculus-only) engine selection.
+    engine_rows: list[CampaignEngineRow] = field(default_factory=list)
 
     def rows_for(self, policy: str) -> list[CampaignRow]:
         """The rows of one multiplexing policy."""
@@ -145,10 +169,17 @@ class CampaignResult:
                       "feasible")
     DETAIL_HEADERS = ("scenario", "policy", "class", "messages",
                       "constraint", "bound", "ok", "backlog", "stable")
+    ENGINE_HEADERS = ("scenario", "engine", "policy", "class", "bound",
+                      "stable")
 
     def rows(self) -> list[CampaignRow]:
         """Every row of every scenario, in campaign order."""
         return [row for result in self.results for row in result.rows]
+
+    def engine_rows(self) -> list[CampaignEngineRow]:
+        """Every cross-engine row (empty under the default selection)."""
+        return [row for result in self.results
+                for row in result.engine_rows]
 
     def summary_cells(self) -> list[tuple]:
         """One summary line per (scenario, policy)."""
@@ -172,23 +203,45 @@ class CampaignResult:
                  format_bytes(row.backlog_bits), yes_no(row.stable))
                 for row in self.rows()]
 
+    def engine_cells(self) -> list[tuple]:
+        """One formatted line per cross-engine row."""
+        return [(row.scenario, row.engine, POLICY_LABELS[row.policy],
+                 row.priority.label, format_bound(row.bound),
+                 yes_no(row.stable))
+                for row in self.engine_rows()]
+
     def to_table(self) -> str:
-        """Summary plus per-class detail as aligned ASCII tables."""
+        """Summary plus per-class detail as aligned ASCII tables.
+
+        Runs with a non-default engine selection append a third table
+        comparing every selected engine's bound per cell; default runs
+        render exactly the pre-engine layout.
+        """
         summary = render_table(self.SUMMARY_HEADERS, self.summary_cells(),
                                title="Campaign summary")
         detail = render_table(self.DETAIL_HEADERS, self.detail_cells(),
                               title="Per-class worst-case bounds")
-        return summary + "\n" + detail
+        tables = summary + "\n" + detail
+        if self.engine_rows():
+            tables += "\n" + render_table(
+                self.ENGINE_HEADERS, self.engine_cells(),
+                title="Cross-engine bounds")
+        return tables
 
     def to_markdown(self) -> str:
-        """The same two tables in GitHub-flavoured markdown."""
+        """The same tables in GitHub-flavoured markdown."""
         summary = render_markdown_table(
             self.SUMMARY_HEADERS, self.summary_cells(),
             title="Campaign summary")
         detail = render_markdown_table(
             self.DETAIL_HEADERS, self.detail_cells(),
             title="Per-class worst-case bounds")
-        return summary + "\n" + detail
+        tables = summary + "\n" + detail
+        if self.engine_rows():
+            tables += "\n" + render_markdown_table(
+                self.ENGINE_HEADERS, self.engine_cells(),
+                title="Cross-engine bounds")
+        return tables
 
     def write_csv(self, path: str | Path) -> None:
         """Dump the raw (unformatted) rows to ``path``."""
@@ -243,6 +296,14 @@ class CampaignRunner:
     faults:
         Fault-plan text for chaos runs (see :mod:`repro.exec.faults`);
         defaults to ``$REPRO_FAULTS``.
+    engines:
+        Bound-engine selection (``repro campaign --engine ...``), as
+        accepted by :func:`repro.analysis.engines.resolve_engines`.
+        The canonical :class:`CampaignRow` bounds are always the
+        calculus results; any non-default selection additionally
+        populates ``engine_rows`` with every selected engine's bound
+        per cell, and stored scenarios are keyed by the selection so
+        cross-engine runs never collide with default runs.
     """
 
     def __init__(self, cache: AnalysisCache | None = None, *,
@@ -250,7 +311,8 @@ class CampaignRunner:
                  store: ResultStore | None = None,
                  resume: bool = False,
                  exec_policy: ExecPolicy | None = None,
-                 faults: str | None = None) -> None:
+                 faults: str | None = None,
+                 engines: "str | Iterable[str] | None" = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs!r}")
         self.memoize = memoize
@@ -260,6 +322,7 @@ class CampaignRunner:
         self.resume = bool(resume)
         self.exec_policy = exec_policy
         self.faults = faults
+        self.engines = resolve_engines(engines)
 
     # -- public API ----------------------------------------------------------
 
@@ -284,7 +347,7 @@ class CampaignRunner:
         report = executor.map(
             _evaluate_scenario, scenarios,
             initializer=_init_worker,
-            initargs=(self.memoize, store_root, self.resume),
+            initargs=(self.memoize, store_root, self.resume, self.engines),
             serial_fn=self._run_scenario,
             serial_setup=_serial_noop,
             labels=[scenario.name for scenario in scenarios])
@@ -316,8 +379,13 @@ class CampaignRunner:
         """Evaluate one scenario, consulting the result store if present."""
         if self.store is None:
             return self._compute_scenario(scenario)
+        if self.engines == DEFAULT_ENGINES:
+            key: object = scenario  # pre-engine key: bit-identical store
+        else:
+            key = {"scenario": scenario,
+                   "engines": [EngineSpec(name) for name in self.engines]}
         result, _ = self.store.cached(
-            "campaign-scenario", scenario,
+            "campaign-scenario", key,
             lambda: self._compute_scenario(scenario),
             subsystem="campaigns",
             encode=_scenario_result_to_payload,
@@ -344,8 +412,10 @@ class CampaignRunner:
             for cls in sorted(bounds):
                 rows.append(self._row(scenario, policy, cls, bounds[cls],
                                       aggregates, deadlines))
+        engine_rows = self._engine_rows(scenario)
         return ScenarioResult(scenario=scenario, rows=rows,
-                              elapsed=time.perf_counter() - started)
+                              elapsed=time.perf_counter() - started,
+                              engine_rows=engine_rows)
 
     def _compute_graph_scenario(self, scenario: Scenario) -> ScenarioResult:
         """Per-flow multi-hop bounds, aggregated back to per-class rows.
@@ -391,8 +461,38 @@ class CampaignRunner:
                     backlog_bits=backlog,
                     stable=math.isfinite(bound),
                     hops=scenario.hops))
+        engine_rows = self._engine_rows(scenario)
         return ScenarioResult(scenario=scenario, rows=rows,
-                              elapsed=time.perf_counter() - started)
+                              elapsed=time.perf_counter() - started,
+                              engine_rows=engine_rows)
+
+    def _engine_rows(self, scenario: Scenario) -> list[CampaignEngineRow]:
+        """Every selected engine's per-class bounds for one scenario.
+
+        Empty under the default selection (the canonical rows *are* the
+        calculus bounds); a non-default selection evaluates each engine
+        — including ``calculus``, so the comparison table is complete —
+        through the :class:`~repro.analysis.engines.base.BoundEngine`
+        scenario interface.
+        """
+        if self.engines == DEFAULT_ENGINES:
+            return []
+        rows: list[CampaignEngineRow] = []
+        for name in self.engines:
+            engine = get_engine(name)
+            if not engine.supports(scenario):
+                continue
+            for policy in scenario.policies:
+                result = engine.class_bounds(scenario, policy)
+                for bound in result.bounds:
+                    rows.append(CampaignEngineRow(
+                        scenario=scenario.name,
+                        engine=name,
+                        policy=policy,
+                        priority=bound.priority,
+                        bound=bound.bound,
+                        stable=bound.stable))
+        return rows
 
     def _curves(self, scenario: Scenario, policy: str, cls: PriorityClass,
                 aggregates) -> tuple[TokenBucketArrivalCurve,
@@ -442,8 +542,13 @@ class CampaignRunner:
 # ---------------------------------------------------------------------------
 
 def _scenario_result_to_payload(result: ScenarioResult) -> dict:
-    """One scenario's rows as a JSON payload for the result store."""
-    return {
+    """One scenario's rows as a JSON payload for the result store.
+
+    The ``engine_rows`` key appears only for cross-engine runs, so the
+    stored payload of every default run stays byte-identical to the
+    pre-engine format.
+    """
+    payload = {
         "elapsed": result.elapsed,
         "rows": [{
             "scenario": row.scenario,
@@ -457,6 +562,16 @@ def _scenario_result_to_payload(result: ScenarioResult) -> dict:
             "hops": row.hops,
         } for row in result.rows],
     }
+    if result.engine_rows:
+        payload["engine_rows"] = [{
+            "scenario": row.scenario,
+            "engine": row.engine,
+            "policy": row.policy,
+            "priority": row.priority.name,
+            "bound": row.bound,
+            "stable": row.stable,
+        } for row in result.engine_rows]
+    return payload
 
 
 def _scenario_result_from_payload(scenario: Scenario,
@@ -473,8 +588,17 @@ def _scenario_result_from_payload(scenario: Scenario,
         stable=bool(row["stable"]),
         hops=int(row["hops"]),
     ) for row in payload["rows"]]
+    engine_rows = [CampaignEngineRow(
+        scenario=row["scenario"],
+        engine=row["engine"],
+        policy=row["policy"],
+        priority=PriorityClass[row["priority"]],
+        bound=float(row["bound"]),
+        stable=bool(row["stable"]),
+    ) for row in payload.get("engine_rows", [])]
     return ScenarioResult(scenario=scenario, rows=rows,
-                          elapsed=float(payload["elapsed"]), resumed=True)
+                          elapsed=float(payload["elapsed"]), resumed=True,
+                          engine_rows=engine_rows)
 
 
 # ---------------------------------------------------------------------------
@@ -490,12 +614,13 @@ def _serial_noop() -> None:
 
 
 def _init_worker(memoize: bool, store_root: str | None = None,
-                 resume: bool = False) -> None:
+                 resume: bool = False,
+                 engines: tuple[str, ...] = DEFAULT_ENGINES) -> None:
     """Process-pool initializer: one runner (and cache/store) per worker."""
     global _WORKER_RUNNER
     store = None if store_root is None else ResultStore(store_root)
     _WORKER_RUNNER = CampaignRunner(memoize=memoize, store=store,
-                                    resume=resume)
+                                    resume=resume, engines=engines)
 
 
 def _evaluate_scenario(scenario: Scenario) -> ScenarioResult:

@@ -47,6 +47,15 @@ testing.  ``serve`` reuses the same flags with service semantics:
 the request/journal chaos kinds.  Failed cells are listed in a summary
 table before the final ``error: ...`` line.  Errors are reported as a
 single ``error: ...`` line with exit code 2, never a traceback.
+
+The same five commands share one ``--engine`` flag selecting the WCRT
+bound engine(s) (``calculus``, ``holistic``, ``trajectory``, a comma
+list, or ``all``; see :mod:`repro.analysis.engines`).  The default is
+always the paper's calculus engine and the canonical outputs never
+change shape; a non-default selection adds cross-engine tables and
+soundness checks.  ``serve`` only accepts the calculus engine (its
+incremental admission math has no other backend) and an unknown engine
+name dies on the usual ``error:`` line.
 """
 
 from __future__ import annotations
@@ -60,6 +69,13 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro import units
+from repro.analysis.engines import (
+    DEFAULT_ENGINE,
+    DEFAULT_ENGINES,
+    ENGINE_CHOICES,
+    engine_names,
+    resolve_engines,
+)
 from repro.analysis import (
     baseline_1553_report,
     fcfs_violation_table,
@@ -99,6 +115,7 @@ from repro.store import (
     DEFAULT_STORE_DIR,
     ResultStore,
     all_code_versions,
+    code_version,
     combined_token,
     fingerprint,
 )
@@ -379,6 +396,42 @@ def _resolve_exec(args: argparse.Namespace) -> tuple[ExecPolicy, str | None]:
     return policy, args.faults
 
 
+# ---------------------------------------------------------------------------
+# Bound-engine selection shared by campaign / simulate / fuzz / report /
+# serve
+# ---------------------------------------------------------------------------
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """A parent parser carrying the shared ``--engine`` flag.
+
+    One definition keeps the vocabulary (and the error message for an
+    unknown engine) identical across every subcommand that analyses
+    bounds.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--engine", metavar="NAME", default=None,
+                        help="WCRT bound engine(s) to run: one of "
+                             f"{', '.join(ENGINE_CHOICES)}, or a comma "
+                             f"list (default: {DEFAULT_ENGINE})")
+    return parent
+
+
+#: The ``--engine`` flag shared by campaign / simulate / fuzz / report /
+#: serve.
+_ENGINE_FLAGS = _engine_parent()
+
+
+def _resolve_engines(args: argparse.Namespace) -> tuple[str, ...]:
+    """The validated ``--engine`` selection of a run.
+
+    Raises :class:`~repro.errors.UnknownEngineError` (a
+    :class:`~repro.errors.ConfigurationError`) for names outside the
+    registry, which :func:`main` renders as the one-line ``error:``
+    convention with exit code 2.
+    """
+    return resolve_engines(getattr(args, "engine", None))
+
+
 def _write_failure_table(failures, *, unit: str = "cell") -> None:
     """The one-line-per-cell failure summary, on stderr."""
     rows = [(failure.index, failure.label, failure.attempts, failure.kind,
@@ -432,6 +485,13 @@ def _configure_campaign(sub: argparse.ArgumentParser) -> None:
 
 def _command_campaign(ctx: CommandContext) -> int:
     args = ctx.args
+    try:
+        # Validate the engine selection before any other branch (the bare
+        # listing included): a typo should fail fast, not print a table.
+        engines = _resolve_engines(args)
+    except ConfigurationError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 2
     ignored = [flag for flag, is_default in (
         ("--workload", args.workload is None),
         ("--stations", args.stations == 16),
@@ -463,7 +523,8 @@ def _command_campaign(ctx: CommandContext) -> int:
     policy, fault_spec = _resolve_exec(args)
     runner = CampaignRunner(memoize=not args.naive, jobs=args.jobs,
                             store=store, resume=args.resume,
-                            exec_policy=policy, faults=fault_spec)
+                            exec_policy=policy, faults=fault_spec,
+                            engines=engines)
     result = runner.run(scenarios)
     _print(result.to_markdown() if args.markdown else result.to_table())
     mode = "naive" if args.naive else "memoized"
@@ -596,7 +657,8 @@ def _command_simulate(ctx: CommandContext) -> int:
             resume=args.resume,
             topology=topology,
             exec_policy=policy,
-            faults=fault_spec)
+            faults=fault_spec,
+            engines=_resolve_engines(args))
     except ConfigurationError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
@@ -614,11 +676,16 @@ def _command_simulate(ctx: CommandContext) -> int:
                      f"{jobs_note})")
     else:
         rate_note = f" (all cells resumed{jobs_note})"
+    engine_note = ""
+    if result.engine_rows:
+        engine_note = (f"; engine bounds hold: "
+                       f"{'yes' if result.all_engine_bounds_hold else 'NO'}")
     sys.stdout.write(
         f"{result.cells} cells, {len(result.rows)} rows, "
         f"{fresh_events} events in {result.elapsed:.2f} s"
         f"{rate_note}; "
-        f"bounds hold: {'yes' if result.all_bounds_hold else 'NO'}\n")
+        f"bounds hold: {'yes' if result.all_bounds_hold else 'NO'}"
+        f"{engine_note}\n")
     if store is not None:
         sys.stdout.write(_store_line(
             store, resumed=result.resumed, total=result.cells,
@@ -629,7 +696,8 @@ def _command_simulate(ctx: CommandContext) -> int:
     failed = _report_exec_failures(result.exec_report)
     if failed is not None:
         return failed
-    return 0 if result.all_bounds_hold else 1
+    return 0 if result.all_bounds_hold and result.all_engine_bounds_hold \
+        else 1
 
 
 # ---------------------------------------------------------------------------
@@ -695,7 +763,8 @@ def _command_fuzz(ctx: CommandContext) -> int:
             resume=args.resume,
             tightness_threshold=args.tightness,
             exec_policy=policy,
-            faults=fault_spec)
+            faults=fault_spec,
+            engines=_resolve_engines(args))
     except ConfigurationError as error:
         sys.stderr.write(f"error: {error}\n")
         return 2
@@ -714,12 +783,16 @@ def _command_fuzz(ctx: CommandContext) -> int:
         rate_note = f" (all cells resumed{jobs_note})"
     tightness_note = ("-" if result.max_tightness != result.max_tightness
                       else f"{result.max_tightness:.3f}")
+    engine_note = ""
+    if len(campaign.engines) > 1:
+        engine_note = f"; engines: {', '.join(campaign.engines)}"
     sys.stdout.write(
         f"{result.cells} cells, {result.violation_count} violations, "
         f"max tightness {tightness_note} in {result.elapsed:.2f} s"
         f"{rate_note}; "
         f"invariants hold: "
-        f"{'yes' if result.all_invariants_hold else 'NO'}\n")
+        f"{'yes' if result.all_invariants_hold else 'NO'}"
+        f"{engine_note}\n")
     if store is not None:
         sys.stdout.write(_store_line(
             store, resumed=result.resumed, total=result.cells,
@@ -768,6 +841,10 @@ def _command_report(ctx: CommandContext) -> int:
         sys.stderr.write(f"error: --jobs must be at least 1, "
                          f"got {args.jobs}\n")
         return 2
+    # Validated for the shared exit-2 contract; the `engines` report
+    # experiment always ranks every registered engine, so any known
+    # selection renders the same committed artifacts.
+    _resolve_engines(args)
     if args.list_experiments:
         _print(render_table(
             ["name", "exhibit", "description"],
@@ -939,6 +1016,13 @@ def _command_serve(ctx: CommandContext) -> int:
             f"{args.scenario!r} selects {len(scenarios)}\n")
         return 2
     scenario = scenarios[0]
+    engines = _resolve_engines(args)
+    if engines != DEFAULT_ENGINES:
+        sys.stderr.write(
+            f"error: serve only supports --engine {DEFAULT_ENGINE} (the "
+            f"incremental admission math has no other backend); got "
+            f"{','.join(engines)}\n")
+        return 2
     store = _resolve_store(args)
     _, fault_spec = _resolve_exec(args)
     plan = FaultPlan.parse(fault_spec if fault_spec is not None
@@ -1073,17 +1157,17 @@ COMMANDS: tuple[CommandSpec, ...] = (
     CommandSpec("campaign", "list or batch-run the scenario catalogue",
                 _command_campaign, configure=_configure_campaign,
                 needs_workload=False,
-                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
+                parents=(_STORE_FLAGS, _EXEC_FLAGS, _ENGINE_FLAGS)),
     CommandSpec("simulate", "Monte-Carlo simulation campaign: seeds x "
                             "scenarios x policies x scales vs the bounds",
                 _command_simulate, configure=_configure_simulate,
                 needs_workload=False,
-                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
+                parents=(_STORE_FLAGS, _EXEC_FLAGS, _ENGINE_FLAGS)),
     CommandSpec("fuzz", "randomized soundness fuzzing: generated scenarios "
                         "vs the analytic invariants",
                 _command_fuzz, configure=_configure_fuzz,
                 needs_workload=False,
-                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
+                parents=(_STORE_FLAGS, _EXEC_FLAGS, _ENGINE_FLAGS)),
     CommandSpec("topology", "validate a multi-hop topology file "
                             "(.json or .csv)",
                 _command_topology, configure=_configure_topology,
@@ -1092,7 +1176,7 @@ COMMANDS: tuple[CommandSpec, ...] = (
                           "reproduction report",
                 _command_report, configure=_configure_report,
                 needs_workload=False,
-                parents=(_REPORT_STORE_FLAGS, _EXEC_FLAGS)),
+                parents=(_REPORT_STORE_FLAGS, _EXEC_FLAGS, _ENGINE_FLAGS)),
     CommandSpec("store", "inspect or manage the result store "
                          "(stats, gc, clear, key)",
                 _command_store, configure=_configure_store,
@@ -1101,7 +1185,7 @@ COMMANDS: tuple[CommandSpec, ...] = (
                          "over HTTP against a loaded scenario",
                 _command_serve, configure=_configure_serve,
                 needs_workload=False,
-                parents=(_STORE_FLAGS, _EXEC_FLAGS)),
+                parents=(_STORE_FLAGS, _EXEC_FLAGS, _ENGINE_FLAGS)),
 )
 
 _COMMAND_INDEX = {spec.name: spec for spec in COMMANDS}
@@ -1112,7 +1196,10 @@ class _VersionAction(argparse.Action):
 
     The cache key is ``repro store key`` (the combined code-version
     token), so one line tells both which release is installed and
-    whether two checkouts would share warm store results.
+    whether two checkouts would share warm store results.  A third line
+    names the active (default) bound engine, the registered
+    alternatives, and the ``engines`` subsystem token — which source
+    revision of the bound implementations this build carries.
     """
 
     def __init__(self, option_strings, dest, **kwargs):
@@ -1122,6 +1209,10 @@ class _VersionAction(argparse.Action):
         from repro import __version__
         sys.stdout.write(f"repro {__version__}\n")
         sys.stdout.write(f"store key {combined_token()}\n")
+        sys.stdout.write(
+            f"engine {DEFAULT_ENGINE} (registered: "
+            f"{', '.join(engine_names())}); engines token "
+            f"{code_version('engines')}\n")
         parser.exit(0)
 
 

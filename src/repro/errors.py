@@ -79,6 +79,14 @@ class DuplicateExperimentError(ConfigurationError):
     """An experiment name is registered twice without ``replace=True``."""
 
 
+class UnknownEngineError(ConfigurationError):
+    """A caller references a bound-engine name absent from the registry."""
+
+
+class DuplicateEngineError(ConfigurationError):
+    """A bound-engine name is registered twice without ``replace=True``."""
+
+
 # ---------------------------------------------------------------------------
 # Analytical problems
 # ---------------------------------------------------------------------------

@@ -39,8 +39,10 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro import units
+from repro.analysis.engines import (DEFAULT_ENGINE, DEFAULT_ENGINES,
+                                    get_engine, resolve_engines)
 from repro.analysis.multihop import GraphPathAnalysis
-from repro.analysis.validation import wire_level_messages
+from repro.analysis.validation import star_for_stations, wire_level_messages
 from repro.campaigns.runner import CampaignRow, CampaignRunner
 from repro.campaigns.scenario import Scenario
 from repro.core.endtoend import EndToEndAnalysis
@@ -63,6 +65,7 @@ __all__ = [
     "FuzzCell",
     "FuzzBoundRow",
     "FuzzPortRow",
+    "FuzzEngineRow",
     "FuzzOutcome",
     "FuzzResult",
     "FuzzCampaign",
@@ -150,6 +153,40 @@ class FuzzPortRow:
 
 
 @dataclass(frozen=True)
+class FuzzEngineRow:
+    """One alternative engine's bound vs the simulated floor.
+
+    The ``calculus`` engine's verdicts are the :class:`FuzzBoundRow`
+    rows (the harness' historical floor check, kept byte-identical);
+    rows of this type cover the *other* registered engines when a
+    campaign runs with ``--engine holistic|trajectory|all``.
+    """
+
+    engine: str
+    policy: str
+    priority: PriorityClass
+    #: The engine's wire-level bound (seconds); ``inf`` when flagged
+    #: unstable.
+    bound: float
+    #: Worst latency observed by the simulator (seconds).
+    worst_simulated: float
+    #: Number of latency samples behind the observation.
+    samples: int
+
+    @property
+    def bound_holds(self) -> bool:
+        """True when the engine's bound dominates the simulated worst."""
+        return self.worst_simulated <= self.bound + 1e-9
+
+    @property
+    def tightness(self) -> float:
+        """Simulated worst over bound; ``nan`` without a finite bound."""
+        if not math.isfinite(self.bound) or self.bound <= 0:
+            return float("nan")
+        return self.worst_simulated / self.bound
+
+
+@dataclass(frozen=True)
 class FuzzOutcome:
     """Everything one fuzzed cell contributes to the campaign."""
 
@@ -167,6 +204,29 @@ class FuzzOutcome:
     resumed: bool = False
     #: Per-port backlog bound vs observation rows (``"graph"`` cells only).
     port_rows: tuple[FuzzPortRow, ...] = ()
+    #: Bounds of the non-default engines (``--engine`` beyond calculus).
+    engine_rows: tuple[FuzzEngineRow, ...] = ()
+
+    @property
+    def engines(self) -> tuple[str, ...]:
+        """Every engine this cell validated (the floor engine first)."""
+        names = [DEFAULT_ENGINE]
+        for row in self.engine_rows:
+            if row.engine not in names:
+                names.append(row.engine)
+        return tuple(names)
+
+    def near_tight_engines(self, threshold: float) -> tuple[str, ...]:
+        """Engines whose worst/bound ratio reaches ``threshold`` here."""
+        names = []
+        if math.isfinite(self.max_tightness) and \
+                self.max_tightness >= threshold:
+            names.append(DEFAULT_ENGINE)
+        for row in self.engine_rows:
+            if row.engine not in names and math.isfinite(row.tightness) \
+                    and row.tightness >= threshold:
+                names.append(row.engine)
+        return tuple(names)
 
     @property
     def max_tightness(self) -> float:
@@ -350,6 +410,12 @@ class FuzzCampaign:
     tightness_threshold:
         Cells whose worst/bound ratio reaches this value are flagged
         *interesting* (corpus candidates) even when every invariant holds.
+    engines:
+        Bound engines to validate against the simulated floor (any
+        :func:`repro.analysis.engines.resolve_engines` selection).  The
+        default validates only the historical ``calculus`` floor; every
+        additional engine contributes :class:`FuzzEngineRow` rows and an
+        ``engine-soundness`` invariant per (policy, class).
     """
 
     def __init__(self, *, count: int, seed: int = 0,
@@ -361,7 +427,8 @@ class FuzzCampaign:
                  resume: bool = False,
                  tightness_threshold: float = DEFAULT_TIGHTNESS_THRESHOLD,
                  exec_policy: ExecPolicy | None = None,
-                 faults: str | None = None) -> None:
+                 faults: str | None = None,
+                 engines: "str | Sequence[str] | None" = None) -> None:
         if count < 1:
             raise ConfigurationError(
                 f"count must be at least 1, got {count!r}")
@@ -385,6 +452,7 @@ class FuzzCampaign:
         self.tightness_threshold = float(tightness_threshold)
         self.exec_policy = exec_policy
         self.faults = faults
+        self.engines = resolve_engines(engines)
 
     @property
     def seed(self) -> int:
@@ -416,8 +484,9 @@ class FuzzCampaign:
         report = executor.map(
             _evaluate_cell, cells,
             initializer=_init_worker,
-            initargs=(store_root, self.resume),
+            initargs=(store_root, self.resume, self.engines),
             serial_setup=lambda: _init_worker(store_root, self.resume,
+                                              self.engines,
                                               store=self.store),
             labels=[cell.scenario.name for cell in cells])
         result = FuzzResult(outcomes=report.ordered_results(),
@@ -429,16 +498,21 @@ class FuzzCampaign:
 
 def evaluate_scenario(scenario: Scenario, *,
                       duration: float = DEFAULT_DURATION,
-                      sim_seed: int = DEFAULT_SIM_SEED) -> FuzzOutcome:
+                      sim_seed: int = DEFAULT_SIM_SEED,
+                      engines: "str | Sequence[str] | None" = None
+                      ) -> FuzzOutcome:
     """Evaluate one scenario in-process, store-free.
 
     This is the entry point the shrinker and the corpus replay tests use:
     no result store is consulted, so a replay exercises the live code and
-    nothing else.
+    nothing else.  With the default ``engines`` the outcome is
+    byte-identical to the pre-engine harness; additional engines add
+    :class:`FuzzEngineRow` rows and their soundness verdicts.
     """
     return _compute_cell(FuzzCell(index=0, scenario=scenario,
                                   sim_seed=int(sim_seed),
-                                  duration=float(duration)))
+                                  duration=float(duration)),
+                         engines=resolve_engines(engines))
 
 
 # ---------------------------------------------------------------------------
@@ -451,17 +525,21 @@ _WORKER_STORE: ResultStore | None = None
 _WORKER_RESUME: bool = False
 #: Per-process memoized campaign runner, shared across the worker's cells.
 _MEMO_RUNNER: CampaignRunner | None = None
+#: Engines validated per cell (the campaign's resolved ``--engine``).
+_WORKER_ENGINES: tuple[str, ...] = DEFAULT_ENGINES
 
 
-def _init_worker(store_root: str | None = None, resume: bool = False, *,
+def _init_worker(store_root: str | None = None, resume: bool = False,
+                 engines: tuple[str, ...] = DEFAULT_ENGINES, *,
                  store: ResultStore | None = None) -> None:
     """Process-pool initializer: stash the store handle, reset the cache."""
-    global _WORKER_STORE, _WORKER_RESUME, _MEMO_RUNNER
+    global _WORKER_STORE, _WORKER_RESUME, _MEMO_RUNNER, _WORKER_ENGINES
     if store is None and store_root is not None:
         store = ResultStore(store_root)
     _WORKER_STORE = store
     _WORKER_RESUME = bool(resume)
     _MEMO_RUNNER = None
+    _WORKER_ENGINES = tuple(engines)
 
 
 def _memoized_runner() -> CampaignRunner:
@@ -474,11 +552,16 @@ def _memoized_runner() -> CampaignRunner:
 
 def _evaluate_cell(cell: FuzzCell) -> FuzzOutcome:
     """One cell via the store (or directly when the store is disabled)."""
+    engines = _WORKER_ENGINES
     if _WORKER_STORE is None:
-        return _compute_cell(cell)
+        return _compute_cell(cell, engines=engines)
+    # The bare cell stays the store key of default runs (pre-engine cells
+    # remain addressable); multi-engine runs get their own identity.
+    key = cell if engines == DEFAULT_ENGINES else \
+        {"cell": cell, "engines": list(engines)}
     outcome, _ = _WORKER_STORE.cached(
-        "fuzz-cell", cell,
-        lambda: _compute_cell(cell),
+        "fuzz-cell", key,
+        lambda: _compute_cell(cell, engines=engines),
         subsystem="fuzz",
         encode=_outcome_to_payload,
         decode=lambda payload: _outcome_from_payload(cell, payload),
@@ -490,14 +573,7 @@ def _star_for_stations(stations: Sequence[str], capacity: float,
                        technology_delay: float) -> Network:
     """A star over arbitrary station names (replicas use ``-rk`` suffixes,
     which the canonical builders do not know about)."""
-    network = Network(name=f"fuzz-star-{len(stations)}")
-    network.add_switch("switch-0", technology_delay=technology_delay)
-    for station in stations:
-        network.add_station(station)
-        network.add_link(station, "switch-0", capacity=capacity,
-                         propagation_delay=0.0)
-    network.validate()
-    return network
+    return star_for_stations(stations, capacity, technology_delay)
 
 
 def _measure(cell: FuzzCell, runner: CampaignRunner
@@ -578,9 +654,57 @@ def _measure(cell: FuzzCell, runner: CampaignRunner
     return campaign_rows, tuple(bound_rows), tuple(port_rows), events, dropped
 
 
+def _engine_rows(cell: FuzzCell, bound_rows: Iterable[FuzzBoundRow],
+                 engines: tuple[str, ...]) -> tuple[FuzzEngineRow, ...]:
+    """Bounds of every non-default engine against the cell's sim floor.
+
+    The ``calculus`` engine *is* the floor of ``bound_rows`` (verified
+    byte-identical by the cross-validation suite), so only the other
+    requested engines are evaluated here — on exactly the network the
+    simulator ran.
+    """
+    extra = [name for name in engines if name != DEFAULT_ENGINE]
+    if not extra:
+        return ()
+    scenario = cell.scenario
+    message_set = scenario.workload.build()
+    wire_messages = wire_level_messages(message_set)
+    graph_spec = None
+    if scenario.topology.kind == "graph":
+        graph_spec = scenario.topology.build_graph(
+            scenario.workload.total_stations, scenario.capacity,
+            scenario.technology_delay)
+        network = graph_spec.to_network()
+    else:
+        network = star_for_stations(message_set.stations(),
+                                    scenario.capacity,
+                                    scenario.technology_delay)
+    rows: list[FuzzEngineRow] = []
+    floor = list(bound_rows)
+    for name in extra:
+        engine = get_engine(name)
+        for policy in scenario.policies:
+            bounds = engine.network_class_bounds(
+                wire_messages, policy, network=network,
+                graph_spec=graph_spec)
+            for row in floor:
+                if row.policy != policy:
+                    continue
+                rows.append(FuzzEngineRow(
+                    engine=name,
+                    policy=policy,
+                    priority=row.priority,
+                    bound=bounds.get(row.priority, math.inf),
+                    worst_simulated=row.worst_simulated,
+                    samples=row.samples))
+    return tuple(rows)
+
+
 def _invariant_violations(campaign_rows: Iterable[CampaignRow],
                           bound_rows: Iterable[FuzzBoundRow],
-                          port_rows: Iterable[FuzzPortRow] = ()) -> list[str]:
+                          port_rows: Iterable[FuzzPortRow] = (),
+                          engine_rows: Iterable[FuzzEngineRow] = ()
+                          ) -> list[str]:
     """The static invariant violations of one measurement (usually none)."""
     violations: list[str] = []
     for row in campaign_rows:
@@ -609,10 +733,18 @@ def _invariant_violations(campaign_rows: Iterable[CampaignRow],
                 f"backlog: {port.policy} port {port.node}->{port.toward} "
                 f"observed {port.observed_bits!r} bits exceeds bound "
                 f"{port.backlog_bound!r}")
+    for row in engine_rows:
+        if not row.bound_holds:
+            violations.append(
+                f"engine-soundness: {row.engine} {row.policy}/"
+                f"{row.priority.name} simulated worst "
+                f"{row.worst_simulated!r} exceeds engine bound "
+                f"{row.bound!r}")
     return violations
 
 
-def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
+def _compute_cell(cell: FuzzCell,
+                  engines: tuple[str, ...] = DEFAULT_ENGINES) -> FuzzOutcome:
     """Evaluate one cell twice and check every invariant."""
     started = time.perf_counter()
     first = _measure(cell, _memoized_runner())
@@ -621,7 +753,9 @@ def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
     # Byte-equality of the two measurements checks determinism *and* the
     # memoized-equals-naive contract in one comparison.
     second = _measure(cell, CampaignRunner(memoize=False))
-    violations = _invariant_violations(first[0], first[1], first[2])
+    engine_rows = _engine_rows(cell, first[1], engines)
+    violations = _invariant_violations(first[0], first[1], first[2],
+                                       engine_rows)
     first_json = canonical_json(_measurement_payload(*first))
     second_json = canonical_json(_measurement_payload(*second))
     if first_json != second_json:
@@ -634,6 +768,7 @@ def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
         campaign_rows=campaign_rows,
         bound_rows=bound_rows,
         port_rows=port_rows,
+        engine_rows=engine_rows,
         violations=tuple(violations),
         events_processed=events,
         frames_dropped=dropped,
@@ -646,6 +781,7 @@ def _compute_cell(cell: FuzzCell) -> FuzzOutcome:
             campaign_rows=campaign_rows,
             bound_rows=bound_rows,
             port_rows=port_rows,
+            engine_rows=engine_rows,
             violations=tuple(violations) + (
                 "round-trip: store payload is not identical after "
                 "encode/decode",),
@@ -717,20 +853,48 @@ def _port_row_from_payload(payload: dict) -> FuzzPortRow:
                        observed_bits=float(payload["observed_bits"]))
 
 
+def _engine_row_payload(row: FuzzEngineRow) -> dict:
+    return {"engine": row.engine,
+            "policy": row.policy,
+            "priority": row.priority.name,
+            "bound": row.bound,
+            "worst": row.worst_simulated,
+            "samples": row.samples}
+
+
+def _engine_row_from_payload(payload: dict) -> FuzzEngineRow:
+    return FuzzEngineRow(engine=payload["engine"],
+                         policy=payload["policy"],
+                         priority=PriorityClass[payload["priority"]],
+                         bound=float(payload["bound"]),
+                         worst_simulated=float(payload["worst"]),
+                         samples=int(payload["samples"]))
+
+
 def _measurement_payload(campaign_rows: Iterable[CampaignRow],
                          bound_rows: Iterable[FuzzBoundRow],
                          port_rows: Iterable[FuzzPortRow],
-                         events: int, dropped: int) -> dict:
+                         events: int, dropped: int,
+                         engine_rows: Iterable[FuzzEngineRow] = ()) -> dict:
     """The deterministic part of a cell's outcome as a JSON payload.
 
     This is both the store payload's ``measurement`` entry and the object
-    whose canonical JSON the byte-determinism invariant compares.
+    whose canonical JSON the byte-determinism invariant compares.  The
+    ``engines`` key appears only when non-default engines ran, keeping
+    default payloads (and the committed corpus) byte-identical to the
+    pre-engine format.
     """
-    return {"campaign": [_campaign_row_payload(row) for row in campaign_rows],
-            "rows": [_bound_row_payload(row) for row in bound_rows],
-            "ports": [_port_row_payload(row) for row in port_rows],
-            "events": int(events),
-            "frames_dropped": int(dropped)}
+    payload = {"campaign": [_campaign_row_payload(row)
+                            for row in campaign_rows],
+               "rows": [_bound_row_payload(row) for row in bound_rows],
+               "ports": [_port_row_payload(row) for row in port_rows],
+               "events": int(events),
+               "frames_dropped": int(dropped)}
+    engine_rows = list(engine_rows)
+    if engine_rows:
+        payload["engines"] = [_engine_row_payload(row)
+                              for row in engine_rows]
+    return payload
 
 
 def _outcome_to_payload(outcome: FuzzOutcome) -> dict:
@@ -738,7 +902,8 @@ def _outcome_to_payload(outcome: FuzzOutcome) -> dict:
     return {"measurement": _measurement_payload(
                 outcome.campaign_rows, outcome.bound_rows,
                 outcome.port_rows,
-                outcome.events_processed, outcome.frames_dropped),
+                outcome.events_processed, outcome.frames_dropped,
+                outcome.engine_rows),
             "violations": list(outcome.violations),
             "elapsed": outcome.elapsed}
 
@@ -754,6 +919,8 @@ def _outcome_from_payload(cell: FuzzCell, payload: dict) -> FuzzOutcome:
                          for row in measurement["rows"]),
         port_rows=tuple(_port_row_from_payload(row)
                         for row in measurement.get("ports", [])),
+        engine_rows=tuple(_engine_row_from_payload(row)
+                          for row in measurement.get("engines", [])),
         violations=tuple(payload["violations"]),
         events_processed=int(measurement["events"]),
         frames_dropped=int(measurement["frames_dropped"]),

@@ -109,9 +109,15 @@ def scenario_from_spec(spec: dict) -> Scenario:
 
 
 def content_digest(scenario: Scenario, *, duration: float,
-                   sim_seed: int) -> str:
-    """Fingerprint of an entry's substance (display name excluded)."""
-    return fingerprint({
+                   sim_seed: int,
+                   engines: tuple[str, ...] = ("calculus",)) -> str:
+    """Fingerprint of an entry's substance (display name excluded).
+
+    The engine selection joins the digest only when it differs from the
+    default, so every pre-engine entry keeps its filename while the same
+    scenario validated under extra engines gets its own identity.
+    """
+    payload = {
         "workload": scenario.workload,
         "topology": scenario.topology,
         "capacity": scenario.capacity,
@@ -119,7 +125,10 @@ def content_digest(scenario: Scenario, *, duration: float,
         "policies": scenario.policies,
         "duration": duration,
         "sim_seed": sim_seed,
-    })
+    }
+    if tuple(engines) != ("calculus",):
+        payload["engines"] = tuple(engines)
+    return fingerprint(payload)
 
 
 @dataclass(frozen=True)
@@ -139,12 +148,14 @@ class CorpusEntry:
     #: The recorded outcome payload: ``measurement`` (campaign rows,
     #: bound-vs-sim rows, event counts), ``violations``, ``max_tightness``.
     recorded: dict
+    #: Engines the entry's measurement validated (default: the floor).
+    engines: tuple[str, ...] = ("calculus",)
 
     @property
     def digest(self) -> str:
         """Content fingerprint used for the entry's filename."""
         return content_digest(self.scenario, duration=self.duration,
-                              sim_seed=self.sim_seed)
+                              sim_seed=self.sim_seed, engines=self.engines)
 
     @property
     def filename(self) -> str:
@@ -153,7 +164,7 @@ class CorpusEntry:
 
 
 def _entry_to_payload(entry: CorpusEntry) -> dict:
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "reason": entry.reason,
         "origin": {"generator_seed": entry.generator_seed,
@@ -163,6 +174,11 @@ def _entry_to_payload(entry: CorpusEntry) -> dict:
                        "sim_seed": entry.sim_seed},
         "recorded": entry.recorded,
     }
+    # Pre-engine entries stay byte-identical: the key only appears when
+    # the entry actually validated more than the default floor engine.
+    if entry.engines != ("calculus",):
+        payload["engines"] = list(entry.engines)
+    return payload
 
 
 def _entry_from_payload(payload: dict) -> CorpusEntry:
@@ -177,7 +193,8 @@ def _entry_from_payload(payload: dict) -> CorpusEntry:
         scenario=scenario_from_spec(payload["scenario"]),
         duration=float(payload["simulation"]["duration"]),
         sim_seed=int(payload["simulation"]["sim_seed"]),
-        recorded=payload["recorded"])
+        recorded=payload["recorded"],
+        engines=tuple(payload.get("engines", ("calculus",))))
 
 
 def _entry_text(entry: CorpusEntry) -> str:
@@ -208,7 +225,8 @@ def verify_entry(entry: CorpusEntry) -> list[str]:
     also be reproduced exactly.
     """
     outcome = evaluate_scenario(entry.scenario, duration=entry.duration,
-                                sim_seed=entry.sim_seed)
+                                sim_seed=entry.sim_seed,
+                                engines=entry.engines)
     payload = _outcome_to_payload(outcome)
     problems: list[str] = []
     fresh = canonical_json(payload["measurement"])
@@ -302,11 +320,13 @@ def persist_interesting(result: FuzzResult, *, generator_seed: int,
     for outcome in selected:
         reason, predicate = _reason_and_predicate(
             outcome, result.tightness_threshold)
+        engines = outcome.engines
         minimized, _ = minimize_scenario(
             outcome.cell.scenario, predicate,
             duration=outcome.cell.duration, sim_seed=outcome.cell.sim_seed)
         digest = content_digest(minimized, duration=outcome.cell.duration,
-                                sim_seed=outcome.cell.sim_seed)
+                                sim_seed=outcome.cell.sim_seed,
+                                engines=engines)
         if digest in seen:
             continue
         seen.add(digest)
@@ -321,8 +341,17 @@ def persist_interesting(result: FuzzResult, *, generator_seed: int,
                          f"{outcome.cell.index}"),
             tags=("fuzz", "corpus"))
         final = evaluate_scenario(renamed, duration=outcome.cell.duration,
-                                  sim_seed=outcome.cell.sim_seed)
+                                  sim_seed=outcome.cell.sim_seed,
+                                  engines=engines)
         payload = _outcome_to_payload(final)
+        recorded = {"measurement": payload["measurement"],
+                    "violations": payload["violations"],
+                    "max_tightness": final.max_tightness}
+        if engines != ("calculus",):
+            # Tag the witness per engine: which backends it is near-tight
+            # for (the ranking experiment and triage read this directly).
+            recorded["near_tight_engines"] = list(
+                final.near_tight_engines(result.tightness_threshold))
         entry = CorpusEntry(
             reason=reason,
             generator_seed=generator_seed,
@@ -330,9 +359,8 @@ def persist_interesting(result: FuzzResult, *, generator_seed: int,
             scenario=renamed,
             duration=outcome.cell.duration,
             sim_seed=outcome.cell.sim_seed,
-            recorded={"measurement": payload["measurement"],
-                      "violations": payload["violations"],
-                      "max_tightness": final.max_tightness})
+            recorded=recorded,
+            engines=engines)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / entry.filename
         text = _entry_text(entry)

@@ -43,10 +43,12 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from queue import Full, Queue
 
+from repro.analysis.engines import DEFAULT_ENGINE
 from repro.errors import ConfigurationError
 from repro.exec.faults import FaultInjectedError, FaultPlan, request_context
 from repro.serve.engine import AdmissionEngine
 from repro.serve.journal import AdmissionJournal
+from repro.store import code_version
 
 __all__ = ["AdmissionServer", "ServeConfig"]
 
@@ -72,6 +74,12 @@ class ServeConfig:
     retry_after: int = 1
     #: Fold the journal into a checkpoint every this many appends.
     checkpoint_every: int = 256
+    #: Bound engine behind the served admission bounds.  The incremental
+    #: admission math is calculus-only, so the CLI rejects any other
+    #: selection; ``/health`` reports the name with the ``engines``
+    #: code-version token so clients can tell which bound implementation
+    #: (and source revision) produced their answers.
+    engine: str = DEFAULT_ENGINE
 
     def effective_shed_p99(self) -> float:
         """The p99 shedding threshold actually applied."""
@@ -362,6 +370,8 @@ class AdmissionServer:
             "flow_count": snapshot.flow_count,
             "feasible": snapshot.feasible,
             "policy": snapshot.policy,
+            "engine": {"name": self.config.engine,
+                       "token": code_version("engines")},
             "state_fingerprint": snapshot.state_fingerprint,
             "bounds_fingerprint": snapshot.bounds_fingerprint(),
         }

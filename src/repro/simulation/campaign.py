@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro import units
+from repro.analysis.engines import DEFAULT_ENGINES, get_engine, resolve_engines
 from repro.analysis.multihop import GraphPathAnalysis
 from repro.analysis.validation import star_for_message_set, wire_level_messages
 from repro.campaigns.scenario import TopologySpec
@@ -57,6 +58,7 @@ __all__ = [
     "SimulationCell",
     "CellOutcome",
     "MonteCarloRow",
+    "MonteCarloEngineRow",
     "MonteCarloResult",
     "SimulationCampaign",
     "SCENARIOS",
@@ -153,12 +155,52 @@ class MonteCarloRow:
         return self.worst_simulated / self.analytic_bound
 
 
+@dataclass(frozen=True)
+class MonteCarloEngineRow:
+    """One bound engine's validation against the simulated worst case.
+
+    Produced only for non-default engine selections
+    (``repro simulate --engine ...``); every selected engine — the
+    calculus reference included — is checked against the same worst
+    observation the canonical :class:`MonteCarloRow` aggregates.
+    """
+
+    size_factor: int
+    scenario: str
+    policy: str
+    priority: PriorityClass
+    engine: str
+    #: The engine's end-to-end delay bound (seconds).
+    bound: float
+    #: Worst latency observed across every seed (seconds).
+    worst_simulated: float
+    #: Total latency samples behind the observation.
+    samples: int
+
+    @property
+    def bound_holds(self) -> bool:
+        """True when the engine's bound dominates every observation."""
+        return self.worst_simulated <= self.bound + 1e-9
+
+    @property
+    def tightness(self) -> float:
+        """Worst observation divided by the engine bound (``nan`` sentinel
+        for unstable/infinite bounds, as on :class:`MonteCarloRow`)."""
+        if not math.isfinite(self.bound) or self.bound <= 0:
+            return float("nan")
+        if math.isnan(self.worst_simulated):
+            return float("nan")
+        return self.worst_simulated / self.bound
+
+
 @dataclass
 class MonteCarloResult:
     """The combined outcome of a Monte-Carlo simulation campaign."""
 
     outcomes: list[CellOutcome] = field(default_factory=list)
     rows: list[MonteCarloRow] = field(default_factory=list)
+    #: Cross-engine validation rows; empty under the default selection.
+    engine_rows: list[MonteCarloEngineRow] = field(default_factory=list)
     elapsed: float = 0.0
     #: What the fault-tolerant executor observed (retries, recoveries,
     #: structured failures); ``None`` only for hand-built results.
@@ -166,6 +208,8 @@ class MonteCarloResult:
 
     ROW_HEADERS = ("scale", "scenario", "policy", "class", "seeds",
                    "bound", "worst sim", "tightness", "holds")
+    ENGINE_ROW_HEADERS = ("scale", "scenario", "policy", "class", "engine",
+                          "bound", "worst sim", "tightness", "holds")
 
     @property
     def failures(self) -> list:
@@ -176,6 +220,12 @@ class MonteCarloResult:
     def all_bounds_hold(self) -> bool:
         """True when every aggregated row respects its analytic bound."""
         return bool(self.rows) and all(row.bound_holds for row in self.rows)
+
+    @property
+    def all_engine_bounds_hold(self) -> bool:
+        """True when every cross-engine row is sound (vacuously true for
+        default runs, which produce no engine rows)."""
+        return all(row.bound_holds for row in self.engine_rows)
 
     @property
     def cells(self) -> int:
@@ -218,15 +268,34 @@ class MonteCarloResult:
                  _format_tightness(row.tightness), yes_no(row.bound_holds))
                 for row in self.rows]
 
+    def engine_row_cells(self) -> list[tuple]:
+        """One formatted line per cross-engine validation row."""
+        return [(f"x{row.size_factor}", row.scenario,
+                 _POLICY_LABELS[row.policy], row.priority.label, row.engine,
+                 format_ms(row.bound), format_ms(row.worst_simulated),
+                 _format_tightness(row.tightness), yes_no(row.bound_holds))
+                for row in self.engine_rows]
+
     def to_table(self) -> str:
-        """The aggregated rows as an aligned ASCII table."""
-        return render_table(self.ROW_HEADERS, self.row_cells(),
-                            title="Monte-Carlo bound validation")
+        """The aggregated rows as aligned ASCII tables (runs with a
+        non-default engine selection append the cross-engine table)."""
+        table = render_table(self.ROW_HEADERS, self.row_cells(),
+                             title="Monte-Carlo bound validation")
+        if self.engine_rows:
+            table += "\n" + render_table(
+                self.ENGINE_ROW_HEADERS, self.engine_row_cells(),
+                title="Cross-engine bound validation")
+        return table
 
     def to_markdown(self) -> str:
-        """The aggregated rows in GitHub-flavoured markdown."""
-        return render_markdown_table(self.ROW_HEADERS, self.row_cells(),
-                                     title="Monte-Carlo bound validation")
+        """The same tables in GitHub-flavoured markdown."""
+        table = render_markdown_table(self.ROW_HEADERS, self.row_cells(),
+                                      title="Monte-Carlo bound validation")
+        if self.engine_rows:
+            table += "\n" + render_markdown_table(
+                self.ENGINE_ROW_HEADERS, self.engine_row_cells(),
+                title="Cross-engine bound validation")
+        return table
 
     def write_csv(self, path: str | Path) -> None:
         """Dump the raw (unformatted) aggregated rows to ``path``."""
@@ -290,6 +359,15 @@ class SimulationCampaign:
         :class:`~repro.analysis.multihop.GraphPathAnalysis` on the same
         spec.  An explicit graph spec fixes the station names, so it
         only supports ``size_factors=(1,)``.
+    engines:
+        Bound-engine selection (``repro simulate --engine ...``), as
+        accepted by :func:`repro.analysis.engines.resolve_engines`.
+        The canonical rows always validate the calculus bound; a
+        non-default selection additionally validates every selected
+        engine's bound against the same simulated worst case
+        (``result.engine_rows``).  Cell simulation — and therefore the
+        store fingerprints — is engine-independent, so old stores stay
+        warm for any selection.
     """
 
     def __init__(self, *, station_count: int = 16, workload_seed: int = 7,
@@ -306,8 +384,8 @@ class SimulationCampaign:
                  resume: bool = False,
                  exec_policy: ExecPolicy | None = None,
                  faults: str | None = None,
-                 topology: TopologySpec | GraphTopologySpec | None = None
-                 ) -> None:
+                 topology: TopologySpec | GraphTopologySpec | None = None,
+                 engines: "str | Sequence[str] | None" = None) -> None:
         if not scenarios:
             raise ConfigurationError("at least one scenario is required")
         for scenario in scenarios:
@@ -354,6 +432,7 @@ class SimulationCampaign:
         self.exec_policy = exec_policy
         self.faults = faults
         self.topology = topology
+        self.engines = resolve_engines(engines)
 
     # -- grid ----------------------------------------------------------------
 
@@ -411,6 +490,7 @@ class SimulationCampaign:
         result = MonteCarloResult(outcomes=report.ordered_results())
         result.exec_report = report
         result.rows = self._aggregate(result.outcomes)
+        result.engine_rows = self._aggregate_engines(result.rows)
         result.elapsed = time.perf_counter() - started
         return result
 
@@ -483,6 +563,58 @@ class SimulationCampaign:
                             mean_simulated=sum(means) / len(means),
                             samples=samples))
         return rows
+
+    def _engine_bounds_for(self, factor: int
+                           ) -> dict[str, dict[str, dict]]:
+        """``{engine: {policy: {class: bound}}}`` for one size factor."""
+        context = self._context()
+        message_set = _workload(context, factor)
+        analysis_messages = wire_level_messages(message_set)
+        graph_spec = _graph_spec(context, factor)
+        if graph_spec is not None:
+            network = graph_spec.to_network()
+        else:
+            network = star_for_message_set(
+                message_set, capacity=self.capacity,
+                technology_delay=self.technology_delay)
+        bounds: dict[str, dict[str, dict]] = {}
+        for name in self.engines:
+            engine = get_engine(name)
+            bounds[name] = {
+                policy: engine.network_class_bounds(
+                    analysis_messages, policy, network=network,
+                    graph_spec=graph_spec)
+                for policy in self.policies}
+        return bounds
+
+    def _aggregate_engines(self, rows: Iterable[MonteCarloRow]
+                           ) -> list[MonteCarloEngineRow]:
+        """Validate every selected engine against the aggregated worsts.
+
+        Empty under the default selection: the canonical rows already
+        validate the calculus bound, so default runs stay byte-identical
+        to the pre-engine output.
+        """
+        if self.engines == DEFAULT_ENGINES:
+            return []
+        bounds_per_factor = {factor: self._engine_bounds_for(factor)
+                             for factor in self.size_factors}
+        engine_rows: list[MonteCarloEngineRow] = []
+        for row in rows:
+            per_engine = bounds_per_factor[row.size_factor]
+            for name in self.engines:
+                bound = per_engine[name][row.policy].get(
+                    row.priority, math.inf)
+                engine_rows.append(MonteCarloEngineRow(
+                    size_factor=row.size_factor,
+                    scenario=row.scenario,
+                    policy=row.policy,
+                    priority=row.priority,
+                    engine=name,
+                    bound=bound,
+                    worst_simulated=row.worst_simulated,
+                    samples=row.samples))
+        return engine_rows
 
 
 # ---------------------------------------------------------------------------

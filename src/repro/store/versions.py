@@ -44,6 +44,9 @@ SUBSYSTEMS: dict[str, tuple[str, ...]] = {
     # The serve engine's cached snapshots embed the campaign closed forms
     # and the multi-hop fallback, so its roots cover both.
     "serve": ("repro.serve.engine", "repro.analysis.multihop"),
+    # The bound-engine registry: repro.analysis.multihop is an explicit
+    # root because the calculus engine reaches it lazily (cycle break).
+    "engines": ("repro.analysis.engines", "repro.analysis.multihop"),
 }
 
 

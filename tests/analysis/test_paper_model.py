@@ -24,20 +24,25 @@ class TestFigure1OnTheRealCase:
 
     def test_urgent_priority_bound_is_below_3ms(self, study):
         assert study.urgent_priority_bound_below_3ms()
-        bounds = study.priority_class_bounds()
+        bounds = study.class_bounds("strict-priority")
         assert bounds[PriorityClass.URGENT] < units.ms(3)
 
     def test_periodic_priority_bound_improves_over_fcfs(self, study):
         assert study.periodic_priority_bound_below_fcfs()
 
     def test_fcfs_bound_is_identical_for_every_class(self, study):
-        bounds = set(study.fcfs_class_bounds().values())
+        bounds = set(study.class_bounds("fcfs").values())
         assert len(bounds) == 1
 
     def test_priority_bounds_are_monotone(self, study):
-        bounds = study.priority_class_bounds()
+        bounds = study.class_bounds("strict-priority")
         ordered = [bounds[cls] for cls in sorted(bounds)]
         assert ordered == sorted(ordered)
+
+    def test_unknown_policy_is_rejected(self, study):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            study.class_bounds("weighted-fair")
 
     def test_rows_cover_all_four_classes(self, study):
         rows = study.figure1_rows()
@@ -51,10 +56,43 @@ class TestFigure1OnTheRealCase:
         assert deadlines[PriorityClass.BACKGROUND] is None
 
     def test_convenience_wrapper_matches_the_class(self, real_case, study):
-        wrapper_rows = figure1_rows(real_case)
+        with pytest.warns(DeprecationWarning):
+            wrapper_rows = figure1_rows(real_case)
         class_rows = study.figure1_rows()
         assert [r.fcfs_bound for r in wrapper_rows] == \
             [r.fcfs_bound for r in class_rows]
+
+
+class TestDeprecatedSurface:
+    """The pre-engine entry points keep working, warn, and stay
+    bit-identical to the policy-parametric surface they now wrap."""
+
+    def test_fcfs_class_bounds_warns_and_matches(self, real_case):
+        study = PaperCaseStudy(real_case)
+        with pytest.warns(DeprecationWarning, match="fcfs_class_bounds"):
+            legacy = study.fcfs_class_bounds()
+        assert legacy == study.class_bounds("fcfs")
+
+    def test_priority_class_bounds_warns_and_matches(self, real_case):
+        study = PaperCaseStudy(real_case)
+        with pytest.warns(DeprecationWarning,
+                          match="priority_class_bounds"):
+            legacy = study.priority_class_bounds()
+        assert legacy == study.class_bounds("strict-priority")
+
+    def test_figure1_rows_wrapper_warns_and_matches(self, real_case):
+        with pytest.warns(DeprecationWarning, match="figure1_rows"):
+            wrapper_rows = figure1_rows(real_case)
+        assert wrapper_rows == PaperCaseStudy(real_case).figure1_rows()
+
+    def test_new_surface_does_not_warn(self, real_case):
+        import warnings as _warnings
+        study = PaperCaseStudy(real_case)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            study.class_bounds("fcfs")
+            study.class_bounds("strict-priority")
+            study.figure1_rows()
 
 
 class TestScalingBehaviour:
@@ -73,8 +111,8 @@ class TestScalingBehaviour:
         large = PaperCaseStudy(real_case, technology_delay=units.ms(1))
         assert large.fcfs_bound() - small.fcfs_bound() == pytest.approx(
             units.ms(1))
-        delta = (large.priority_class_bounds()[PriorityClass.URGENT]
-                 - small.priority_class_bounds()[PriorityClass.URGENT])
+        delta = (large.class_bounds("strict-priority")[PriorityClass.URGENT]
+                 - small.class_bounds("strict-priority")[PriorityClass.URGENT])
         assert delta == pytest.approx(units.ms(1))
 
 

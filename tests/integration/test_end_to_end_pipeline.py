@@ -30,8 +30,8 @@ class TestWorkloadRoundTripThroughTheWholeStack:
         path = tmp_path / "workload.csv"
         save_message_set_csv(real_case, path)
         reloaded = load_message_set_csv(path)
-        original = PaperCaseStudy(real_case).priority_class_bounds()
-        roundtrip = PaperCaseStudy(reloaded).priority_class_bounds()
+        original = PaperCaseStudy(real_case).class_bounds("strict-priority")
+        roundtrip = PaperCaseStudy(reloaded).class_bounds("strict-priority")
         for cls, bound in original.items():
             assert roundtrip[cls] == pytest.approx(bound)
 

@@ -61,14 +61,14 @@ class TestCrossExperimentConsistency:
         study = PaperCaseStudy(real_case)
         rows = [row for row in fcfs_violation_table(real_case)
                 if row.capacity == units.mbps(10)]
-        fcfs_bounds = study.fcfs_class_bounds()
+        fcfs_bounds = study.class_bounds("fcfs")
         for row in rows:
             assert row.fcfs_bound == pytest.approx(fcfs_bounds[row.priority])
 
     def test_comparison_is_consistent_with_the_study(self, real_case):
         study = PaperCaseStudy(real_case)
         comparison = technology_comparison(real_case)
-        priority_bounds = study.priority_class_bounds()
+        priority_bounds = study.class_bounds("strict-priority")
         for row in comparison:
             assert row.ethernet_priority_bound == pytest.approx(
                 priority_bounds[row.priority])
@@ -76,5 +76,5 @@ class TestCrossExperimentConsistency:
     def test_urgent_class_margin_is_meaningful(self, real_case):
         """The priority bound leaves real margin under the 3 ms constraint."""
         study = PaperCaseStudy(real_case)
-        urgent = study.priority_class_bounds()[PriorityClass.URGENT]
+        urgent = study.class_bounds("strict-priority")[PriorityClass.URGENT]
         assert urgent < units.ms(1.5)

@@ -154,6 +154,58 @@ class TestCampaignCommand:
         assert capsys.readouterr().err == ""
 
 
+class TestEngineFlag:
+    """The shared ``--engine`` parent parser across the batch commands."""
+
+    def test_every_batch_command_accepts_the_flag(self):
+        parser = build_parser()
+        for command in ("campaign", "simulate", "fuzz", "report", "serve"):
+            args = parser.parse_args([command, "--engine", "all"])
+            assert args.engine == "all"
+
+    def test_version_reports_the_active_engine_and_token(self, capsys):
+        from repro.store import code_version
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        output = capsys.readouterr().out
+        assert "engine calculus" in output
+        assert "calculus, holistic, trajectory" in output
+        assert f"engines token {code_version('engines')}" in output
+
+    def test_campaign_engine_all_adds_the_cross_engine_table(self, capsys):
+        assert main(["campaign", "--run", "paper-real-case", "--no-store",
+                     "--engine", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "Cross-engine bounds" in output
+        assert "holistic" in output and "trajectory" in output
+
+    def test_default_campaign_output_has_no_engine_table(self, capsys):
+        assert main(["campaign", "--run", "paper-real-case",
+                     "--no-store"]) == 0
+        assert "Cross-engine bounds" not in capsys.readouterr().out
+
+    def test_fuzz_engine_all_validates_every_engine(self, capsys):
+        assert main(["fuzz", "--count", "2", "--no-store", "--no-corpus",
+                     "--engine", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "engines: calculus, holistic, trajectory" in output
+
+    @pytest.mark.parametrize("command", ["campaign", "simulate", "fuzz",
+                                         "report", "serve"])
+    def test_unknown_engine_exits_two_with_one_error_line(self, command,
+                                                          capsys):
+        assert main([command, "--engine", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unknown engine 'bogus'" in err
+
+    def test_serve_only_supports_the_calculus_engine(self, capsys):
+        assert main(["serve", "--engine", "holistic"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "calculus" in err
+
+
 class TestCommands:
     def test_figure1_prints_the_table_and_succeeds(self, capsys):
         exit_code = main(["--stations", "8", "--seed", "3", "figure1"])
